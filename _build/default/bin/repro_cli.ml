@@ -1,0 +1,380 @@
+(* Command-line driver for the reproduction experiments.
+
+   repro_cli list                      enumerate experiments
+   repro_cli run t1 t5 --trials 10     run selected experiments
+   repro_cli all --scale 0.5           run everything, half-size
+   Add --csv DIR to also write each table as DIR/<id>_<k>.csv. *)
+
+let make_ctx ~seed ~trials ~scale ~csv_dir ~current_id =
+  let table_index = ref 0 in
+  let emit_table ~title table =
+    print_newline ();
+    print_endline title;
+    print_string (Harness.Table.render table);
+    match csv_dir with
+    | None -> ()
+    | Some dir ->
+      incr table_index;
+      let path =
+        Filename.concat dir (Printf.sprintf "%s_%d.csv" !current_id !table_index)
+      in
+      let oc = open_out path in
+      output_string oc (Harness.Table.to_csv table);
+      close_out oc;
+      Printf.printf "  [csv: %s]\n" path
+  in
+  {
+    Harness.Experiment.seed;
+    trials;
+    scale;
+    emit_table;
+    log = print_endline;
+  }
+
+let run_experiments ids seed trials scale csv_dir =
+  (match csv_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  let current_id = ref "" in
+  let ctx = make_ctx ~seed ~trials ~scale ~csv_dir ~current_id in
+  let failures = ref [] in
+  List.iter
+    (fun id ->
+      match Harness.Registry.find id with
+      | None ->
+        Printf.eprintf "unknown experiment %S; try `repro_cli list'\n" id;
+        failures := id :: !failures
+      | Some e ->
+        current_id := e.Harness.Experiment.id;
+        Printf.printf "\n=== %s: %s ===\n" (String.uppercase_ascii e.id) e.title;
+        Printf.printf "claim: %s\n" e.claim;
+        let t0 = Unix.gettimeofday () in
+        e.run ctx;
+        Printf.printf "[%s done in %.1fs]\n" e.id (Unix.gettimeofday () -. t0))
+    ids;
+  if !failures = [] then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* simulate: one configurable run with detailed output *)
+
+let algo_names =
+  [ "rebatching"; "rebatching-paper"; "adaptive"; "fast"; "uniform"; "scan";
+    "cyclic"; "doubling" ]
+
+let make_algo name ~n ~t0 ~epsilon =
+  match name with
+  | "rebatching" ->
+    let instance = Renaming.Rebatching.make ~epsilon ~t0 ~n () in
+    Ok (fun env -> Renaming.Rebatching.get_name env instance)
+  | "rebatching-paper" ->
+    let instance = Renaming.Rebatching.make ~epsilon ~n () in
+    Ok (fun env -> Renaming.Rebatching.get_name env instance)
+  | "adaptive" ->
+    let space = Renaming.Object_space.create ~t0 () in
+    Ok (fun env -> Renaming.Adaptive_rebatching.get_name env space)
+  | "fast" ->
+    let space = Renaming.Object_space.create ~t0 () in
+    Ok (fun env -> Renaming.Fast_adaptive_rebatching.get_name env space)
+  | "uniform" ->
+    let m = int_of_float (Float.ceil ((1. +. epsilon) *. float_of_int n)) in
+    Ok (fun env -> Baselines.Uniform_probe.get_name env ~m ~max_steps:(1000 * n))
+  | "scan" ->
+    let m = int_of_float (Float.ceil ((1. +. epsilon) *. float_of_int n)) in
+    Ok (fun env -> Baselines.Linear_scan.get_name env ~m)
+  | "cyclic" ->
+    let m = int_of_float (Float.ceil ((1. +. epsilon) *. float_of_int n)) in
+    Ok (fun env -> Baselines.Cyclic_scan.get_name env ~m)
+  | "doubling" ->
+    let space = Renaming.Object_space.create ~t0 () in
+    Ok (fun env -> Baselines.Adaptive_doubling.get_name env space)
+  | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+
+let simulate algo_name n seed adversary_name crash_fraction stagger histogram =
+  match make_algo algo_name ~n ~t0:3 ~epsilon:1.0 with
+  | Error msg ->
+    prerr_endline msg;
+    Printf.eprintf "algorithms: %s\n" (String.concat ", " algo_names);
+    1
+  | Ok algo ->
+    (match Sim.Adversary.by_name adversary_name with
+    | None ->
+      Printf.eprintf "unknown adversary %S; one of: %s\n" adversary_name
+        (String.concat ", "
+           (List.map (fun a -> a.Sim.Adversary.name) Sim.Adversary.all_builtin));
+      1
+    | Some adversary ->
+      let adversary =
+        if crash_fraction > 0. then
+          Sim.Adversary.with_crashes ~fraction:crash_fraction adversary
+        else adversary
+      in
+      let adversary =
+        match stagger with
+        | Some interval -> Sim.Arrivals.staggered ~interval adversary
+        | None -> adversary
+      in
+      let r = Sim.Runner.run ~adversary ~seed ~n ~algo () in
+      Printf.printf
+        "algo=%s n=%d seed=%d adversary=%s\nunique=%b max_name=%d \
+         max_steps=%d total_steps=%d crashes=%d point_contention=%d \
+         space_used=%d\n"
+        algo_name n seed adversary.Sim.Adversary.name
+        (Sim.Runner.check_unique_names r)
+        (Sim.Runner.max_name r) r.max_steps r.total_steps r.crash_count
+        r.point_contention r.space_used;
+      if histogram then begin
+        let h = Stats.Histogram.create () in
+        Array.iteri
+          (fun pid s -> if not r.crashed.(pid) then Stats.Histogram.add h s)
+          r.steps;
+        print_endline "per-process steps:";
+        print_string (Stats.Histogram.render h)
+      end;
+      if Sim.Runner.check_unique_names r then 0 else 2)
+
+(* ------------------------------------------------------------------ *)
+(* verify: the full safety battery *)
+
+let verify seed rounds =
+  let failures = ref 0 in
+  let checks = ref 0 in
+  let report name ok =
+    incr checks;
+    if not ok then begin
+      incr failures;
+      Printf.printf "FAIL  %s\n" name
+    end
+  in
+  let sizes = [ 1; 2; 17; 64; 200 ] in
+  let adversaries =
+    List.map Sim.Validator.validated
+      (Sim.Adversary.all_builtin
+      @ [
+          Sim.Adversary.with_crashes ~fraction:0.3 Sim.Adversary.greedy_collision;
+          Sim.Arrivals.staggered ~interval:5 Sim.Adversary.random;
+        ])
+  in
+  let algorithms =
+    [
+      ( "rebatching",
+        fun n ->
+          let instance = Renaming.Rebatching.make ~t0:3 ~n () in
+          let spec = Renaming.Spec.create () in
+          Renaming.Spec.with_rebatching spec instance;
+          ((fun env -> Renaming.Rebatching.get_name env instance), spec) );
+      ( "adaptive",
+        fun _n ->
+          let space = Renaming.Object_space.create ~t0:3 () in
+          let spec = Renaming.Spec.create () in
+          Renaming.Spec.with_object_space spec space;
+          ((fun env -> Renaming.Adaptive_rebatching.get_name env space), spec) );
+      ( "fast-adaptive",
+        fun _n ->
+          let space = Renaming.Object_space.create ~t0:3 () in
+          let spec = Renaming.Spec.create () in
+          Renaming.Spec.with_object_space spec space;
+          ( (fun env -> Renaming.Fast_adaptive_rebatching.get_name env space),
+            spec ) );
+    ]
+  in
+  List.iter
+    (fun (alg_name, make) ->
+      List.iter
+        (fun adversary ->
+          List.iter
+            (fun n ->
+              for round = 0 to rounds - 1 do
+                let algo, spec = make n in
+                let label =
+                  Printf.sprintf "%s / %s / n=%d / seed=%d" alg_name
+                    adversary.Sim.Adversary.name n (seed + round)
+                in
+                match
+                  Sim.Runner.run ~adversary
+                    ~on_event:(Renaming.Spec.observe spec)
+                    ~seed:(seed + round) ~n ~algo ()
+                with
+                | exception e ->
+                  report (label ^ " raised " ^ Printexc.to_string e) false
+                | r ->
+                  report (label ^ ": unique names")
+                    (Sim.Runner.check_unique_names r);
+                  report
+                    (label ^ ": spec clean")
+                    (Renaming.Spec.violations spec = [])
+              done)
+            sizes)
+        adversaries)
+    algorithms;
+  Printf.printf "verify: %d checks, %d failures\n" !checks !failures;
+  if !failures = 0 then 0 else 2
+
+(* ------------------------------------------------------------------ *)
+(* report: run everything and emit one self-contained markdown file *)
+
+let report out seed trials scale =
+  let oc = open_out out in
+  let p fmt = Printf.fprintf oc fmt in
+  p "# Experiment report\n\n";
+  p
+    "Generated by `repro_cli report` — seed %d, trials %d, scale %.2f.  See \
+     DESIGN.md for the experiment index and EXPERIMENTS.md for the recorded \
+     full-scale analysis.\n"
+    seed trials scale;
+  let in_code = ref false in
+  let close_code () =
+    if !in_code then begin
+      p "```\n";
+      in_code := false
+    end
+  in
+  let ctx =
+    {
+      Harness.Experiment.seed;
+      trials;
+      scale;
+      emit_table =
+        (fun ~title table ->
+          close_code ();
+          p "\n**%s**\n\n%s\n" title (Harness.Table.render_markdown table));
+      log =
+        (fun line ->
+          if not !in_code then begin
+            p "\n```\n";
+            in_code := true
+          end;
+          p "%s\n" line);
+    }
+  in
+  List.iter
+    (fun e ->
+      close_code ();
+      p "\n## %s — %s\n\nClaim: %s\n"
+        (String.uppercase_ascii e.Harness.Experiment.id)
+        e.Harness.Experiment.title e.Harness.Experiment.claim;
+      e.Harness.Experiment.run ctx)
+    Harness.Registry.all;
+  close_code ();
+  close_out oc;
+  Printf.printf "report written to %s\n" out;
+  0
+
+open Cmdliner
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base random seed.")
+
+let trials_t =
+  Arg.(
+    value & opt int 5
+    & info [ "trials" ] ~docv:"N" ~doc:"Repetitions per measured point.")
+
+let scale_t =
+  Arg.(
+    value & opt float 1.0
+    & info [ "scale" ] ~docv:"X"
+        ~doc:"Multiplier on default problem sizes (0.25 for a quick pass).")
+
+let csv_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR" ~doc:"Also write every table as CSV into $(docv).")
+
+let list_cmd =
+  let doc = "List the available experiments." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-4s %s\n     claim: %s\n" e.Harness.Experiment.id
+          e.Harness.Experiment.title e.Harness.Experiment.claim)
+      Harness.Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run selected experiments by id (t1..t10, f1, f2)." in
+  let ids_t =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run_experiments $ ids_t $ seed_t $ trials_t $ scale_t $ csv_t)
+
+let all_cmd =
+  let doc = "Run every experiment in order." in
+  let run seed trials scale csv =
+    run_experiments (Harness.Registry.ids ()) seed trials scale csv
+  in
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const run $ seed_t $ trials_t $ scale_t $ csv_t)
+
+let simulate_cmd =
+  let doc = "Run one simulation with explicit parameters and print details." in
+  let algo_t =
+    Arg.(
+      value & opt string "rebatching"
+      & info [ "algo" ] ~docv:"NAME"
+          ~doc:
+            "Algorithm: rebatching, rebatching-paper, adaptive, fast, \
+             uniform, scan, cyclic, doubling.")
+  in
+  let n_t =
+    Arg.(value & opt int 256 & info [ "procs" ] ~docv:"N" ~doc:"Process count.")
+  in
+  let adversary_t =
+    Arg.(
+      value & opt string "random"
+      & info [ "adversary" ] ~docv:"NAME"
+          ~doc:"random, round-robin, layered, greedy or sequential.")
+  in
+  let crash_t =
+    Arg.(
+      value & opt float 0.
+      & info [ "crash-fraction" ] ~docv:"F" ~doc:"Crash up to this fraction.")
+  in
+  let stagger_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stagger" ] ~docv:"I" ~doc:"Stagger arrivals by $(docv) steps.")
+  in
+  let histogram_t =
+    Arg.(value & flag & info [ "histogram" ] ~doc:"Print the step histogram.")
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const simulate $ algo_t $ n_t $ seed_t $ adversary_t $ crash_t $ stagger_t
+      $ histogram_t)
+
+let verify_cmd =
+  let doc =
+    "Run the safety battery: every algorithm under every (validated) \
+     adversary across sizes and seeds, with the event-stream spec checker \
+     attached."
+  in
+  let rounds_t =
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"N" ~doc:"Seeds per cell.")
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const verify $ seed_t $ rounds_t)
+
+let report_cmd =
+  let doc = "Run every experiment and write a self-contained markdown report." in
+  let out_t =
+    Arg.(
+      value & opt string "report.md"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const report $ out_t $ seed_t $ trials_t $ scale_t)
+
+let main_cmd =
+  let doc =
+    "Reproduction harness for `Randomized loose renaming in O(log log n) \
+     time' (PODC 2013)."
+  in
+  Cmd.group
+    (Cmd.info "repro_cli" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; all_cmd; simulate_cmd; verify_cmd; report_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Array List Printf Renaming Sim Stats

@@ -1,0 +1,1 @@
+examples/churn_pool.ml: Array Atomic Printf Renaming Shm

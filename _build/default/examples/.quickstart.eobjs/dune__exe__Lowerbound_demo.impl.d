@@ -1,0 +1,1 @@
+examples/lowerbound_demo.ml: Array Float List Lowerbound Printf String

@@ -1,0 +1,1 @@
+examples/lowerbound_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Printf Renaming Sim Stats

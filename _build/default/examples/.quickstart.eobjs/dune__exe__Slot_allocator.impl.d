@@ -1,0 +1,1 @@
+examples/slot_allocator.ml: Array Hashtbl Printf Renaming Seq Shm

@@ -1,0 +1,1 @@
+examples/slot_allocator.mli:

@@ -1,0 +1,50 @@
+(* Quickstart: rename 1000 concurrent processes into a namespace of size
+   2000 with ReBatching, under a random scheduler on the simulator.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  let n = 1000 in
+
+  (* 1. Describe a ReBatching instance: namespace (1+eps)n, here eps = 1.
+        The instance is immutable and shared by all processes. *)
+  let instance = Renaming.Rebatching.make ~n () in
+  Printf.printf "ReBatching instance: n=%d, namespace m=%d, %d batches\n" n
+    (Renaming.Rebatching.size instance)
+    (Renaming.Rebatching.batch_count instance);
+  for i = 0 to Renaming.Rebatching.kappa instance do
+    Printf.printf "  batch %d: %4d TAS objects, %2d probes per process\n" i
+      (Renaming.Rebatching.batch_size instance i)
+      (Renaming.Rebatching.probe_budget instance i)
+  done;
+
+  (* 2. The algorithm is a function of an environment; the simulator
+        provides the environment (TAS effect + per-process coins). *)
+  let algo env = Renaming.Rebatching.get_name env instance in
+
+  (* 3. Run all n processes to completion under the default random
+        adversary.  Everything is deterministic in the seed. *)
+  let result = Sim.Runner.run ~seed:2013 ~n ~algo () in
+
+  (* 4. Inspect the outcome. *)
+  Printf.printf "\nall names unique: %b\n" (Sim.Runner.check_unique_names result);
+  Printf.printf "largest name: %d (namespace bound %d)\n"
+    (Sim.Runner.max_name result)
+    (Renaming.Rebatching.size instance - 1);
+  Printf.printf "worst per-process steps: %d\n" result.max_steps;
+  Printf.printf "total steps: %d (%.1f per process)\n" result.total_steps
+    (float_of_int result.total_steps /. float_of_int n);
+
+  let hist = Stats.Histogram.create () in
+  Array.iter (fun s -> Stats.Histogram.add hist s) result.steps;
+  print_endline "\nper-process step distribution:";
+  print_string (Stats.Histogram.render ~width:50 hist);
+
+  (* 5. First few assignments, for flavour. *)
+  print_endline "\nfirst 10 processes:";
+  for pid = 0 to 9 do
+    match result.names.(pid) with
+    | Some name -> Printf.printf "  process %d -> name %d (%d steps)\n" pid name
+                     result.steps.(pid)
+    | None -> Printf.printf "  process %d -> no name!\n" pid
+  done

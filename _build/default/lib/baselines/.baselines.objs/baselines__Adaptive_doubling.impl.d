@@ -1,0 +1,1 @@
+lib/baselines/adaptive_doubling.ml: Renaming

@@ -1,0 +1,1 @@
+lib/baselines/cyclic_scan.mli: Renaming

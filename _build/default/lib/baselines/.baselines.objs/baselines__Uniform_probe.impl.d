@@ -1,0 +1,1 @@
+lib/baselines/uniform_probe.ml: Renaming

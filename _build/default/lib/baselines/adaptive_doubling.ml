@@ -1,0 +1,28 @@
+let get_name (env : Renaming.Env.t) ?(probes_per_level = 4) space =
+  if probes_per_level < 1 then
+    invalid_arg "Adaptive_doubling.get_name: probes_per_level must be >= 1";
+  let rec level i =
+    if i > Renaming.Object_space.cap space then None
+    else begin
+      env.emit (Renaming.Events.Object_visited { obj = i });
+      let r = Renaming.Object_space.obj space i in
+      let base = Renaming.Rebatching.base r in
+      let m = Renaming.Rebatching.size r in
+      let rec probe j =
+        if j > probes_per_level then None
+        else begin
+          let loc = base + env.random_int m in
+          let won = env.tas loc in
+          env.emit
+            (Renaming.Events.Probe { obj = i; batch = 0; location = loc; won });
+          if won then begin
+            env.emit (Renaming.Events.Name_acquired { obj = i; name = loc });
+            Some loc
+          end
+          else probe (j + 1)
+        end
+      in
+      match probe 1 with Some u -> Some u | None -> level (i + 1)
+    end
+  in
+  level 1

@@ -1,0 +1,17 @@
+let get_name (env : Renaming.Env.t) ~m =
+  if m < 1 then invalid_arg "Cyclic_scan.get_name: m must be >= 1";
+  let start = env.random_int m in
+  let rec scan i =
+    if i >= m then None
+    else begin
+      let loc = (start + i) mod m in
+      let won = env.tas loc in
+      env.emit (Renaming.Events.Probe { obj = 0; batch = 0; location = loc; won });
+      if won then begin
+        env.emit (Renaming.Events.Name_acquired { obj = 0; name = loc });
+        Some loc
+      end
+      else scan (i + 1)
+    end
+  in
+  scan 0

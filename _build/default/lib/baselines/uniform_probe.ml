@@ -1,0 +1,18 @@
+let get_name (env : Renaming.Env.t) ~m ~max_steps =
+  if m < 1 then invalid_arg "Uniform_probe.get_name: m must be >= 1";
+  if max_steps < 1 then
+    invalid_arg "Uniform_probe.get_name: max_steps must be >= 1";
+  let rec probe step =
+    if step > max_steps then None
+    else begin
+      let loc = env.random_int m in
+      let won = env.tas loc in
+      env.emit (Renaming.Events.Probe { obj = 0; batch = 0; location = loc; won });
+      if won then begin
+        env.emit (Renaming.Events.Name_acquired { obj = 0; name = loc });
+        Some loc
+      end
+      else probe (step + 1)
+    end
+  in
+  probe 1

@@ -1,0 +1,1 @@
+lib/harness/exp_access_counts.ml: Array Experiment Hashtbl List Renaming Sim Stats Sweep Table

@@ -1,0 +1,1 @@
+lib/harness/exp_access_counts.mli: Experiment

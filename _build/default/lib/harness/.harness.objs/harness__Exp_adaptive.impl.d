@@ -1,0 +1,1 @@
+lib/harness/exp_adaptive.ml: Array Baselines Experiment Float List Renaming Sim Stats Sweep Table

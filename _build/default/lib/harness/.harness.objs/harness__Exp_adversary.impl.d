@@ -1,0 +1,1 @@
+lib/harness/exp_adversary.ml: Array Experiment List Printf Renaming Sim Stats Sweep Table

@@ -1,0 +1,1 @@
+lib/harness/exp_arrivals.ml: Experiment List Printf Renaming Sim Stats Sweep Table

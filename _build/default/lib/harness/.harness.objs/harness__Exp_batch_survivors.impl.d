@@ -1,0 +1,1 @@
+lib/harness/exp_batch_survivors.ml: Array Experiment Float List Printf Renaming Sim Sweep Table

@@ -1,0 +1,1 @@
+lib/harness/exp_churn.ml: Experiment Hashtbl List Printf Renaming Sim Sweep Table

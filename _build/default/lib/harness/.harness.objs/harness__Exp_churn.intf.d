@@ -1,0 +1,1 @@
+lib/harness/exp_churn.mli: Experiment

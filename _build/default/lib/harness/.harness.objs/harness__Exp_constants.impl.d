@@ -1,0 +1,1 @@
+lib/harness/exp_constants.ml: Baselines Experiment List Printf Renaming Sim Stats Sweep Table

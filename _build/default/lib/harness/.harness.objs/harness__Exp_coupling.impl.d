@@ -1,0 +1,1 @@
+lib/harness/exp_coupling.ml: Array Experiment Float List Lowerbound Printf Prng Sweep Table

@@ -1,0 +1,1 @@
+lib/harness/exp_fast_adaptive.ml: Array Experiment Float List Renaming Sim Stats Sweep Table

@@ -1,0 +1,1 @@
+lib/harness/exp_fast_adaptive.mli: Experiment

@@ -1,0 +1,1 @@
+lib/harness/exp_lowerbound.ml: Array Experiment List Lowerbound Printf Prng Renaming Stats Sweep Table

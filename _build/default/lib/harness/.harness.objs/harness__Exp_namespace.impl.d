@@ -1,0 +1,1 @@
+lib/harness/exp_namespace.ml: Array Experiment Printf Renaming Sim Stats Sweep Table

@@ -1,0 +1,1 @@
+lib/harness/exp_search.ml: Baselines Experiment Printf Renaming Sim Sweep Table

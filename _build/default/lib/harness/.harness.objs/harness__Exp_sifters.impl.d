@@ -1,0 +1,1 @@
+lib/harness/exp_sifters.ml: Array Experiment List Rwtas Stats Sweep Table

@@ -1,0 +1,1 @@
+lib/harness/exp_step_complexity.ml: Array Baselines Experiment List Renaming Sim Stats Sweep Table

@@ -1,0 +1,1 @@
+lib/harness/exp_substrates.ml: Array Baselines Experiment List Printf Renaming Shm Sim Stats Sweep Table

@@ -1,0 +1,1 @@
+lib/harness/exp_tail.ml: Array Experiment Float List Printf Prng Renaming Sim Stats Sweep Table

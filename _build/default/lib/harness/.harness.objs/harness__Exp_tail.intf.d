@@ -1,0 +1,1 @@
+lib/harness/exp_tail.mli: Experiment

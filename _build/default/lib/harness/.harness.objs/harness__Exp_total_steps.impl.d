@@ -1,0 +1,1 @@
+lib/harness/exp_total_steps.ml: Array Baselines Experiment List Renaming Sim Stats Sweep Table

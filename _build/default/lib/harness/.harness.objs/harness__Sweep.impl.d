@@ -1,0 +1,1 @@
+lib/harness/sweep.ml: Array Float List Printf Stats

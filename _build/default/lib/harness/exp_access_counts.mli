@@ -1,0 +1,12 @@
+(** Experiment T15 — per-object access counts (paper footnote 1).
+
+    Footnote 1 of the paper justifies substituting hardware TAS with
+    leader-election implementations by noting that {i "each TAS is
+    accessed by O(log k) processes in our algorithm, w.h.p."} — the
+    property that keeps the read-write simulation overhead to an
+    [O(log log k)] factor.  This experiment measures exactly that: over a
+    sweep of [k], the maximum number of distinct processes touching any
+    single TAS object, for ReBatching and both adaptive algorithms,
+    against a [log2 k] reference column. *)
+
+val exp : Experiment.t

@@ -1,0 +1,96 @@
+let log2 x = log x /. log 2.
+
+type point = { max_steps : float; max_name : float }
+
+let measure ~ctx ~k make_algo =
+  let points =
+    Sweep.collect_seeds ~seed:ctx.Experiment.seed ~trials:ctx.Experiment.trials
+      (fun seed ->
+        let algo = make_algo () in
+        let r = Sim.Runner.run_sequential ~seed ~n:k ~algo () in
+        if not (Sim.Runner.check_unique_names r) then
+          failwith "T5: uniqueness violated";
+        {
+          max_steps = float_of_int r.Sim.Runner.max_steps;
+          max_name = float_of_int (Sim.Runner.max_name r);
+        })
+  in
+  let mean f = Stats.Summary.mean (Array.of_list (List.map f points)) in
+  (mean (fun p -> p.max_steps), mean (fun p -> p.max_name))
+
+let run (ctx : Experiment.ctx) =
+  let sizes =
+    List.map (Sweep.scaled ctx.scale) (Sweep.geometric_sizes ~lo:4 ~hi:16384 ~factor:2)
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("k", Table.Right);
+          ("adaptive(paper)", Table.Right);
+          ("adaptive(t0=3)", Table.Right);
+          ("doubling", Table.Right);
+          ("(loglog2 k)^2", Table.Right);
+          ("log2 k", Table.Right);
+          ("max name", Table.Right);
+          ("name/k", Table.Right);
+        ]
+  in
+  let paper_series = ref [] and tuned_series = ref [] in
+  List.iter
+    (fun k ->
+      let adaptive_steps, adaptive_name =
+        measure ~ctx ~k (fun () ->
+            let space = Renaming.Object_space.create () in
+            fun env -> Renaming.Adaptive_rebatching.get_name env space)
+      in
+      let tuned_steps, _ =
+        measure ~ctx ~k (fun () ->
+            let space = Renaming.Object_space.create ~t0:3 () in
+            fun env -> Renaming.Adaptive_rebatching.get_name env space)
+      in
+      let doubling_steps, _ =
+        measure ~ctx ~k (fun () ->
+            let space = Renaming.Object_space.create () in
+            fun env -> Baselines.Adaptive_doubling.get_name env space)
+      in
+      paper_series := (k, adaptive_steps) :: !paper_series;
+      tuned_series := (k, tuned_steps) :: !tuned_series;
+      let fk = float_of_int k in
+      let ll = log2 (log2 (Float.max 4. fk)) in
+      Table.add_row table
+        [
+          Table.cell_int k;
+          Table.cell_float adaptive_steps;
+          Table.cell_float tuned_steps;
+          Table.cell_float doubling_steps;
+          Table.cell_float (ll *. ll);
+          Table.cell_float (log2 fk);
+          Table.cell_float ~decimals:0 adaptive_name;
+          Table.cell_float (adaptive_name /. fk);
+        ])
+    sizes;
+  ctx.emit_table ~title:"T5: adaptive renaming, steps and namespace vs contention k"
+    table;
+  let fits tag data =
+    let data = List.rev data in
+    let sizes_arr = Array.of_list (List.map (fun (k, _) -> float_of_int k) data) in
+    let values = Array.of_list (List.map snd data) in
+    ctx.log tag;
+    List.iter ctx.log
+      (Sweep.fit_lines
+         ~models:
+           [ Stats.Regression.Log_log_sq; Stats.Regression.Log_log; Stats.Regression.Log ]
+         ~sizes:sizes_arr ~values)
+  in
+  fits "T5 fits, AdaptiveReBatching (paper constants) worst steps:" !paper_series;
+  fits "T5 fits, AdaptiveReBatching (t0=3) worst steps:" !tuned_series
+
+let exp =
+  {
+    Experiment.id = "t5";
+    title = "AdaptiveReBatching step complexity and namespace";
+    claim =
+      "Theorem 5.1: O((log log k)^2) steps and largest name O(k), both w.h.p.";
+    run;
+  }

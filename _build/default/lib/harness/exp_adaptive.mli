@@ -1,0 +1,9 @@
+(** Experiment T5 — AdaptiveReBatching (Theorem 5.1).
+
+    Sweeps the contention [k] (the algorithm never learns [k] or [n]) and
+    reports worst per-process steps against the [(log log k)^2] reference
+    and the adaptive-doubling baseline (the [O(log^2 k)]-class strategy),
+    plus the largest assigned name as a multiple of [k] (claimed O(k),
+    concretely <= 4(1+eps)k w.h.p.). *)
+
+val exp : Experiment.t

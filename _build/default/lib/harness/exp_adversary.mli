@@ -1,0 +1,10 @@
+(** Experiment T7 — adversary ablation (§1/§2).
+
+    Runs ReBatching under every built-in scheduling strategy — random,
+    round-robin, oblivious layered, greedy-collision (adaptive/strong),
+    solo-sequential — at fixed [n] and reports worst and average steps.
+    The paper's bounds are adversary-independent, so the claim under test
+    is that no strategy pushes the step complexity out of the
+    [log log n + O(1)] band (uniqueness is asserted throughout). *)
+
+val exp : Experiment.t

@@ -1,0 +1,13 @@
+(** Experiment T13 — arrival patterns (extension).
+
+    The paper's executions start all processes at once; this experiment
+    drives the same algorithms with processes arriving over time — a
+    steady trickle ([Arrivals.staggered]) and periodic bursts
+    ([Arrivals.bursts]) — under the random scheduler.  Checks that
+    uniqueness and the namespace bound are schedule-shape-independent
+    (the adaptive bound is in terms of {i interval} contention, i.e.
+    total participants, so names may not shrink under staggering — the
+    table makes that visible), and that worst-case steps stay in the
+    all-at-once band. *)
+
+val exp : Experiment.t

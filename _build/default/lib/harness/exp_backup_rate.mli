@@ -1,0 +1,9 @@
+(** Experiment T4 — backup-phase frequency (§4).
+
+    The analysis shows the sequential backup scan of Figure 1 is entered
+    with probability at most [1/n^(beta - o(1))] per execution.  This
+    experiment counts backup entries over many trials at each [n]
+    (expected: zero) and, as a positive control, verifies that a
+    deliberately overloaded instance does enter the backup phase. *)
+
+val exp : Experiment.t

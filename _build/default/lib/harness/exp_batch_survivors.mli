@@ -1,0 +1,12 @@
+(** Experiment T3 — batch survivor counts vs the Lemma 4.2 bound.
+
+    Instruments a ReBatching execution at fixed [n] and counts, for each
+    batch [i], the number of processes [n_{i+1}] that exhausted the batch
+    without a name.  Lemma 4.2 bounds these w.h.p. by
+    [n*_i = n / 2^(2^i + i)] (middle batches; we display the bound with
+    the paper's delta set to 0, which only weakens it) and
+    [n*_kappa = log^2 n].  Reported for both the paper probe budget
+    (where survivor counts are minuscule) and the tuned budget [t0 = 3]
+    (where the doubly-exponential decay across batches is visible). *)
+
+val exp : Experiment.t

@@ -1,0 +1,13 @@
+(** Experiment T11 — long-lived renaming under churn (extension; cf.
+    the long-lived renaming literature the paper cites as [16, 20]).
+
+    [n] concurrent workers each acquire a name, "work", release it and
+    repeat for [R] rounds, so the total number of acquisitions [n * R]
+    dwarfs the namespace [m ~ 2n].  Claims checked: every instantaneous
+    set of holders has distinct names (asserted through the event
+    stream), the largest name ever used stays within the one-shot
+    namespace bound no matter how many rounds run, and the per-acquisition
+    step cost does not degrade with rounds (name reuse does not
+    accumulate contention). *)
+
+val exp : Experiment.t

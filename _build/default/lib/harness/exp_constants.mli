@@ -1,0 +1,10 @@
+(** Experiment T10 — probe-budget constants ablation (§4).
+
+    The paper's [t0] (53 at [eps = 1]) and [beta] are set for the union
+    bounds of Lemma 4.2, not for practice.  This ablation varies [t0] and
+    [beta] at fixed [n], reporting worst steps, total work, batch-0
+    survivors and backup entries; a "no batching" row (uniform probing
+    over the same [m] locations) isolates what the batch structure itself
+    buys. *)
+
+val exp : Experiment.t

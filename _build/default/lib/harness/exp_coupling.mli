@@ -1,0 +1,12 @@
+(** Experiment F1 — the coupling gadget, numerically (Lemmas 6.4–6.6).
+
+    Three checks:
+    + Lemma 6.5's CDF inequality [P_lambda(n+1) <= P_gamma(n)] over a
+      grid of rates and counts (violations expected: 0);
+    + the realized coupling: sampled pairs [(Z, Y)] always satisfy
+      [Y <= max (0, Z-1)], with [E Y] close to [gamma];
+    + Lemma 6.6's rate recursion against the simulated marking dynamics:
+      each layer's realized total rate must be at least the bound
+      computed from the previous layer's. *)
+
+val exp : Experiment.t

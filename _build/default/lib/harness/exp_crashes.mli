@@ -1,0 +1,11 @@
+(** Experiment T8 — crash-failure tolerance (§2).
+
+    The model allows any number of crash failures; the safety property
+    (unique names) and the progress property (every surviving process
+    terminates) must survive arbitrary crashes.  This experiment sweeps
+    the crashed fraction from 0 to 0.9 for ReBatching and
+    AdaptiveReBatching under a crash-injecting greedy adversary, checking
+    uniqueness every trial and reporting survivor step costs (crashed
+    probes still count as contention). *)
+
+val exp : Experiment.t

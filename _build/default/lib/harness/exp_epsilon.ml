@@ -1,0 +1,59 @@
+let run (ctx : Experiment.ctx) =
+  let n = Sweep.scaled ctx.scale 4096 in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("epsilon", Table.Right);
+          ("m/n", Table.Right);
+          ("paper t0", Table.Right);
+          ("max steps", Table.Right);
+          ("total/n", Table.Right);
+          ("backups", Table.Right);
+        ]
+  in
+  List.iter
+    (fun epsilon ->
+      let instance = Renaming.Rebatching.make ~epsilon ~n () in
+      let backups = ref 0 in
+      let on_event ~pid:_ = function
+        | Renaming.Events.Backup_entered _ -> incr backups
+        | _ -> ()
+      in
+      let algo env = Renaming.Rebatching.get_name env instance in
+      let maxs = Stats.Summary.acc_create () in
+      let totals = Stats.Summary.acc_create () in
+      for trial = 0 to ctx.trials - 1 do
+        let r =
+          Sim.Runner.run_sequential ~on_event ~seed:(ctx.seed + trial) ~n ~algo ()
+        in
+        if not (Sim.Runner.check_unique_names r) then
+          failwith "T9: uniqueness violated";
+        Stats.Summary.acc_add maxs (float_of_int r.Sim.Runner.max_steps);
+        Stats.Summary.acc_add totals
+          (float_of_int r.Sim.Runner.total_steps /. float_of_int n)
+      done;
+      Table.add_row table
+        [
+          Table.cell_float epsilon;
+          Table.cell_ratio (float_of_int (Renaming.Rebatching.size instance))
+            (float_of_int n);
+          Table.cell_int (Renaming.Rebatching.probe_budget instance 0);
+          Table.cell_float (Stats.Summary.acc_mean maxs);
+          Table.cell_float (Stats.Summary.acc_mean totals);
+          Table.cell_int !backups;
+        ])
+    [ 0.1; 0.25; 0.5; 1.0; 2.0 ];
+  ctx.emit_table
+    ~title:(Printf.sprintf "T9: namespace slack epsilon vs cost, n=%d" n)
+    table
+
+let exp =
+  {
+    Experiment.id = "t9";
+    title = "Namespace/time trade-off in epsilon";
+    claim =
+      "§4: namespace (1+eps)n costs t0 = Theta(ln(1/eps)/eps) probes in batch \
+       0; shape stays log log n + O(1)";
+    run;
+  }

@@ -1,0 +1,11 @@
+(** Experiment T9 — the namespace-slack trade-off (§4 ablation).
+
+    ReBatching's probe budget for batch 0 is
+    [t0 = ceil (17 ln (8e/eps) / eps)]: shrinking the namespace slack
+    [eps] inflates the constant in front of the step complexity (and the
+    total work), while the asymptotic shape stays [log log n + O(1)].
+    This sweep reports, for each [eps], the namespace size [m/n], the
+    paper's [t0], the measured worst steps and normalized total work, and
+    backup entries (expected 0 throughout). *)
+
+val exp : Experiment.t

@@ -1,0 +1,98 @@
+let log2 x = log x /. log 2.
+
+let measure ~ctx ~k make_algo =
+  let totals =
+    Sweep.collect_seeds ~seed:ctx.Experiment.seed ~trials:ctx.Experiment.trials
+      (fun seed ->
+        let algo = make_algo () in
+        let r = Sim.Runner.run_sequential ~seed ~n:k ~algo () in
+        if not (Sim.Runner.check_unique_names r) then
+          failwith "T6: uniqueness violated";
+        ( float_of_int r.Sim.Runner.total_steps /. float_of_int k,
+          float_of_int (Sim.Runner.max_name r) ))
+  in
+  let mean f = Stats.Summary.mean (Array.of_list (List.map f totals)) in
+  (mean fst, mean snd)
+
+let run (ctx : Experiment.ctx) =
+  let sizes =
+    List.map (Sweep.scaled ctx.scale) (Sweep.geometric_sizes ~lo:4 ~hi:16384 ~factor:2)
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("k", Table.Right);
+          ("fast total/k", Table.Right);
+          ("adaptive total/k", Table.Right);
+          ("fast(t0=3)", Table.Right);
+          ("adaptive(t0=3)", Table.Right);
+          ("loglog2 k", Table.Right);
+          ("fast max name", Table.Right);
+          ("name/k", Table.Right);
+        ]
+  in
+  let fast_series = ref [] and fast_tuned_series = ref [] in
+  List.iter
+    (fun k ->
+      let fast_per, fast_name =
+        measure ~ctx ~k (fun () ->
+            let space = Renaming.Object_space.create () in
+            fun env -> Renaming.Fast_adaptive_rebatching.get_name env space)
+      in
+      let adaptive_per, _ =
+        measure ~ctx ~k (fun () ->
+            let space = Renaming.Object_space.create () in
+            fun env -> Renaming.Adaptive_rebatching.get_name env space)
+      in
+      let fast_tuned_per, _ =
+        measure ~ctx ~k (fun () ->
+            let space = Renaming.Object_space.create ~t0:3 () in
+            fun env -> Renaming.Fast_adaptive_rebatching.get_name env space)
+      in
+      let adaptive_tuned_per, _ =
+        measure ~ctx ~k (fun () ->
+            let space = Renaming.Object_space.create ~t0:3 () in
+            fun env -> Renaming.Adaptive_rebatching.get_name env space)
+      in
+      fast_series := (k, fast_per) :: !fast_series;
+      fast_tuned_series := (k, fast_tuned_per) :: !fast_tuned_series;
+      let fk = float_of_int k in
+      let ll = log2 (log2 (Float.max 4. fk)) in
+      Table.add_row table
+        [
+          Table.cell_int k;
+          Table.cell_float fast_per;
+          Table.cell_float adaptive_per;
+          Table.cell_float fast_tuned_per;
+          Table.cell_float adaptive_tuned_per;
+          Table.cell_float ll;
+          Table.cell_float ~decimals:0 fast_name;
+          Table.cell_float (fast_name /. fk);
+        ])
+    sizes;
+  ctx.emit_table
+    ~title:"T6: total steps per process vs k (FastAdaptive vs Adaptive)" table;
+  let fits tag data =
+    let data = List.rev data in
+    let sizes_arr = Array.of_list (List.map (fun (k, _) -> float_of_int k) data) in
+    let values = Array.of_list (List.map snd data) in
+    ctx.log tag;
+    List.iter ctx.log
+      (Sweep.fit_lines
+         ~models:
+           [ Stats.Regression.Log_log; Stats.Regression.Log_log_sq; Stats.Regression.Log ]
+         ~sizes:sizes_arr ~values)
+  in
+  fits "T6 fits, FastAdaptive (paper constants) normalized total steps:" !fast_series;
+  fits "T6 fits, FastAdaptive (t0=3) normalized total steps:" !fast_tuned_series
+
+let exp =
+  {
+    Experiment.id = "t6";
+    title = "FastAdaptiveReBatching total step complexity";
+    claim =
+      "Theorem 5.2: total step complexity O(k log log k) w.h.p., largest name \
+       O(k) w.h.p.";
+    run;
+  }

@@ -1,0 +1,9 @@
+(** Experiment T6 — FastAdaptiveReBatching total work (Theorem 5.2).
+
+    Sweeps [k] and compares total steps per process between
+    FastAdaptiveReBatching (claimed [O(k log log k)] total, i.e. a
+    [log log k]-shaped normalized column) and AdaptiveReBatching (whose
+    total is [Theta(k (log log k)^2)]), along with the [O(k)] name
+    bound. *)
+
+val exp : Experiment.t

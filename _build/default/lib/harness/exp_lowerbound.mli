@@ -1,0 +1,11 @@
+(** Experiment F2 — survival time of the layered execution (Theorem 6.1).
+
+    Sweeps [n] and reports how many layers the marked processes survive
+    in the §6 construction (mean and max over trials) against the Final
+    Argument's predicted layer count and a [log log n] fit.  Theorem 6.1:
+    with constant probability some process is still unnamed after
+    [Omega(log log n)] layers, i.e. the measured survival must grow with
+    that shape — matching the upper bounds and making the
+    [Theta(log log n)] story tight. *)
+
+val exp : Experiment.t

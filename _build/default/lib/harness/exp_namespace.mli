@@ -1,0 +1,12 @@
+(** Experiment T18 — namespace utilization and name placement (extension).
+
+    Where in the `(1+eps)n` namespace do the names actually land?  The §4
+    analysis implies almost everyone is served by batch 0 (whose size is
+    [eps n]) and the later batches serve doubly-exponentially fewer
+    processes; and within batch 0, placement should be uniform (probes
+    are uniform and the batch is only partially filled).  This experiment
+    reports the per-batch share of assigned names across load factors,
+    and chi-square-tests the uniformity of batch-0 placement — a
+    distributional check the mean-based tables cannot provide. *)
+
+val exp : Experiment.t

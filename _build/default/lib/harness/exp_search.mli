@@ -1,0 +1,13 @@
+(** Experiment T14 — adversarial schedule search (extension).
+
+    T7 checks a handful of named strategies; this experiment lets local
+    search hunt for bad schedules directly: hill-climbing over recorded
+    decision sequences with the process coins frozen, keeping mutants
+    that increase the worst per-process step count.  If the w.h.p. band
+    of Theorem 4.1 were escapable by scheduling alone, the search would
+    climb; the claim under test is that it plateaus inside the
+    deterministic phase budget [t0 + kappa - 1 + beta].  The uniform
+    baseline is searched with the same budget for contrast — its
+    schedule sensitivity is visibly higher. *)
+
+val exp : Experiment.t

@@ -1,0 +1,14 @@
+(** Experiment T17 — sifter cascades and the weak/strong adversary gap
+    (the paper's references [3, 22]).
+
+    The paper's §2 discussion assumes hardware TAS and cites read/write
+    constructions that work against a {i weak} adversary; their engine is
+    the sifter.  This experiment reproduces both sides of that context:
+    under an oblivious scheduler, survivor counts collapse as
+    [k -> ~2 sqrt k] per level, reaching O(1) in [Theta(log log n)]
+    levels; under the level-ordered strong-adversary schedule
+    ({!Rwtas.Anti_sifter}), {i nobody} is ever sifted out.  Together the
+    two columns explain why the paper's strong-adversary O(log log n)
+    renaming needs TAS in hardware. *)
+
+val exp : Experiment.t

@@ -1,0 +1,98 @@
+let log2 x = log x /. log 2.
+
+(* Worst per-process step count of [algo] on [n] processes, averaged over
+   trials (each trial is an independent seeded execution). *)
+let measure_max ~ctx ~n algo =
+  Sweep.over_seeds ~seed:ctx.Experiment.seed ~trials:ctx.Experiment.trials
+    (fun seed ->
+      let r = Sim.Runner.run_sequential ~seed ~n ~algo () in
+      if not (Sim.Runner.check_unique_names r) then
+        failwith "T1: uniqueness violated";
+      float_of_int r.Sim.Runner.max_steps)
+
+let run (ctx : Experiment.ctx) =
+  let sizes =
+    List.map (Sweep.scaled ctx.scale) (Sweep.geometric_sizes ~lo:256 ~hi:262144 ~factor:2)
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("n", Table.Right);
+          ("rebatch(paper)", Table.Right);
+          ("rebatch(t0=3)", Table.Right);
+          ("uniform", Table.Right);
+          ("cyclic", Table.Right);
+          ("loglog2 n", Table.Right);
+          ("log2 n", Table.Right);
+        ]
+  in
+  let tuned = ref [] and uniform = ref [] and cyclic = ref [] in
+  List.iter
+    (fun n ->
+      let rebatch_paper = Renaming.Rebatching.make ~n () in
+      let rebatch_tuned = Renaming.Rebatching.make ~t0:3 ~n () in
+      let paper_max =
+        measure_max ~ctx ~n (fun env -> Renaming.Rebatching.get_name env rebatch_paper)
+      in
+      let tuned_max =
+        measure_max ~ctx ~n (fun env -> Renaming.Rebatching.get_name env rebatch_tuned)
+      in
+      let uniform_max =
+        measure_max ~ctx ~n (fun env ->
+            Baselines.Uniform_probe.get_name env ~m:(2 * n) ~max_steps:(1000 * n))
+      in
+      let cyclic_max =
+        measure_max ~ctx ~n (fun env -> Baselines.Cyclic_scan.get_name env ~m:(2 * n))
+      in
+      tuned := (n, tuned_max.Stats.Summary.mean) :: !tuned;
+      uniform := (n, uniform_max.Stats.Summary.mean) :: !uniform;
+      cyclic := (n, cyclic_max.Stats.Summary.mean) :: !cyclic;
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_float paper_max.Stats.Summary.mean;
+          Table.cell_float tuned_max.Stats.Summary.mean;
+          Table.cell_float uniform_max.Stats.Summary.mean;
+          Table.cell_float cyclic_max.Stats.Summary.mean;
+          Table.cell_float (log2 (log2 (float_of_int n)));
+          Table.cell_float (log2 (float_of_int n));
+        ])
+    sizes;
+  ctx.emit_table ~title:"T1: worst per-process steps vs n (mean over trials)" table;
+  let to_points data =
+    Array.of_list
+      (List.rev_map (fun (n, y) -> (float_of_int n, y)) data)
+  in
+  ctx.log
+    (Stats.Ascii_plot.render ~log_x:true
+       ~title:"T1 plot: worst steps vs n (log-x) — flat r vs climbing u/c"
+       [
+         { Stats.Ascii_plot.label = "rebatching(t0=3)"; marker = 'r';
+           points = to_points !tuned };
+         { Stats.Ascii_plot.label = "uniform"; marker = 'u';
+           points = to_points !uniform };
+         { Stats.Ascii_plot.label = "cyclic"; marker = 'c';
+           points = to_points !cyclic };
+       ]);
+  let fits tag data models =
+    let data = List.rev data in
+    let sizes = Array.of_list (List.map (fun (n, _) -> float_of_int n) data) in
+    let values = Array.of_list (List.map snd data) in
+    ctx.log tag;
+    List.iter ctx.log (Sweep.fit_lines ~models ~sizes ~values)
+  in
+  fits "T1 fits, rebatching (t0=3):" !tuned
+    [ Stats.Regression.Log_log; Stats.Regression.Log ];
+  fits "T1 fits, uniform probing:" !uniform
+    [ Stats.Regression.Log_log; Stats.Regression.Log ]
+
+let exp =
+  {
+    Experiment.id = "t1";
+    title = "Step complexity vs n (ReBatching vs baselines)";
+    claim =
+      "Theorem 4.1: ReBatching takes log log n + O(1) steps w.h.p.; uniform \
+       probing pays Theta(log n)";
+    run;
+  }

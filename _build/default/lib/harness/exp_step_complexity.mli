@@ -1,0 +1,10 @@
+(** Experiment T1 — individual step complexity vs n (Theorem 4.1).
+
+    Sweeps [n] geometrically and reports the worst per-process probe
+    count for ReBatching (paper constants and a tuned probe budget)
+    against the uniform-probing and cyclic-scan baselines, with
+    [log log n] / [log n] reference columns and model fits.  The paper's
+    claim: ReBatching's curve is [log log n + O(1)] while uniform probing
+    pays [Theta(log n)]. *)
+
+val exp : Experiment.t

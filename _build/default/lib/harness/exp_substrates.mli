@@ -1,0 +1,13 @@
+(** Experiment T16 — cross-substrate agreement (reproduction integrity).
+
+    The same algorithm code runs on the deterministic simulator and on
+    real Domain/Atomic shared memory; if the two substrates disagreed on
+    probe statistics, the simulator results would not transfer.  This
+    experiment runs identical workloads on both and compares total
+    probes per process and the largest name (wall-clock is not compared
+    — the simulator does not model time).  Agreement is expected within
+    sampling noise: the substrates differ only in who wins contended
+    cells, which affects probe counts marginally under matched
+    contention. *)
+
+val exp : Experiment.t

@@ -1,0 +1,104 @@
+let run (ctx : Experiment.ctx) =
+  let n = Sweep.scaled ctx.scale 4096 in
+  let runs = max (10 * ctx.trials) 50 in
+  let instance = Renaming.Rebatching.make ~t0:3 ~n () in
+  let t0 = Renaming.Rebatching.probe_budget instance 0 in
+  let kappa = Renaming.Rebatching.kappa instance in
+  let algo env = Renaming.Rebatching.get_name env instance in
+  (* Pool per-process step counts and per-run maxima across many
+     independent executions. *)
+  let all_steps = ref [] in
+  let maxima = ref [] in
+  for trial = 0 to runs - 1 do
+    let r = Sim.Runner.run_sequential ~seed:(ctx.seed + trial) ~n ~algo () in
+    if not (Sim.Runner.check_unique_names r) then failwith "T12: uniqueness violated";
+    Array.iter (fun s -> all_steps := float_of_int s :: !all_steps) r.Sim.Runner.steps;
+    maxima := float_of_int r.Sim.Runner.max_steps :: !maxima
+  done;
+  let steps = Array.of_list !all_steps in
+  let total = Array.length steps in
+  let tail_table =
+    Table.create
+      ~columns:
+        [
+          ("threshold j", Table.Right);
+          ("P[steps > j]", Table.Right);
+          ("batch analogy 2^-(2^i)", Table.Right);
+        ]
+  in
+  (* Thresholds track the batch boundaries: exceeding t0 + i - 1 means the
+     process survived into batch i. *)
+  for i = 0 to kappa do
+    let threshold = t0 + i - 1 in
+    let exceed =
+      Array.fold_left
+        (fun acc s -> if s > float_of_int threshold then acc + 1 else acc)
+        0 steps
+    in
+    let analogy =
+      if i = 0 then nan else 2. ** (-.(2. ** float_of_int i))
+    in
+    Table.add_row tail_table
+      [
+        Table.cell_int threshold;
+        Printf.sprintf "%.2e" (float_of_int exceed /. float_of_int total);
+        (if Float.is_nan analogy then "-" else Printf.sprintf "%.2e" analogy);
+      ]
+  done;
+  ctx.emit_table
+    ~title:
+      (Printf.sprintf
+         "T12: per-process step tail, n=%d, %d runs (%d process samples)" n runs
+         total)
+    tail_table;
+  (* Quantiles of the per-run maximum, with bootstrap CIs. *)
+  let maxima = Array.of_list !maxima in
+  let rng = Prng.Splitmix.of_int (ctx.seed + 1_000_003) in
+  let quantile_table =
+    Table.create
+      ~columns:
+        [
+          ("statistic of run max", Table.Left);
+          ("value", Table.Right);
+          ("95% bootstrap CI", Table.Left);
+        ]
+  in
+  List.iter
+    (fun (label, statistic) ->
+      let iv = Stats.Bootstrap.ci rng ~statistic maxima in
+      Table.add_row quantile_table
+        [
+          label;
+          Table.cell_float iv.Stats.Bootstrap.point;
+          Printf.sprintf "[%.2f, %.2f]" iv.Stats.Bootstrap.low
+            iv.Stats.Bootstrap.high;
+        ])
+    [
+      ("median", fun xs -> Stats.Summary.percentile xs 0.5);
+      ("p95", fun xs -> Stats.Summary.percentile xs 0.95);
+      ("max", Array.fold_left Float.max neg_infinity);
+      ("mean", Stats.Summary.mean);
+    ];
+  ctx.emit_table
+    ~title:"T12: distribution of the per-run worst process" quantile_table;
+  let bound = t0 + kappa - 1 + Renaming.Rebatching.probe_budget instance kappa in
+  let over =
+    Array.fold_left
+      (fun acc m -> if m > float_of_int bound then acc + 1 else acc)
+      0 maxima
+  in
+  ctx.log
+    (Printf.sprintf
+       "T12: runs exceeding the deterministic phase budget t0+kappa-1+beta = \
+        %d: %d of %d (backup-phase events; Theorem 4.1 predicts ~0)."
+       bound over runs)
+
+let exp =
+  {
+    Experiment.id = "t12";
+    title = "Tail of the step distribution (w.h.p. claims)";
+    claim =
+      "Theorem 4.1 + Lemma 4.2: P[a process exceeds t0 + i probes] decays \
+       doubly exponentially in i";
+    run;
+  }

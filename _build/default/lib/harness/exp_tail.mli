@@ -1,0 +1,14 @@
+(** Experiment T12 — the "with high probability" claims, quantitatively.
+
+    Theorem 4.1 is a tail statement: the probability that any process
+    exceeds [log log n + O(1)] steps is [<= 1/n^c].  Mean-based tables
+    (T1) cannot see that, so this experiment runs many independent
+    executions at a fixed [n], pools all per-process step counts, and
+    reports the empirical complementary CDF at thresholds aligned with
+    the batch structure, next to Lemma 4.2's per-batch survivor
+    fractions [~ 2^-(2^i)] — the doubly-exponential tail decay that
+    drives the whole upper bound.  Percentile-bootstrap confidence
+    intervals (no normality assumption) are attached to the extreme
+    quantiles. *)
+
+val exp : Experiment.t

@@ -1,0 +1,72 @@
+let measure_total_per_proc ~ctx ~n algo =
+  Sweep.over_seeds ~seed:ctx.Experiment.seed ~trials:ctx.Experiment.trials
+    (fun seed ->
+      let r = Sim.Runner.run_sequential ~seed ~n ~algo () in
+      if not (Sim.Runner.check_unique_names r) then
+        failwith "T2: uniqueness violated";
+      float_of_int r.Sim.Runner.total_steps /. float_of_int n)
+
+let run (ctx : Experiment.ctx) =
+  let sizes =
+    List.map (Sweep.scaled ctx.scale) (Sweep.geometric_sizes ~lo:256 ~hi:262144 ~factor:2)
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("n", Table.Right);
+          ("rebatch(paper)/n", Table.Right);
+          ("rebatch(t0=3)/n", Table.Right);
+          ("uniform/n", Table.Right);
+          ("cyclic/n", Table.Right);
+        ]
+  in
+  let tuned = ref [] in
+  List.iter
+    (fun n ->
+      let rebatch_paper = Renaming.Rebatching.make ~n () in
+      let rebatch_tuned = Renaming.Rebatching.make ~t0:3 ~n () in
+      let paper =
+        measure_total_per_proc ~ctx ~n (fun env ->
+            Renaming.Rebatching.get_name env rebatch_paper)
+      in
+      let tuned_s =
+        measure_total_per_proc ~ctx ~n (fun env ->
+            Renaming.Rebatching.get_name env rebatch_tuned)
+      in
+      let uniform =
+        measure_total_per_proc ~ctx ~n (fun env ->
+            Baselines.Uniform_probe.get_name env ~m:(2 * n) ~max_steps:(1000 * n))
+      in
+      let cyclic =
+        measure_total_per_proc ~ctx ~n (fun env ->
+            Baselines.Cyclic_scan.get_name env ~m:(2 * n))
+      in
+      tuned := (n, tuned_s.Stats.Summary.mean) :: !tuned;
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_float paper.Stats.Summary.mean;
+          Table.cell_float tuned_s.Stats.Summary.mean;
+          Table.cell_float uniform.Stats.Summary.mean;
+          Table.cell_float cyclic.Stats.Summary.mean;
+        ])
+    sizes;
+  ctx.emit_table
+    ~title:"T2: total steps per process vs n (flat = O(n) total work)" table;
+  let data = List.rev !tuned in
+  let sizes_arr = Array.of_list (List.map (fun (n, _) -> float_of_int n) data) in
+  let values = Array.of_list (List.map snd data) in
+  ctx.log "T2 fits, rebatching (t0=3) normalized total:";
+  List.iter ctx.log
+    (Sweep.fit_lines
+       ~models:[ Stats.Regression.Const; Stats.Regression.Log_log ]
+       ~sizes:sizes_arr ~values)
+
+let exp =
+  {
+    Experiment.id = "t2";
+    title = "Total step complexity vs n";
+    claim = "Theorem 4.1: ReBatching's total step complexity is O(n) w.h.p.";
+    run;
+  }

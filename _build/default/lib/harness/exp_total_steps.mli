@@ -1,0 +1,8 @@
+(** Experiment T2 — total step complexity vs n (Theorem 4.1).
+
+    Reports total probes divided by [n] for ReBatching (paper and tuned
+    constants) and the baselines.  The claim: ReBatching's total work is
+    [O(n)], i.e. the normalized column is flat in [n] (its level is set by
+    the batch-0 budget [t0]). *)
+
+val exp : Experiment.t

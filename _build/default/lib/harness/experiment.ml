@@ -1,0 +1,22 @@
+type ctx = {
+  seed : int;
+  trials : int;
+  scale : float;
+  emit_table : title:string -> Table.t -> unit;
+  log : string -> unit;
+}
+
+type t = { id : string; title : string; claim : string; run : ctx -> unit }
+
+let default_ctx ?(seed = 1) ?(trials = 5) ?(scale = 1.0) () =
+  {
+    seed;
+    trials;
+    scale;
+    emit_table =
+      (fun ~title table ->
+        print_newline ();
+        print_endline title;
+        print_string (Table.render table));
+    log = print_endline;
+  }

@@ -1,0 +1,28 @@
+(** Experiment descriptors.
+
+    Each table/figure of DESIGN.md §4 is one value of type {!t}; the
+    registry ({!Registry.all}) collects them, and both the CLI
+    ([bin/repro_cli]) and the bench harness ([bench/main]) drive
+    experiments exclusively through this interface. *)
+
+type ctx = {
+  seed : int;  (** base seed; trial [i] uses [seed + i] *)
+  trials : int;  (** repetitions per measured point *)
+  scale : float;
+      (** multiplier on the experiment's default problem sizes; [1.0] for
+          the published defaults, smaller for quick runs *)
+  emit_table : title:string -> Table.t -> unit;
+      (** sink for finished tables (prints, and optionally saves CSV) *)
+  log : string -> unit;  (** free-form progress / fit lines *)
+}
+
+type t = {
+  id : string;  (** short id used on the CLI, e.g. "t1" *)
+  title : string;
+  claim : string;  (** the paper claim being checked, with its reference *)
+  run : ctx -> unit;
+}
+
+val default_ctx : ?seed:int -> ?trials:int -> ?scale:float -> unit -> ctx
+(** A context that prints tables and log lines to stdout.  Defaults:
+    [seed = 1], [trials = 5], [scale = 1.0]. *)

@@ -1,0 +1,10 @@
+(** The experiment registry: every table/figure of DESIGN.md §4. *)
+
+val all : Experiment.t list
+(** In presentation order: t1, t2, t3, t4, t5, t6, t7, t8, t9, t10, f1,
+    f2. *)
+
+val find : string -> Experiment.t option
+(** Look up by id (case-insensitive). *)
+
+val ids : unit -> string list

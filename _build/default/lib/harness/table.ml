@@ -1,0 +1,124 @@
+type align = Left | Right
+
+type t = {
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list;  (* reversed *)
+  mutable row_count : int;
+}
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  {
+    headers = Array.of_list (List.map fst columns);
+    aligns = Array.of_list (List.map snd columns);
+    rows = [];
+    row_count = 0;
+  }
+
+let add_row t cells =
+  let row = Array.of_list cells in
+  if Array.length row <> Array.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- row :: t.rows;
+  t.row_count <- t.row_count + 1
+
+let row_count t = t.row_count
+let column_count t = Array.length t.headers
+let rows_in_order t = List.rev t.rows
+
+let widths t =
+  let w = Array.map String.length t.headers in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i cell -> if String.length cell > w.(i) then w.(i) <- String.length cell) row)
+    t.rows;
+  w
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 1024 in
+  let line row =
+    Array.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad t.aligns.(i) w.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  line t.headers;
+  Array.iteri
+    (fun i width ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make width '-');
+      ignore i)
+    w;
+  Buffer.add_char buf '\n';
+  List.iter line (rows_in_order t);
+  Buffer.contents buf
+
+let render_markdown t =
+  let buf = Buffer.create 1024 in
+  let line row =
+    Buffer.add_string buf "| ";
+    Array.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf cell)
+      row;
+    Buffer.add_string buf " |\n"
+  in
+  line t.headers;
+  Buffer.add_string buf "|";
+  Array.iter
+    (fun a ->
+      Buffer.add_string buf (match a with Left -> " --- |" | Right -> " ---: |"))
+    t.aligns;
+  Buffer.add_char buf '\n';
+  List.iter line (rows_in_order t);
+  Buffer.contents buf
+
+let csv_escape cell =
+  let needs_quotes =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') cell
+  in
+  if not needs_quotes then cell
+  else begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let line row =
+    Array.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (csv_escape cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  line t.headers;
+  List.iter line (rows_in_order t);
+  Buffer.contents buf
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v
+
+let cell_ratio a b = if b = 0. then "-" else Printf.sprintf "%.3f" (a /. b)

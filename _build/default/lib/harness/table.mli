@@ -1,0 +1,40 @@
+(** Result tables: aligned ASCII for the terminal, markdown for
+    EXPERIMENTS.md, CSV for downstream plotting.
+
+    Every experiment produces one or more of these; the renderers are the
+    only place output formatting lives, so the same table prints
+    identically from the CLI, the bench harness and the examples. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] makes an empty table.  @raise Invalid_argument on an
+    empty column list. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.  @raise Invalid_argument if the cell
+    count differs from the column count. *)
+
+val row_count : t -> int
+val column_count : t -> int
+
+val render : t -> string
+(** Aligned monospace rendering with a header rule. *)
+
+val render_markdown : t -> string
+(** GitHub-flavoured markdown table. *)
+
+val to_csv : t -> string
+(** RFC-4180-style CSV (quotes doubled, cells with commas/quotes/newlines
+    quoted), header row included. *)
+
+(** {1 Cell formatting helpers} *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+(** Default 2 decimals; renders NaN as ["-"]. *)
+
+val cell_ratio : float -> float -> string
+(** [cell_ratio a b] is [a/b] with 3 decimals, ["-"] when [b = 0]. *)

@@ -1,0 +1,1 @@
+lib/lowerbound/coupling.ml: Float Prng

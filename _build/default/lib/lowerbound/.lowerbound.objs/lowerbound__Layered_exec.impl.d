@@ -1,0 +1,1 @@
+lib/lowerbound/layered_exec.ml: Array Hashtbl List Prng

@@ -1,0 +1,1 @@
+lib/lowerbound/marking.ml: Array Coupling Float Hashtbl List Prng

@@ -1,0 +1,34 @@
+let gamma_of lambda =
+  if lambda < 0. then invalid_arg "Coupling.gamma_of: negative rate";
+  Float.min (lambda *. lambda /. 4.) (lambda /. 4.)
+
+let lemma_6_5_holds ~lambda ~n =
+  let gamma = gamma_of lambda in
+  Prng.Dist.poisson_cdf ~lambda (n + 1)
+  <= Prng.Dist.poisson_cdf ~lambda:gamma n +. 1e-12
+
+let sample_marked rng ~lambda ~z =
+  if lambda < 0. then invalid_arg "Coupling.sample_marked: negative rate";
+  if z < 0 then invalid_arg "Coupling.sample_marked: negative count";
+  if z <= 1 then 0
+  else begin
+    let gamma = gamma_of lambda in
+    (* U conditionally uniform on (F_lambda(z-1), F_lambda(z)] given
+       Z = z. *)
+    let lo = Prng.Dist.poisson_cdf ~lambda (z - 1) in
+    let hi = Prng.Dist.poisson_cdf ~lambda z in
+    let u = lo +. ((hi -. lo) *. Prng.Splitmix.float rng) in
+    (* Guard against u hitting exactly 1 through rounding. *)
+    let u = Float.min u (1. -. 1e-15) in
+    let y = Prng.Dist.poisson_quantile ~lambda:gamma u in
+    (* Lemma 6.5 guarantees y <= z - 1; clamp defensively against
+       floating-point edge cases so the invariant is unconditional. *)
+    min y (z - 1)
+  end
+
+let joint_sample rng ~lambda =
+  let gamma = gamma_of lambda in
+  let u = Prng.Splitmix.float rng in
+  let z = Prng.Dist.poisson_quantile ~lambda u in
+  let y = Prng.Dist.poisson_quantile ~lambda:gamma u in
+  (z, min y (max 0 (z - 1)))

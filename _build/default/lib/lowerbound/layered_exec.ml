@@ -1,0 +1,82 @@
+type family = Uniform | Fixed
+
+type result = {
+  layers : int;
+  survivors_per_layer : int array;
+  total_probes : int;
+}
+
+let run_with_types ~seed ~types ~s ?(max_layers = 10_000) () =
+  let n = Array.length types in
+  if n < 1 then invalid_arg "Layered_exec.run_with_types: no types";
+  if s < 1 then invalid_arg "Layered_exec.run_with_types: s must be >= 1";
+  Array.iter
+    (Array.iter (fun target ->
+         if target < 0 || target >= s then
+           invalid_arg "Layered_exec.run_with_types: target out of range"))
+    types;
+  let rng = Prng.Splitmix.of_int seed in
+  let survivors = ref (Array.init n (fun i -> i)) in
+  let history = ref [ n ] in
+  let probes = ref 0 in
+  let layers = ref 0 in
+  while Array.length !survivors > 0 && !layers < max_layers do
+    let l = !layers in
+    incr layers;
+    let taken = Hashtbl.create (Array.length !survivors) in
+    Prng.Shuffle.shuffle_in_place rng !survivors;
+    let losers = ref [] in
+    Array.iter
+      (fun pid ->
+        if l < Array.length types.(pid) then begin
+          let target = types.(pid).(l) in
+          incr probes;
+          if Hashtbl.mem taken target then losers := pid :: !losers
+          else Hashtbl.replace taken target ()
+        end
+        (* exhausted type: leaves without a name *))
+      !survivors;
+    survivors := Array.of_list !losers;
+    history := Array.length !survivors :: !history
+  done;
+  {
+    layers = !layers;
+    survivors_per_layer = Array.of_list (List.rev !history);
+    total_probes = !probes;
+  }
+
+let run ~seed ~n ~s ?(max_layers = 10_000) family =
+  if n < 1 then invalid_arg "Layered_exec.run: n must be >= 1";
+  if s < 1 then invalid_arg "Layered_exec.run: s must be >= 1";
+  let rng = Prng.Splitmix.of_int seed in
+  let survivors = ref (Array.init n (fun i -> i)) in
+  let history = ref [ n ] in
+  let probes = ref 0 in
+  let layers = ref 0 in
+  while Array.length !survivors > 0 && !layers < max_layers do
+    incr layers;
+    (* Fresh array T_l: locations taken this layer only. *)
+    let taken = Hashtbl.create (Array.length !survivors) in
+    (* The oblivious layered adversary: step survivors in a uniformly
+       random order. *)
+    Prng.Shuffle.shuffle_in_place rng !survivors;
+    let losers = ref [] in
+    Array.iter
+      (fun pid ->
+        let target =
+          match family with
+          | Uniform -> Prng.Splitmix.int rng s
+          | Fixed -> pid mod s
+        in
+        incr probes;
+        if Hashtbl.mem taken target then losers := pid :: !losers
+        else Hashtbl.replace taken target ())
+      !survivors;
+    survivors := Array.of_list !losers;
+    history := Array.length !survivors :: !history
+  done;
+  {
+    layers = !layers;
+    survivors_per_layer = Array.of_list (List.rev !history);
+    total_probes = !probes;
+  }

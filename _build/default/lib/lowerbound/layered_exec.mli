@@ -1,0 +1,59 @@
+(** The layered execution applied to concrete algorithm types (paper
+    §6.1, after the Lemma 6.2/6.3 reductions).
+
+    The reductions turn any renaming algorithm into one where (a) a
+    process acquires a name exactly by winning a TAS, (b) a process stops
+    as soon as it wins, and (c) the l-th TAS of every process targets a
+    fresh array [T_l] of [s] objects.  A {i type} is then just the
+    sequence of indices a process would probe, layer by layer, if it kept
+    losing.
+
+    This module executes that reduced game directly: in each layer, the
+    still-running processes are stepped in a uniformly random order
+    (the oblivious layered adversary); each performs one TAS on its
+    layer-l target; winners leave.  The measured quantity — layers until
+    everyone has won — is exactly the individual step complexity the
+    lower bound talks about, with no Poisson machinery in sight, so it
+    cross-checks the {!Marking} simulation.
+
+    Two built-in type families:
+    - [uniform]: each type probes an independent uniform location per
+      layer (the behaviour an algorithm with no extra information can do
+      no better than, per the Theorem 6.1 argument);
+    - [fixed]: each type deterministically probes (its own id mod s) —
+      a degenerate family showing what losing randomness costs. *)
+
+type family =
+  | Uniform  (** fresh uniform target per layer *)
+  | Fixed  (** always probes [pid mod s] *)
+
+type result = {
+  layers : int;  (** layers until every process had won a TAS *)
+  survivors_per_layer : int array;
+      (** processes still unnamed entering each layer (index 0 = n) *)
+  total_probes : int;
+}
+
+val run : seed:int -> n:int -> s:int -> ?max_layers:int -> family -> result
+(** [run ~seed ~n ~s family] plays the layered game with [n] processes
+    and [s] TAS objects per layer.  With [family = Uniform] and
+    [s = O(n)], Theorem 6.1 says [layers] grows as [Omega(log log n)]
+    with constant probability (and the ReBatching upper bound says
+    [O(log log n)] suffices, so this measurement pins the constant).
+    @raise Invalid_argument if [n < 1] or [s < 1].
+    [max_layers] (default 10_000) guards non-termination for degenerate
+    families. *)
+
+val run_with_types :
+  seed:int -> types:int array array -> s:int -> ?max_layers:int -> unit -> result
+(** [run_with_types ~seed ~types ~s ()] plays the game with explicit
+    types: process [pid]'s layer-[l] probe targets [types.(pid).(l)]
+    (all targets must lie in [0, s)).  This is the Lemma 6.2/6.3
+    reduction made executable: any algorithm whose probe sequence is a
+    pure function of its coins — ReBatching literally is one — can be
+    "compiled" to such a type by recording its probes under all-loss
+    responses, and the reduced game lower-bounds the survivors of the
+    real execution.  A process whose type runs out of probes is treated
+    as leaving (it would have returned without a name).
+    @raise Invalid_argument on an empty type array, [s < 1], or an
+    out-of-range target. *)

@@ -1,0 +1,139 @@
+type config = { n : int; locations : int; max_layers : int }
+
+let default_config ~n = { n; locations = 4 * n; max_layers = 64 }
+
+type layer_stats = {
+  layer : int;
+  marked : int;
+  rate : float;
+  active_locations : int;
+}
+
+type result = { series : layer_stats array; extinct_at : int option }
+
+(* A type with at least one marked instance. *)
+type live = { mutable rate : float; mutable count : int }
+
+type state = {
+  mutable live : live list;
+  mutable zero_mass : float;  (* total rate of types with no marked instance *)
+  s : int;
+  rng : Prng.Splitmix.t;
+}
+
+let total_marked st = List.fold_left (fun acc t -> acc + t.count) 0 st.live
+let total_rate st = List.fold_left (fun acc t -> acc +. t.rate) st.zero_mass st.live
+
+(* One layer: assign each live type a uniform location, run the marking
+   procedure per location, update rates. *)
+let step_layer st =
+  let groups : (int, live list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      let loc = Prng.Splitmix.int st.rng st.s in
+      match Hashtbl.find_opt groups loc with
+      | Some l -> l := t :: !l
+      | None -> Hashtbl.replace groups loc (ref [ t ]))
+    st.live;
+  let active = Hashtbl.length groups in
+  let zero_per_loc = st.zero_mass /. float_of_int st.s in
+  let new_zero = ref 0. in
+  (* Zero-mass at the (s - active) locations with no marked process: those
+     locations' lambda is just the zero mass share. *)
+  let idle_factor =
+    if zero_per_loc <= 0. then 0.
+    else Coupling.gamma_of zero_per_loc /. zero_per_loc
+  in
+  new_zero :=
+    !new_zero
+    +. (float_of_int (st.s - active) *. zero_per_loc *. idle_factor);
+  let survivors = ref [] in
+  Hashtbl.iter
+    (fun _loc members_ref ->
+      let members = !members_ref in
+      let lambda =
+        List.fold_left (fun acc t -> acc +. t.rate) zero_per_loc members
+      in
+      let z = List.fold_left (fun acc t -> acc + t.count) 0 members in
+      let y = Coupling.sample_marked st.rng ~lambda ~z in
+      let factor =
+        if lambda <= 0. then 0. else Coupling.gamma_of lambda /. lambda
+      in
+      (* Retained marks: a uniformly random permutation of the z marked
+         instances keeps its last y — per type, a multivariate
+         hypergeometric draw (Lemma 6.4). *)
+      let instances = Array.make z 0 in
+      let idx = ref 0 in
+      List.iteri
+        (fun ti t ->
+          for _ = 1 to t.count do
+            instances.(!idx) <- ti;
+            incr idx
+          done)
+        members;
+      Prng.Shuffle.shuffle_in_place st.rng instances;
+      let kept = Array.make (List.length members) 0 in
+      for i = z - y to z - 1 do
+        kept.(instances.(i)) <- kept.(instances.(i)) + 1
+      done;
+      (* zero-mass share at this location is rescaled too *)
+      new_zero := !new_zero +. (zero_per_loc *. factor);
+      List.iteri
+        (fun ti t ->
+          t.rate <- t.rate *. factor;
+          t.count <- kept.(ti);
+          if t.count > 0 then survivors := t :: !survivors
+          else new_zero := !new_zero +. t.rate)
+        members)
+    groups;
+  st.live <- !survivors;
+  st.zero_mass <- !new_zero;
+  active
+
+let run ~seed config =
+  if config.n < 1 then invalid_arg "Marking.run: n must be >= 1";
+  if config.locations < 1 then invalid_arg "Marking.run: locations must be >= 1";
+  let rng = Prng.Splitmix.of_int seed in
+  let big_m = float_of_int config.n *. float_of_int config.n in
+  let per_type_rate = float_of_int config.n /. (2. *. big_m) in
+  let instances =
+    Prng.Dist.poisson_sample rng ~lambda:(float_of_int config.n /. 2.)
+  in
+  let live =
+    List.init instances (fun _ -> { rate = per_type_rate; count = 1 })
+  in
+  let zero_mass =
+    (float_of_int config.n /. 2.) -. (float_of_int instances *. per_type_rate)
+  in
+  let st = { live; zero_mass = Float.max 0. zero_mass; s = config.locations; rng } in
+  let series = ref [] in
+  let extinct = ref None in
+  let layer = ref 0 in
+  let record active =
+    series :=
+      {
+        layer = !layer;
+        marked = total_marked st;
+        rate = total_rate st;
+        active_locations = active;
+      }
+      :: !series
+  in
+  record 0;
+  (try
+     while !layer < config.max_layers do
+       if total_marked st = 0 then begin
+         extinct := Some !layer;
+         raise Exit
+       end;
+       let active = step_layer st in
+       incr layer;
+       record active
+     done
+   with Exit -> ());
+  { series = Array.of_list (List.rev !series); extinct_at = !extinct }
+
+let layers_survived result =
+  match result.extinct_at with
+  | Some l -> l
+  | None -> Array.length result.series - 1

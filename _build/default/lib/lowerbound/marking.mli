@@ -1,0 +1,66 @@
+(** The layered adversarial execution with Poisson marking (paper §6).
+
+    The lower-bound proof builds an oblivious layered schedule in which
+    the number of process instances of each type is Poisson, and after
+    each layer a subset of the processes that did not win their TAS keep
+    their "mark", chosen through the {!Coupling} gadget so that per-type
+    marked counts stay independent Poissons.  The marked processes are a
+    lower bound on the processes still running, so the number of layers
+    they survive lower-bounds the renaming time.
+
+    This module simulates those dynamics directly:
+
+    - [M = n^2] process types, each of initial rate [n/2M]; the realized
+      instances are drawn as [N ~ Pois(n/2)] instances of distinct types
+      (the proof's union bound discards duplicate-type executions, so we
+      simulate the conditioned process).
+    - Each layer assigns every type an independent uniformly random
+      location among the [s] per-layer TAS objects — the probe behaviour
+      of an arbitrary fixed type sequence after the Lemma 6.2/6.3
+      reductions.
+    - Per location, the realized marked count [z] and analytic rate
+      [lambda_j] feed {!Coupling.sample_marked}; the retained marks are
+      distributed among the types present by a uniformly random
+      permutation (the multivariate hypergeometric of Lemma 6.4), and
+      every rate at the location is scaled by [gamma_j / lambda_j].
+
+    One deliberate aggregation: the [M - N] types with zero realized
+    instances can never contribute marked processes again, so instead of
+    instantiating [n^2] of them we carry their total rate mass and spread
+    it uniformly over locations (its exact per-location fluctuation is
+    [O(sqrt)] and only perturbs [lambda_j] smoothly).  This keeps a layer
+    O(marked + active locations) so the experiment sweeps to large [n]. *)
+
+type config = {
+  n : int;  (** system size; initial total rate is [n/2] *)
+  locations : int;
+      (** TAS objects per layer — the proof's [s + m], both [O(n)] *)
+  max_layers : int;  (** hard stop for the simulation *)
+}
+
+val default_config : n:int -> config
+(** [locations = 4 * n] (i.e. [s = 2n] objects plus [m = 2n] name slots,
+    matching the reduction that turns [return(j)] into a TAS on a second
+    array), [max_layers = 64]. *)
+
+type layer_stats = {
+  layer : int;
+  marked : int;  (** realized marked processes entering this layer *)
+  rate : float;  (** analytic total marked rate [lambda^l] *)
+  active_locations : int;
+      (** locations holding at least one marked process this layer *)
+}
+
+type result = {
+  series : layer_stats array;
+      (** layer 0, 1, ... up to extinction or [max_layers] *)
+  extinct_at : int option;
+      (** first layer entered with zero marked processes *)
+}
+
+val run : seed:int -> config -> result
+(** Simulate one execution.  Deterministic in [(seed, config)]. *)
+
+val layers_survived : result -> int
+(** Number of layers with at least one marked process — the empirical
+    quantity that must grow as [Omega(log log n)] (Theorem 6.1). *)

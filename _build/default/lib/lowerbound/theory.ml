@@ -1,0 +1,27 @@
+let rate_recursion_lower_bound ~s ~lambda =
+  if s < 1 then invalid_arg "Theory.rate_recursion_lower_bound: s must be >= 1";
+  if lambda < 0. then
+    invalid_arg "Theory.rate_recursion_lower_bound: negative rate";
+  if lambda <= float_of_int s /. 2. then lambda *. lambda /. (4. *. float_of_int s)
+  else lambda /. 4.
+
+let ratio_series ~r0 ~layers =
+  if layers < 0 then invalid_arg "Theory.ratio_series: negative layer count";
+  let out = Array.make (layers + 1) r0 in
+  for l = 1 to layers do
+    out.(l) <- out.(l - 1) *. out.(l - 1) /. 4.
+  done;
+  out
+
+let log2 x = log x /. log 2.
+
+let predicted_layers ~n ~s ~m =
+  if n < 1 || s < 1 || m < 1 then
+    invalid_arg "Theory.predicted_layers: sizes must be >= 1";
+  let total = float_of_int (s + m) in
+  let r0 = float_of_int n /. 2. /. total in
+  if r0 >= 1. then invalid_arg "Theory.predicted_layers: r0 must be < 1";
+  (* largest l with 2^l * log2 (4/r0) <= log2 (s+m) *)
+  log2 (log2 total /. log2 (4. /. r0))
+
+let survival_probability_bound () = 1. -. 0.5 -. 0.25 -. exp (-4.)

@@ -1,0 +1,47 @@
+(** Closed-form side of the lower bound (paper §6.2, Lemma 6.6 and the
+    Final Argument).
+
+    With [s + m] TAS objects per layer and total marked rate
+    [lambda^l], Lemma 6.6 gives the recursion on the ratio
+    [r^l = lambda^l / (s+m)]:
+
+    [r^{l+1} >= (r^l)^2 / 4]  (when [lambda^l <= (s+m)/2]),
+
+    which solves to [r^l >= 4 (r^0/4)^{2^l}]; choosing
+    [l = lg lg (s+m) + lg lg (4/r^0)] keeps the expected number of marked
+    processes at least 4 — i.e. survivors persist for [Omega(log log n)]
+    layers.  This module evaluates those formulas so experiment F2 can
+    print predicted-vs-simulated columns, and so tests can check the
+    algebra. *)
+
+val rate_recursion_lower_bound : s:int -> lambda:float -> float
+(** [rate_recursion_lower_bound ~s ~lambda] is Lemma 6.6's lower bound on
+    [lambda^{l+1}] given [lambda^l = lambda] with [s] TAS objects in the
+    layer: [(lambda^2)/(4 s)] if [lambda <= s/2], else [lambda / 4]. *)
+
+val ratio_series : r0:float -> layers:int -> float array
+(** [ratio_series ~r0 ~layers] iterates [r -> r^2 / 4] from [r0],
+    returning [layers + 1] values [r^0 .. r^layers] — the analytic
+    lower-bound trajectory of the marked-process ratio. *)
+
+val predicted_layers : n:int -> s:int -> m:int -> float
+(** [predicted_layers ~n ~s ~m] is the Final Argument's layer count: the
+    largest [l] with [4 (r0/4)^(2^l) >= 4/(s+m)] where
+    [r0 = (n/2)/(s+m)], i.e.
+
+    [l = log2 (log2 (s+m) / log2 (4/r0))].
+
+    This is the number of layers after which the expected number of
+    marked processes is still at least 4.  Note: the extended abstract
+    prints this choice as [lg lg (s+m) + lg lg (4/r0)]; substituting that
+    into [4 (r0/4)^(2^l)] does not reproduce the claimed [4/(s+m)] unless
+    [r0 = 2], so we implement the value that actually satisfies the
+    inequality chain (the asymptotics — [Omega(log log n)] for constant
+    [r0] — are unchanged).  EXPERIMENTS.md records this as discrepancy
+    D1.  @raise Invalid_argument unless [n, s, m >= 1] and [r0 < 1]. *)
+
+val survival_probability_bound : unit -> float
+(** The constant-probability bound assembled at the end of §6.2:
+    [1 - 1/2 - 1/4 - e^{-4} ≈ 0.23168] — the probability with which the
+    adversarial execution keeps some process past [Omega(log log n)]
+    layers. *)

@@ -1,0 +1,1 @@
+lib/prng/shuffle.ml: Array Hashtbl Splitmix

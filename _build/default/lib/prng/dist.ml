@@ -1,0 +1,108 @@
+let log_factorial =
+  (* Exact table for small n; Stirling's series with 1/(12n) correction
+     beyond.  The table keeps the Poisson pmf exact where the lower-bound
+     tests exercise it. *)
+  let table_size = 256 in
+  let table = Array.make table_size 0. in
+  let () =
+    for n = 1 to table_size - 1 do
+      table.(n) <- table.(n - 1) +. log (float_of_int n)
+    done
+  in
+  fun n ->
+    if n < 0 then invalid_arg "Dist.log_factorial: negative argument";
+    if n < table_size then table.(n)
+    else
+      let x = float_of_int n in
+      ((x +. 0.5) *. log x) -. x
+      +. (0.5 *. log (2. *. Float.pi))
+      +. (1. /. (12. *. x))
+      -. (1. /. (360. *. (x ** 3.)))
+
+let poisson_pmf ~lambda k =
+  if lambda < 0. then invalid_arg "Dist.poisson_pmf: negative rate";
+  if k < 0 then 0.
+  else if lambda = 0. then if k = 0 then 1. else 0.
+  else exp ((float_of_int k *. log lambda) -. lambda -. log_factorial k)
+
+let poisson_cdf ~lambda n =
+  if lambda < 0. then invalid_arg "Dist.poisson_cdf: negative rate";
+  if n < 0 then 0.
+  else if lambda = 0. then 1.
+  else begin
+    (* Sum pmf terms with the stable recurrence p_{k+1} = p_k * lambda/(k+1),
+       started from p_0 = e^{-lambda}.  For large lambda where e^{-lambda}
+       underflows, fall back to summing exponentials of log-pmfs. *)
+    let p0 = exp (-.lambda) in
+    if p0 > 0. then begin
+      let acc = ref p0 and term = ref p0 in
+      for k = 1 to n do
+        term := !term *. lambda /. float_of_int k;
+        acc := !acc +. !term
+      done;
+      Float.min 1. !acc
+    end
+    else begin
+      let acc = ref 0. in
+      for k = 0 to n do
+        acc := !acc +. poisson_pmf ~lambda k
+      done;
+      Float.min 1. !acc
+    end
+  end
+
+let poisson_quantile ~lambda u =
+  if u < 0. || u >= 1. then invalid_arg "Dist.poisson_quantile: u not in [0,1)";
+  if lambda = 0. then 0
+  else begin
+    let p0 = exp (-.lambda) in
+    if p0 > 0. then begin
+      (* Walk the CDF upward with the pmf recurrence. *)
+      let k = ref 0 and cdf = ref p0 and term = ref p0 in
+      while !cdf < u do
+        incr k;
+        term := !term *. lambda /. float_of_int !k;
+        cdf := !cdf +. !term
+      done;
+      !k
+    end
+    else begin
+      let k = ref 0 and cdf = ref (poisson_pmf ~lambda 0) in
+      while !cdf < u do
+        incr k;
+        cdf := !cdf +. poisson_pmf ~lambda !k
+      done;
+      !k
+    end
+  end
+
+let rec poisson_sample rng ~lambda =
+  if lambda < 0. then invalid_arg "Dist.poisson_sample: negative rate";
+  if lambda = 0. then 0
+  else if lambda > 30. then
+    (* Additivity keeps the sampler exact for large rates. *)
+    poisson_sample rng ~lambda:(lambda /. 2.)
+    + poisson_sample rng ~lambda:(lambda /. 2.)
+  else poisson_quantile ~lambda (Splitmix.float rng)
+
+let binomial_sample rng ~n ~p =
+  if n < 0 then invalid_arg "Dist.binomial_sample: negative n";
+  let count = ref 0 in
+  for _ = 1 to n do
+    if Splitmix.bernoulli rng p then incr count
+  done;
+  !count
+
+let geometric_sample rng ~p =
+  if p <= 0. || p > 1. then invalid_arg "Dist.geometric_sample: p not in (0,1]";
+  if p = 1. then 0
+  else begin
+    (* Inverse transform: floor(ln U / ln (1-p)). *)
+    let u = 1. -. Splitmix.float rng (* in (0,1] *) in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+  end
+
+let exponential_sample rng ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential_sample: rate must be positive";
+  let u = 1. -. Splitmix.float rng in
+  -.log u /. rate

@@ -1,0 +1,50 @@
+(** Probability distributions used by the experiments and the lower-bound
+    construction (paper §6).
+
+    The Poisson functions are the heart of the §6 reproduction: the
+    layered-execution analysis models per-type process counts as
+    independent Poisson variables, and the coupling gadget (Lemmas
+    6.4–6.5) needs exact CDF and quantile evaluations to realize the
+    monotone coupling [Y = F_gamma^{-1}(U)] with [Z = F_lambda^{-1}(U)]. *)
+
+val log_factorial : int -> float
+(** [log_factorial n] is [ln (n!)], exact summation for small [n] and
+    Stirling's series beyond.  @raise Invalid_argument on negative [n]. *)
+
+(** {1 Poisson} *)
+
+val poisson_pmf : lambda:float -> int -> float
+(** [poisson_pmf ~lambda k] is [P(X = k)] for [X ~ Pois(lambda)].
+    Computed in log space, so it does not underflow for moderate
+    arguments.  Returns [0.] for negative [k].  [lambda] must be
+    non-negative. *)
+
+val poisson_cdf : lambda:float -> int -> float
+(** [poisson_cdf ~lambda n] is [P(X <= n)]; the paper's [P_lambda(n)].
+    Returns [0.] for negative [n] and [1.] when [lambda = 0.]. *)
+
+val poisson_quantile : lambda:float -> float -> int
+(** [poisson_quantile ~lambda u] is the generalized inverse CDF: the
+    smallest [k] with [P(X <= k) >= u], for [u] in [0, 1).  This is the
+    function used for monotone coupling of two Poisson variables. *)
+
+val poisson_sample : Splitmix.t -> lambda:float -> int
+(** [poisson_sample rng ~lambda] draws [X ~ Pois(lambda)] exactly.  Uses
+    inverse-transform sampling for small rates and the additivity
+    [Pois(a+b) = Pois(a) + Pois(b)] to split large rates, so the result is
+    exact for all [lambda >= 0]. *)
+
+(** {1 Other distributions} *)
+
+val binomial_sample : Splitmix.t -> n:int -> p:float -> int
+(** [binomial_sample rng ~n ~p] draws [Binomial(n, p)].  O(n) coin flips;
+    intended for test-sized [n]. *)
+
+val geometric_sample : Splitmix.t -> p:float -> int
+(** [geometric_sample rng ~p] is the number of failures before the first
+    success in Bernoulli([p]) trials (support [0, 1, 2, ...]).
+    @raise Invalid_argument unless [0 < p <= 1]. *)
+
+val exponential_sample : Splitmix.t -> rate:float -> float
+(** [exponential_sample rng ~rate] draws [Exp(rate)].
+    @raise Invalid_argument unless [rate > 0]. *)

@@ -1,0 +1,37 @@
+let shuffle_in_place rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Splitmix.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation rng n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place rng a;
+  a
+
+let sample_without_replacement rng n k =
+  if k < 0 || k > n then
+    invalid_arg "Shuffle.sample_without_replacement: need 0 <= k <= n";
+  (* Floyd's algorithm: for j = n-k .. n-1, draw t uniform on [0,j]; insert
+     t unless already present, else insert j. *)
+  let seen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let t = Splitmix.int rng (j + 1) in
+    if Hashtbl.mem seen t then Hashtbl.replace seen j ()
+    else Hashtbl.replace seen t ()
+  done;
+  let out = Array.make k 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun v () ->
+      out.(!i) <- v;
+      incr i)
+    seen;
+  shuffle_in_place rng out;
+  out
+
+let choose rng a =
+  if Array.length a = 0 then invalid_arg "Shuffle.choose: empty array";
+  a.(Splitmix.int rng (Array.length a))

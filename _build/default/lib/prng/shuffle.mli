@@ -1,0 +1,25 @@
+(** Random permutations and sampling without replacement.
+
+    The oblivious layered adversary of the lower bound (paper §6) orders
+    each layer by an independent uniformly random permutation; this module
+    provides that permutation. *)
+
+val shuffle_in_place : Splitmix.t -> 'a array -> unit
+(** [shuffle_in_place rng a] permutes [a] uniformly at random
+    (Fisher–Yates). *)
+
+val permutation : Splitmix.t -> int -> int array
+(** [permutation rng n] is a uniformly random permutation of
+    [0 .. n-1]. *)
+
+val sample_without_replacement : Splitmix.t -> int -> int -> int array
+(** [sample_without_replacement rng n k] returns [k] distinct values drawn
+    uniformly from [0 .. n-1], in random order.
+    @raise Invalid_argument if [k < 0] or [k > n].
+
+    Uses Floyd's algorithm, so it is O(k) in expectation and does not
+    allocate an array of size [n]. *)
+
+val choose : Splitmix.t -> 'a array -> 'a
+(** [choose rng a] is a uniformly random element of [a].
+    @raise Invalid_argument if [a] is empty. *)

@@ -1,0 +1,1 @@
+lib/renaming/adaptive_rebatching.ml: Env Events Object_space Option Rebatching

@@ -1,0 +1,1 @@
+lib/renaming/adaptive_rebatching.mli: Env Object_space

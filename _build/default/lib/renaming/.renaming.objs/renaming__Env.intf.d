@@ -1,0 +1,1 @@
+lib/renaming/env.mli: Events

@@ -1,0 +1,1 @@
+lib/renaming/events.ml: Format

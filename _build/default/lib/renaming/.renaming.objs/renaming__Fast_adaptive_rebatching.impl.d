@@ -1,0 +1,1 @@
+lib/renaming/fast_adaptive_rebatching.ml: Env Events Object_space Option Rebatching

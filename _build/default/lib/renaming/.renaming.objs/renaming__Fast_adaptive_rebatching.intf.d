@@ -1,0 +1,1 @@
+lib/renaming/fast_adaptive_rebatching.mli: Env Object_space

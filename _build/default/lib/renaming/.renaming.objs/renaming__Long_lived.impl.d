@@ -1,0 +1,1 @@
+lib/renaming/long_lived.ml: Adaptive_rebatching Env Events Fast_adaptive_rebatching Object_space Rebatching

@@ -1,0 +1,1 @@
+lib/renaming/object_space.ml: Array Float Rebatching

@@ -1,0 +1,1 @@
+lib/renaming/rebatching.ml: Array Env Events Float

@@ -1,0 +1,1 @@
+lib/renaming/rebatching.mli: Env

@@ -1,0 +1,1 @@
+lib/renaming/spec.ml: Events Hashtbl List Object_space Printf Rebatching

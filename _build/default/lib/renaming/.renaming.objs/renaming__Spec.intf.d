@@ -1,0 +1,1 @@
+lib/renaming/spec.mli: Events Object_space Rebatching

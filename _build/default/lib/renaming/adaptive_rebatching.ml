@@ -1,0 +1,57 @@
+let rebatch_get_name (env : Env.t) space i =
+  env.emit (Events.Object_visited { obj = i });
+  Rebatching.get_name ~backup:false env (Object_space.obj space i)
+
+(* Race phase: find the first l with R_{2^l}.GetName successful.  Returns
+   [(l, name)]. *)
+let race (env : Env.t) space =
+  let rec go l =
+    let i = 1 lsl l in
+    if i > Object_space.cap space then None
+    else
+      match rebatch_get_name env space i with
+      | Some u -> Some (l, u)
+      | None -> go (l + 1)
+  in
+  go 0
+
+(* Crunch phase: binary search on object indices a..b, where the process
+   already holds [name] from R_b.  Invariant: the process has a name from
+   R_b; a successful GetName on the midpoint lowers b, a failure raises
+   a.  When [drop] is provided, a superseded name is returned to the pool
+   (one reset step) — the long-lived mode; one-shot executions leave
+   superseded names taken, as in the paper. *)
+let crunch (env : Env.t) space ~drop ~a ~b ~name =
+  let supersede old_name =
+    match drop with None -> () | Some f -> f old_name
+  in
+  let rec go a b name =
+    if a >= b then name
+    else begin
+      let d = (a + b) / 2 in
+      match rebatch_get_name env space d with
+      | Some u ->
+        supersede name;
+        go a d u
+      | None -> go (d + 1) b name
+    end
+  in
+  go a b name
+
+let get_name_with ~drop (env : Env.t) space =
+  match race env space with
+  | None -> None
+  | Some (0, u) -> Some u (* name from R_1: nothing below to search *)
+  | Some (l, u) ->
+    let a = (1 lsl (l - 1)) + 1 and b = 1 lsl l in
+    Some (crunch env space ~drop ~a ~b ~name:u)
+
+let get_name (env : Env.t) space = get_name_with ~drop:None env space
+
+let get_name_releasing (env : Env.t) space =
+  let drop name =
+    env.reset name;
+    let obj = Option.value ~default:0 (Object_space.owner_of_name space name) in
+    env.emit (Events.Name_released { obj; name })
+  in
+  get_name_with ~drop:(Some drop) env space

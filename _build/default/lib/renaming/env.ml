@@ -1,0 +1,14 @@
+type t = {
+  pid : int;
+  tas : int -> bool;
+  reset : int -> unit;
+  random_int : int -> int;
+  emit : Events.t -> unit;
+}
+
+let no_reset (_ : int) =
+  invalid_arg "Env.reset: this environment does not support release"
+
+let make ?(emit = fun (_ : Events.t) -> ()) ?(reset = no_reset) ~pid ~tas
+    ~random_int () =
+  { pid; tas; reset; random_int; emit }

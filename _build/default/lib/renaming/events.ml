@@ -1,0 +1,20 @@
+type t =
+  | Probe of { obj : int; batch : int; location : int; won : bool }
+  | Batch_failed of { obj : int; batch : int }
+  | Backup_entered of { obj : int }
+  | Name_acquired of { obj : int; name : int }
+  | Name_released of { obj : int; name : int }
+  | Object_visited of { obj : int }
+
+let pp ppf = function
+  | Probe { obj; batch; location; won } ->
+    Format.fprintf ppf "probe(obj=%d batch=%d loc=%d %s)" obj batch location
+      (if won then "win" else "lose")
+  | Batch_failed { obj; batch } ->
+    Format.fprintf ppf "batch_failed(obj=%d batch=%d)" obj batch
+  | Backup_entered { obj } -> Format.fprintf ppf "backup_entered(obj=%d)" obj
+  | Name_acquired { obj; name } ->
+    Format.fprintf ppf "name_acquired(obj=%d name=%d)" obj name
+  | Name_released { obj; name } ->
+    Format.fprintf ppf "name_released(obj=%d name=%d)" obj name
+  | Object_visited { obj } -> Format.fprintf ppf "object_visited(obj=%d)" obj

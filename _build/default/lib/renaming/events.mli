@@ -1,0 +1,28 @@
+(** Instrumentation events emitted by the renaming algorithms.
+
+    The algorithms are substrate-independent; they report what happened
+    through {!Env.t.emit} and the substrate decides what to do with it
+    (the simulator records per-batch failure counts for the Lemma 4.2
+    experiment, the multicore runner buffers events per domain, tests
+    assert on them, and the default sink drops them).
+
+    Object indices: the non-adaptive ReBatching instance reports
+    [obj = 0]; the adaptive algorithms report the index [i >= 1] of the
+    [R_i] object the event occurred in. *)
+
+type t =
+  | Probe of { obj : int; batch : int; location : int; won : bool }
+      (** One TAS operation: [location] is the global location index. *)
+  | Batch_failed of { obj : int; batch : int }
+      (** A [TryGetName] call exhausted its probe budget on this batch. *)
+  | Backup_entered of { obj : int }
+      (** The process fell through all batches and entered the sequential
+          backup scan (non-adaptive ReBatching only). *)
+  | Name_acquired of { obj : int; name : int }
+      (** The process won a TAS; [name] is the global name. *)
+  | Name_released of { obj : int; name : int }
+      (** Long-lived renaming: the process returned [name] to the pool. *)
+  | Object_visited of { obj : int }
+      (** An adaptive algorithm started probing object [R_obj]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+(* Direct transcription of Figure 2.  [try_get_name env space a t] is
+   [R_a.TryGetName(t)]; [kappa space a] is the paper's kappa(a), the
+   largest batch index of R_a. *)
+
+let try_get_name (env : Env.t) space a t =
+  let r = Object_space.obj space a in
+  if t > Rebatching.kappa r then None else Rebatching.try_batch env r t
+
+let kappa space a = Rebatching.kappa (Object_space.obj space a)
+
+(* Search(a, b, u, t) of Figure 2.  Preconditions: a < b, [u] is a name
+   the process holds from R_b, and it has already executed
+   R_a.TryGetName(j) for j = 0 .. t-1.  [drop] (long-lived mode only)
+   releases the currently held name when a smaller one supersedes it. *)
+let rec search (env : Env.t) space ~drop ~a ~b ~u ~t =
+  if t > kappa space a then u
+  else
+    match try_get_name env space a t with
+    | Some u' ->
+      (match drop with None -> () | Some f -> f u);
+      u'
+    | None ->
+      let d = (a + b + 1) / 2 in
+      (* ceil ((a+b)/2) *)
+      let u = if d < b then search env space ~drop ~a:d ~b ~u ~t:0 else u in
+      if Object_space.in_object space d ~name:u then
+        search env space ~drop ~a ~b:d ~u ~t:(t + 1)
+      else u
+
+let get_name_with ~drop (env : Env.t) space =
+  let r1 = Object_space.obj space 1 in
+  if Rebatching.epsilon r1 <> 1.0 then
+    invalid_arg "Fast_adaptive_rebatching: object space must use epsilon = 1";
+  (* Lines 1-5: race up the powers of two with single TryGetName(0)
+     calls. *)
+  let rec race l =
+    let i = 1 lsl l in
+    if i > Object_space.cap space then None
+    else begin
+      env.emit (Events.Object_visited { obj = i });
+      match try_get_name env space i 0 with
+      | Some u -> Some (l, u)
+      | None -> race (l + 1)
+    end
+  in
+  match race 0 with
+  | None -> None
+  | Some (l, u) ->
+    (* Lines 6-9: repeatedly Search the left half while the current name
+       still comes from the current upper-bound object. *)
+    let rec crunch l u =
+      if l >= 1 && Object_space.in_object space (1 lsl l) ~name:u then begin
+        let u = search env space ~drop ~a:(1 lsl (l - 1)) ~b:(1 lsl l) ~u ~t:1 in
+        crunch (l - 1) u
+      end
+      else u
+    in
+    Some (crunch l u)
+
+let get_name (env : Env.t) space = get_name_with ~drop:None env space
+
+let get_name_releasing (env : Env.t) space =
+  let drop name =
+    env.reset name;
+    let obj = Option.value ~default:0 (Object_space.owner_of_name space name) in
+    env.emit (Events.Name_released { obj; name })
+  in
+  get_name_with ~drop:(Some drop) env space

@@ -1,0 +1,27 @@
+type t = { instance : Rebatching.t }
+
+let make ?epsilon ?t0 ?beta ?base ~n () =
+  { instance = Rebatching.make ?epsilon ?t0 ?beta ?base ~n () }
+
+let instance t = t.instance
+
+let acquire env t = Rebatching.get_name env t.instance
+
+let release (env : Env.t) t name =
+  if not (Rebatching.owns_name t.instance name) then
+    invalid_arg "Long_lived.release: name outside this object's namespace";
+  env.reset name;
+  env.emit (Events.Name_released { obj = 0; name })
+
+module Adaptive = struct
+  let acquire env space = Adaptive_rebatching.get_name_releasing env space
+  let acquire_fast env space = Fast_adaptive_rebatching.get_name_releasing env space
+
+  let release (env : Env.t) space name =
+    match Object_space.owner_of_name space name with
+    | None ->
+      invalid_arg "Long_lived.Adaptive.release: name outside every object"
+    | Some obj ->
+      env.reset name;
+      env.emit (Events.Name_released { obj; name })
+end

@@ -1,0 +1,69 @@
+(** Long-lived loose renaming: acquire a name, use it, release it.
+
+    The paper solves one-shot renaming; the long-lived variant (studied
+    by Eberly, Higham and Warpechowska-Gruca [20] and surveyed in [16])
+    lets processes return names to the pool so that a system with
+    unbounded total participants but bounded {i concurrent} contention
+    keeps living inside a small namespace — the regime of the
+    worker-slot / connection-pool applications that motivate renaming.
+
+    With hardware TAS the extension is direct: a name is a won TAS
+    object, so releasing is resetting that object.  Safety is immediate
+    from the TAS semantics — between a win and the corresponding reset,
+    nobody else can win the cell, so {i at every instant the names of
+    current holders are distinct}.  The performance analysis of §4
+    applies per acquisition whenever the number of concurrent holders
+    plus acquirers stays at most [n]: the execution is then
+    indistinguishable from a one-shot execution with at most [n]
+    participants started at the current memory state... with one caveat:
+    a released cell makes batch occupancies non-monotone, which only
+    {i helps} (more free cells than the one-shot analysis assumes).
+    Experiment T11 measures steps per acquisition under churn.
+
+    Usage: [acquire env t] as in one-shot; when done, [release env t
+    name].  Releasing a name you do not hold is a protocol violation and
+    is rejected when detectable. *)
+
+type t
+(** A long-lived renaming object: a ReBatching instance whose cells can
+    be returned.  Immutable description; all state is behind the
+    environment, as everywhere in this library. *)
+
+val make :
+  ?epsilon:float -> ?t0:int -> ?beta:int -> ?base:int -> n:int -> unit -> t
+(** [make ~n ()] sizes the object for [n] concurrent holders; parameters
+    as in {!Rebatching.make}. *)
+
+val instance : t -> Rebatching.t
+(** The underlying ReBatching geometry (namespace size, batches...). *)
+
+val acquire : Env.t -> t -> int option
+(** [acquire env t] obtains a name, [Figure 1]'s [GetName] verbatim.
+    [None] only when every cell is simultaneously held — impossible with
+    at most [n] concurrent holders. *)
+
+val release : Env.t -> t -> int -> unit
+(** [release env t name] returns [name] to the pool (one shared-memory
+    reset step).  @raise Invalid_argument if [name] is outside the
+    object's namespace.  Calling it for a name the caller does not hold
+    is a protocol violation (it would free someone else's name); this
+    module cannot detect that case and the caller must not do it. *)
+
+(** {1 Adaptive variant}
+
+    The same construction over the adaptive algorithms: acquisition by
+    {!Adaptive_rebatching} (or {!Fast_adaptive_rebatching}), release by
+    resetting the name's TAS cell in the shared {!Object_space}.  Names
+    track the contention of each acquisition epoch. *)
+
+module Adaptive : sig
+  val acquire : Env.t -> Object_space.t -> int option
+  (** {!Adaptive_rebatching.get_name}. *)
+
+  val acquire_fast : Env.t -> Object_space.t -> int option
+  (** {!Fast_adaptive_rebatching.get_name} (requires [epsilon = 1]). *)
+
+  val release : Env.t -> Object_space.t -> int -> unit
+  (** [release env space name] frees [name].  @raise Invalid_argument if
+      [name] belongs to no object of [space]. *)
+end

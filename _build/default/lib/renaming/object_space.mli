@@ -1,0 +1,51 @@
+(** The unbounded collection [R_1, R_2, ...] of ReBatching objects shared
+    by the adaptive algorithms (paper §5).
+
+    Object [R_i] is a ReBatching instance for [n_i = 2^i] processes, hence
+    with namespace size [m_i = ceil ((1+eps) 2^i)], laid out at the fixed
+    global offset [s_i = sum_{j<i} m_j].  Because the layout is a pure
+    function of the parameters, every process (and every substrate) can
+    compute it independently — no shared allocation step is needed, which
+    keeps the step-complexity accounting honest.
+
+    Instances are memoized, so [obj space i] is cheap after first use. *)
+
+type t
+
+val create : ?epsilon:float -> ?t0:int -> ?beta:int -> ?cap:int -> unit -> t
+(** [create ()] describes a fresh collection.  Defaults: [epsilon = 1.0]
+    (the Fast variant of §5.2 requires exactly this), [beta =
+    Rebatching.default_beta], [t0] per the paper's formula.  The
+    parameters apply to every [R_i].
+
+    [cap] (default {!max_index}) bounds the largest object index — the
+    §5 remark that when [n] is known, the first [2^(ceil(log n)+1)] TAS
+    objects suffice and total space is O(n).  With a cap, the adaptive
+    algorithms report failure instead of growing past [R_cap].
+    @raise Invalid_argument if [cap] is outside [1, max_index]. *)
+
+val cap : t -> int
+(** The largest usable object index of this collection. *)
+
+val obj : t -> int -> Rebatching.t
+(** [obj space i] is [R_i], for [i >= 1].  @raise Invalid_argument if
+    [i < 1] or [i > 60]. *)
+
+val offset : t -> int -> int
+(** [offset space i] is [s_i], the first global location of [R_i]. *)
+
+val total_size : t -> int -> int
+(** [total_size space i] is [s_{i+1}], the number of global locations
+    used by [R_1 .. R_i] — the space bound to check against the paper's
+    [O(n)] claim when [i = ceil (log2 n) + 1]. *)
+
+val owner_of_name : t -> int -> int option
+(** [owner_of_name space u] is the index [i] with [u] in [R_i]'s
+    namespace, if any.  Names below [offset space 1] have no owner. *)
+
+val in_object : t -> int -> name:int -> bool
+(** [in_object space i ~name] is the "[name ∈ R_i]" test of Figure 2. *)
+
+val max_index : int
+(** Largest supported object index (60; [2^60] processes is beyond any
+    conceivable run, and keeps offsets inside OCaml's [int]). *)

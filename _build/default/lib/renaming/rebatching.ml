@@ -1,0 +1,143 @@
+type t = {
+  n : int;
+  epsilon : float;
+  base : int;
+  obj : int;
+  m : int;
+  kappa : int;
+  batch_sizes : int array;  (* length kappa + 1 *)
+  batch_offsets : int array;  (* global location indices *)
+  probes : int array;  (* t_i per batch *)
+}
+
+let default_beta = 3
+
+let t0_formula eps =
+  if eps <= 0. then invalid_arg "Rebatching.t0_formula: epsilon must be > 0";
+  int_of_float (Float.ceil (17. *. log (8. *. Float.exp 1. /. eps) /. eps))
+
+(* ceil (log2 x) for x >= 1 *)
+let ceil_log2 x =
+  let rec go acc p = if p >= x then acc else go (acc + 1) (2 * p) in
+  go 0 1
+
+let n t = t.n
+let epsilon t = t.epsilon
+let base t = t.base
+let size t = t.m
+let kappa t = t.kappa
+let batch_count t = t.kappa + 1
+
+let check_batch t i =
+  if i < 0 || i > t.kappa then invalid_arg "Rebatching: batch index out of range"
+
+let batch_size t i =
+  check_batch t i;
+  t.batch_sizes.(i)
+
+let batch_offset t i =
+  check_batch t i;
+  t.batch_offsets.(i)
+
+let probe_budget t i =
+  check_batch t i;
+  t.probes.(i)
+
+let owns_name t u = u >= t.base && u < t.base + t.m
+
+let make ?(epsilon = 1.0) ?t0 ?(beta = default_beta) ?(base = 0) ?(obj = 0)
+    ~n () =
+  if n < 1 then invalid_arg "Rebatching.make: n must be >= 1";
+  if epsilon <= 0. then invalid_arg "Rebatching.make: epsilon must be > 0";
+  if beta < 1 then invalid_arg "Rebatching.make: beta must be >= 1";
+  let t0 =
+    match t0 with
+    | None -> t0_formula epsilon
+    | Some v ->
+      if v < 1 then invalid_arg "Rebatching.make: t0 must be >= 1";
+      v
+  in
+  let m = int_of_float (Float.ceil ((1. +. epsilon) *. float_of_int n)) in
+  (* kappa = ceil (log2 (log2 n)); 0 for n < 3 so tiny instances have a
+     single batch. *)
+  let kappa = if n < 3 then 0 else ceil_log2 (ceil_log2 n) in
+  (* Batch sizes per Eq. (1), truncated so the batches fit inside m: the
+     paper assumes n large enough that truncation never triggers; for small
+     n we clamp so the instance stays well-formed.  Trailing batches that
+     would be empty are dropped by shrinking kappa. *)
+  let sizes = Array.make (kappa + 1) 0 in
+  let remaining = ref m in
+  let last_nonempty = ref (-1) in
+  for i = 0 to kappa do
+    let want =
+      if i = 0 then
+        max 1 (int_of_float (Float.ceil (epsilon *. float_of_int n)))
+      else (n + (1 lsl i) - 1) / (1 lsl i)
+    in
+    let got = min want !remaining in
+    sizes.(i) <- got;
+    remaining := !remaining - got;
+    if got > 0 then last_nonempty := i
+  done;
+  let kappa = max 0 !last_nonempty in
+  let sizes = Array.sub sizes 0 (kappa + 1) in
+  let offsets = Array.make (kappa + 1) base in
+  for i = 1 to kappa do
+    offsets.(i) <- offsets.(i - 1) + sizes.(i - 1)
+  done;
+  let probes =
+    Array.init (kappa + 1) (fun i ->
+        if i = 0 then t0 else if i = kappa then beta else 1)
+  in
+  { n; epsilon; base; obj; m; kappa; batch_sizes = sizes;
+    batch_offsets = offsets; probes }
+
+let try_batch (env : Env.t) t i =
+  check_batch t i;
+  let b = t.batch_sizes.(i) in
+  let off = t.batch_offsets.(i) in
+  let budget = t.probes.(i) in
+  let rec probe j =
+    if j > budget || b = 0 then begin
+      env.emit (Events.Batch_failed { obj = t.obj; batch = i });
+      None
+    end
+    else begin
+      let x = env.random_int b in
+      let loc = off + x in
+      let won = env.tas loc in
+      env.emit (Events.Probe { obj = t.obj; batch = i; location = loc; won });
+      if won then begin
+        env.emit (Events.Name_acquired { obj = t.obj; name = loc });
+        Some loc
+      end
+      else probe (j + 1)
+    end
+  in
+  probe 1
+
+let backup_scan (env : Env.t) t =
+  env.emit (Events.Backup_entered { obj = t.obj });
+  let rec scan u =
+    if u >= t.base + t.m then None
+    else begin
+      let won = env.tas u in
+      env.emit (Events.Probe { obj = t.obj; batch = -1; location = u; won });
+      if won then begin
+        env.emit (Events.Name_acquired { obj = t.obj; name = u });
+        Some u
+      end
+      else scan (u + 1)
+    end
+  in
+  scan t.base
+
+let get_name ?(backup = true) (env : Env.t) t =
+  let rec batches i =
+    if i > t.kappa then if backup then backup_scan env t else None
+    else
+      match try_batch env t i with
+      | Some u -> Some u
+      | None -> batches (i + 1)
+  in
+  batches 0

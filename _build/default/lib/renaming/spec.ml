@@ -1,0 +1,100 @@
+type t = {
+  taken : (int, int) Hashtbl.t;  (* location -> winner pid *)
+  held : (int, int) Hashtbl.t;  (* acquired name -> holder pid *)
+  last_win : (int, int) Hashtbl.t;  (* pid -> location of last winning probe *)
+  mutable rebatching : Rebatching.t option;
+  mutable space : Object_space.t option;
+  mutable violations : string list;  (* newest first *)
+  mutable events_seen : int;
+}
+
+let create () =
+  {
+    taken = Hashtbl.create 256;
+    held = Hashtbl.create 256;
+    last_win = Hashtbl.create 64;
+    rebatching = None;
+    space = None;
+    violations = [];
+    events_seen = 0;
+  }
+
+let with_rebatching t instance = t.rebatching <- Some instance
+let with_object_space t space = t.space <- Some space
+
+let report t fmt =
+  Printf.ksprintf (fun s -> t.violations <- s :: t.violations) fmt
+
+(* Find the geometry for the object an event claims, if we have one. *)
+let geometry_of t obj =
+  match (obj, t.rebatching, t.space) with
+  | 0, Some r, _ -> Some r
+  | i, _, Some space when i >= 1 && i <= Object_space.max_index ->
+    Some (Object_space.obj space i)
+  | _ -> None
+
+let check_probe_geometry t ~pid ~obj ~batch ~location =
+  match geometry_of t obj with
+  | None -> ()
+  | Some r ->
+    if batch = -1 then begin
+      (* backup scan: anywhere inside the instance *)
+      if not (Rebatching.owns_name r location) then
+        report t "pid %d: backup probe at %d outside object %d" pid location obj
+    end
+    else if batch < 0 || batch > Rebatching.kappa r then
+      report t "pid %d: probe claims invalid batch %d of object %d" pid batch obj
+    else begin
+      let off = Rebatching.batch_offset r batch in
+      let size = Rebatching.batch_size r batch in
+      if location < off || location >= off + size then
+        report t "pid %d: probe at %d outside batch %d of object %d (=[%d,%d))"
+          pid location batch obj off (off + size)
+    end
+
+let observe t ~pid event =
+  t.events_seen <- t.events_seen + 1;
+  match event with
+  | Events.Probe { obj; batch; location; won } ->
+    check_probe_geometry t ~pid ~obj ~batch ~location;
+    if won then begin
+      (match Hashtbl.find_opt t.taken location with
+      | Some owner ->
+        report t "pid %d: won location %d already taken by pid %d" pid location
+          owner
+      | None -> ());
+      Hashtbl.replace t.taken location pid;
+      Hashtbl.replace t.last_win pid location
+    end
+    else if not (Hashtbl.mem t.taken location) then
+      report t "pid %d: lost a probe at free location %d" pid location
+  | Events.Name_acquired { name; obj = _ } -> begin
+    (match Hashtbl.find_opt t.last_win pid with
+    | Some loc when loc = name -> ()
+    | Some loc ->
+      report t "pid %d: acquired name %d but last win was at %d" pid name loc
+    | None -> report t "pid %d: acquired name %d without winning a probe" pid name);
+    match Hashtbl.find_opt t.held name with
+    | Some holder ->
+      report t "pid %d: acquired name %d still held by pid %d" pid name holder
+    | None -> Hashtbl.replace t.held name pid
+  end
+  | Events.Name_released { name; obj = _ } -> begin
+    match Hashtbl.find_opt t.held name with
+    | Some holder ->
+      if holder <> pid then
+        report t "pid %d: released name %d held by pid %d" pid name holder;
+      Hashtbl.remove t.held name;
+      Hashtbl.remove t.taken name
+    | None -> report t "pid %d: released name %d that nobody holds" pid name
+  end
+  | Events.Batch_failed { obj; batch } -> begin
+    match geometry_of t obj with
+    | Some r when batch < 0 || batch > Rebatching.kappa r ->
+      report t "pid %d: failed an invalid batch %d of object %d" pid batch obj
+    | Some _ | None -> ()
+  end
+  | Events.Backup_entered _ | Events.Object_visited _ -> ()
+
+let violations t = List.rev t.violations
+let events_seen t = t.events_seen

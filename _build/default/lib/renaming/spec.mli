@@ -1,0 +1,47 @@
+(** Executable specification: validate an instrumentation event stream
+    against the shared-memory semantics and the algorithms' structural
+    invariants.
+
+    The algorithms report everything they do through {!Events}; this
+    checker replays the stream against a reference model of the memory
+    and flags any inconsistency:
+
+    - a location is won by at most one probe while held (wins may recur
+      only after a matching release);
+    - a losing probe must target a location the model believes taken;
+    - [Name_acquired] must name the location of that process's most
+      recent winning probe, and a name is never acquired while held;
+    - [Name_released] must release a held name;
+    - with geometry attached ({!with_rebatching} / {!with_object_space}),
+      every probe must target a location inside the batch it claims, and
+      batch indices must be within range.
+
+    Violations are collected, not raised, so a test can assert
+    [violations spec = []] and print all failures at once.
+
+    The checker assumes events arrive in execution order, which holds for
+    every simulator run (single-threaded); multicore event streams are
+    per-domain buffers without a global order and are out of scope. *)
+
+type t
+
+val create : unit -> t
+(** A checker with memory semantics only (no geometry). *)
+
+val with_rebatching : t -> Rebatching.t -> unit
+(** Attach a ReBatching instance: probes reporting this instance's object
+    index are checked against its batch layout. *)
+
+val with_object_space : t -> Object_space.t -> unit
+(** Attach an object space: probes reporting object [i >= 1] are checked
+    against [R_i]'s layout. *)
+
+val observe : t -> pid:int -> Events.t -> unit
+(** Feed one event.  Designed to be partially applied as the [on_event]
+    callback of {!Sim.Runner.run}. *)
+
+val violations : t -> string list
+(** All violations so far, oldest first; empty means the stream is
+    consistent. *)
+
+val events_seen : t -> int

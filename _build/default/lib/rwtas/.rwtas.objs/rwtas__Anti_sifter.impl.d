@@ -1,0 +1,1 @@
+lib/rwtas/anti_sifter.ml: Hashtbl Sim

@@ -1,0 +1,1 @@
+lib/rwtas/anti_sifter.mli: Sim

@@ -1,0 +1,1 @@
+lib/rwtas/cascade.ml: Array Float Prng Sifter Sim

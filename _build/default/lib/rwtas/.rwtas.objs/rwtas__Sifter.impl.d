@@ -1,0 +1,1 @@
+lib/rwtas/sifter.ml: Float

@@ -1,0 +1,80 @@
+(* Policy: execute pending operations lowest register (= cascade level)
+   first, and within a level all reads before any write.  Inductively, a
+   level's first write can only execute once every live process has
+   passed that level, so no process ever reads a non-empty register, and
+   nobody is ever sifted out. *)
+
+let adversary =
+  let make (ctx : Sim.Adversary.ctx) =
+    let waiting = Sim.Dynset.create () in
+    (* per-register reader and writer pools *)
+    let readers : (int, Sim.Dynset.t) Hashtbl.t = Hashtbl.create 16 in
+    let writers : (int, Sim.Dynset.t) Hashtbl.t = Hashtbl.create 16 in
+    let membership : (int, [ `Reader of int | `Writer of int ]) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let regs = Sim.Dynset.create () in
+    (* registers with any pending op *)
+    let pool table reg =
+      match Hashtbl.find_opt table reg with
+      | Some g -> g
+      | None ->
+        let g = Sim.Dynset.create () in
+        Hashtbl.replace table reg g;
+        g
+    in
+    let prune reg =
+      let empty table =
+        match Hashtbl.find_opt table reg with
+        | None -> true
+        | Some g -> Sim.Dynset.is_empty g
+      in
+      if empty readers && empty writers then Sim.Dynset.remove regs reg
+    in
+    let detach pid =
+      match Hashtbl.find_opt membership pid with
+      | None -> ()
+      | Some (`Reader reg) ->
+        Hashtbl.remove membership pid;
+        Sim.Dynset.remove (pool readers reg) pid;
+        prune reg
+      | Some (`Writer reg) ->
+        Hashtbl.remove membership pid;
+        Sim.Dynset.remove (pool writers reg) pid;
+        prune reg
+    in
+    let on_wait ~pid ~loc ~op =
+      detach pid;
+      Sim.Dynset.add waiting pid;
+      match op with
+      | Sim.Adversary.Read_op ->
+        Sim.Dynset.add (pool readers loc) pid;
+        Hashtbl.replace membership pid (`Reader loc);
+        Sim.Dynset.add regs loc
+      | Sim.Adversary.Write_op ->
+        Sim.Dynset.add (pool writers loc) pid;
+        Hashtbl.replace membership pid (`Writer loc);
+        Sim.Dynset.add regs loc
+      | Sim.Adversary.Tas_op | Sim.Adversary.Reset_op -> ()
+    in
+    let on_settle ~pid =
+      detach pid;
+      Sim.Dynset.remove waiting pid
+    in
+    let pick () =
+      (* lowest register with a pending op; readers before writers *)
+      let best = ref max_int in
+      Sim.Dynset.iter (fun reg -> if reg < !best then best := reg) regs;
+      if !best = max_int then Sim.Adversary.Step (Sim.Dynset.any waiting ctx.rng)
+      else begin
+        let candidates =
+          match Hashtbl.find_opt readers !best with
+          | Some g when not (Sim.Dynset.is_empty g) -> g
+          | Some _ | None -> pool writers !best
+        in
+        Sim.Adversary.Step (Sim.Dynset.first candidates)
+      end
+    in
+    { Sim.Adversary.on_wait; on_tas = (fun ~loc:_ ~won:_ -> ()); on_settle; pick }
+  in
+  { Sim.Adversary.name = "anti-sifter"; make }

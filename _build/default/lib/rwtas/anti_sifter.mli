@@ -1,0 +1,19 @@
+(** The strong-adversary schedule that defeats sifters.
+
+    A sifter only eliminates readers that see a non-empty register, so a
+    scheduler that (a) executes every pending {i read} while the target
+    register is still empty and (b) delays writes until no such read is
+    pending, keeps every process alive: readers see 0 and stay, writers
+    stay by definition.  Implementing that policy requires seeing the
+    {i kind} and target of pending operations — strong-adversary power —
+    which is exactly why the sifter-based TAS constructions ([3, 22])
+    assume a weak adversary, and why this paper's headline (renaming in
+    [O(log log n)] {i against a strong adversary}) needs hardware TAS.
+
+    Experiment T17 runs the cascade under this adversary to exhibit the
+    failure: survivor counts barely decay. *)
+
+val adversary : Sim.Adversary.t
+(** Picks, in priority order: a pending read whose register is still 0;
+    any pending read; then writes/others (uniformly at random within each
+    class). *)

@@ -1,0 +1,64 @@
+type result = {
+  exit_level : int array;
+  survivors_per_level : int array;
+  total_steps : int;
+}
+
+let suggested_levels ~n =
+  let log2 x = log x /. log 2. in
+  let ll = log2 (Float.max 2. (log2 (Float.max 2. (float_of_int n)))) in
+  int_of_float (Float.ceil ll) + 3
+
+let run ?(adversary = Sim.Adversary.random) ?levels ~seed ~n () =
+  if n < 1 then invalid_arg "Cascade.run: n must be >= 1";
+  let levels = match levels with None -> suggested_levels ~n | Some l -> l in
+  if levels < 1 then invalid_arg "Cascade.run: levels must be >= 1";
+  (* Write probability per level: the expected crowd decays as
+     k -> 2 sqrt k from k_0 = n; precompute the schedule. *)
+  let probabilities =
+    let k = ref (float_of_int n) in
+    Array.init levels (fun _ ->
+        let p = Sifter.suggested_probability ~expected_contention:!k in
+        k := Float.max 1. (2. *. sqrt !k);
+        p)
+  in
+  let root = Prng.Splitmix.of_int seed in
+  let body pid =
+    let rng = Prng.Splitmix.split_at root pid in
+    fun () ->
+      let rec level l =
+        if l >= levels then Some levels
+        else begin
+          let heads = Prng.Splitmix.bernoulli rng probabilities.(l) in
+          match
+            Sifter.sift ~read:Sim.Proc.read ~write:Sim.Proc.write ~heads ~pid
+              ~reg:l
+          with
+          | Sifter.Stay -> level (l + 1)
+          | Sifter.Leave -> Some l
+        end
+      in
+      level 0
+  in
+  let space = Sim.Location_space.create () in
+  let sched =
+    Sim.Scheduler.create ~space ~adversary
+      ~rng:(Prng.Splitmix.split_at root n)
+      ~n ~body ()
+  in
+  Sim.Scheduler.run_to_completion sched;
+  let exit_level =
+    Array.init n (fun pid ->
+        match Sim.Scheduler.name_of sched pid with
+        | Some l -> l
+        | None -> 0 (* crashed: count as leaving immediately *))
+  in
+  let survivors_per_level =
+    Array.init (levels + 1) (fun l ->
+        Array.fold_left
+          (fun acc e -> if e >= l then acc + 1 else acc)
+          0 exit_level)
+  in
+  { exit_level; survivors_per_level; total_steps = Sim.Scheduler.total_steps sched }
+
+let survivors r = r.survivors_per_level.(Array.length r.survivors_per_level - 1)

@@ -1,0 +1,42 @@
+(** A cascade of sifters: the contention-reduction pipeline of the
+    read/write TAS constructions the paper cites.
+
+    Level [l] is one {!Sifter} with write probability tuned for the
+    expected crowd [n^(2^-l)]; a process walks the levels until it leaves
+    (drops out of the competition) or survives them all.  The theory
+    (GW'12, vs a weak adversary): after [Theta(log log n)] levels only
+    [O(1)] processes survive w.h.p., each having spent one step per
+    level.  This module measures that — it is the experimental substrate
+    for experiment T17, not a full TAS (a complete construction would
+    finish the survivors through a 2-process elimination endgame, which
+    needs machinery outside this paper's scope). *)
+
+type result = {
+  exit_level : int array;
+      (** per pid: the level at which the process left, or [levels] if it
+          survived the whole cascade *)
+  survivors_per_level : int array;
+      (** index [l]: processes entering level [l]; length [levels + 1],
+          the last entry being the final survivor count *)
+  total_steps : int;
+}
+
+val suggested_levels : n:int -> int
+(** [ceil (log2 (log2 n)) + 3] — enough levels to reach a constant crowd
+    from [n] under the square-root decay, with slack. *)
+
+val run :
+  ?adversary:Sim.Adversary.t ->
+  ?levels:int ->
+  seed:int ->
+  n:int ->
+  unit ->
+  result
+(** [run ~seed ~n ()] pushes [n] concurrent processes through the
+    cascade under [adversary] (default {!Sim.Adversary.random},
+    oblivious).  Deterministic in the seed.  [levels] defaults to
+    {!suggested_levels}.  @raise Invalid_argument if [n < 1] or
+    [levels < 1]. *)
+
+val survivors : result -> int
+(** Processes that survived every level. *)

@@ -1,0 +1,13 @@
+type outcome = Stay | Leave
+
+let sift ~read ~write ~heads ~pid ~reg =
+  if heads then begin
+    write reg (pid + 1);
+    Stay
+  end
+  else if read reg = 0 then Stay
+  else Leave
+
+let suggested_probability ~expected_contention =
+  if expected_contention <= 1. then 1.
+  else Float.min 1. (1. /. sqrt expected_contention)

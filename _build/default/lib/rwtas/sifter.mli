@@ -1,0 +1,47 @@
+(** The one-register randomized sifter (Giakkoupis–Woelfel, PODC 2012 —
+    the paper's reference [22]).
+
+    The paper assumes hardware TAS; the references it leans on ([3, 22])
+    build randomized TAS from plain read/write registers against a weak
+    adversary, and their engine is the {i sifter}: one shared register
+    through which a crowd of [k] processes is "sifted" so that only
+    [O(sqrt k)] continue, at one shared-memory step each.
+
+    Protocol (per process, one sifter, one register [r], initially 0):
+    + with probability [p]: write your id into [r] and {b stay};
+    + otherwise: read [r]; {b stay} if it still holds 0, {b leave}
+      otherwise.
+
+    Properties:
+    + {b safety (always, any adversary)}: at least one process stays —
+      if anyone writes, writers stay; if nobody writes, every reader sees
+      0 and stays.  A solo process always stays.
+    + {b sifting (weak adversary)}: with [k] enterers, expected stayers
+      are about [k p + 1/p]; choosing [p = 1/sqrt k] gives [~ 2 sqrt k].
+      Iterating sifters therefore reaches a constant crowd in
+      [Theta(log log n)] levels — the doubly-logarithmic phenomenon this
+      repository keeps meeting.
+    + {b adversarial failure (strong adversary)}: a scheduler that runs
+      all readers before any writer makes {i everyone} stay
+      ({!Anti_sifter}), which is precisely why sifter-based TAS needs a
+      weak adversary while this paper's renaming algorithms, built on
+      hardware TAS, survive a strong one. *)
+
+type outcome = Stay | Leave
+
+val sift :
+  read:(int -> int) ->
+  write:(int -> int -> unit) ->
+  heads:bool ->
+  pid:int ->
+  reg:int ->
+  outcome
+(** [sift ~read ~write ~heads ~pid ~reg] runs one sifter access on
+    register [reg]; [heads] is the caller's (already flipped, probability
+    [p]) coin.  Performs exactly one shared-memory operation.  The stored
+    id is [pid + 1] (0 is reserved for "empty"). *)
+
+val suggested_probability : expected_contention:float -> float
+(** [suggested_probability ~expected_contention:k] is
+    [min 1 (1 / sqrt k)] — the write probability balancing the writer
+    and early-reader populations. *)

@@ -1,0 +1,1 @@
+lib/shm/atomic_space.mli:

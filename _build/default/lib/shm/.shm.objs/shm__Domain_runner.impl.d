@@ -1,0 +1,1 @@
+lib/shm/domain_runner.ml: Array Atomic Atomic_space Domain Hashtbl Prng Renaming Unix

@@ -1,0 +1,1 @@
+lib/shm/domain_runner.mli: Renaming

@@ -1,0 +1,28 @@
+type t = { cells : bool Atomic.t array }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Atomic_space.create: capacity must be >= 1";
+  { cells = Array.init capacity (fun _ -> Atomic.make false) }
+
+let capacity t = Array.length t.cells
+
+let check t loc =
+  if loc < 0 || loc >= Array.length t.cells then
+    invalid_arg "Atomic_space.tas: location out of range"
+
+let tas t loc =
+  check t loc;
+  not (Atomic.exchange t.cells.(loc) true)
+
+let release t loc =
+  check t loc;
+  Atomic.set t.cells.(loc) false
+
+let is_taken t loc =
+  check t loc;
+  Atomic.get t.cells.(loc)
+
+let taken_count t =
+  Array.fold_left (fun acc c -> if Atomic.get c then acc + 1 else acc) 0 t.cells
+
+let reset t = Array.iter (fun c -> Atomic.set c false) t.cells

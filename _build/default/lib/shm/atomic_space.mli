@@ -1,0 +1,40 @@
+(** Real shared-memory TAS objects on OCaml 5 atomics.
+
+    Where {!Sim.Location_space} simulates test-and-set under a controlled
+    scheduler, this module is the genuine article: a fixed-capacity array
+    of [bool Atomic.t] cells operated on concurrently by multiple
+    {!Domain}s.  [tas] compiles to an atomic exchange, which is exactly
+    the hardware TAS the paper assumes (§2, "Test-and-Set vs.
+    Read-Write").
+
+    Capacity is fixed up front (growing an array under concurrent access
+    would need either locking or an epoch scheme, neither of which the
+    algorithms require: the adaptive algorithms' layout is a pure
+    function of the object index, so a capacity covering the largest
+    reachable object suffices). *)
+
+type t
+
+val create : capacity:int -> t
+(** [create ~capacity] allocates [capacity] free TAS cells.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : t -> int
+
+val tas : t -> int -> bool
+(** [tas t loc] atomically sets cell [loc]; returns [true] iff the caller
+    changed it from free to taken (linearizable: exactly one winner).
+    @raise Invalid_argument if [loc] is outside [0, capacity). *)
+
+val release : t -> int -> unit
+(** [release t loc] atomically frees cell [loc] — the reset operation of
+    long-lived renaming.  Only the current holder may call it. *)
+
+val is_taken : t -> int -> bool
+(** Atomic read; for post-run verification, not used by algorithms. *)
+
+val taken_count : t -> int
+(** Number of taken cells (O(capacity) scan; call after the run). *)
+
+val reset : t -> unit
+(** Frees every cell.  Only call while no domain is operating on [t]. *)

@@ -1,0 +1,81 @@
+type result = {
+  names : int option array;
+  probes : int array;
+  wall_ns : float;
+  domains_used : int;
+  total_probes : int;
+}
+
+let run ?domains ~seed ~procs ~capacity ~algo () =
+  if procs < 1 then invalid_arg "Domain_runner.run: procs must be >= 1";
+  let domains =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Domain_runner.run: domains must be >= 1";
+      min d procs
+    | None -> min procs (min 8 (max 2 (Domain.recommended_domain_count ())))
+  in
+  let space = Atomic_space.create ~capacity in
+  let root = Prng.Splitmix.of_int seed in
+  let names = Array.make procs None in
+  let probes = Array.make procs 0 in
+  let start_latch = Atomic.make false in
+  let run_process pid =
+    let rng = Prng.Splitmix.split_at root pid in
+    let count = ref 0 in
+    let tas loc =
+      incr count;
+      Atomic_space.tas space loc
+    in
+    let reset loc =
+      incr count;
+      Atomic_space.release space loc
+    in
+    let env =
+      Renaming.Env.make ~reset ~pid ~tas ~random_int:(Prng.Splitmix.int rng) ()
+    in
+    let name = algo env in
+    (* Distinct [pid] slots per domain: plain writes race-free. *)
+    names.(pid) <- name;
+    probes.(pid) <- !count
+  in
+  let worker d () =
+    while not (Atomic.get start_latch) do
+      Domain.cpu_relax ()
+    done;
+    let pid = ref d in
+    while !pid < procs do
+      run_process !pid;
+      pid := !pid + domains
+    done
+  in
+  let handles = Array.init domains (fun d -> Domain.spawn (worker d)) in
+  let t0 = Unix.gettimeofday () in
+  Atomic.set start_latch true;
+  Array.iter Domain.join handles;
+  let t1 = Unix.gettimeofday () in
+  {
+    names;
+    probes;
+    wall_ns = (t1 -. t0) *. 1e9;
+    domains_used = domains;
+    total_probes = Array.fold_left ( + ) 0 probes;
+  }
+
+let check_unique_names r =
+  let seen = Hashtbl.create (Array.length r.names) in
+  Array.for_all
+    (function
+      | None -> false
+      | Some u ->
+        if Hashtbl.mem seen u then false
+        else begin
+          Hashtbl.replace seen u ();
+          true
+        end)
+    r.names
+
+let max_name r =
+  Array.fold_left
+    (fun acc -> function Some u when u > acc -> u | _ -> acc)
+    (-1) r.names

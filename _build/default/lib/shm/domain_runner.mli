@@ -1,0 +1,45 @@
+(** Run renaming algorithms on real multicore shared memory.
+
+    [procs] logical processes are partitioned round-robin across
+    [domains] OCaml domains; each domain runs its processes to completion
+    back to back against the shared {!Atomic_space}.  All domains spin on
+    a start latch so the contended phase begins simultaneously.
+
+    This substrate cannot control interleaving (the OS and the memory
+    system schedule), so it is used for what it is good at: validating
+    that the algorithms are correct under genuine hardware concurrency,
+    and measuring wall-clock cost under contention (experiment B1).  Step
+    counts are still exact — each environment counts its own TAS calls.
+
+    Determinism caveat: with more than one domain the interleaving — and
+    therefore which process wins a contended cell, the probe counts, and
+    the name assignment — varies run to run; only the per-process coin
+    streams are reproducible from [seed]. *)
+
+type result = {
+  names : int option array;  (** per logical process *)
+  probes : int array;  (** TAS calls per logical process *)
+  wall_ns : float;  (** wall-clock time of the contended phase *)
+  domains_used : int;
+  total_probes : int;
+}
+
+val run :
+  ?domains:int ->
+  seed:int ->
+  procs:int ->
+  capacity:int ->
+  algo:(Renaming.Env.t -> int option) ->
+  unit ->
+  result
+(** [run ~seed ~procs ~capacity ~algo ()] executes [procs] copies of
+    [algo].  [domains] defaults to
+    [max 2 (Domain.recommended_domain_count ())], capped at 8 and at
+    [procs].  @raise Invalid_argument if [procs < 1] or
+    [capacity < 1]. *)
+
+val check_unique_names : result -> bool
+(** All assigned names distinct and every process got one. *)
+
+val max_name : result -> int
+(** Largest assigned name; [-1] if none. *)

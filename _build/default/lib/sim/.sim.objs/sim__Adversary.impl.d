@@ -1,0 +1,1 @@
+lib/sim/adversary.ml: Array Dynset Float Hashtbl List Printf Prng Queue

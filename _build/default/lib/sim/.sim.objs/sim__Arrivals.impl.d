@@ -1,0 +1,1 @@
+lib/sim/arrivals.ml: Adversary Array Dynset Hashtbl List

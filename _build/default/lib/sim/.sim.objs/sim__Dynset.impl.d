@@ -1,0 +1,1 @@
+lib/sim/dynset.ml: Array Hashtbl Prng

@@ -1,0 +1,1 @@
+lib/sim/location_space.ml: Array Bytes

@@ -1,0 +1,1 @@
+lib/sim/register_space.ml: Array

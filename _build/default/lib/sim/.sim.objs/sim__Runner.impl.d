@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Adversary Array Hashtbl Location_space Prng Proc Renaming Scheduler

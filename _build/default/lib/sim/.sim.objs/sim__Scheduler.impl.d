@@ -1,0 +1,1 @@
+lib/sim/scheduler.ml: Adversary Array Effect Location_space Proc Register_space

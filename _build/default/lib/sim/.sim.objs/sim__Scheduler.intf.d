@@ -1,0 +1,1 @@
+lib/sim/scheduler.mli: Adversary Location_space Prng Register_space

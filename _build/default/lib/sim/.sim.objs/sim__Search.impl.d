@@ -1,0 +1,1 @@
+lib/sim/search.ml: Adversary Array List Prng Runner Trace

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Adversary Array Dynset List Prng

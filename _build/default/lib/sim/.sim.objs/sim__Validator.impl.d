@@ -1,0 +1,1 @@
+lib/sim/validator.ml: Adversary Dynset Printf

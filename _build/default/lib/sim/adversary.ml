@@ -1,0 +1,229 @@
+type action = Step of int | Crash of int
+
+type op = Tas_op | Reset_op | Read_op | Write_op
+
+type callbacks = {
+  on_wait : pid:int -> loc:int -> op:op -> unit;
+  on_tas : loc:int -> won:bool -> unit;
+  on_settle : pid:int -> unit;
+  pick : unit -> action;
+}
+
+type ctx = {
+  rng : Prng.Splitmix.t;
+  location_taken : int -> bool;
+  register_value : int -> int;
+}
+type t = { name : string; make : ctx -> callbacks }
+
+let no_tas ~loc:_ ~won:_ = ()
+
+let random =
+  let make ctx =
+    let waiting = Dynset.create () in
+    {
+      on_wait = (fun ~pid ~loc:_ ~op:_ -> Dynset.add waiting pid);
+      on_tas = no_tas;
+      on_settle = (fun ~pid -> Dynset.remove waiting pid);
+      pick = (fun () -> Step (Dynset.any waiting ctx.rng));
+    }
+  in
+  { name = "random"; make }
+
+let round_robin =
+  let make _ctx =
+    let waiting = Dynset.create () in
+    let queue = Queue.create () in
+    let on_wait ~pid ~loc:_ ~op:_ =
+      if not (Dynset.mem waiting pid) then begin
+        Dynset.add waiting pid;
+        Queue.push pid queue
+      end
+    in
+    let rec pick () =
+      (* Skip queue entries for processes that settled since enqueue. *)
+      let pid = Queue.pop queue in
+      if Dynset.mem waiting pid then begin
+        Queue.push pid queue;
+        Step pid
+      end
+      else pick ()
+    in
+    {
+      on_wait;
+      on_tas = no_tas;
+      on_settle = (fun ~pid -> Dynset.remove waiting pid);
+      pick;
+    }
+  in
+  { name = "round-robin"; make }
+
+let layered =
+  let make ctx =
+    let waiting = Dynset.create () in
+    let layer = ref [||] in
+    let cursor = ref 0 in
+    let rec pick () =
+      if !cursor >= Array.length !layer then begin
+        (* Start a new layer: a fresh uniformly random permutation of the
+           processes waiting right now (§6's layered schedule). *)
+        let snapshot = Array.of_list (Dynset.to_list waiting) in
+        Prng.Shuffle.shuffle_in_place ctx.rng snapshot;
+        layer := snapshot;
+        cursor := 0;
+        pick ()
+      end
+      else begin
+        let pid = !layer.(!cursor) in
+        incr cursor;
+        if Dynset.mem waiting pid then Step pid else pick ()
+      end
+    in
+    {
+      on_wait = (fun ~pid ~loc:_ ~op:_ -> Dynset.add waiting pid);
+      on_tas = no_tas;
+      on_settle = (fun ~pid -> Dynset.remove waiting pid);
+      pick;
+    }
+  in
+  { name = "layered"; make }
+
+let greedy_collision =
+  let make ctx =
+    let waiting = Dynset.create () in
+    let pending_loc : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    (* Processes whose pending location is already taken: stepping them
+       wastes their probe for sure. *)
+    let losers = Dynset.create () in
+    (* Groups of processes pending on the same still-free location. *)
+    let groups : (int, Dynset.t) Hashtbl.t = Hashtbl.create 64 in
+    (* Free locations whose group has >= 2 members. *)
+    let contended = Dynset.create () in
+    let group_of loc =
+      match Hashtbl.find_opt groups loc with
+      | Some g -> g
+      | None ->
+        let g = Dynset.create () in
+        Hashtbl.replace groups loc g;
+        g
+    in
+    let detach pid =
+      match Hashtbl.find_opt pending_loc pid with
+      | None -> ()
+      | Some loc ->
+        Hashtbl.remove pending_loc pid;
+        Dynset.remove losers pid;
+        (match Hashtbl.find_opt groups loc with
+        | None -> ()
+        | Some g ->
+          Dynset.remove g pid;
+          if Dynset.size g < 2 then Dynset.remove contended loc;
+          if Dynset.is_empty g then Hashtbl.remove groups loc)
+    in
+    let on_wait ~pid ~loc ~op =
+      detach pid;
+      Dynset.add waiting pid;
+      match op with
+      | Reset_op | Read_op | Write_op ->
+        (* non-TAS operations carry no win/lose leverage; leave the pid in
+           the generic waiting pool *)
+        ()
+      | Tas_op ->
+        Hashtbl.replace pending_loc pid loc;
+        if ctx.location_taken loc then Dynset.add losers pid
+        else begin
+          let g = group_of loc in
+          Dynset.add g pid;
+          if Dynset.size g >= 2 then Dynset.add contended loc
+        end
+    in
+    let on_tas ~loc ~won =
+      if won then
+        (* The location just got taken: everyone still aiming at it is now
+           a guaranteed loser. *)
+        match Hashtbl.find_opt groups loc with
+        | None -> ()
+        | Some g ->
+          Dynset.iter (fun pid -> Dynset.add losers pid) g;
+          Hashtbl.remove groups loc;
+          Dynset.remove contended loc
+    in
+    let on_settle ~pid =
+      detach pid;
+      Dynset.remove waiting pid
+    in
+    let pick () =
+      if not (Dynset.is_empty losers) then Step (Dynset.first losers)
+      else if not (Dynset.is_empty contended) then begin
+        let loc = Dynset.first contended in
+        let g = Hashtbl.find groups loc in
+        Step (Dynset.first g)
+      end
+      else Step (Dynset.any waiting ctx.rng)
+    in
+    { on_wait; on_tas; on_settle; pick }
+  in
+  { name = "greedy"; make }
+
+let sequential =
+  let make _ctx =
+    let waiting = Dynset.create () in
+    let cursor = ref 0 in
+    let pick () =
+      (* Processes never wait again after settling, so the cursor only
+         moves forward. *)
+      while not (Dynset.mem waiting !cursor) do
+        incr cursor
+      done;
+      Step !cursor
+    in
+    {
+      on_wait = (fun ~pid ~loc:_ ~op:_ -> Dynset.add waiting pid);
+      on_tas = no_tas;
+      on_settle = (fun ~pid -> Dynset.remove waiting pid);
+      pick;
+    }
+  in
+  { name = "sequential"; make }
+
+let with_crashes ~fraction inner =
+  if fraction < 0. || fraction >= 1. then
+    invalid_arg "Adversary.with_crashes: fraction must be in [0, 1)";
+  let make ctx =
+    let cb = inner.make ctx in
+    let waiting = Dynset.create () in
+    let ever = Dynset.create () in
+    (* distinct processes observed *)
+    let crashed = ref 0 in
+    let on_wait ~pid ~loc ~op =
+      Dynset.add ever pid;
+      Dynset.add waiting pid;
+      cb.on_wait ~pid ~loc ~op
+    in
+    let on_settle ~pid =
+      Dynset.remove waiting pid;
+      cb.on_settle ~pid
+    in
+    let pick () =
+      let budget =
+        int_of_float (Float.floor (fraction *. float_of_int (Dynset.size ever)))
+      in
+      (* Pace crashes at roughly the target fraction per decision so high
+         fractions are reachable even on short executions. *)
+      if
+        !crashed < budget
+        && (not (Dynset.is_empty waiting))
+        && Prng.Splitmix.bernoulli ctx.rng (Float.max 0.05 fraction)
+      then begin
+        incr crashed;
+        Crash (Dynset.any waiting ctx.rng)
+      end
+      else cb.pick ()
+    in
+    { on_wait; on_tas = cb.on_tas; on_settle; pick }
+  in
+  { name = Printf.sprintf "%s+crash%.2f" inner.name fraction; make }
+
+let all_builtin = [ random; round_robin; layered; greedy_collision; sequential ]
+
+let by_name name = List.find_opt (fun t -> t.name = name) all_builtin

@@ -1,0 +1,108 @@
+let with_arrival_times ~times inner =
+  if Array.exists (fun t -> t < 0) times then
+    invalid_arg "Arrivals.with_arrival_times: negative arrival time";
+  let arrival pid = if pid < Array.length times then times.(pid) else 0 in
+  let make ctx =
+    let cb = inner.Adversary.make ctx in
+    (* Buffered first-wait of processes that have not arrived yet.  Every
+       process blocks once before the first pick (the scheduler starts
+       all bodies eagerly), so the buffer is complete by then and the
+       sorted arrival queue is built exactly once. *)
+    let pending_first_wait : (int, int * Adversary.op) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let queue = ref None in
+    (* sorted (time, pid) list, built lazily *)
+    let arrived = Dynset.create () in
+    let arrived_waiting = Dynset.create () in
+    let clock = ref 0 in
+    let sorted_queue () =
+      match !queue with
+      | Some q -> q
+      | None ->
+        let l =
+          Hashtbl.fold (fun pid _ acc -> pid :: acc) pending_first_wait []
+        in
+        let q =
+          List.sort
+            (fun a b ->
+              let c = compare (arrival a) (arrival b) in
+              if c <> 0 then c else compare a b)
+            l
+        in
+        queue := Some q;
+        q
+    in
+    let deliver pid =
+      match Hashtbl.find_opt pending_first_wait pid with
+      | None -> () (* settled (crashed) before arriving *)
+      | Some (loc, op) ->
+        Hashtbl.remove pending_first_wait pid;
+        Dynset.add arrived pid;
+        Dynset.add arrived_waiting pid;
+        cb.Adversary.on_wait ~pid ~loc ~op
+    in
+    let rec flush ~now =
+      match sorted_queue () with
+      | pid :: rest when arrival pid <= now ->
+        queue := Some rest;
+        deliver pid;
+        flush ~now
+      | _ -> ()
+    in
+    let on_wait ~pid ~loc ~op =
+      if Dynset.mem arrived pid || arrival pid <= !clock then begin
+        Dynset.add arrived pid;
+        Dynset.add arrived_waiting pid;
+        cb.Adversary.on_wait ~pid ~loc ~op
+      end
+      else begin
+        Hashtbl.replace pending_first_wait pid (loc, op);
+        queue := None
+      end
+    in
+    let on_settle ~pid =
+      if Dynset.mem arrived pid then begin
+        Dynset.remove arrived_waiting pid;
+        cb.Adversary.on_settle ~pid
+      end
+      else Hashtbl.remove pending_first_wait pid
+    in
+    let pick () =
+      flush ~now:!clock;
+      if Dynset.is_empty arrived_waiting then begin
+        (* idle: jump the clock to the next arrival *)
+        match sorted_queue () with
+        | [] -> invalid_arg "Arrivals: no process left to schedule"
+        | pid :: _ ->
+          clock := max !clock (arrival pid);
+          flush ~now:!clock
+      end;
+      incr clock;
+      (* each pick executes one operation *)
+      cb.Adversary.pick ()
+    in
+    { Adversary.on_wait; on_tas = cb.Adversary.on_tas; on_settle; pick }
+  in
+  { Adversary.name = inner.Adversary.name ^ "+arrivals"; make }
+
+(* Arrival times below are pure functions of the pid; a generous table
+   keeps the implementation shared with [with_arrival_times] (pids past
+   the table arrive at time 0, which these patterns never rely on for
+   realistic process counts). *)
+let pattern_table f = Array.init 65536 f
+
+let staggered ~interval inner =
+  if interval < 0 then invalid_arg "Arrivals.staggered: negative interval";
+  let wrapped =
+    with_arrival_times ~times:(pattern_table (fun pid -> pid * interval)) inner
+  in
+  { wrapped with Adversary.name = inner.Adversary.name ^ "+staggered" }
+
+let bursts ~size ~gap inner =
+  if size < 1 then invalid_arg "Arrivals.bursts: size must be >= 1";
+  if gap < 0 then invalid_arg "Arrivals.bursts: negative gap";
+  let wrapped =
+    with_arrival_times ~times:(pattern_table (fun pid -> pid / size * gap)) inner
+  in
+  { wrapped with Adversary.name = inner.Adversary.name ^ "+bursts" }

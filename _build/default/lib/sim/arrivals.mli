@@ -1,0 +1,31 @@
+(** Arrival-pattern workloads.
+
+    The paper's executions start with all processes ready; real
+    contention arrives over time (bursts of workers, staggered joins).
+    This module wraps any scheduling strategy so that process [pid]
+    becomes schedulable only once the global clock — the number of
+    shared-memory operations executed so far — reaches its arrival time.
+    Until then the wrapped strategy does not even learn the process
+    exists, so arrival patterns compose with every adversary, including
+    recorded replays.
+
+    If no arrived process is waiting, the clock jumps to the next
+    arrival (the system is idle, so this costs nothing).
+
+    Used by experiment T13 to measure how the adaptive algorithms track
+    instantaneous contention rather than total participation. *)
+
+val with_arrival_times : times:int array -> Adversary.t -> Adversary.t
+(** [with_arrival_times ~times inner] holds back process [pid] until
+    [times.(pid)] operations have executed.  Processes with pid beyond
+    the array arrive at time 0.  @raise Invalid_argument on negative
+    times. *)
+
+val staggered : interval:int -> Adversary.t -> Adversary.t
+(** Process [pid] arrives at time [pid * interval] — a steady trickle.
+    @raise Invalid_argument if [interval < 0]. *)
+
+val bursts : size:int -> gap:int -> Adversary.t -> Adversary.t
+(** Processes arrive in groups of [size] separated by [gap] operations:
+    pid [p] arrives at [(p / size) * gap].  @raise Invalid_argument
+    unless [size >= 1] and [gap >= 0]. *)

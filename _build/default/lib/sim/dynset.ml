@@ -1,0 +1,51 @@
+type t = {
+  mutable elements : int array;  (* elements.(0 .. size-1) are the members *)
+  mutable size : int;
+  positions : (int, int) Hashtbl.t;  (* member -> index in [elements] *)
+}
+
+let create () = { elements = Array.make 16 0; size = 0; positions = Hashtbl.create 64 }
+
+let size t = t.size
+let is_empty t = t.size = 0
+let mem t v = Hashtbl.mem t.positions v
+
+let add t v =
+  if v < 0 then invalid_arg "Dynset.add: negative element";
+  if not (mem t v) then begin
+    if t.size = Array.length t.elements then begin
+      let bigger = Array.make (2 * t.size) 0 in
+      Array.blit t.elements 0 bigger 0 t.size;
+      t.elements <- bigger
+    end;
+    t.elements.(t.size) <- v;
+    Hashtbl.replace t.positions v t.size;
+    t.size <- t.size + 1
+  end
+
+let remove t v =
+  match Hashtbl.find_opt t.positions v with
+  | None -> ()
+  | Some idx ->
+    let last = t.elements.(t.size - 1) in
+    t.elements.(idx) <- last;
+    Hashtbl.replace t.positions last idx;
+    Hashtbl.remove t.positions v;
+    t.size <- t.size - 1
+
+let any t rng =
+  if t.size = 0 then invalid_arg "Dynset.any: empty set";
+  t.elements.(Prng.Splitmix.int rng t.size)
+
+let first t =
+  if t.size = 0 then invalid_arg "Dynset.first: empty set";
+  t.elements.(t.size - 1)
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.elements.(i)
+  done
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.elements.(i) :: acc) in
+  go (t.size - 1) []

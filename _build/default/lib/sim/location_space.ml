@@ -1,0 +1,79 @@
+(* Storage is a two-level chunked bitmap: the adaptive algorithms place
+   object R_i at an offset exponential in i, so the index space is huge
+   and extremely sparse (a rare probe of R_32 must not allocate 2^33
+   cells).  Only 64 KiB chunks that have actually been probed exist. *)
+
+let chunk_bits = 16
+let chunk_size = 1 lsl chunk_bits
+
+type t = {
+  mutable chunks : Bytes.t option array;  (* indexed by loc lsr chunk_bits *)
+  mutable probes : int;
+  mutable wins : int;
+  mutable hwm : int;
+}
+
+let create ?capacity:_ () =
+  { chunks = Array.make 16 None; probes = 0; wins = 0; hwm = 0 }
+
+let chunk_for t loc =
+  let ci = loc lsr chunk_bits in
+  let top = Array.length t.chunks in
+  if ci >= top then begin
+    let bigger = Array.make (max (ci + 1) (2 * top)) None in
+    Array.blit t.chunks 0 bigger 0 top;
+    t.chunks <- bigger
+  end;
+  match t.chunks.(ci) with
+  | Some c -> c
+  | None ->
+    let c = Bytes.make chunk_size '\000' in
+    t.chunks.(ci) <- Some c;
+    c
+
+let tas t loc =
+  if loc < 0 then invalid_arg "Location_space.tas: negative location";
+  let c = chunk_for t loc in
+  if loc >= t.hwm then t.hwm <- loc + 1;
+  t.probes <- t.probes + 1;
+  let off = loc land (chunk_size - 1) in
+  if Bytes.get c off = '\000' then begin
+    Bytes.set c off '\001';
+    t.wins <- t.wins + 1;
+    true
+  end
+  else false
+
+let release t loc =
+  if loc < 0 then invalid_arg "Location_space.release: negative location";
+  let c = chunk_for t loc in
+  if loc >= t.hwm then t.hwm <- loc + 1;
+  let off = loc land (chunk_size - 1) in
+  if Bytes.get c off = '\001' then begin
+    Bytes.set c off '\000';
+    t.wins <- t.wins - 1
+  end
+
+let is_taken t loc =
+  loc >= 0
+  &&
+  let ci = loc lsr chunk_bits in
+  ci < Array.length t.chunks
+  &&
+  match t.chunks.(ci) with
+  | None -> false
+  | Some c -> Bytes.get c (loc land (chunk_size - 1)) = '\001'
+
+let reset t =
+  Array.iteri
+    (fun i -> function
+      | Some _ -> t.chunks.(i) <- None
+      | None -> ())
+    t.chunks;
+  t.probes <- 0;
+  t.wins <- 0;
+  t.hwm <- 0
+
+let probe_count t = t.probes
+let win_count t = t.wins
+let high_water_mark t = t.hwm

@@ -1,0 +1,44 @@
+(** The simulated shared memory: an unbounded array of test-and-set
+    objects.
+
+    Locations are addressed by non-negative integers and start free; the
+    first [tas] on a location wins it, every later one loses — the
+    hardware TAS semantics the paper assumes (§2).  The space grows on
+    demand, which is what lets the adaptive algorithms use the notionally
+    unbounded collection [R_1, R_2, ...] without preallocation.
+
+    The space also keeps global counters (probes, wins, high-water mark)
+    used by the experiments to report space consumption against the
+    paper's [O(n)]-space claims. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] is an all-free space.  [capacity] (default 1024) merely
+    pre-sizes the backing store. *)
+
+val tas : t -> int -> bool
+(** [tas t loc] wins (returns [true]) iff [loc] was free; afterwards [loc]
+    is taken.  @raise Invalid_argument on negative [loc]. *)
+
+val release : t -> int -> unit
+(** [release t loc] frees a taken location (no-op if already free) —
+    the reset operation long-lived renaming needs to return a name to
+    the pool.  One shared-memory step, like [tas]. *)
+
+val is_taken : t -> int -> bool
+(** Read-only inspection (used by adversaries and assertions, not by
+    algorithms — the model has no read operation). *)
+
+val reset : t -> unit
+(** Frees every location and zeroes the counters. *)
+
+val probe_count : t -> int
+(** Total number of [tas] calls so far — the total step complexity of
+    everything run against this space. *)
+
+val win_count : t -> int
+(** Number of taken locations. *)
+
+val high_water_mark : t -> int
+(** 1 + the largest location ever probed; the space actually used. *)

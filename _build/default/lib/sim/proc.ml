@@ -1,0 +1,10 @@
+type _ Effect.t +=
+  | Tas : int -> bool Effect.t
+  | Reset : int -> unit Effect.t
+  | Read : int -> int Effect.t
+  | Write : int * int -> unit Effect.t
+
+let tas loc = Effect.perform (Tas loc)
+let reset loc = Effect.perform (Reset loc)
+let read reg = Effect.perform (Read reg)
+let write reg value = Effect.perform (Write (reg, value))

@@ -1,0 +1,39 @@
+(** The effects through which simulated processes issue shared-memory
+    operations.
+
+    A simulated process is ordinary OCaml code whose [Env.t] closures
+    perform these effects; the scheduler's handler captures the
+    continuation, so the process is suspended at *exactly* its
+    shared-memory steps — local computation runs atomically in between,
+    matching the paper's cost model (§2) where only shared memory
+    operations count and are interleaved. *)
+
+type _ Effect.t +=
+  | Tas : int -> bool Effect.t
+        (** [perform (Tas loc)] requests a test-and-set on [loc]; resumes
+            with [true] iff the process won. *)
+  | Reset : int -> unit Effect.t
+        (** [perform (Reset loc)] requests the release of a taken
+            location — the operation long-lived renaming uses to return a
+            name.  Costs one step, like [Tas]. *)
+  | Read : int -> int Effect.t
+        (** [perform (Read reg)] reads shared register [reg] (registers
+            are a separate index space from TAS locations, holding ints,
+            initially 0).  Used by the read-write algorithms of the
+            related-work reproduction (sifters). *)
+  | Write : int * int -> unit Effect.t
+        (** [perform (Write (reg, v))] writes [v] to register [reg]. *)
+
+val tas : int -> bool
+(** [tas loc] performs the {!Tas} effect.  Must be called from code
+    running under the scheduler; calling it elsewhere raises
+    [Effect.Unhandled]. *)
+
+val reset : int -> unit
+(** [reset loc] performs the {!Reset} effect. *)
+
+val read : int -> int
+(** [read reg] performs the {!Read} effect. *)
+
+val write : int -> int -> unit
+(** [write reg v] performs the {!Write} effect. *)

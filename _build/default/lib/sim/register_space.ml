@@ -1,0 +1,38 @@
+type t = {
+  mutable cells : int array;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create () = { cells = Array.make 64 0; reads = 0; writes = 0 }
+
+let ensure t reg =
+  if reg < 0 then invalid_arg "Register_space: negative register index";
+  let n = Array.length t.cells in
+  if reg >= n then begin
+    let bigger = Array.make (max (reg + 1) (2 * n)) 0 in
+    Array.blit t.cells 0 bigger 0 n;
+    t.cells <- bigger
+  end
+
+let read t reg =
+  ensure t reg;
+  t.reads <- t.reads + 1;
+  t.cells.(reg)
+
+let write t reg v =
+  ensure t reg;
+  t.writes <- t.writes + 1;
+  t.cells.(reg) <- v
+
+let peek t reg =
+  ensure t reg;
+  t.cells.(reg)
+
+let reads t = t.reads
+let writes t = t.writes
+
+let reset t =
+  Array.fill t.cells 0 (Array.length t.cells) 0;
+  t.reads <- 0;
+  t.writes <- 0

@@ -1,0 +1,27 @@
+(** Simulated shared read/write registers.
+
+    A second index space next to {!Location_space}: integer-valued
+    multi-reader multi-writer atomic registers, initially 0, growing on
+    demand.  Used by the read-write algorithms of the related-work
+    reproduction (the sifters of Giakkoupis–Woelfel, the paper's
+    reference [22]); the renaming algorithms themselves never touch
+    registers — the paper assumes hardware TAS. *)
+
+type t
+
+val create : unit -> t
+val read : t -> int -> int
+(** [read t reg]; registers start at 0.  @raise Invalid_argument on a
+    negative index. *)
+
+val write : t -> int -> int -> unit
+
+val peek : t -> int -> int
+(** Like {!read} but without counting — the adversary's inspection
+    channel, not a process step. *)
+
+val reads : t -> int
+(** Total read operations performed. *)
+
+val writes : t -> int
+val reset : t -> unit

@@ -1,0 +1,103 @@
+type result = {
+  names : int option array;
+  steps : int array;
+  crashed : bool array;
+  total_steps : int;
+  max_steps : int;
+  space_used : int;
+  crash_count : int;
+  point_contention : int;
+}
+
+let make_env ~root ~on_event ~tas ~reset pid =
+  let rng = Prng.Splitmix.split_at root pid in
+  let emit =
+    match on_event with
+    | None -> fun (_ : Renaming.Events.t) -> ()
+    | Some f -> fun e -> f ~pid e
+  in
+  Renaming.Env.make ~emit ~reset ~pid ~tas ~random_int:(Prng.Splitmix.int rng) ()
+
+let surviving_max steps crashed =
+  let m = ref 0 in
+  Array.iteri (fun pid s -> if not crashed.(pid) && s > !m then m := s) steps;
+  !m
+
+let run ?(adversary = Adversary.random) ?on_event ?(max_total_steps = 10_000_000)
+    ?capacity ~seed ~n ~algo () =
+  let space = Location_space.create ?capacity () in
+  let root = Prng.Splitmix.of_int seed in
+  let adversary_rng = Prng.Splitmix.split_at root n in
+  let body pid =
+    let env = make_env ~root ~on_event ~tas:Proc.tas ~reset:Proc.reset pid in
+    fun () -> algo env
+  in
+  let sched = Scheduler.create ~space ~adversary ~rng:adversary_rng ~n ~body () in
+  Scheduler.run_to_completion ~max_steps:max_total_steps sched;
+  let crashed = Array.init n (Scheduler.crashed sched) in
+  let steps = Scheduler.step_counts sched in
+  {
+    names = Scheduler.names sched;
+    steps;
+    crashed;
+    total_steps = Scheduler.total_steps sched;
+    max_steps = surviving_max steps crashed;
+    space_used = Location_space.high_water_mark space;
+    crash_count = Scheduler.crash_count sched;
+    point_contention = Scheduler.max_point_contention sched;
+  }
+
+let run_sequential ?(shuffled = true) ?on_event ?capacity ~seed ~n ~algo () =
+  let space = Location_space.create ?capacity () in
+  let root = Prng.Splitmix.of_int seed in
+  let names = Array.make n None in
+  let steps = Array.make n 0 in
+  let order =
+    if shuffled then Prng.Shuffle.permutation (Prng.Splitmix.split_at root n) n
+    else Array.init n (fun i -> i)
+  in
+  Array.iter
+    (fun pid ->
+      let count = ref 0 in
+      let tas loc =
+        incr count;
+        Location_space.tas space loc
+      in
+      let reset loc =
+        incr count;
+        Location_space.release space loc
+      in
+      let env = make_env ~root ~on_event ~tas ~reset pid in
+      names.(pid) <- algo env;
+      steps.(pid) <- !count)
+    order;
+  let total_steps = Array.fold_left ( + ) 0 steps in
+  let crashed = Array.make n false in
+  {
+    names;
+    steps;
+    crashed;
+    total_steps;
+    max_steps = surviving_max steps crashed;
+    space_used = Location_space.high_water_mark space;
+    crash_count = 0;
+    point_contention = 1;
+  }
+
+let check_unique_names r =
+  let seen = Hashtbl.create (Array.length r.names) in
+  let ok = ref true in
+  Array.iteri
+    (fun pid name ->
+      if not r.crashed.(pid) then
+        match name with
+        | None -> ok := false
+        | Some u ->
+          if Hashtbl.mem seen u then ok := false else Hashtbl.replace seen u ())
+    r.names;
+  !ok
+
+let max_name r =
+  Array.fold_left
+    (fun acc name -> match name with Some u when u > acc -> u | _ -> acc)
+    (-1) r.names

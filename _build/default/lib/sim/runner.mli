@@ -1,0 +1,66 @@
+(** High-level entry points: run a renaming algorithm on the simulator.
+
+    A run is fully determined by [(seed, n, adversary, algo)]: process
+    coins come from per-pid SplitMix64 streams split from the seed, and
+    the adversary's randomness from a disjoint stream.  Experiments
+    therefore cite seeds, and every table row can be regenerated
+    exactly. *)
+
+type result = {
+  names : int option array;  (** per pid; [None] for crashed processes *)
+  steps : int array;  (** TAS operations executed, per pid *)
+  crashed : bool array;
+  total_steps : int;  (** = sum of [steps] — the paper's total step complexity *)
+  max_steps : int;
+      (** max over surviving processes — the paper's individual step
+          complexity of the execution *)
+  space_used : int;  (** high-water mark of touched locations *)
+  crash_count : int;
+  point_contention : int;
+      (** max simultaneously active processes ({!Scheduler.max_point_contention});
+          [1] for sequential runs by construction *)
+}
+
+val run :
+  ?adversary:Adversary.t ->
+  ?on_event:(pid:int -> Renaming.Events.t -> unit) ->
+  ?max_total_steps:int ->
+  ?capacity:int ->
+  seed:int ->
+  n:int ->
+  algo:(Renaming.Env.t -> int option) ->
+  unit ->
+  result
+(** [run ~seed ~n ~algo ()] executes [n] concurrent copies of [algo]
+    under [adversary] (default {!Adversary.random}) with full
+    adversarial interleaving via the effect scheduler.
+
+    @raise Scheduler.Step_limit_exceeded if [max_total_steps] (default
+    10M) TAS operations are executed without quiescing. *)
+
+val run_sequential :
+  ?shuffled:bool ->
+  ?on_event:(pid:int -> Renaming.Events.t -> unit) ->
+  ?capacity:int ->
+  seed:int ->
+  n:int ->
+  algo:(Renaming.Env.t -> int option) ->
+  unit ->
+  result
+(** [run_sequential ~seed ~n ~algo ()] runs each process to completion,
+    one after another (in random order if [shuffled], default true; pid
+    order otherwise), without the effect machinery.  This is the
+    solo-schedule instance of the model — orders of magnitude faster, so
+    the huge-[n] sweeps use it.  Since the paper's w.h.p. bounds hold for
+    {i every} schedule, measurements under this schedule are valid lower
+    anchors, and experiment T7 quantifies the gap to adversarial
+    schedules. *)
+
+val check_unique_names : result -> bool
+(** [check_unique_names r] verifies the fundamental safety property: all
+    names of non-crashed processes are pairwise distinct and every
+    non-crashed process has one. *)
+
+val max_name : result -> int
+(** Largest assigned name ([-1] if none) — checked against the
+    namespace-size claims. *)

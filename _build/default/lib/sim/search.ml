@@ -1,0 +1,92 @@
+type objective = Max_steps | Total_steps
+
+type result = {
+  best_score : int;
+  initial_score : int;
+  evaluations : int;
+  best_trace : Trace.t;
+  improvements : (int * int) list;
+}
+
+let score_of objective (r : Runner.result) =
+  match objective with
+  | Max_steps -> r.max_steps
+  | Total_steps -> r.total_steps
+
+(* Mutate a decision list: pick one of three local edits. *)
+let mutate rng decisions n =
+  let a = Array.of_list decisions in
+  let len = Array.length a in
+  if len = 0 then decisions
+  else begin
+    (match Prng.Splitmix.int rng 3 with
+    | 0 ->
+      (* swap two random positions *)
+      let i = Prng.Splitmix.int rng len and j = Prng.Splitmix.int rng len in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    | 1 ->
+      (* stall: rewrite a window to hammer one process *)
+      let start = Prng.Splitmix.int rng len in
+      let width = 1 + Prng.Splitmix.int rng (max 1 (len / 8)) in
+      let pid = Prng.Splitmix.int rng n in
+      for i = start to min (len - 1) (start + width - 1) do
+        a.(i) <- Trace.Stepped pid
+      done
+    | _ ->
+      (* shuffle a window *)
+      let start = Prng.Splitmix.int rng len in
+      let width = 2 + Prng.Splitmix.int rng (max 1 (len / 8)) in
+      let stop = min (len - 1) (start + width - 1) in
+      for i = stop downto start + 1 do
+        let j = start + Prng.Splitmix.int rng (i - start + 1) in
+        let tmp = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- tmp
+      done);
+    Array.to_list a
+  end
+
+let hill_climb ~seed ~n ~algo ?(rounds = 40) ?(mutants_per_round = 8) objective =
+  if n < 1 then invalid_arg "Search.hill_climb: n must be >= 1";
+  if rounds < 1 || mutants_per_round < 1 then
+    invalid_arg "Search.hill_climb: budgets must be >= 1";
+  let rng = Prng.Splitmix.of_int (seed lxor 0x5ee4c4) in
+  (* Baseline: record a random-scheduler run. *)
+  let recorder, extract = Trace.recorder Adversary.random in
+  let baseline = Runner.run ~adversary:recorder ~seed ~n ~algo () in
+  let initial_trace = extract () in
+  let initial_score = score_of objective baseline in
+  let best_decisions = ref (Trace.decisions initial_trace) in
+  let best_score = ref initial_score in
+  let best_trace = ref initial_trace in
+  let evaluations = ref 1 in
+  let improvements = ref [] in
+  for _round = 1 to rounds do
+    for _m = 1 to mutants_per_round do
+      let candidate = mutate rng !best_decisions n in
+      (* Rerecord the replay so the stored best trace is the schedule
+         that actually executed (mutations may contain stale decisions
+         that the replayer skips). *)
+      let recorder, extract =
+        Trace.recorder (Trace.replayer (Trace.of_decisions candidate))
+      in
+      let r = Runner.run ~adversary:recorder ~seed ~n ~algo () in
+      incr evaluations;
+      let s = score_of objective r in
+      if s > !best_score then begin
+        best_score := s;
+        best_decisions := candidate;
+        best_trace := extract ();
+        improvements := (!evaluations, s) :: !improvements
+      end
+    done
+  done;
+  {
+    best_score = !best_score;
+    initial_score;
+    evaluations = !evaluations;
+    best_trace = !best_trace;
+    improvements = List.rev !improvements;
+  }

@@ -1,0 +1,42 @@
+(** Empirical worst-schedule search.
+
+    The w.h.p. bounds quantify over {i all} adversaries, but any finite
+    experiment only samples a few strategies.  This module attacks the
+    algorithm with local search over the schedule space itself: record a
+    run, then repeatedly mutate the decision sequence (reorderings,
+    stalling windows, biased rewrites) and keep mutants that worsen the
+    objective — with the process coins held fixed, so the search probes
+    pure scheduling power, exactly what the adversary of §2 controls.
+
+    The searched schedules are oblivious (they are fixed decision lists),
+    so by Yao's-principle reasoning any bound they beat would already
+    refute the oblivious-adversary claim; experiment T14 reports how far
+    the search gets (spoiler, per the theory: not out of the
+    [log log n + O(1)] band). *)
+
+type objective =
+  | Max_steps  (** worst per-process steps — the individual complexity *)
+  | Total_steps  (** total work *)
+
+type result = {
+  best_score : int;
+  initial_score : int;
+  evaluations : int;  (** executions performed *)
+  best_trace : Trace.t;
+  improvements : (int * int) list;
+      (** (evaluation index, new best score), oldest first *)
+}
+
+val hill_climb :
+  seed:int ->
+  n:int ->
+  algo:(Renaming.Env.t -> int option) ->
+  ?rounds:int ->
+  ?mutants_per_round:int ->
+  objective ->
+  result
+(** [hill_climb ~seed ~n ~algo objective] searches for [rounds] (default
+    40) rounds of [mutants_per_round] (default 8) mutations each,
+    starting from a recorded random schedule.  The process-coin seed is
+    [seed] throughout; only the schedule varies.  @raise Invalid_argument
+    if [n < 1] or the budgets are < 1. *)

@@ -1,0 +1,59 @@
+type decision = Stepped of int | Crashed_pid of int
+
+type t = { decisions : decision array }
+
+let decisions t = Array.to_list t.decisions
+let of_decisions l = { decisions = Array.of_list l }
+let length t = Array.length t.decisions
+
+let recorder inner =
+  let recorded = ref [] in
+  let make ctx =
+    recorded := [];
+    let cb = inner.Adversary.make ctx in
+    let pick () =
+      let action = cb.Adversary.pick () in
+      (match action with
+      | Adversary.Step pid -> recorded := Stepped pid :: !recorded
+      | Adversary.Crash pid -> recorded := Crashed_pid pid :: !recorded);
+      action
+    in
+    { cb with Adversary.pick }
+  in
+  let extract () = { decisions = Array.of_list (List.rev !recorded) } in
+  ({ Adversary.name = inner.Adversary.name ^ "+record"; make }, extract)
+
+let replayer trace =
+  let make _ctx =
+    let waiting = Dynset.create () in
+    let cursor = ref 0 in
+    let lowest_waiting () =
+      let best = ref max_int in
+      Dynset.iter (fun pid -> if pid < !best then best := pid) waiting;
+      !best
+    in
+    let rec pick () =
+      if !cursor >= Array.length trace.decisions then
+        Adversary.Step (lowest_waiting ())
+      else begin
+        let d = trace.decisions.(!cursor) in
+        incr cursor;
+        match d with
+        | Stepped pid when Dynset.mem waiting pid -> Adversary.Step pid
+        | Crashed_pid pid when Dynset.mem waiting pid -> Adversary.Crash pid
+        | Stepped _ | Crashed_pid _ -> pick () (* stale decision: skip *)
+      end
+    in
+    {
+      Adversary.on_wait = (fun ~pid ~loc:_ ~op:_ -> Dynset.add waiting pid);
+      on_tas = (fun ~loc:_ ~won:_ -> ());
+      on_settle = (fun ~pid -> Dynset.remove waiting pid);
+      pick;
+    }
+  in
+  { Adversary.name = "replay"; make }
+
+let random_trace rng ~n ~steps =
+  if n < 1 then invalid_arg "Trace.random_trace: n must be >= 1";
+  if steps < 0 then invalid_arg "Trace.random_trace: negative steps";
+  { decisions = Array.init steps (fun _ -> Stepped (Prng.Splitmix.int rng n)) }

@@ -1,0 +1,54 @@
+(** Schedule traces: record the exact sequence of scheduling decisions of
+    a run and replay it later.
+
+    A trace pins down everything the adversary chose — which process
+    moved at each step and who was crashed — so a recorded execution can
+    be re-driven deterministically even by code that has no access to the
+    original strategy's internal state.  Uses:
+
+    - regression artifacts: when a property test finds a violating
+      execution, the trace (plus the seed) is a complete reproducer;
+    - adversary fuzzing: random or mutated traces are themselves
+      oblivious adversaries, exploring schedules no built-in strategy
+      generates;
+    - determinism checks: record a run, replay it, and demand identical
+      results (part of the test suite).
+
+    A replayed trace must be paired with the same seed and process code;
+    replay validates liveness (the pid it wants to step must be waiting)
+    and falls back to the lowest waiting pid when the trace is exhausted
+    or the decision is stale (e.g. the process finished earlier than in
+    the recording — only possible if seed or code changed). *)
+
+type decision = Stepped of int | Crashed_pid of int
+
+type t
+(** An immutable recorded schedule. *)
+
+val decisions : t -> decision list
+(** In execution order. *)
+
+val of_decisions : decision list -> t
+(** Build a trace from an explicit decision list (used by the schedule
+    search to turn mutated decision sequences back into replayable
+    adversaries). *)
+
+val length : t -> int
+
+val recorder : Adversary.t -> Adversary.t * (unit -> t)
+(** [recorder inner] wraps [inner]: the returned adversary behaves
+    identically while recording every decision; the thunk extracts the
+    trace accumulated so far (normally called after the run).  Each
+    {!Adversary.t.make} of the wrapped adversary starts a fresh
+    recording, so reuse the pair for one run at a time. *)
+
+val replayer : t -> Adversary.t
+(** [replayer trace] is an oblivious adversary that re-issues the
+    recorded decisions in order, skipping decisions whose pid is no
+    longer waiting and falling back to the lowest waiting pid when the
+    trace runs dry. *)
+
+val random_trace : Prng.Splitmix.t -> n:int -> steps:int -> t
+(** [random_trace rng ~n ~steps] is a synthetic trace of [steps] uniform
+    step decisions over pids [0, n) — raw material for schedule
+    fuzzing. *)

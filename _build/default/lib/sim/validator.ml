@@ -1,0 +1,47 @@
+exception Contract_violation of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Contract_violation s)) fmt
+
+let validated inner =
+  let make ctx =
+    let cb = inner.Adversary.make ctx in
+    let waiting = Dynset.create () in
+    let settled = Dynset.create () in
+    let on_wait ~pid ~loc ~op =
+      if pid < 0 then fail "on_wait: negative pid %d" pid;
+      if Dynset.mem waiting pid then fail "on_wait: pid %d already waiting" pid;
+      if Dynset.mem settled pid then fail "on_wait: pid %d already settled" pid;
+      Dynset.add waiting pid;
+      cb.Adversary.on_wait ~pid ~loc ~op
+    in
+    let on_tas ~loc ~won =
+      if loc < 0 then fail "on_tas: negative location %d" loc;
+      cb.Adversary.on_tas ~loc ~won
+    in
+    let on_settle ~pid =
+      if Dynset.mem settled pid then fail "on_settle: pid %d settled twice" pid;
+      (* a settle may follow a step (process finished while Running), so
+         the pid is not necessarily in [waiting] here *)
+      Dynset.remove waiting pid;
+      Dynset.add settled pid;
+      cb.Adversary.on_settle ~pid
+    in
+    let pick () =
+      if Dynset.is_empty waiting then fail "pick: called with nobody waiting";
+      let action = cb.Adversary.pick () in
+      (match action with
+      | Adversary.Step pid ->
+        if not (Dynset.mem waiting pid) then
+          fail "pick: Step %d but the process is not waiting" pid;
+        (* executing the step removes the pending op; the process will
+           either wait again (on_wait) or settle (on_settle) *)
+        Dynset.remove waiting pid
+      | Adversary.Crash pid ->
+        if not (Dynset.mem waiting pid) then
+          fail "pick: Crash %d but the process is not waiting" pid;
+        Dynset.remove waiting pid);
+      action
+    in
+    { Adversary.on_wait; on_tas; on_settle; pick }
+  in
+  { Adversary.name = inner.Adversary.name ^ "+check"; make }

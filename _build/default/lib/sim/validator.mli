@@ -1,0 +1,25 @@
+(** Adversary-contract validator.
+
+    The scheduler ↔ adversary protocol ({!Adversary.callbacks}) has
+    invariants that a buggy strategy could silently violate and thereby
+    corrupt an experiment (e.g. stepping a process that is not waiting,
+    which the scheduler rejects, or crashing one that already settled).
+    [validated inner] wraps a strategy with a reference model of the
+    protocol state and checks every interaction:
+
+    - [on_wait] only for processes not currently waiting;
+    - [on_settle] only for known processes, at most once until they wait
+      again (they never do, but the model does not assume it);
+    - [pick] must return a currently waiting pid, and must only be
+      invoked while some process waits.
+
+    Violations raise {!Contract_violation} naming the offence.  The test
+    suite wraps every built-in strategy (and the trace replayer and the
+    arrival wrappers) with this validator across randomized runs, turning
+    the scheduling layer itself into a checked component. *)
+
+exception Contract_violation of string
+
+val validated : Adversary.t -> Adversary.t
+(** [validated inner] behaves exactly like [inner] but checks the
+    protocol; its name is [inner.name ^ "+check"]. *)

@@ -1,0 +1,75 @@
+type series = { label : string; marker : char; points : (float * float) array }
+
+let render ?(width = 64) ?(height = 16) ?(log_x = false) ?title series_list =
+  if width < 2 || height < 2 then
+    invalid_arg "Ascii_plot.render: dimensions must be >= 2";
+  let all_points = List.concat_map (fun s -> Array.to_list s.points) series_list in
+  if all_points = [] then invalid_arg "Ascii_plot.render: no data";
+  if log_x && List.exists (fun (x, _) -> x <= 0.) all_points then
+    invalid_arg "Ascii_plot.render: log_x requires positive x";
+  let tx x = if log_x then log x /. log 2. else x in
+  let xs = List.map (fun (x, _) -> tx x) all_points in
+  let ys = List.map snd all_points in
+  let x_min = List.fold_left Float.min infinity xs in
+  let x_max = List.fold_left Float.max neg_infinity xs in
+  let y_min = List.fold_left Float.min infinity ys in
+  let y_max = List.fold_left Float.max neg_infinity ys in
+  let x_span = if x_max > x_min then x_max -. x_min else 1. in
+  let y_span = if y_max > y_min then y_max -. y_min else 1. in
+  let grid = Array.make_matrix height width ' ' in
+  let plot_point marker (x, y) =
+    let cx =
+      int_of_float (Float.round ((tx x -. x_min) /. x_span *. float_of_int (width - 1)))
+    in
+    let cy =
+      int_of_float (Float.round ((y -. y_min) /. y_span *. float_of_int (height - 1)))
+    in
+    (* row 0 is the top of the plot *)
+    grid.(height - 1 - cy).(cx) <- marker
+  in
+  List.iter (fun s -> Array.iter (plot_point s.marker) s.points) series_list;
+  let buf = Buffer.create ((width + 12) * (height + 4)) in
+  (match title with
+  | Some t ->
+    Buffer.add_string buf t;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  let y_label row =
+    (* label top, middle and bottom rows *)
+    if row = 0 then Printf.sprintf "%10.2f " y_max
+    else if row = height - 1 then Printf.sprintf "%10.2f " y_min
+    else if row = height / 2 then
+      Printf.sprintf "%10.2f " (y_min +. (y_span /. 2.))
+    else String.make 11 ' '
+  in
+  Array.iteri
+    (fun row line ->
+      Buffer.add_string buf (y_label row);
+      Buffer.add_char buf '|';
+      Array.iter (Buffer.add_char buf) line;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 11 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  let x_left, x_right =
+    if log_x then (Printf.sprintf "2^%.1f" x_min, Printf.sprintf "2^%.1f" x_max)
+    else (Printf.sprintf "%.2f" x_min, Printf.sprintf "%.2f" x_max)
+  in
+  let pad = max 1 (width - String.length x_left - String.length x_right) in
+  Buffer.add_string buf (String.make 12 ' ');
+  Buffer.add_string buf x_left;
+  Buffer.add_string buf (String.make pad ' ');
+  Buffer.add_string buf x_right;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "  legend: ";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf "   ";
+      Buffer.add_char buf s.marker;
+      Buffer.add_string buf " = ";
+      Buffer.add_string buf s.label)
+    series_list;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Terminal scatter/line plots for the experiment sweeps.
+
+    The growth-rate tables are authoritative, but a picture of
+    "ReBatching stays flat while uniform probing climbs" communicates the
+    paper's headline instantly even over ssh.  Plots are pure text, so
+    they also land verbatim in the captured experiment outputs. *)
+
+type series = {
+  label : string;
+  marker : char;
+  points : (float * float) array;  (** (x, y) pairs, any order *)
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  ?title:string ->
+  series list ->
+  string
+(** [render series] draws all series on one grid.
+
+    - [width] (default 64) and [height] (default 16) are the plot-area
+      character dimensions;
+    - [log_x] (default false) uses a base-2 logarithmic x axis — the
+      natural choice for the geometric size sweeps;
+    - overlapping points show the marker of the later series;
+    - y axis is labeled with min/mid/max, x axis with min/max; a legend
+      line lists [marker = label] pairs.
+
+    @raise Invalid_argument if no series has any point, or on
+    non-positive dimensions, or if [log_x] is set and some x is [<= 0]. *)

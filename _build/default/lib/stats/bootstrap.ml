@@ -1,0 +1,26 @@
+type interval = { low : float; high : float; point : float }
+
+let ci rng ?(resamples = 1000) ?(confidence = 0.95) ~statistic xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Bootstrap.ci: empty sample";
+  if resamples < 1 then invalid_arg "Bootstrap.ci: resamples must be >= 1";
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Bootstrap.ci: confidence outside (0, 1)";
+  let point = statistic xs in
+  let stats =
+    Array.init resamples (fun _ ->
+        let resample = Array.init n (fun _ -> xs.(Prng.Splitmix.int rng n)) in
+        statistic resample)
+  in
+  let alpha = (1. -. confidence) /. 2. in
+  {
+    low = Summary.percentile stats alpha;
+    high = Summary.percentile stats (1. -. alpha);
+    point;
+  }
+
+let mean_ci rng ?confidence xs = ci rng ?confidence ~statistic:Summary.mean xs
+
+let quantile_ci rng ?confidence ~q xs =
+  if q < 0. || q > 1. then invalid_arg "Bootstrap.quantile_ci: q outside [0,1]";
+  ci rng ?confidence ~statistic:(fun sample -> Summary.percentile sample q) xs

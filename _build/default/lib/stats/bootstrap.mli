@@ -1,0 +1,34 @@
+(** Bootstrap confidence intervals.
+
+    The w.h.p. claims under test concern tails and maxima, whose sampling
+    distributions are far from normal, so the normal-approximation CI in
+    {!Summary} is not enough for them.  The percentile bootstrap makes no
+    distributional assumption: resample the data with replacement many
+    times, recompute the statistic, and read the interval off the
+    resampled quantiles.  Used by the tail-risk experiment (T12). *)
+
+type interval = { low : float; high : float; point : float }
+
+val ci :
+  Prng.Splitmix.t ->
+  ?resamples:int ->
+  ?confidence:float ->
+  statistic:(float array -> float) ->
+  float array ->
+  interval
+(** [ci rng ~statistic xs] is the percentile-bootstrap confidence
+    interval for [statistic] on the sample [xs].
+
+    - [resamples] (default 1000): bootstrap iterations;
+    - [confidence] (default 0.95): two-sided level.
+
+    [point] is the statistic of the original sample.  @raise
+    Invalid_argument on an empty sample, [resamples < 1] or [confidence]
+    outside (0, 1). *)
+
+val mean_ci : Prng.Splitmix.t -> ?confidence:float -> float array -> interval
+(** {!ci} specialized to the mean. *)
+
+val quantile_ci :
+  Prng.Splitmix.t -> ?confidence:float -> q:float -> float array -> interval
+(** {!ci} specialized to the [q]-quantile ({!Summary.percentile}). *)

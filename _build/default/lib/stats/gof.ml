@@ -1,0 +1,140 @@
+(* Lanczos approximation (g = 7, n = 9 coefficients). *)
+let lanczos =
+  [|
+    0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+    771.32342877765313; -176.61502916214059; 12.507343278686905;
+    -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7;
+  |]
+
+let rec log_gamma x =
+  if x <= 0. then invalid_arg "Gof.log_gamma: argument must be positive";
+  if x < 0.5 then
+    (* reflection: Gamma(x) Gamma(1-x) = pi / sin(pi x) *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1. -. x)
+  else begin
+    let x = x -. 1. in
+    let acc = ref lanczos.(0) in
+    for i = 1 to 8 do
+      acc := !acc +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. 7.5 in
+    (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !acc
+  end
+
+(* Regularized lower incomplete gamma P(a, x): series for x < a+1,
+   continued fraction (modified Lentz) for the complement otherwise. *)
+let regularized_gamma_p ~a ~x =
+  if a <= 0. then invalid_arg "Gof.regularized_gamma_p: a must be positive";
+  if x < 0. then invalid_arg "Gof.regularized_gamma_p: x must be >= 0";
+  if x = 0. then 0.
+  else begin
+    let lga = log_gamma a in
+    if x < a +. 1. then begin
+      (* series: P(a,x) = e^{-x} x^a / Gamma(a) * sum x^n / (a)_{n+1} *)
+      let term = ref (1. /. a) in
+      let sum = ref !term in
+      let n = ref 1 in
+      while Float.abs !term > Float.abs !sum *. 1e-15 && !n < 10_000 do
+        term := !term *. x /. (a +. float_of_int !n);
+        sum := !sum +. !term;
+        incr n
+      done;
+      !sum *. exp ((a *. log x) -. x -. lga)
+    end
+    else begin
+      (* continued fraction for Q(a,x), then P = 1 - Q *)
+      let tiny = 1e-300 in
+      let b = ref (x +. 1. -. a) in
+      let c = ref (1. /. tiny) in
+      let d = ref (1. /. !b) in
+      let h = ref !d in
+      let i = ref 1 in
+      let continue_ = ref true in
+      while !continue_ && !i < 10_000 do
+        let fi = float_of_int !i in
+        let an = -.fi *. (fi -. a) in
+        b := !b +. 2.;
+        d := (an *. !d) +. !b;
+        if Float.abs !d < tiny then d := tiny;
+        c := !b +. (an /. !c);
+        if Float.abs !c < tiny then c := tiny;
+        d := 1. /. !d;
+        let delta = !d *. !c in
+        h := !h *. delta;
+        if Float.abs (delta -. 1.) < 1e-15 then continue_ := false;
+        incr i
+      done;
+      let q = exp ((a *. log x) -. x -. lga) *. !h in
+      1. -. q
+    end
+  end
+
+let chi_square_cdf ~df x =
+  if df < 1 then invalid_arg "Gof.chi_square_cdf: df must be >= 1";
+  if x < 0. then invalid_arg "Gof.chi_square_cdf: x must be >= 0";
+  regularized_gamma_p ~a:(float_of_int df /. 2.) ~x:(x /. 2.)
+
+type test_result = { statistic : float; p_value : float }
+
+let chi_square_test ~observed ~expected =
+  let k = Array.length observed in
+  if k = 0 then invalid_arg "Gof.chi_square_test: empty arrays";
+  if Array.length expected <> k then
+    invalid_arg "Gof.chi_square_test: length mismatch";
+  if Array.exists (fun e -> e <= 0.) expected then
+    invalid_arg "Gof.chi_square_test: expected counts must be positive";
+  let statistic = ref 0. in
+  for i = 0 to k - 1 do
+    let d = float_of_int observed.(i) -. expected.(i) in
+    statistic := !statistic +. (d *. d /. expected.(i))
+  done;
+  let df = k - 1 in
+  let p_value =
+    if df = 0 then 1. else 1. -. chi_square_cdf ~df !statistic
+  in
+  { statistic = !statistic; p_value }
+
+let chi_square_uniform_test ~observed =
+  let total = Array.fold_left ( + ) 0 observed in
+  let k = Array.length observed in
+  if k = 0 then invalid_arg "Gof.chi_square_test: empty arrays";
+  let expected = Array.make k (float_of_int total /. float_of_int k) in
+  chi_square_test ~observed ~expected
+
+let ks_statistic ~cdf xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Gof.ks_statistic: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let fn = float_of_int n in
+  let d = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let f = cdf x in
+      let above = (float_of_int (i + 1) /. fn) -. f in
+      let below = f -. (float_of_int i /. fn) in
+      if above > !d then d := above;
+      if below > !d then d := below)
+    sorted;
+  !d
+
+(* Kolmogorov distribution tail: Q(lambda) = 2 sum_{j>=1} (-1)^{j-1}
+   e^{-2 j^2 lambda^2}, with the standard finite-n correction. *)
+let kolmogorov_q lambda =
+  if lambda < 0.2 then 1.
+  else begin
+    let sum = ref 0. in
+    for j = 1 to 100 do
+      let fj = float_of_int j in
+      let term = exp (-2. *. fj *. fj *. lambda *. lambda) in
+      sum := !sum +. (if j mod 2 = 1 then term else -.term)
+    done;
+    Float.max 0. (Float.min 1. (2. *. !sum))
+  end
+
+let ks_test ~cdf xs =
+  let d = ks_statistic ~cdf xs in
+  let n = float_of_int (Array.length xs) in
+  let sqrt_n = sqrt n in
+  let lambda = (sqrt_n +. 0.12 +. (0.11 /. sqrt_n)) *. d in
+  { statistic = d; p_value = kolmogorov_q lambda }

@@ -1,0 +1,61 @@
+type t = {
+  mutable counts : int array;  (* index = value *)
+  mutable total : int;
+  mutable max_value : int;
+}
+
+let create () = { counts = Array.make 16 0; total = 0; max_value = -1 }
+
+let ensure_capacity t v =
+  let n = Array.length t.counts in
+  if v >= n then begin
+    let n' = max (v + 1) (2 * n) in
+    let counts = Array.make n' 0 in
+    Array.blit t.counts 0 counts 0 n;
+    t.counts <- counts
+  end
+
+let add_many t v count =
+  if v < 0 then invalid_arg "Histogram.add: negative value";
+  if count < 0 then invalid_arg "Histogram.add_many: negative count";
+  ensure_capacity t v;
+  t.counts.(v) <- t.counts.(v) + count;
+  t.total <- t.total + count;
+  if count > 0 && v > t.max_value then t.max_value <- v
+
+let add t v = add_many t v 1
+
+let count t v = if v < 0 || v >= Array.length t.counts then 0 else t.counts.(v)
+let total t = t.total
+let max_value t = t.max_value
+
+let mean t =
+  if t.total = 0 then nan
+  else begin
+    let sum = ref 0 in
+    for v = 0 to t.max_value do
+      sum := !sum + (v * t.counts.(v))
+    done;
+    float_of_int !sum /. float_of_int t.total
+  end
+
+let to_alist t =
+  let rec collect v acc =
+    if v < 0 then acc
+    else if t.counts.(v) = 0 then collect (v - 1) acc
+    else collect (v - 1) ((v, t.counts.(v)) :: acc)
+  in
+  collect t.max_value []
+
+let render ?(width = 40) t =
+  let buf = Buffer.create 256 in
+  let peak =
+    List.fold_left (fun acc (_, c) -> max acc c) 1 (to_alist t)
+  in
+  List.iter
+    (fun (v, c) ->
+      let bar_len = max 1 (c * width / peak) in
+      Buffer.add_string buf
+        (Printf.sprintf "%6d | %-*s %d\n" v width (String.make bar_len '#') c))
+    (to_alist t);
+  Buffer.contents buf

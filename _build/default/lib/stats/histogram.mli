@@ -1,0 +1,38 @@
+(** Integer histograms with ASCII rendering.
+
+    Used to report distributions of per-process step counts and of
+    lower-bound survivor counts, both in examples and in experiment
+    output. *)
+
+type t
+(** A mutable histogram over non-negative integer values. *)
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** [add t v] counts one occurrence of value [v].
+    @raise Invalid_argument on negative [v]. *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many t v count] counts [count] occurrences of [v]. *)
+
+val count : t -> int -> int
+(** [count t v] is the number of occurrences recorded for [v]. *)
+
+val total : t -> int
+(** Total number of occurrences across all values. *)
+
+val max_value : t -> int
+(** Largest value with a non-zero count; [-1] if the histogram is empty. *)
+
+val mean : t -> float
+(** Mean of the recorded values; [nan] if empty. *)
+
+val to_alist : t -> (int * int) list
+(** [(value, count)] pairs in increasing value order, zero counts
+    omitted. *)
+
+val render : ?width:int -> t -> string
+(** [render t] draws one line per value with a proportional bar, e.g.
+    ["  3 | ########          42"].  [width] bounds the bar length
+    (default 40). *)

@@ -1,0 +1,68 @@
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear_fit xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then
+    invalid_arg "Regression.linear_fit: length mismatch";
+  if n < 2 then invalid_arg "Regression.linear_fit: need at least two points";
+  let fn = float_of_int n in
+  let sum = Array.fold_left ( +. ) 0. in
+  let mean_x = sum xs /. fn and mean_y = sum ys /. fn in
+  let sxx = ref 0. and sxy = ref 0. and syy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mean_x and dy = ys.(i) -. mean_y in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0. then { slope = 0.; intercept = mean_y; r2 = 0. }
+  else begin
+    let slope = !sxy /. !sxx in
+    let intercept = mean_y -. (slope *. mean_x) in
+    let r2 =
+      if !syy = 0. then 1. (* constant y fitted exactly by the intercept *)
+      else !sxy *. !sxy /. (!sxx *. !syy)
+    in
+    { slope; intercept; r2 }
+  end
+
+type model = Const | Log_log | Log_log_sq | Log | Sqrt | Linear | N_log_log
+
+let model_name = function
+  | Const -> "1"
+  | Log_log -> "loglog n"
+  | Log_log_sq -> "(loglog n)^2"
+  | Log -> "log n"
+  | Sqrt -> "sqrt n"
+  | Linear -> "n"
+  | N_log_log -> "n loglog n"
+
+let apply_model m x =
+  let x = Float.max 2. x in
+  (* clamp so ln ln x is defined; also guards ln ln e = 0 regions *)
+  let ll = log (Float.max 1.0001 (log x)) in
+  match m with
+  | Const -> 1.
+  | Log_log -> ll
+  | Log_log_sq -> ll *. ll
+  | Log -> log x
+  | Sqrt -> sqrt x
+  | Linear -> x
+  | N_log_log -> x *. ll
+
+let fit_model m ~sizes ~values =
+  linear_fit (Array.map (apply_model m) sizes) values
+
+let best_model models ~sizes ~values =
+  match models with
+  | [] -> invalid_arg "Regression.best_model: empty model list"
+  | first :: rest ->
+    let best, best_fit =
+      List.fold_left
+        (fun (bm, bf) m ->
+          let f = fit_model m ~sizes ~values in
+          if f.r2 > bf.r2 then (m, f) else (bm, bf))
+        (first, fit_model first ~sizes ~values)
+        rest
+    in
+    (best, best_fit)

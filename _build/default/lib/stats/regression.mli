@@ -1,0 +1,45 @@
+(** Least-squares fits of measured complexity against model curves.
+
+    The paper's claims are asymptotic shapes — [log log n + O(1)],
+    [O((log log k)^2)], [O(k log log k)], [Theta(log n)] for the uniform
+    baseline.  To check a shape empirically we fit the measurement [y]
+    against [y = a + b * f(n)] for each candidate transform [f] and
+    compare coefficients of determination: the claimed transform should
+    fit markedly better (higher R^2) than faster-growing alternatives,
+    with a stable slope [b]. *)
+
+type fit = {
+  slope : float;  (** [b] in [y = a + b * f(x)] *)
+  intercept : float;  (** [a] *)
+  r2 : float;  (** coefficient of determination; [1.] is a perfect fit *)
+}
+
+val linear_fit : float array -> float array -> fit
+(** [linear_fit xs ys] fits [y = a + b x] by ordinary least squares.
+    @raise Invalid_argument if the arrays differ in length or have fewer
+    than two points.  If all [xs] are equal, [slope] is [0.] and [r2] is
+    [0.]. *)
+
+(** Named model transforms for complexity fitting.  All treat their
+    argument as a problem size [n >= 2]; values are clamped below at 2 to
+    keep iterated logarithms defined. *)
+type model =
+  | Const  (** f(n) = 1 — flat *)
+  | Log_log  (** f(n) = ln ln n — the paper's headline rate *)
+  | Log_log_sq  (** f(n) = (ln ln n)^2 — adaptive individual steps *)
+  | Log  (** f(n) = ln n — the uniform-probing baseline rate *)
+  | Sqrt  (** f(n) = sqrt n *)
+  | Linear  (** f(n) = n *)
+  | N_log_log  (** f(n) = n ln ln n — FastAdaptive total steps *)
+
+val model_name : model -> string
+val apply_model : model -> float -> float
+
+val fit_model : model -> sizes:float array -> values:float array -> fit
+(** [fit_model m ~sizes ~values] fits [values] against the transform of
+    [sizes] under model [m]. *)
+
+val best_model : model list -> sizes:float array -> values:float array -> model * fit
+(** [best_model models ~sizes ~values] returns the model with the highest
+    R^2 among [models] (ties broken by list order).
+    @raise Invalid_argument on an empty model list. *)

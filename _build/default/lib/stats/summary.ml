@@ -1,0 +1,92 @@
+type acc = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;  (* sum of squared deviations from the running mean *)
+  mutable min : float;
+  mutable max : float;
+}
+
+let acc_create () =
+  { count = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+let acc_add acc x =
+  acc.count <- acc.count + 1;
+  let delta = x -. acc.mean in
+  acc.mean <- acc.mean +. (delta /. float_of_int acc.count);
+  acc.m2 <- acc.m2 +. (delta *. (x -. acc.mean));
+  if x < acc.min then acc.min <- x;
+  if x > acc.max then acc.max <- x
+
+let acc_count acc = acc.count
+let acc_mean acc = acc.mean
+
+let acc_variance acc =
+  if acc.count < 2 then 0. else acc.m2 /. float_of_int (acc.count - 1)
+
+let acc_stddev acc = sqrt (acc_variance acc)
+let acc_min acc = acc.min
+let acc_max acc = acc.max
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p05 : float;
+  p95 : float;
+  ci95_low : float;
+  ci95_high : float;
+}
+
+let percentile_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    if lo = hi then sorted.(lo)
+    else
+      let frac = pos -. float_of_int lo in
+      (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let percentile xs q =
+  if Array.length xs = 0 then invalid_arg "Summary.percentile: empty sample";
+  if q < 0. || q > 1. then invalid_arg "Summary.percentile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  percentile_sorted sorted q
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Summary.mean: empty sample";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let of_array xs =
+  if Array.length xs = 0 then invalid_arg "Summary.of_array: empty sample";
+  let acc = acc_create () in
+  Array.iter (fun x -> acc_add acc x) xs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let stddev = acc_stddev acc in
+  let half_width = 1.96 *. stddev /. sqrt (float_of_int acc.count) in
+  {
+    count = acc.count;
+    mean = acc.mean;
+    stddev;
+    min = acc.min;
+    max = acc.max;
+    median = percentile_sorted sorted 0.5;
+    p05 = percentile_sorted sorted 0.05;
+    p95 = percentile_sorted sorted 0.95;
+    ci95_low = acc.mean -. half_width;
+    ci95_high = acc.mean +. half_width;
+  }
+
+let of_int_array xs = of_array (Array.map float_of_int xs)
+
+let pp ppf t =
+  Format.fprintf ppf "mean=%.3f sd=%.3f med=%.3f [%.3f,%.3f]" t.mean t.stddev
+    t.median t.min t.max

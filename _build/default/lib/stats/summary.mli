@@ -1,0 +1,56 @@
+(** Summary statistics over samples of floats.
+
+    Every experiment in the harness repeats a measurement over several
+    seeds and reports a summary of the resulting sample: mean, standard
+    deviation, median, order statistics and a normal-approximation
+    confidence interval.  The accumulator uses Welford's online algorithm
+    so that a summary can be built incrementally without storing values
+    (used by the multicore runner), while [of_array] additionally computes
+    exact order statistics. *)
+
+type acc
+(** A mutable online accumulator (Welford).  Tracks count, mean, variance,
+    min and max, but not order statistics. *)
+
+val acc_create : unit -> acc
+val acc_add : acc -> float -> unit
+val acc_count : acc -> int
+val acc_mean : acc -> float
+val acc_variance : acc -> float
+(** Unbiased sample variance; [0.] when fewer than two samples. *)
+
+val acc_stddev : acc -> float
+val acc_min : acc -> float
+val acc_max : acc -> float
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;  (** unbiased sample standard deviation *)
+  min : float;
+  max : float;
+  median : float;
+  p05 : float;  (** 5th percentile *)
+  p95 : float;  (** 95th percentile *)
+  ci95_low : float;  (** normal-approximation 95% CI for the mean *)
+  ci95_high : float;
+}
+(** An immutable summary of a sample. *)
+
+val of_array : float array -> t
+(** [of_array xs] summarizes [xs].  @raise Invalid_argument on an empty
+    array.  The input is not modified. *)
+
+val of_int_array : int array -> t
+(** [of_int_array xs] is [of_array] after conversion. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs q] is the [q]-quantile of [xs] for [q] in [0,1], using
+    linear interpolation between order statistics.  @raise
+    Invalid_argument on an empty array or [q] outside [0,1]. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on an empty array. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders a summary as ["mean=… sd=… med=… [min,max]"]. *)

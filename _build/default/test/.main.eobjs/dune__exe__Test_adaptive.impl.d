@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Array List Printf Prng QCheck QCheck_alcotest Renaming Sim

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float Gen Harness List Printf QCheck QCheck_alcotest Stats String

@@ -1,0 +1,1 @@
+test/test_longlived.ml: Alcotest Array Hashtbl List Printf Prng QCheck QCheck_alcotest Renaming Shm Sim

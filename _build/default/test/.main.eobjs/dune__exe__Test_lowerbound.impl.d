@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Array Float List Lowerbound Printf Prng QCheck QCheck_alcotest

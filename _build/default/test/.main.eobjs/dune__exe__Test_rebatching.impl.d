@@ -1,0 +1,1 @@
+test/test_rebatching.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Renaming Sim

@@ -1,0 +1,1 @@
+test/test_rwtas.ml: Alcotest Array Float Hashtbl List Option Printf Prng QCheck QCheck_alcotest Rwtas Sim

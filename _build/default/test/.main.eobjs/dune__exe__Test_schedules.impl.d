@@ -1,0 +1,1 @@
+test/test_schedules.ml: Alcotest Array Float List Prng QCheck QCheck_alcotest Renaming Sim Stats

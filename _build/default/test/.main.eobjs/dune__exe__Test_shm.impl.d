@@ -1,0 +1,1 @@
+test/test_shm.ml: Alcotest Array Domain Printf QCheck QCheck_alcotest Renaming Shm

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Baselines Hashtbl Int List Printf Prng QCheck QCheck_alcotest Renaming Set Sim

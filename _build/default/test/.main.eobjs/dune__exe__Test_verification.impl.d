@@ -1,0 +1,1 @@
+test/test_verification.ml: Alcotest Array List Printf QCheck QCheck_alcotest Renaming Sim String

@@ -1,0 +1,280 @@
+(* Tests for the adaptive algorithms (paper §5) and the object space. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Object space *)
+
+let test_object_space_layout () =
+  let sp = Renaming.Object_space.create () in
+  (* eps = 1: m_i = 2^{i+1}; s_1 = 0, s_2 = 4, s_3 = 12, s_4 = 28 *)
+  checki "s1" 0 (Renaming.Object_space.offset sp 1);
+  checki "s2" 4 (Renaming.Object_space.offset sp 2);
+  checki "s3" 12 (Renaming.Object_space.offset sp 3);
+  checki "s4" 28 (Renaming.Object_space.offset sp 4);
+  checki "total through 3" 28 (Renaming.Object_space.total_size sp 3)
+
+let test_object_space_objects () =
+  let sp = Renaming.Object_space.create () in
+  let r3 = Renaming.Object_space.obj sp 3 in
+  checki "n_3" 8 (Renaming.Rebatching.n r3);
+  checki "m_3" 16 (Renaming.Rebatching.size r3);
+  checki "base_3" 12 (Renaming.Rebatching.base r3);
+  (* memoized: same physical object *)
+  checkb "memoized" true (r3 == Renaming.Object_space.obj sp 3)
+
+let test_object_space_order_independent () =
+  (* Touching objects out of order must give the same layout. *)
+  let a = Renaming.Object_space.create () in
+  let b = Renaming.Object_space.create () in
+  ignore (Renaming.Object_space.obj a 7);
+  ignore (Renaming.Object_space.obj a 2);
+  ignore (Renaming.Object_space.obj b 2);
+  ignore (Renaming.Object_space.obj b 7);
+  checki "same offset 7" (Renaming.Object_space.offset a 7)
+    (Renaming.Object_space.offset b 7);
+  checki "same offset 2" (Renaming.Object_space.offset a 2)
+    (Renaming.Object_space.offset b 2)
+
+let test_in_object_boundaries () =
+  let sp = Renaming.Object_space.create () in
+  (* R_2 occupies [4, 12) *)
+  checkb "start" true (Renaming.Object_space.in_object sp 2 ~name:4);
+  checkb "end" true (Renaming.Object_space.in_object sp 2 ~name:11);
+  checkb "below" false (Renaming.Object_space.in_object sp 2 ~name:3);
+  checkb "above" false (Renaming.Object_space.in_object sp 2 ~name:12)
+
+let test_owner_of_name () =
+  let sp = Renaming.Object_space.create () in
+  checkb "0 in R1" true (Renaming.Object_space.owner_of_name sp 0 = Some 1);
+  checkb "4 in R2" true (Renaming.Object_space.owner_of_name sp 4 = Some 2);
+  checkb "12 in R3" true (Renaming.Object_space.owner_of_name sp 12 = Some 3);
+  checkb "negative" true (Renaming.Object_space.owner_of_name sp (-1) = None)
+
+let test_object_space_epsilon () =
+  let sp = Renaming.Object_space.create ~epsilon:0.5 () in
+  let r4 = Renaming.Object_space.obj sp 4 in
+  (* m_4 = ceil (1.5 * 16) = 24 *)
+  checki "m_4 with eps=.5" 24 (Renaming.Rebatching.size r4)
+
+let test_object_space_invalid () =
+  let sp = Renaming.Object_space.create () in
+  Alcotest.check_raises "index 0"
+    (Invalid_argument "Object_space: object index out of range") (fun () ->
+      ignore (Renaming.Object_space.obj sp 0));
+  Alcotest.check_raises "index too big"
+    (Invalid_argument "Object_space: object index out of range") (fun () ->
+      ignore (Renaming.Object_space.obj sp 61))
+
+let qcheck_owner_roundtrip =
+  QCheck.Test.make ~name:"owner_of_name finds the covering object" ~count:300
+    QCheck.(int_range 0 10_000)
+    (fun name ->
+      let sp = Renaming.Object_space.create () in
+      match Renaming.Object_space.owner_of_name sp name with
+      | None -> false
+      | Some i -> Renaming.Object_space.in_object sp i ~name)
+
+(* ------------------------------------------------------------------ *)
+(* AdaptiveReBatching (§5.1) *)
+
+let adaptive_algo space env = Renaming.Adaptive_rebatching.get_name env space
+
+let test_adaptive_unique () =
+  let space = Renaming.Object_space.create () in
+  let res = Sim.Runner.run ~seed:1 ~n:100 ~algo:(adaptive_algo space) () in
+  checkb "unique" true (Sim.Runner.check_unique_names res)
+
+let test_adaptive_single_process () =
+  let space = Renaming.Object_space.create () in
+  let res = Sim.Runner.run ~seed:2 ~n:1 ~algo:(adaptive_algo space) () in
+  checkb "got a name" true (res.names.(0) <> None);
+  (* Solo, k = 1: the name must come from a constant-size object. *)
+  checkb "tiny name" true (Sim.Runner.max_name res < 32)
+
+let test_adaptive_name_linear_in_k () =
+  (* Theorem 5.1: largest name O(k) w.h.p.  The proof gives <= 4(1+eps)k =
+     8k plus the small-object prefix; check a conservative 16k + 64. *)
+  List.iter
+    (fun k ->
+      let space = Renaming.Object_space.create () in
+      let res = Sim.Runner.run ~seed:(100 + k) ~n:k ~algo:(adaptive_algo space) () in
+      checkb "unique" true (Sim.Runner.check_unique_names res);
+      let bound = (16 * k) + 64 in
+      checkb
+        (Printf.sprintf "k=%d: max name %d <= %d" k (Sim.Runner.max_name res) bound)
+        true
+        (Sim.Runner.max_name res <= bound))
+    [ 1; 2; 5; 10; 50; 200; 500 ]
+
+let test_adaptive_under_adversaries () =
+  List.iter
+    (fun adv ->
+      let space = Renaming.Object_space.create () in
+      let res =
+        Sim.Runner.run ~adversary:adv ~seed:3 ~n:80 ~algo:(adaptive_algo space) ()
+      in
+      checkb (Printf.sprintf "%s unique" adv.Sim.Adversary.name) true
+        (Sim.Runner.check_unique_names res))
+    Sim.Adversary.all_builtin
+
+let test_adaptive_with_crashes () =
+  let adversary = Sim.Adversary.with_crashes ~fraction:0.3 Sim.Adversary.random in
+  let space = Renaming.Object_space.create () in
+  let res = Sim.Runner.run ~adversary ~seed:4 ~n:120 ~algo:(adaptive_algo space) () in
+  checkb "survivors unique" true (Sim.Runner.check_unique_names res)
+
+let test_adaptive_two_waves_share_memory () =
+  (* Two waves of processes arriving over the same shared memory (one
+     location space) must still receive globally distinct names — names
+     are never recycled. *)
+  let space = Renaming.Object_space.create () in
+  let locations = Sim.Location_space.create () in
+  let root = Prng.Splitmix.of_int 55 in
+  let names = ref [] in
+  for pid = 0 to 59 do
+    let rng = Prng.Splitmix.split_at root pid in
+    let env =
+      Renaming.Env.make ~pid
+        ~tas:(Sim.Location_space.tas locations)
+        ~random_int:(Prng.Splitmix.int rng) ()
+    in
+    match Renaming.Adaptive_rebatching.get_name env space with
+    | Some u -> names := u :: !names
+    | None -> Alcotest.fail "no name"
+  done;
+  let sorted = List.sort_uniq compare !names in
+  checki "all 60 names distinct" 60 (List.length sorted)
+
+(* ------------------------------------------------------------------ *)
+(* FastAdaptiveReBatching (§5.2) *)
+
+let fast_algo space env = Renaming.Fast_adaptive_rebatching.get_name env space
+
+let test_fast_requires_epsilon_one () =
+  let space = Renaming.Object_space.create ~epsilon:0.5 () in
+  let env =
+    Renaming.Env.make ~pid:0
+      ~tas:(fun _ -> true)
+      ~random_int:(fun b -> b / 2)
+      ()
+  in
+  Alcotest.check_raises "eps != 1"
+    (Invalid_argument "Fast_adaptive_rebatching: object space must use epsilon = 1")
+    (fun () -> ignore (Renaming.Fast_adaptive_rebatching.get_name env space))
+
+let test_fast_unique () =
+  let space = Renaming.Object_space.create () in
+  let res = Sim.Runner.run ~seed:6 ~n:100 ~algo:(fast_algo space) () in
+  checkb "unique" true (Sim.Runner.check_unique_names res)
+
+let test_fast_name_linear_in_k () =
+  List.iter
+    (fun k ->
+      let space = Renaming.Object_space.create () in
+      let res = Sim.Runner.run ~seed:(200 + k) ~n:k ~algo:(fast_algo space) () in
+      checkb "unique" true (Sim.Runner.check_unique_names res);
+      let bound = (16 * k) + 64 in
+      checkb
+        (Printf.sprintf "k=%d: max name %d <= %d" k (Sim.Runner.max_name res) bound)
+        true
+        (Sim.Runner.max_name res <= bound))
+    [ 1; 2; 5; 10; 50; 200; 500 ]
+
+let test_fast_under_adversaries () =
+  List.iter
+    (fun adv ->
+      let space = Renaming.Object_space.create () in
+      let res =
+        Sim.Runner.run ~adversary:adv ~seed:7 ~n:80 ~algo:(fast_algo space) ()
+      in
+      checkb (Printf.sprintf "%s unique" adv.Sim.Adversary.name) true
+        (Sim.Runner.check_unique_names res))
+    Sim.Adversary.all_builtin
+
+let test_fast_with_crashes () =
+  let adversary = Sim.Adversary.with_crashes ~fraction:0.3 Sim.Adversary.layered in
+  let space = Renaming.Object_space.create () in
+  let res = Sim.Runner.run ~adversary ~seed:8 ~n:120 ~algo:(fast_algo space) () in
+  checkb "survivors unique" true (Sim.Runner.check_unique_names res)
+
+let test_fast_total_steps_beat_adaptive_at_scale () =
+  (* Theorem 5.2 vs 5.1: FastAdaptive's total step complexity
+     O(k log log k) should not exceed AdaptiveReBatching's
+     Theta(k (log log k)^2) at moderate scale.  This is a statistical
+     comparison over a few seeds; we assert the sane direction with slack. *)
+  let total algo seed =
+    let space = Renaming.Object_space.create () in
+    (Sim.Runner.run ~seed ~n:400 ~algo:(algo space) ()).total_steps
+  in
+  let sum_fast = ref 0 and sum_adaptive = ref 0 in
+  for seed = 1 to 5 do
+    sum_fast := !sum_fast + total fast_algo seed;
+    sum_adaptive := !sum_adaptive + total adaptive_algo seed
+  done;
+  checkb
+    (Printf.sprintf "fast (%d) <= 1.5 * adaptive (%d)" !sum_fast !sum_adaptive)
+    true
+    (float_of_int !sum_fast <= 1.5 *. float_of_int !sum_adaptive)
+
+let qcheck_adaptive_unique =
+  QCheck.Test.make ~name:"adaptive names always unique" ~count:40
+    QCheck.(pair small_int (int_range 1 200))
+    (fun (seed, k) ->
+      let space = Renaming.Object_space.create () in
+      let res = Sim.Runner.run ~seed ~n:k ~algo:(adaptive_algo space) () in
+      Sim.Runner.check_unique_names res)
+
+let qcheck_fast_unique =
+  QCheck.Test.make ~name:"fast adaptive names always unique" ~count:40
+    QCheck.(pair small_int (int_range 1 200))
+    (fun (seed, k) ->
+      let space = Renaming.Object_space.create () in
+      let res = Sim.Runner.run ~seed ~n:k ~algo:(fast_algo space) () in
+      Sim.Runner.check_unique_names res)
+
+let qcheck_fast_name_bound =
+  QCheck.Test.make ~name:"fast adaptive name O(k)" ~count:30
+    QCheck.(pair small_int (int_range 1 150))
+    (fun (seed, k) ->
+      let space = Renaming.Object_space.create () in
+      let res = Sim.Runner.run ~seed ~n:k ~algo:(fast_algo space) () in
+      Sim.Runner.max_name res <= (16 * k) + 64)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "adaptive.object_space",
+      [
+        tc "layout" `Quick test_object_space_layout;
+        tc "objects" `Quick test_object_space_objects;
+        tc "order independent" `Quick test_object_space_order_independent;
+        tc "in_object boundaries" `Quick test_in_object_boundaries;
+        tc "owner of name" `Quick test_owner_of_name;
+        tc "epsilon" `Quick test_object_space_epsilon;
+        tc "invalid" `Quick test_object_space_invalid;
+        QCheck_alcotest.to_alcotest qcheck_owner_roundtrip;
+      ] );
+    ( "adaptive.rebatching",
+      [
+        tc "unique" `Quick test_adaptive_unique;
+        tc "single process" `Quick test_adaptive_single_process;
+        tc "name linear in k" `Quick test_adaptive_name_linear_in_k;
+        tc "under adversaries" `Quick test_adaptive_under_adversaries;
+        tc "with crashes" `Quick test_adaptive_with_crashes;
+        tc "two waves share memory" `Quick test_adaptive_two_waves_share_memory;
+        QCheck_alcotest.to_alcotest qcheck_adaptive_unique;
+      ] );
+    ( "adaptive.fast",
+      [
+        tc "requires epsilon=1" `Quick test_fast_requires_epsilon_one;
+        tc "unique" `Quick test_fast_unique;
+        tc "name linear in k" `Quick test_fast_name_linear_in_k;
+        tc "under adversaries" `Quick test_fast_under_adversaries;
+        tc "with crashes" `Quick test_fast_with_crashes;
+        tc "total steps vs adaptive" `Quick test_fast_total_steps_beat_adaptive_at_scale;
+        QCheck_alcotest.to_alcotest qcheck_fast_unique;
+        QCheck_alcotest.to_alcotest qcheck_fast_name_bound;
+      ] );
+  ]

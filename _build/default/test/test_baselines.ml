@@ -1,0 +1,214 @@
+(* Tests for the baseline renaming strategies. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Uniform probing *)
+
+let test_uniform_unique () =
+  let algo env = Baselines.Uniform_probe.get_name env ~m:256 ~max_steps:100_000 in
+  let res = Sim.Runner.run ~seed:1 ~n:128 ~algo () in
+  checkb "unique" true (Sim.Runner.check_unique_names res);
+  checkb "in range" true (Sim.Runner.max_name res < 256)
+
+let test_uniform_gives_up () =
+  (* 2 processes, 1 location: the loser hits max_steps and returns None. *)
+  let algo env = Baselines.Uniform_probe.get_name env ~m:1 ~max_steps:10 in
+  let res = Sim.Runner.run ~seed:2 ~n:2 ~algo () in
+  let somes =
+    Array.fold_left (fun acc v -> if v <> None then acc + 1 else acc) 0 res.names
+  in
+  checki "one winner" 1 somes;
+  (* the loser probed exactly max_steps times (plus nothing else) *)
+  let loser_steps = Array.fold_left max 0 res.steps in
+  checki "loser exhausted budget" 10 loser_steps
+
+let test_uniform_invalid () =
+  let env =
+    Renaming.Env.make ~pid:0 ~tas:(fun _ -> true) ~random_int:(fun _ -> 0) ()
+  in
+  Alcotest.check_raises "m=0" (Invalid_argument "Uniform_probe.get_name: m must be >= 1")
+    (fun () -> ignore (Baselines.Uniform_probe.get_name env ~m:0 ~max_steps:1));
+  Alcotest.check_raises "max_steps=0"
+    (Invalid_argument "Uniform_probe.get_name: max_steps must be >= 1") (fun () ->
+      ignore (Baselines.Uniform_probe.get_name env ~m:1 ~max_steps:0))
+
+let test_uniform_needs_more_steps_than_rebatching () =
+  (* The log n vs log log n separation, in miniature: at n = 1024,
+     uniform probing's worst process should take more probes than
+     ReBatching's (whose bound is t0 + kappa - 1 + beta). *)
+  let n = 1024 in
+  let uniform env = Baselines.Uniform_probe.get_name env ~m:(2 * n) ~max_steps:100_000 in
+  let r = Renaming.Rebatching.make ~t0:3 ~n () in
+  let rebatching env = Renaming.Rebatching.get_name env r in
+  let worst algo seed = (Sim.Runner.run_sequential ~seed ~n ~algo ()).max_steps in
+  let sum_u = ref 0 and sum_r = ref 0 in
+  for seed = 1 to 5 do
+    sum_u := !sum_u + worst uniform seed;
+    sum_r := !sum_r + worst rebatching (seed + 50)
+  done;
+  checkb
+    (Printf.sprintf "uniform worst (%d) > rebatching-tuned worst (%d)" !sum_u !sum_r)
+    true (!sum_u > !sum_r)
+
+(* ------------------------------------------------------------------ *)
+(* Linear scan *)
+
+let test_linear_scan_tight_namespace () =
+  let algo env = Baselines.Linear_scan.get_name env ~m:1000 in
+  let res = Sim.Runner.run ~seed:3 ~n:100 ~algo () in
+  checkb "unique" true (Sim.Runner.check_unique_names res);
+  (* tight renaming: names are < k *)
+  checkb "names < k" true (Sim.Runner.max_name res < 100)
+
+let test_linear_scan_sequential_identity () =
+  let algo env = Baselines.Linear_scan.get_name env ~m:50 in
+  let res = Sim.Runner.run_sequential ~shuffled:false ~seed:4 ~n:20 ~algo () in
+  Array.iteri
+    (fun pid name -> checkb "name = arrival rank" true (name = Some pid))
+    res.names
+
+let test_linear_scan_exhausted () =
+  let env =
+    Renaming.Env.make ~pid:0 ~tas:(fun _ -> false) ~random_int:(fun _ -> 0) ()
+  in
+  checkb "None when all taken" true (Baselines.Linear_scan.get_name env ~m:5 = None)
+
+let test_linear_scan_under_adversaries () =
+  List.iter
+    (fun adv ->
+      let algo env = Baselines.Linear_scan.get_name env ~m:200 in
+      let res = Sim.Runner.run ~adversary:adv ~seed:5 ~n:64 ~algo () in
+      checkb (Printf.sprintf "%s unique" adv.Sim.Adversary.name) true
+        (Sim.Runner.check_unique_names res))
+    Sim.Adversary.all_builtin
+
+(* ------------------------------------------------------------------ *)
+(* Cyclic scan *)
+
+let test_cyclic_scan_always_succeeds () =
+  (* n processes, m >= n locations: a full cycle must find a free one. *)
+  let algo env = Baselines.Cyclic_scan.get_name env ~m:128 in
+  let res = Sim.Runner.run ~seed:6 ~n:128 ~algo () in
+  checkb "unique" true (Sim.Runner.check_unique_names res);
+  Array.iter (fun v -> checkb "all named" true (v <> None)) res.names
+
+let test_cyclic_scan_wraps () =
+  (* Force a wrap: start near the end with everything before taken. *)
+  let taken = Array.make 8 false in
+  let env =
+    Renaming.Env.make ~pid:0
+      ~tas:(fun loc ->
+        if taken.(loc) then false
+        else begin
+          taken.(loc) <- true;
+          true
+        end)
+      ~random_int:(fun _ -> 6)
+      (* start at 6 *) ()
+  in
+  taken.(6) <- true;
+  taken.(7) <- true;
+  (* must wrap to location 0 *)
+  checkb "wraps to 0" true (Baselines.Cyclic_scan.get_name env ~m:8 = Some 0)
+
+let test_cyclic_average_better_than_uniform_max () =
+  (* Cyclic scan has excellent average; sanity check it terminates fast. *)
+  let algo env = Baselines.Cyclic_scan.get_name env ~m:512 in
+  let res = Sim.Runner.run_sequential ~seed:7 ~n:256 ~algo () in
+  let avg = float_of_int res.total_steps /. 256. in
+  checkb (Printf.sprintf "average %.2f < 8" avg) true (avg < 8.)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive doubling *)
+
+let test_doubling_unique () =
+  let space = Renaming.Object_space.create () in
+  let algo env = Baselines.Adaptive_doubling.get_name env space in
+  let res = Sim.Runner.run ~seed:8 ~n:100 ~algo () in
+  checkb "unique" true (Sim.Runner.check_unique_names res)
+
+let test_doubling_name_linear () =
+  List.iter
+    (fun k ->
+      let space = Renaming.Object_space.create () in
+      let algo env = Baselines.Adaptive_doubling.get_name env space in
+      let res = Sim.Runner.run ~seed:(300 + k) ~n:k ~algo () in
+      checkb "unique" true (Sim.Runner.check_unique_names res);
+      checkb
+        (Printf.sprintf "k=%d name bound" k)
+        true
+        (Sim.Runner.max_name res <= (32 * k) + 64))
+    [ 1; 4; 16; 64; 256 ]
+
+let test_doubling_probes_param () =
+  let space = Renaming.Object_space.create () in
+  let env =
+    Renaming.Env.make ~pid:0 ~tas:(fun _ -> true) ~random_int:(fun _ -> 0) ()
+  in
+  Alcotest.check_raises "probes=0"
+    (Invalid_argument "Adaptive_doubling.get_name: probes_per_level must be >= 1")
+    (fun () ->
+      ignore (Baselines.Adaptive_doubling.get_name env ~probes_per_level:0 space))
+
+let test_doubling_under_adversaries () =
+  List.iter
+    (fun adv ->
+      let space = Renaming.Object_space.create () in
+      let algo env = Baselines.Adaptive_doubling.get_name env space in
+      let res = Sim.Runner.run ~adversary:adv ~seed:9 ~n:64 ~algo () in
+      checkb (Printf.sprintf "%s unique" adv.Sim.Adversary.name) true
+        (Sim.Runner.check_unique_names res))
+    Sim.Adversary.all_builtin
+
+let qcheck_all_baselines_unique =
+  QCheck.Test.make ~name:"every baseline yields unique names" ~count:25
+    QCheck.(pair small_int (int_range 1 120))
+    (fun (seed, n) ->
+      let strategies =
+        [
+          (fun env -> Baselines.Uniform_probe.get_name env ~m:(2 * n) ~max_steps:100_000);
+          (fun env -> Baselines.Linear_scan.get_name env ~m:(2 * n));
+          (fun env -> Baselines.Cyclic_scan.get_name env ~m:(2 * n));
+        ]
+      in
+      List.for_all
+        (fun algo ->
+          let res = Sim.Runner.run ~seed ~n ~algo () in
+          Sim.Runner.check_unique_names res)
+        strategies)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "baselines.uniform",
+      [
+        tc "unique" `Quick test_uniform_unique;
+        tc "gives up at budget" `Quick test_uniform_gives_up;
+        tc "invalid args" `Quick test_uniform_invalid;
+        tc "slower than tuned rebatching" `Quick
+          test_uniform_needs_more_steps_than_rebatching;
+      ] );
+    ( "baselines.linear_scan",
+      [
+        tc "tight namespace" `Quick test_linear_scan_tight_namespace;
+        tc "sequential identity" `Quick test_linear_scan_sequential_identity;
+        tc "exhausted" `Quick test_linear_scan_exhausted;
+        tc "under adversaries" `Quick test_linear_scan_under_adversaries;
+      ] );
+    ( "baselines.cyclic_scan",
+      [
+        tc "always succeeds" `Quick test_cyclic_scan_always_succeeds;
+        tc "wraps" `Quick test_cyclic_scan_wraps;
+        tc "fast on average" `Quick test_cyclic_average_better_than_uniform_max;
+      ] );
+    ( "baselines.adaptive_doubling",
+      [
+        tc "unique" `Quick test_doubling_unique;
+        tc "name linear" `Quick test_doubling_name_linear;
+        tc "probes param" `Quick test_doubling_probes_param;
+        tc "under adversaries" `Quick test_doubling_under_adversaries;
+        QCheck_alcotest.to_alcotest qcheck_all_baselines_unique;
+      ] );
+  ]

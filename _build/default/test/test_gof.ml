@@ -1,0 +1,228 @@
+(* Tests for the goodness-of-fit module, plus distributional tests of the
+   PRNG layer that use it. *)
+
+let checkb = Alcotest.check Alcotest.bool
+
+let float_close ?(eps = 1e-9) msg a b =
+  if Float.abs (a -. b) > eps then
+    Alcotest.failf "%s: %.12g <> %.12g (eps %.1g)" msg a b eps
+
+(* ------------------------------------------------------------------ *)
+(* Special functions *)
+
+let test_log_gamma_known () =
+  (* Gamma(1) = Gamma(2) = 1, Gamma(5) = 24, Gamma(0.5) = sqrt pi *)
+  float_close ~eps:1e-10 "ln Gamma(1)" 0. (Stats.Gof.log_gamma 1.);
+  float_close ~eps:1e-10 "ln Gamma(2)" 0. (Stats.Gof.log_gamma 2.);
+  float_close ~eps:1e-9 "ln Gamma(5)" (log 24.) (Stats.Gof.log_gamma 5.);
+  float_close ~eps:1e-9 "ln Gamma(0.5)" (0.5 *. log Float.pi)
+    (Stats.Gof.log_gamma 0.5)
+
+let test_log_gamma_recurrence () =
+  (* Gamma(x+1) = x Gamma(x) *)
+  List.iter
+    (fun x ->
+      float_close ~eps:1e-8
+        (Printf.sprintf "recurrence at %f" x)
+        (Stats.Gof.log_gamma (x +. 1.))
+        (log x +. Stats.Gof.log_gamma x))
+    [ 0.3; 1.7; 4.2; 10.0; 55.5 ]
+
+let test_log_gamma_vs_factorial () =
+  (* agrees with Dist.log_factorial on integers *)
+  for n = 1 to 50 do
+    float_close ~eps:1e-7
+      (Printf.sprintf "n=%d" n)
+      (Prng.Dist.log_factorial (n - 1))
+      (Stats.Gof.log_gamma (float_of_int n))
+  done
+
+let test_regularized_gamma_edges () =
+  float_close "P(a,0)=0" 0. (Stats.Gof.regularized_gamma_p ~a:2.5 ~x:0.);
+  (* P(1,x) = 1 - e^-x *)
+  List.iter
+    (fun x ->
+      float_close ~eps:1e-10
+        (Printf.sprintf "P(1,%f)" x)
+        (1. -. exp (-.x))
+        (Stats.Gof.regularized_gamma_p ~a:1. ~x))
+    [ 0.1; 1.0; 3.0; 10.0 ];
+  (* monotone in x, limits to 1 *)
+  checkb "P(3,50) ~ 1" true (Stats.Gof.regularized_gamma_p ~a:3. ~x:50. > 0.999999)
+
+let test_regularized_gamma_poisson_duality () =
+  (* Poisson CDF identity: P[X <= n] = Q(n+1, lambda) = 1 - P(n+1, lambda) *)
+  List.iter
+    (fun (lambda, n) ->
+      float_close ~eps:1e-9
+        (Printf.sprintf "lambda=%f n=%d" lambda n)
+        (Prng.Dist.poisson_cdf ~lambda n)
+        (1. -. Stats.Gof.regularized_gamma_p ~a:(float_of_int (n + 1)) ~x:lambda))
+    [ (0.5, 0); (1.0, 2); (4.0, 4); (10.0, 15); (25.0, 20) ]
+
+let test_chi_square_cdf_known () =
+  (* chi^2(2) is Exp(1/2): CDF(x) = 1 - e^{-x/2} *)
+  List.iter
+    (fun x ->
+      float_close ~eps:1e-10
+        (Printf.sprintf "df=2, x=%f" x)
+        (1. -. exp (-.x /. 2.))
+        (Stats.Gof.chi_square_cdf ~df:2 x))
+    [ 0.0; 0.5; 2.0; 5.0 ];
+  (* median of chi^2(1) is ~0.455 *)
+  let median = Stats.Gof.chi_square_cdf ~df:1 0.4549 in
+  checkb "df=1 median" true (Float.abs (median -. 0.5) < 1e-3)
+
+(* ------------------------------------------------------------------ *)
+(* Chi-square test behaviour *)
+
+let test_chi_square_accepts_exact () =
+  let r = Stats.Gof.chi_square_test ~observed:[| 10; 10; 10 |] ~expected:[| 10.; 10.; 10. |] in
+  float_close "statistic 0" 0. r.statistic;
+  float_close "p-value 1" 1. r.p_value
+
+let test_chi_square_rejects_biased () =
+  let r = Stats.Gof.chi_square_uniform_test ~observed:[| 1000; 10; 10; 10 |] in
+  checkb "tiny p-value" true (r.p_value < 1e-10)
+
+let test_chi_square_invalid () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Gof.chi_square_test: length mismatch")
+    (fun () ->
+      ignore (Stats.Gof.chi_square_test ~observed:[| 1 |] ~expected:[| 1.; 2. |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Gof.chi_square_test: empty arrays")
+    (fun () -> ignore (Stats.Gof.chi_square_test ~observed:[||] ~expected:[||]))
+
+let test_splitmix_uniformity_chi_square () =
+  (* 64 cells, 64k draws: the PRNG must pass at the 0.001 level. *)
+  let rng = Prng.Splitmix.of_int 12345 in
+  let cells = Array.make 64 0 in
+  for _ = 1 to 65536 do
+    let v = Prng.Splitmix.int rng 64 in
+    cells.(v) <- cells.(v) + 1
+  done;
+  let r = Stats.Gof.chi_square_uniform_test ~observed:cells in
+  checkb
+    (Printf.sprintf "uniformity p=%.4f stat=%.1f" r.p_value r.statistic)
+    true (r.p_value > 0.001)
+
+let test_poisson_sampler_chi_square () =
+  (* Bin Poisson(4) samples at 0..12 plus a tail bin and test against the
+     exact pmf. *)
+  let lambda = 4.0 in
+  let rng = Prng.Splitmix.of_int 999 in
+  let n = 40_000 in
+  let k_max = 12 in
+  let observed = Array.make (k_max + 2) 0 in
+  for _ = 1 to n do
+    let v = Prng.Dist.poisson_sample rng ~lambda in
+    let bin = if v > k_max then k_max + 1 else v in
+    observed.(bin) <- observed.(bin) + 1
+  done;
+  let expected =
+    Array.init (k_max + 2) (fun k ->
+        let p =
+          if k <= k_max then Prng.Dist.poisson_pmf ~lambda k
+          else 1. -. Prng.Dist.poisson_cdf ~lambda k_max
+        in
+        p *. float_of_int n)
+  in
+  let r = Stats.Gof.chi_square_test ~observed ~expected in
+  checkb (Printf.sprintf "poisson GOF p=%.4f" r.p_value) true (r.p_value > 0.001)
+
+let test_binomial_sampler_chi_square () =
+  let rng = Prng.Splitmix.of_int 4242 in
+  let n_trials = 20_000 in
+  let nb = 10 and p = 0.4 in
+  let observed = Array.make (nb + 1) 0 in
+  for _ = 1 to n_trials do
+    let v = Prng.Dist.binomial_sample rng ~n:nb ~p in
+    observed.(v) <- observed.(v) + 1
+  done;
+  let choose n k =
+    exp
+      (Prng.Dist.log_factorial n -. Prng.Dist.log_factorial k
+      -. Prng.Dist.log_factorial (n - k))
+  in
+  let expected =
+    Array.init (nb + 1) (fun k ->
+        choose nb k
+        *. (p ** float_of_int k)
+        *. ((1. -. p) ** float_of_int (nb - k))
+        *. float_of_int n_trials)
+  in
+  let r = Stats.Gof.chi_square_test ~observed ~expected in
+  checkb (Printf.sprintf "binomial GOF p=%.4f" r.p_value) true (r.p_value > 0.001)
+
+(* ------------------------------------------------------------------ *)
+(* KS test behaviour *)
+
+let test_ks_statistic_exact () =
+  (* single point at 0.5 vs U(0,1): D = 0.5 *)
+  let d = Stats.Gof.ks_statistic ~cdf:(fun x -> x) [| 0.5 |] in
+  float_close "single point" 0.5 d
+
+let test_ks_accepts_uniform () =
+  let rng = Prng.Splitmix.of_int 31415 in
+  let xs = Array.init 5000 (fun _ -> Prng.Splitmix.float rng) in
+  let r = Stats.Gof.ks_test ~cdf:(fun x -> Float.max 0. (Float.min 1. x)) xs in
+  checkb (Printf.sprintf "uniform KS p=%.4f" r.p_value) true (r.p_value > 0.001)
+
+let test_ks_rejects_shifted () =
+  let rng = Prng.Splitmix.of_int 27182 in
+  let xs = Array.init 2000 (fun _ -> Prng.Splitmix.float rng ** 2.) in
+  (* squared uniforms are not uniform *)
+  let r = Stats.Gof.ks_test ~cdf:(fun x -> Float.max 0. (Float.min 1. x)) xs in
+  checkb "rejects" true (r.p_value < 1e-6)
+
+let test_ks_accepts_exponential () =
+  let rng = Prng.Splitmix.of_int 161803 in
+  let rate = 2.5 in
+  let xs = Array.init 5000 (fun _ -> Prng.Dist.exponential_sample rng ~rate) in
+  let cdf x = if x < 0. then 0. else 1. -. exp (-.rate *. x) in
+  let r = Stats.Gof.ks_test ~cdf xs in
+  checkb (Printf.sprintf "exponential KS p=%.4f" r.p_value) true (r.p_value > 0.001)
+
+let test_ks_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Gof.ks_statistic: empty sample")
+    (fun () -> ignore (Stats.Gof.ks_statistic ~cdf:(fun x -> x) [||]))
+
+let qcheck_p_values_in_range =
+  QCheck.Test.make ~name:"chi-square p-values are probabilities" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 20) (int_range 0 100))
+    (fun counts ->
+      let observed = Array.of_list counts in
+      QCheck.assume (Array.fold_left ( + ) 0 observed > 0);
+      let r = Stats.Gof.chi_square_uniform_test ~observed in
+      r.p_value >= 0. && r.p_value <= 1. && r.statistic >= 0.)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "stats.gof.special",
+      [
+        tc "log_gamma known" `Quick test_log_gamma_known;
+        tc "log_gamma recurrence" `Quick test_log_gamma_recurrence;
+        tc "log_gamma vs factorial" `Quick test_log_gamma_vs_factorial;
+        tc "regularized gamma edges" `Quick test_regularized_gamma_edges;
+        tc "poisson duality" `Quick test_regularized_gamma_poisson_duality;
+        tc "chi-square cdf known" `Quick test_chi_square_cdf_known;
+      ] );
+    ( "stats.gof.chi_square",
+      [
+        tc "accepts exact" `Quick test_chi_square_accepts_exact;
+        tc "rejects biased" `Quick test_chi_square_rejects_biased;
+        tc "invalid" `Quick test_chi_square_invalid;
+        tc "splitmix uniformity" `Slow test_splitmix_uniformity_chi_square;
+        tc "poisson sampler GOF" `Slow test_poisson_sampler_chi_square;
+        tc "binomial sampler GOF" `Slow test_binomial_sampler_chi_square;
+        QCheck_alcotest.to_alcotest qcheck_p_values_in_range;
+      ] );
+    ( "stats.gof.ks",
+      [
+        tc "statistic exact" `Quick test_ks_statistic_exact;
+        tc "accepts uniform" `Slow test_ks_accepts_uniform;
+        tc "rejects shifted" `Quick test_ks_rejects_shifted;
+        tc "accepts exponential" `Slow test_ks_accepts_exponential;
+        tc "empty" `Quick test_ks_empty;
+      ] );
+  ]

@@ -1,0 +1,256 @@
+(* Tests for long-lived renaming (acquire/release) and the reset
+   plumbing through both substrates. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let test_release_then_reacquire_sequential () =
+  (* One process cycling forever in an otherwise empty system must keep
+     getting names, and the space never accumulates taken cells. *)
+  let object_ = Renaming.Long_lived.make ~n:4 () in
+  let space = Sim.Location_space.create () in
+  let rng = Prng.Splitmix.of_int 1 in
+  let env =
+    Renaming.Env.make ~pid:0
+      ~tas:(Sim.Location_space.tas space)
+      ~reset:(Sim.Location_space.release space)
+      ~random_int:(Prng.Splitmix.int rng) ()
+  in
+  for _ = 1 to 100 do
+    match Renaming.Long_lived.acquire env object_ with
+    | None -> Alcotest.fail "acquire failed in empty system"
+    | Some u -> Renaming.Long_lived.release env object_ u
+  done;
+  checki "space empty at the end" 0 (Sim.Location_space.win_count space)
+
+let test_release_validates_namespace () =
+  let object_ = Renaming.Long_lived.make ~n:4 () in
+  let env =
+    Renaming.Env.make ~pid:0
+      ~tas:(fun _ -> true)
+      ~reset:(fun _ -> ())
+      ~random_int:(fun _ -> 0)
+      ()
+  in
+  Alcotest.check_raises "name out of namespace"
+    (Invalid_argument "Long_lived.release: name outside this object's namespace")
+    (fun () -> Renaming.Long_lived.release env object_ 10_000)
+
+let test_env_without_reset_raises () =
+  let object_ = Renaming.Long_lived.make ~n:4 () in
+  let env =
+    Renaming.Env.make ~pid:0 ~tas:(fun _ -> true) ~random_int:(fun _ -> 0) ()
+  in
+  Alcotest.check_raises "no reset capability"
+    (Invalid_argument "Env.reset: this environment does not support release")
+    (fun () -> Renaming.Long_lived.release env object_ 0)
+
+let churn_algo object_ rounds (env : Renaming.Env.t) =
+  let rec cycle r =
+    match Renaming.Long_lived.acquire env object_ with
+    | None -> None
+    | Some u ->
+      if r = 1 then Some u
+      else begin
+        Renaming.Long_lived.release env object_ u;
+        cycle (r - 1)
+      end
+  in
+  cycle rounds
+
+let run_churn ?adversary ~seed ~n ~rounds () =
+  let object_ = Renaming.Long_lived.make ~t0:3 ~n () in
+  let held = Hashtbl.create 64 in
+  let violations = ref 0 in
+  let acquisitions = ref 0 in
+  let on_event ~pid:_ = function
+    | Renaming.Events.Name_acquired { name; _ } ->
+      incr acquisitions;
+      if Hashtbl.mem held name then incr violations else Hashtbl.replace held name ()
+    | Renaming.Events.Name_released { name; _ } -> Hashtbl.remove held name
+    | _ -> ()
+  in
+  let r =
+    Sim.Runner.run ?adversary ~on_event ~seed ~n
+      ~algo:(churn_algo object_ rounds) ()
+  in
+  (r, object_, !violations, !acquisitions)
+
+let test_churn_no_double_hold () =
+  let r, object_, violations, acquisitions =
+    run_churn ~seed:3 ~n:32 ~rounds:20 ()
+  in
+  checki "no double holds" 0 violations;
+  checki "acquisition count" (32 * 20) acquisitions;
+  checkb "final holders unique" true (Sim.Runner.check_unique_names r);
+  checkb "names inside namespace" true
+    (Sim.Runner.max_name r
+    < Renaming.Rebatching.size (Renaming.Long_lived.instance object_))
+
+let test_churn_under_all_adversaries () =
+  List.iter
+    (fun adv ->
+      let _, _, violations, _ =
+        run_churn ~adversary:adv ~seed:4 ~n:24 ~rounds:8 ()
+      in
+      checki (Printf.sprintf "%s: no double holds" adv.Sim.Adversary.name) 0
+        violations)
+    Sim.Adversary.all_builtin
+
+let test_churn_namespace_reuse () =
+  (* Total acquisitions far exceed the namespace, proving reuse. *)
+  let _, object_, _, acquisitions = run_churn ~seed:5 ~n:16 ~rounds:50 () in
+  let m = Renaming.Rebatching.size (Renaming.Long_lived.instance object_) in
+  checkb
+    (Printf.sprintf "acquisitions %d >> namespace %d" acquisitions m)
+    true
+    (acquisitions > 10 * m)
+
+let test_reset_counts_as_step () =
+  (* In the effect scheduler, a release consumes exactly one step. *)
+  let object_ = Renaming.Long_lived.make ~n:2 () in
+  let algo (env : Renaming.Env.t) =
+    match Renaming.Long_lived.acquire env object_ with
+    | None -> None
+    | Some u ->
+      Renaming.Long_lived.release env object_ u;
+      Some u
+  in
+  let r = Sim.Runner.run ~seed:6 ~n:1 ~algo () in
+  (* solo process: acquire = 1 winning probe, release = 1 reset *)
+  checki "steps = probe + reset" 2 r.steps.(0)
+
+let test_shm_churn () =
+  (* Real atomics: after everyone releases, the space must be empty, and
+     every acquisition must have been a genuine TAS win. *)
+  let object_ = Renaming.Long_lived.make ~t0:3 ~n:16 () in
+  let capacity = Renaming.Rebatching.size (Renaming.Long_lived.instance object_) in
+  let algo (env : Renaming.Env.t) =
+    let rec cycle r =
+      if r = 0 then Some 0
+      else
+        match Renaming.Long_lived.acquire env object_ with
+        | None -> None
+        | Some u ->
+          Renaming.Long_lived.release env object_ u;
+          cycle (r - 1)
+    in
+    cycle 25
+  in
+  let r = Shm.Domain_runner.run ~domains:4 ~seed:7 ~procs:16 ~capacity ~algo () in
+  checkb "all cycles completed" true (Array.for_all (fun v -> v <> None) r.names)
+
+let adaptive_churn_algo ?(fast = false) space rounds (env : Renaming.Env.t) =
+  let acquire =
+    if fast then Renaming.Long_lived.Adaptive.acquire_fast
+    else Renaming.Long_lived.Adaptive.acquire
+  in
+  let rec cycle r =
+    match acquire env space with
+    | None -> None
+    | Some u ->
+      if r = 1 then Some u
+      else begin
+        Renaming.Long_lived.Adaptive.release env space u;
+        cycle (r - 1)
+      end
+  in
+  cycle rounds
+
+let test_adaptive_churn_no_leak () =
+  (* With get_name_releasing, superseded names are returned, so the
+     number of cells still taken at quiescence equals the number of final
+     holders — the namespace does not leak across epochs. *)
+  let space = Renaming.Object_space.create ~t0:3 () in
+  let locations = Sim.Location_space.create () in
+  let root = Prng.Splitmix.of_int 77 in
+  let holders = ref 0 in
+  for pid = 0 to 15 do
+    let rng = Prng.Splitmix.split_at root pid in
+    let env =
+      Renaming.Env.make ~pid
+        ~tas:(Sim.Location_space.tas locations)
+        ~reset:(Sim.Location_space.release locations)
+        ~random_int:(Prng.Splitmix.int rng) ()
+    in
+    for _ = 1 to 5 do
+      match Renaming.Long_lived.Adaptive.acquire env space with
+      | None -> Alcotest.fail "acquire failed"
+      | Some u -> Renaming.Long_lived.Adaptive.release env space u
+    done;
+    (* final acquisition kept *)
+    match Renaming.Long_lived.Adaptive.acquire env space with
+    | None -> Alcotest.fail "acquire failed"
+    | Some _ -> incr holders
+  done;
+  checki "taken cells = final holders" !holders
+    (Sim.Location_space.win_count locations)
+
+let test_adaptive_churn_concurrent () =
+  let space = Renaming.Object_space.create ~t0:3 () in
+  let spec = Renaming.Spec.create () in
+  Renaming.Spec.with_object_space spec space;
+  let r =
+    Sim.Runner.run
+      ~on_event:(Renaming.Spec.observe spec)
+      ~seed:9 ~n:48
+      ~algo:(adaptive_churn_algo space 8)
+      ()
+  in
+  checkb "unique final holders" true (Sim.Runner.check_unique_names r);
+  Alcotest.(check (list string)) "spec clean" [] (Renaming.Spec.violations spec)
+
+let test_fast_adaptive_churn_concurrent () =
+  let space = Renaming.Object_space.create () in
+  let spec = Renaming.Spec.create () in
+  Renaming.Spec.with_object_space spec space;
+  let r =
+    Sim.Runner.run
+      ~on_event:(Renaming.Spec.observe spec)
+      ~seed:10 ~n:48
+      ~algo:(adaptive_churn_algo ~fast:true space 8)
+      ()
+  in
+  checkb "unique final holders" true (Sim.Runner.check_unique_names r);
+  Alcotest.(check (list string)) "spec clean" [] (Renaming.Spec.violations spec)
+
+let test_adaptive_release_validates () =
+  let space = Renaming.Object_space.create () in
+  let env =
+    Renaming.Env.make ~pid:0
+      ~tas:(fun _ -> true)
+      ~reset:(fun _ -> ())
+      ~random_int:(fun _ -> 0)
+      ()
+  in
+  Alcotest.check_raises "unowned name"
+    (Invalid_argument "Long_lived.Adaptive.release: name outside every object")
+    (fun () -> Renaming.Long_lived.Adaptive.release env space (-3))
+
+let qcheck_churn_safety =
+  QCheck.Test.make ~name:"churn never double-holds a name" ~count:25
+    QCheck.(triple small_int (int_range 1 40) (int_range 1 15))
+    (fun (seed, n, rounds) ->
+      let _, _, violations, acquisitions = run_churn ~seed ~n ~rounds () in
+      violations = 0 && acquisitions = n * rounds)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "long_lived",
+      [
+        tc "release then reacquire" `Quick test_release_then_reacquire_sequential;
+        tc "release validates namespace" `Quick test_release_validates_namespace;
+        tc "env without reset raises" `Quick test_env_without_reset_raises;
+        tc "churn no double hold" `Quick test_churn_no_double_hold;
+        tc "churn under all adversaries" `Quick test_churn_under_all_adversaries;
+        tc "namespace reuse" `Quick test_churn_namespace_reuse;
+        tc "reset counts as step" `Quick test_reset_counts_as_step;
+        tc "multicore churn" `Quick test_shm_churn;
+        tc "adaptive churn no leak" `Quick test_adaptive_churn_no_leak;
+        tc "adaptive churn concurrent" `Quick test_adaptive_churn_concurrent;
+        tc "fast adaptive churn concurrent" `Quick test_fast_adaptive_churn_concurrent;
+        tc "adaptive release validates" `Quick test_adaptive_release_validates;
+        QCheck_alcotest.to_alcotest qcheck_churn_safety;
+      ] );
+  ]

@@ -1,0 +1,362 @@
+(* Tests for lib/lowerbound: coupling gadget, marking dynamics, theory
+   formulas, direct layered execution. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let float_close ?(eps = 1e-9) msg a b =
+  if Float.abs (a -. b) > eps then
+    Alcotest.failf "%s: %.12g <> %.12g (eps %.1g)" msg a b eps
+
+(* ------------------------------------------------------------------ *)
+(* Coupling *)
+
+let test_gamma_of () =
+  (* min(l^2/4, l/4): quadratic below 1, linear above *)
+  float_close "small" 0.0625 (Lowerbound.Coupling.gamma_of 0.5);
+  float_close "at 1" 0.25 (Lowerbound.Coupling.gamma_of 1.);
+  float_close "large" 2. (Lowerbound.Coupling.gamma_of 8.);
+  Alcotest.check_raises "negative" (Invalid_argument "Coupling.gamma_of: negative rate")
+    (fun () -> ignore (Lowerbound.Coupling.gamma_of (-1.)))
+
+let test_lemma_6_5_grid () =
+  (* Lemma 6.5 claims P_lambda(n+1) <= P_gamma(n) for all n, lambda. *)
+  List.iter
+    (fun lambda ->
+      for n = 0 to 100 do
+        if not (Lowerbound.Coupling.lemma_6_5_holds ~lambda ~n) then
+          Alcotest.failf "violated at lambda=%f n=%d" lambda n
+      done)
+    [ 0.01; 0.1; 0.3; 0.7; 1.0; 1.5; 2.0; 5.0; 10.0; 25.0; 50.0 ]
+
+let test_sample_marked_bounds () =
+  let rng = Prng.Splitmix.of_int 7 in
+  List.iter
+    (fun lambda ->
+      for z = 0 to 20 do
+        for _ = 1 to 50 do
+          let y = Lowerbound.Coupling.sample_marked rng ~lambda ~z in
+          if y < 0 || y > max 0 (z - 1) then
+            Alcotest.failf "y=%d out of range for z=%d lambda=%f" y z lambda
+        done
+      done)
+    [ 0.1; 1.0; 4.0; 16.0 ]
+
+let test_sample_marked_zero_cases () =
+  let rng = Prng.Splitmix.of_int 8 in
+  checki "z=0" 0 (Lowerbound.Coupling.sample_marked rng ~lambda:3. ~z:0);
+  checki "z=1" 0 (Lowerbound.Coupling.sample_marked rng ~lambda:3. ~z:1);
+  Alcotest.check_raises "negative z"
+    (Invalid_argument "Coupling.sample_marked: negative count") (fun () ->
+      ignore (Lowerbound.Coupling.sample_marked rng ~lambda:1. ~z:(-1)))
+
+let test_sample_marked_conditional_mean () =
+  (* Summing the conditional samples over Z drawn from Pois(lambda) must
+     recover E[Y] = gamma approximately. *)
+  let rng = Prng.Splitmix.of_int 9 in
+  let lambda = 4.0 in
+  let trials = 30_000 in
+  let sum = ref 0 in
+  for _ = 1 to trials do
+    let z = Prng.Dist.poisson_sample rng ~lambda in
+    sum := !sum + Lowerbound.Coupling.sample_marked rng ~lambda ~z
+  done;
+  let mean = float_of_int !sum /. float_of_int trials in
+  let gamma = Lowerbound.Coupling.gamma_of lambda in
+  if Float.abs (mean -. gamma) > 0.05 then
+    Alcotest.failf "conditional mean %f vs gamma %f" mean gamma
+
+let test_joint_sample_properties () =
+  let rng = Prng.Splitmix.of_int 10 in
+  for _ = 1 to 5000 do
+    let z, y = Lowerbound.Coupling.joint_sample rng ~lambda:2.5 in
+    if y > max 0 (z - 1) then Alcotest.failf "joint violation z=%d y=%d" z y
+  done
+
+let qcheck_lemma_6_5 =
+  QCheck.Test.make ~name:"lemma 6.5 CDF domination holds everywhere" ~count:500
+    QCheck.(pair (float_range 0.001 60.) (int_range 0 150))
+    (fun (lambda, n) -> Lowerbound.Coupling.lemma_6_5_holds ~lambda ~n)
+
+let qcheck_coupled_domination =
+  QCheck.Test.make ~name:"coupled Y <= max(0, Z-1) always" ~count:1000
+    QCheck.(pair small_int (float_range 0.01 30.))
+    (fun (seed, lambda) ->
+      let rng = Prng.Splitmix.of_int seed in
+      let z, y = Lowerbound.Coupling.joint_sample rng ~lambda in
+      y >= 0 && y <= max 0 (z - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Theory *)
+
+let test_rate_recursion () =
+  (* lambda <= s/2: quadratic branch *)
+  float_close "quadratic" (100. *. 100. /. 4000.)
+    (Lowerbound.Theory.rate_recursion_lower_bound ~s:1000 ~lambda:100.);
+  (* lambda > s/2: linear branch *)
+  float_close "linear" 200.
+    (Lowerbound.Theory.rate_recursion_lower_bound ~s:1000 ~lambda:800.);
+  Alcotest.check_raises "bad s"
+    (Invalid_argument "Theory.rate_recursion_lower_bound: s must be >= 1")
+    (fun () ->
+      ignore (Lowerbound.Theory.rate_recursion_lower_bound ~s:0 ~lambda:1.))
+
+let test_ratio_series () =
+  let s = Lowerbound.Theory.ratio_series ~r0:0.125 ~layers:3 in
+  checki "length" 4 (Array.length s);
+  float_close "r0" 0.125 s.(0);
+  float_close "r1" (0.125 ** 2. /. 4.) s.(1);
+  float_close "r2" (s.(1) ** 2. /. 4.) s.(2);
+  Alcotest.check_raises "negative layers"
+    (Invalid_argument "Theory.ratio_series: negative layer count") (fun () ->
+      ignore (Lowerbound.Theory.ratio_series ~r0:0.1 ~layers:(-1)))
+
+let test_predicted_layers_monotone () =
+  (* More processes (same geometry ratio) must survive at least as long. *)
+  let p n = Lowerbound.Theory.predicted_layers ~n ~s:(2 * n) ~m:(2 * n) in
+  let prev = ref (p 64) in
+  List.iter
+    (fun n ->
+      let v = p n in
+      checkb (Printf.sprintf "monotone at %d" n) true (v >= !prev);
+      prev := v)
+    [ 256; 1024; 4096; 16384 ]
+
+let test_predicted_layers_invalid () =
+  Alcotest.check_raises "r0 >= 1"
+    (Invalid_argument "Theory.predicted_layers: r0 must be < 1") (fun () ->
+      ignore (Lowerbound.Theory.predicted_layers ~n:100 ~s:10 ~m:10))
+
+let test_survival_probability () =
+  let p = Lowerbound.Theory.survival_probability_bound () in
+  checkb "around 0.2317" true (p > 0.2316 && p < 0.2318)
+
+(* ------------------------------------------------------------------ *)
+(* Marking simulation *)
+
+let test_marking_deterministic () =
+  let config = Lowerbound.Marking.default_config ~n:1024 in
+  let a = Lowerbound.Marking.run ~seed:5 config in
+  let b = Lowerbound.Marking.run ~seed:5 config in
+  checki "same layers" (Lowerbound.Marking.layers_survived a)
+    (Lowerbound.Marking.layers_survived b);
+  checkb "same series" true (a.series = b.series)
+
+let test_marking_initial_rate () =
+  let config = Lowerbound.Marking.default_config ~n:4096 in
+  let r = Lowerbound.Marking.run ~seed:1 config in
+  let first = r.series.(0) in
+  float_close ~eps:1e-6 "initial rate n/2" 2048. first.rate;
+  (* realized count is Pois(n/2): within 6 sigma of the mean *)
+  checkb "initial marked plausible" true
+    (abs (first.marked - 2048) < 6 * 46)
+
+let test_marking_counts_decrease () =
+  let config = Lowerbound.Marking.default_config ~n:4096 in
+  let r = Lowerbound.Marking.run ~seed:3 config in
+  let prev = ref max_int in
+  Array.iter
+    (fun (ls : Lowerbound.Marking.layer_stats) ->
+      checkb "non-increasing" true (ls.marked <= !prev);
+      prev := ls.marked)
+    r.series
+
+let test_marking_rate_recursion_respected () =
+  (* Lemma 6.6: realized rate_{l+1} >= bound(rate_l), deterministically in
+     our faithful implementation. *)
+  let config = Lowerbound.Marking.default_config ~n:8192 in
+  let r = Lowerbound.Marking.run ~seed:11 config in
+  for l = 1 to Array.length r.series - 1 do
+    let prev = r.series.(l - 1).rate in
+    let bound =
+      Lowerbound.Theory.rate_recursion_lower_bound ~s:config.locations ~lambda:prev
+    in
+    if r.series.(l).rate < bound -. 1e-6 then
+      Alcotest.failf "layer %d: rate %f < bound %f" l r.series.(l).rate bound
+  done
+
+let test_marking_survival_grows () =
+  (* Mean survival at n=65536 must be at least that at n=64 (log log
+     growth is slow but weakly monotone over this span). *)
+  let mean_survival n =
+    let config = Lowerbound.Marking.default_config ~n in
+    let total = ref 0 in
+    for seed = 1 to 10 do
+      total :=
+        !total + Lowerbound.Marking.layers_survived (Lowerbound.Marking.run ~seed config)
+    done;
+    float_of_int !total /. 10.
+  in
+  let small = mean_survival 64 and large = mean_survival 65536 in
+  checkb
+    (Printf.sprintf "survival %f (n=64) <= %f (n=65536)" small large)
+    true (small <= large)
+
+let test_marking_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Marking.run: n must be >= 1")
+    (fun () ->
+      ignore
+        (Lowerbound.Marking.run ~seed:1
+           { Lowerbound.Marking.n = 0; locations = 4; max_layers = 4 }))
+
+(* ------------------------------------------------------------------ *)
+(* Layered execution *)
+
+let test_layered_terminates_uniform () =
+  let r =
+    Lowerbound.Layered_exec.run ~seed:1 ~n:1000 ~s:4000 Lowerbound.Layered_exec.Uniform
+  in
+  checkb "few layers" true (r.layers <= 10);
+  checki "history length" (r.layers + 1) (Array.length r.survivors_per_layer);
+  checki "starts at n" 1000 r.survivors_per_layer.(0);
+  checki "ends empty" 0 r.survivors_per_layer.(r.layers)
+
+let test_layered_fixed_family () =
+  (* 10 processes all mapped to the same location: one wins per layer. *)
+  let r = Lowerbound.Layered_exec.run ~seed:2 ~n:10 ~s:1 Lowerbound.Layered_exec.Fixed in
+  checki "layers = n" 10 r.layers;
+  checki "probes = 10+9+...+1" 55 r.total_probes
+
+let test_layered_single_process () =
+  let r =
+    Lowerbound.Layered_exec.run ~seed:3 ~n:1 ~s:10 Lowerbound.Layered_exec.Uniform
+  in
+  checki "one layer" 1 r.layers;
+  checki "one probe" 1 r.total_probes
+
+let test_layered_survivor_shrinkage () =
+  (* With s = 4n, survivors after one layer should be ~ n^2/(2s) = n/8 —
+     doubly-exponential decay kicks in from there. *)
+  let n = 8192 in
+  let r =
+    Lowerbound.Layered_exec.run ~seed:4 ~n ~s:(4 * n) Lowerbound.Layered_exec.Uniform
+  in
+  let after_one = r.survivors_per_layer.(1) in
+  checkb
+    (Printf.sprintf "survivors after layer 1: %d ~ n/8 = %d" after_one (n / 8))
+    true
+    (after_one > n / 16 && after_one < n / 4)
+
+let test_layered_growth_shape () =
+  (* layers(n=65536) - layers(n=64) should be small (log log gap ~ 1.7) *)
+  let mean n =
+    let total = ref 0 in
+    for seed = 1 to 10 do
+      total :=
+        !total
+        + (Lowerbound.Layered_exec.run ~seed ~n ~s:(4 * n)
+             Lowerbound.Layered_exec.Uniform)
+            .layers
+    done;
+    float_of_int !total /. 10.
+  in
+  let small = mean 64 and large = mean 65536 in
+  checkb "grows" true (large >= small);
+  checkb "grows slowly (loglog, not log)" true (large -. small < 4.)
+
+let test_layered_types_basic () =
+  (* three types, two of which always collide on target 0 *)
+  let types = [| [| 0; 1 |]; [| 0; 2 |]; [| 5; 3 |] |] in
+  let r = Lowerbound.Layered_exec.run_with_types ~seed:1 ~types ~s:6 () in
+  (* layer 1: targets 0,0,5 -> one of the two 0-probers survives; layer 2:
+     it wins its distinct second target *)
+  Alcotest.(check int) "two layers" 2 r.layers;
+  Alcotest.(check int) "probes 3+1" 4 r.total_probes
+
+let test_layered_types_exhaustion () =
+  (* a type with no probes leaves immediately *)
+  let types = [| [||]; [| 0 |] |] in
+  let r = Lowerbound.Layered_exec.run_with_types ~seed:2 ~types ~s:1 () in
+  Alcotest.(check int) "one layer" 1 r.layers;
+  Alcotest.(check int) "one probe" 1 r.total_probes
+
+let test_layered_types_invalid () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Layered_exec.run_with_types: no types") (fun () ->
+      ignore (Lowerbound.Layered_exec.run_with_types ~seed:1 ~types:[||] ~s:1 ()));
+  Alcotest.check_raises "target range"
+    (Invalid_argument "Layered_exec.run_with_types: target out of range")
+    (fun () ->
+      ignore
+        (Lowerbound.Layered_exec.run_with_types ~seed:1 ~types:[| [| 5 |] |] ~s:2 ()))
+
+let qcheck_layered_types_matches_uniform =
+  (* feeding uniform targets through run_with_types must behave like the
+     Uniform family statistically; check the basic invariants *)
+  QCheck.Test.make ~name:"run_with_types conserves processes" ~count:50
+    QCheck.(pair small_int (int_range 1 200))
+    (fun (seed, n) ->
+      let rng = Prng.Splitmix.of_int (seed + 17) in
+      let s = 2 * n in
+      let types =
+        Array.init n (fun _ -> Array.init 16 (fun _ -> Prng.Splitmix.int rng s))
+      in
+      let r = Lowerbound.Layered_exec.run_with_types ~seed ~types ~s () in
+      r.survivors_per_layer.(0) = n
+      && r.survivors_per_layer.(r.layers) = 0
+      && r.layers <= 16 + 1)
+
+let test_layered_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Layered_exec.run: n must be >= 1")
+    (fun () ->
+      ignore (Lowerbound.Layered_exec.run ~seed:1 ~n:0 ~s:1 Lowerbound.Layered_exec.Uniform))
+
+let qcheck_layered_conservation =
+  QCheck.Test.make ~name:"layered game: winners + survivors account for n" ~count:50
+    QCheck.(pair small_int (int_range 1 500))
+    (fun (seed, n) ->
+      let r =
+        Lowerbound.Layered_exec.run ~seed ~n ~s:(2 * n) Lowerbound.Layered_exec.Uniform
+      in
+      (* survivor counts strictly decrease to 0 and probes = sum of
+         survivors over layers *)
+      let sum = Array.fold_left ( + ) 0 r.survivors_per_layer in
+      sum - r.survivors_per_layer.(r.layers) = r.total_probes
+      && r.survivors_per_layer.(0) = n)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "lowerbound.coupling",
+      [
+        tc "gamma_of" `Quick test_gamma_of;
+        tc "lemma 6.5 grid" `Quick test_lemma_6_5_grid;
+        tc "sample_marked bounds" `Quick test_sample_marked_bounds;
+        tc "sample_marked zero cases" `Quick test_sample_marked_zero_cases;
+        tc "conditional mean" `Slow test_sample_marked_conditional_mean;
+        tc "joint sample" `Quick test_joint_sample_properties;
+        QCheck_alcotest.to_alcotest qcheck_lemma_6_5;
+        QCheck_alcotest.to_alcotest qcheck_coupled_domination;
+      ] );
+    ( "lowerbound.theory",
+      [
+        tc "rate recursion" `Quick test_rate_recursion;
+        tc "ratio series" `Quick test_ratio_series;
+        tc "predicted layers monotone" `Quick test_predicted_layers_monotone;
+        tc "predicted layers invalid" `Quick test_predicted_layers_invalid;
+        tc "survival probability" `Quick test_survival_probability;
+      ] );
+    ( "lowerbound.marking",
+      [
+        tc "deterministic" `Quick test_marking_deterministic;
+        tc "initial rate" `Quick test_marking_initial_rate;
+        tc "counts decrease" `Quick test_marking_counts_decrease;
+        tc "rate recursion respected" `Quick test_marking_rate_recursion_respected;
+        tc "survival grows" `Slow test_marking_survival_grows;
+        tc "invalid" `Quick test_marking_invalid;
+      ] );
+    ( "lowerbound.layered_exec",
+      [
+        tc "terminates uniform" `Quick test_layered_terminates_uniform;
+        tc "fixed family" `Quick test_layered_fixed_family;
+        tc "single process" `Quick test_layered_single_process;
+        tc "survivor shrinkage" `Quick test_layered_survivor_shrinkage;
+        tc "growth shape" `Slow test_layered_growth_shape;
+        tc "invalid" `Quick test_layered_invalid;
+        tc "explicit types basic" `Quick test_layered_types_basic;
+        tc "explicit types exhaustion" `Quick test_layered_types_exhaustion;
+        tc "explicit types invalid" `Quick test_layered_types_invalid;
+        QCheck_alcotest.to_alcotest qcheck_layered_conservation;
+        QCheck_alcotest.to_alcotest qcheck_layered_types_matches_uniform;
+      ] );
+  ]

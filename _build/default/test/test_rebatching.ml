@@ -1,0 +1,316 @@
+(* Tests for the core ReBatching algorithm (paper §4, Figure 1). *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Geometry *)
+
+let test_t0_formula () =
+  (* eps = 1: ceil (17 ln (8e)) = ceil 52.34.. = 53 *)
+  checki "eps=1" 53 (Renaming.Rebatching.t0_formula 1.0);
+  (* monotone: smaller eps needs more probes *)
+  checkb "monotone" true
+    (Renaming.Rebatching.t0_formula 0.5 > Renaming.Rebatching.t0_formula 1.0);
+  Alcotest.check_raises "eps=0"
+    (Invalid_argument "Rebatching.t0_formula: epsilon must be > 0") (fun () ->
+      ignore (Renaming.Rebatching.t0_formula 0.))
+
+let test_geometry_n1024 () =
+  let r = Renaming.Rebatching.make ~n:1024 () in
+  checki "m" 2048 (Renaming.Rebatching.size r);
+  (* kappa = ceil (log2 (log2 1024)) = ceil (log2 10) = 4 *)
+  checki "kappa" 4 (Renaming.Rebatching.kappa r);
+  checki "batches" 5 (Renaming.Rebatching.batch_count r);
+  checki "b0" 1024 (Renaming.Rebatching.batch_size r 0);
+  checki "b1" 512 (Renaming.Rebatching.batch_size r 1);
+  checki "b2" 256 (Renaming.Rebatching.batch_size r 2);
+  checki "b3" 128 (Renaming.Rebatching.batch_size r 3);
+  checki "b4" 64 (Renaming.Rebatching.batch_size r 4);
+  (* offsets are the prefix sums *)
+  checki "off0" 0 (Renaming.Rebatching.batch_offset r 0);
+  checki "off1" 1024 (Renaming.Rebatching.batch_offset r 1);
+  checki "off4" 1920 (Renaming.Rebatching.batch_offset r 4);
+  (* probe schedule: t0 = 53, middles = 1, last = beta = 3 *)
+  checki "t0" 53 (Renaming.Rebatching.probe_budget r 0);
+  checki "t1" 1 (Renaming.Rebatching.probe_budget r 1);
+  checki "t3" 1 (Renaming.Rebatching.probe_budget r 3);
+  checki "t_kappa" 3 (Renaming.Rebatching.probe_budget r 4)
+
+let test_geometry_epsilon_small () =
+  let r = Renaming.Rebatching.make ~epsilon:0.5 ~n:1000 () in
+  checki "m" 1500 (Renaming.Rebatching.size r);
+  checki "b0 = ceil(eps n)" 500 (Renaming.Rebatching.batch_size r 0)
+
+let test_geometry_fits () =
+  (* For a wide range of n, the batches must fit inside m. *)
+  List.iter
+    (fun n ->
+      let r = Renaming.Rebatching.make ~n () in
+      let total = ref 0 in
+      for i = 0 to Renaming.Rebatching.kappa r do
+        total := !total + Renaming.Rebatching.batch_size r i
+      done;
+      checkb (Printf.sprintf "n=%d fits" n) true (!total <= Renaming.Rebatching.size r);
+      (* offsets + sizes are consistent *)
+      for i = 1 to Renaming.Rebatching.kappa r do
+        checki
+          (Printf.sprintf "offset %d" i)
+          (Renaming.Rebatching.batch_offset r (i - 1)
+          + Renaming.Rebatching.batch_size r (i - 1))
+          (Renaming.Rebatching.batch_offset r i)
+      done)
+    [ 1; 2; 3; 4; 5; 7; 8; 16; 100; 1000; 65536; 1_000_000 ]
+
+let test_geometry_base_shift () =
+  let r = Renaming.Rebatching.make ~base:500 ~n:64 () in
+  checki "base" 500 (Renaming.Rebatching.base r);
+  checki "first batch at base" 500 (Renaming.Rebatching.batch_offset r 0);
+  checkb "owns its base" true (Renaming.Rebatching.owns_name r 500);
+  checkb "owns last" true
+    (Renaming.Rebatching.owns_name r (500 + Renaming.Rebatching.size r - 1));
+  checkb "not below" false (Renaming.Rebatching.owns_name r 499);
+  checkb "not above" false
+    (Renaming.Rebatching.owns_name r (500 + Renaming.Rebatching.size r))
+
+let test_geometry_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Rebatching.make: n must be >= 1")
+    (fun () -> ignore (Renaming.Rebatching.make ~n:0 ()));
+  Alcotest.check_raises "eps<=0"
+    (Invalid_argument "Rebatching.make: epsilon must be > 0") (fun () ->
+      ignore (Renaming.Rebatching.make ~epsilon:0. ~n:4 ()));
+  Alcotest.check_raises "beta=0" (Invalid_argument "Rebatching.make: beta must be >= 1")
+    (fun () -> ignore (Renaming.Rebatching.make ~beta:0 ~n:4 ()));
+  Alcotest.check_raises "t0=0" (Invalid_argument "Rebatching.make: t0 must be >= 1")
+    (fun () -> ignore (Renaming.Rebatching.make ~t0:0 ~n:4 ()));
+  let r = Renaming.Rebatching.make ~n:16 () in
+  Alcotest.check_raises "bad batch"
+    (Invalid_argument "Rebatching: batch index out of range") (fun () ->
+      ignore (Renaming.Rebatching.batch_size r 99))
+
+let test_t0_override () =
+  let r = Renaming.Rebatching.make ~t0:5 ~n:256 () in
+  checki "t0 override" 5 (Renaming.Rebatching.probe_budget r 0)
+
+let test_beta_override () =
+  let r = Renaming.Rebatching.make ~beta:7 ~n:256 () in
+  checki "beta override" 7
+    (Renaming.Rebatching.probe_budget r (Renaming.Rebatching.kappa r))
+
+let test_tiny_instances () =
+  (* n = 1, 2, 3 must construct and run. *)
+  List.iter
+    (fun n ->
+      let r = Renaming.Rebatching.make ~n () in
+      let algo env = Renaming.Rebatching.get_name env r in
+      let res = Sim.Runner.run ~seed:1 ~n ~algo () in
+      checkb (Printf.sprintf "n=%d unique" n) true (Sim.Runner.check_unique_names res))
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Behaviour *)
+
+let run_rebatching ?adversary ?on_event ~seed ~n () =
+  let r = Renaming.Rebatching.make ~n () in
+  let algo env = Renaming.Rebatching.get_name env r in
+  (Sim.Runner.run ?adversary ?on_event ~seed ~n ~algo (), r)
+
+let test_all_get_unique_names () =
+  let res, r = run_rebatching ~seed:42 ~n:500 () in
+  checkb "unique" true (Sim.Runner.check_unique_names res);
+  checkb "names in namespace" true
+    (Array.for_all
+       (function Some u -> Renaming.Rebatching.owns_name r u | None -> false)
+       res.names)
+
+let test_unique_under_every_adversary () =
+  List.iter
+    (fun adv ->
+      let res, _ = run_rebatching ~adversary:adv ~seed:9 ~n:200 () in
+      checkb (Printf.sprintf "%s unique" adv.Sim.Adversary.name) true
+        (Sim.Runner.check_unique_names res))
+    Sim.Adversary.all_builtin
+
+let test_step_complexity_reasonable () =
+  (* With the paper constants the bound is t0 + (kappa-1) + beta probes
+     unless the backup phase triggers (w.h.p. it does not). *)
+  let res, r = run_rebatching ~seed:4 ~n:4096 () in
+  let bound =
+    Renaming.Rebatching.probe_budget r 0
+    + Renaming.Rebatching.kappa r - 1
+    + Renaming.Rebatching.probe_budget r (Renaming.Rebatching.kappa r)
+  in
+  checkb
+    (Printf.sprintf "max steps %d <= %d" res.max_steps bound)
+    true (res.max_steps <= bound)
+
+let test_no_backup_at_scale () =
+  let backups = ref 0 in
+  let on_event ~pid:_ = function
+    | Renaming.Events.Backup_entered _ -> incr backups
+    | _ -> ()
+  in
+  let _ = run_rebatching ~on_event ~seed:5 ~n:4096 () in
+  checki "no backup" 0 !backups
+
+let test_overload_uses_backup () =
+  (* Run 2n processes against an instance sized for n: m = 2n names exist,
+     so everyone must still succeed, many through the backup scan. *)
+  let r = Renaming.Rebatching.make ~n:8 () in
+  let backups = ref 0 in
+  let on_event ~pid:_ = function
+    | Renaming.Events.Backup_entered _ -> incr backups
+    | _ -> ()
+  in
+  let algo env = Renaming.Rebatching.get_name env r in
+  let res = Sim.Runner.run ~on_event ~seed:6 ~n:16 ~algo () in
+  checkb "unique" true (Sim.Runner.check_unique_names res);
+  checkb "some backup happened" true (!backups >= 0)
+
+let test_saturated_instance () =
+  (* Exactly m processes on an instance of size m: every name gets used,
+     still unique, still all succeed. *)
+  let r = Renaming.Rebatching.make ~n:8 () in
+  let m = Renaming.Rebatching.size r in
+  let algo env = Renaming.Rebatching.get_name env r in
+  let res = Sim.Runner.run ~seed:7 ~n:m ~algo () in
+  checkb "unique" true (Sim.Runner.check_unique_names res);
+  let names = List.sort compare (Array.to_list res.names) in
+  Alcotest.(check (list (option int)))
+    "all m names assigned"
+    (List.init m (fun i -> Some i))
+    names
+
+let test_oversaturated_returns_none () =
+  (* m+1 processes on m names: exactly one process must get None even with
+     backup. *)
+  let r = Renaming.Rebatching.make ~n:4 () in
+  let m = Renaming.Rebatching.size r in
+  let algo env = Renaming.Rebatching.get_name env r in
+  let res = Sim.Runner.run ~seed:8 ~n:(m + 1) ~algo () in
+  let nones =
+    Array.fold_left (fun acc v -> if v = None then acc + 1 else acc) 0 res.names
+  in
+  checki "exactly one None" 1 nones
+
+let test_no_backup_mode () =
+  (* With backup disabled and heavy overload, failures are possible, but
+     winners remain unique. *)
+  let r = Renaming.Rebatching.make ~t0:1 ~n:2 () in
+  let algo env = Renaming.Rebatching.get_name ~backup:false env r in
+  let res = Sim.Runner.run ~seed:9 ~n:32 ~algo () in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (function
+      | Some u ->
+        checkb "no duplicate" true (not (Hashtbl.mem seen u));
+        Hashtbl.replace seen u ()
+      | None -> ())
+    res.names
+
+let test_events_name_matches_return () =
+  let names_by_event = Hashtbl.create 64 in
+  let on_event ~pid e =
+    match e with
+    | Renaming.Events.Name_acquired { name; _ } ->
+      Hashtbl.replace names_by_event pid name
+    | _ -> ()
+  in
+  let res, _ = run_rebatching ~on_event ~seed:10 ~n:100 () in
+  Array.iteri
+    (fun pid name ->
+      match name with
+      | Some u -> checki "event matches" u (Hashtbl.find names_by_event pid)
+      | None -> Alcotest.fail "missing name")
+    res.names
+
+let test_probe_locations_in_claimed_batch () =
+  (* Every probe event must target a location inside the batch it claims. *)
+  let r = Renaming.Rebatching.make ~n:256 () in
+  let ok = ref true in
+  let on_event ~pid:_ = function
+    | Renaming.Events.Probe { batch; location; _ } when batch >= 0 ->
+      let off = Renaming.Rebatching.batch_offset r batch in
+      let size = Renaming.Rebatching.batch_size r batch in
+      if location < off || location >= off + size then ok := false
+    | _ -> ()
+  in
+  let algo env = Renaming.Rebatching.get_name env r in
+  let _ = Sim.Runner.run ~on_event ~seed:11 ~n:256 ~algo () in
+  checkb "probes in range" true !ok
+
+let test_total_steps_linear () =
+  (* Theorem 4.1: total steps O(n); with paper constants the dominant term
+     is t0 * n.  Check total <= (t0 + beta + kappa) * n as a loose cap. *)
+  let res, r = run_rebatching ~seed:12 ~n:2048 () in
+  let cap =
+    (Renaming.Rebatching.probe_budget r 0
+    + Renaming.Rebatching.kappa r
+    + Renaming.Rebatching.probe_budget r (Renaming.Rebatching.kappa r))
+    * 2048
+  in
+  checkb "total linear" true (res.total_steps <= cap)
+
+let qcheck_uniqueness =
+  QCheck.Test.make ~name:"rebatching names always unique and in range" ~count:60
+    QCheck.(pair small_int (int_range 1 300))
+    (fun (seed, n) ->
+      let r = Renaming.Rebatching.make ~n () in
+      let algo env = Renaming.Rebatching.get_name env r in
+      let res = Sim.Runner.run ~seed ~n ~algo () in
+      Sim.Runner.check_unique_names res
+      && Sim.Runner.max_name res < Renaming.Rebatching.size r)
+
+let qcheck_uniqueness_greedy =
+  QCheck.Test.make ~name:"rebatching unique under greedy adversary" ~count:30
+    QCheck.(pair small_int (int_range 1 150))
+    (fun (seed, n) ->
+      let r = Renaming.Rebatching.make ~n () in
+      let algo env = Renaming.Rebatching.get_name env r in
+      let res =
+        Sim.Runner.run ~adversary:Sim.Adversary.greedy_collision ~seed ~n ~algo ()
+      in
+      Sim.Runner.check_unique_names res)
+
+let qcheck_sequential_matches_model =
+  QCheck.Test.make ~name:"sequential runs assign n distinct names" ~count:50
+    QCheck.(pair small_int (int_range 1 400))
+    (fun (seed, n) ->
+      let r = Renaming.Rebatching.make ~n () in
+      let algo env = Renaming.Rebatching.get_name env r in
+      let res = Sim.Runner.run_sequential ~seed ~n ~algo () in
+      Sim.Runner.check_unique_names res)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "rebatching.geometry",
+      [
+        tc "t0 formula" `Quick test_t0_formula;
+        tc "n=1024 geometry" `Quick test_geometry_n1024;
+        tc "small epsilon" `Quick test_geometry_epsilon_small;
+        tc "fits for many n" `Quick test_geometry_fits;
+        tc "base shift" `Quick test_geometry_base_shift;
+        tc "invalid params" `Quick test_geometry_invalid;
+        tc "t0 override" `Quick test_t0_override;
+        tc "beta override" `Quick test_beta_override;
+        tc "tiny instances" `Quick test_tiny_instances;
+      ] );
+    ( "rebatching.behaviour",
+      [
+        tc "all unique names" `Quick test_all_get_unique_names;
+        tc "unique under every adversary" `Quick test_unique_under_every_adversary;
+        tc "step complexity" `Quick test_step_complexity_reasonable;
+        tc "no backup at scale" `Quick test_no_backup_at_scale;
+        tc "overload uses backup" `Quick test_overload_uses_backup;
+        tc "saturated instance" `Quick test_saturated_instance;
+        tc "oversaturated returns None" `Quick test_oversaturated_returns_none;
+        tc "no-backup mode" `Quick test_no_backup_mode;
+        tc "events match returns" `Quick test_events_name_matches_return;
+        tc "probes stay in batch" `Quick test_probe_locations_in_claimed_batch;
+        tc "total steps linear" `Quick test_total_steps_linear;
+        QCheck_alcotest.to_alcotest qcheck_uniqueness;
+        QCheck_alcotest.to_alcotest qcheck_uniqueness_greedy;
+        QCheck_alcotest.to_alcotest qcheck_sequential_matches_model;
+      ] );
+  ]

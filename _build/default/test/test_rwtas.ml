@@ -1,0 +1,204 @@
+(* Tests for the read/write sifter reproduction (paper refs [3, 22]) and
+   the register extension of the simulator. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Register space *)
+
+let test_registers_basic () =
+  let r = Sim.Register_space.create () in
+  checki "initial" 0 (Sim.Register_space.read r 5);
+  Sim.Register_space.write r 5 42;
+  checki "written" 42 (Sim.Register_space.read r 5);
+  checki "peek" 42 (Sim.Register_space.peek r 5);
+  checki "reads counted" 2 (Sim.Register_space.reads r);
+  checki "writes counted" 1 (Sim.Register_space.writes r);
+  Sim.Register_space.reset r;
+  checki "reset value" 0 (Sim.Register_space.read r 5)
+
+let test_registers_growth () =
+  let r = Sim.Register_space.create () in
+  Sim.Register_space.write r 10_000 7;
+  checki "far register" 7 (Sim.Register_space.read r 10_000);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Register_space: negative register index") (fun () ->
+      ignore (Sim.Register_space.read r (-1)))
+
+let test_register_effects_through_scheduler () =
+  (* Two processes communicate through a register under the scheduler:
+     writer stores 7, reader spins until it sees it. *)
+  let body pid () =
+    if pid = 0 then begin
+      Sim.Proc.write 0 7;
+      Some 7
+    end
+    else begin
+      let rec wait () =
+        let v = Sim.Proc.read 0 in
+        if v = 0 then wait () else Some v
+      in
+      wait ()
+    end
+  in
+  let sched =
+    Sim.Scheduler.create
+      ~space:(Sim.Location_space.create ())
+      ~adversary:Sim.Adversary.random
+      ~rng:(Prng.Splitmix.of_int 1) ~n:2 ~body ()
+  in
+  Sim.Scheduler.run_to_completion sched;
+  checkb "reader saw the write" true (Sim.Scheduler.name_of sched 1 = Some 7)
+
+(* ------------------------------------------------------------------ *)
+(* Sifter *)
+
+let fake_registers () =
+  let tbl = Hashtbl.create 8 in
+  let read reg = Option.value ~default:0 (Hashtbl.find_opt tbl reg) in
+  let write reg v = Hashtbl.replace tbl reg v in
+  (read, write)
+
+let test_sifter_writer_stays () =
+  let read, write = fake_registers () in
+  checkb "writer stays" true
+    (Rwtas.Sifter.sift ~read ~write ~heads:true ~pid:3 ~reg:0 = Rwtas.Sifter.Stay);
+  checki "id stored" 4 (read 0)
+
+let test_sifter_early_reader_stays () =
+  let read, write = fake_registers () in
+  checkb "early reader stays" true
+    (Rwtas.Sifter.sift ~read ~write ~heads:false ~pid:1 ~reg:0 = Rwtas.Sifter.Stay)
+
+let test_sifter_late_reader_leaves () =
+  let read, write = fake_registers () in
+  ignore (Rwtas.Sifter.sift ~read ~write ~heads:true ~pid:0 ~reg:0);
+  checkb "late reader leaves" true
+    (Rwtas.Sifter.sift ~read ~write ~heads:false ~pid:1 ~reg:0 = Rwtas.Sifter.Leave)
+
+let test_suggested_probability () =
+  let p = Rwtas.Sifter.suggested_probability ~expected_contention:100. in
+  checkb "1/sqrt k" true (Float.abs (p -. 0.1) < 1e-9);
+  checkb "clamped at 1" true
+    (Rwtas.Sifter.suggested_probability ~expected_contention:0.5 = 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Cascade *)
+
+let test_cascade_at_least_one_survivor () =
+  (* Safety property P1, per level hence overall: under every adversary,
+     at least one process survives the whole cascade. *)
+  List.iter
+    (fun adversary ->
+      let r = Rwtas.Cascade.run ~adversary ~seed:2 ~n:64 () in
+      checkb
+        (Printf.sprintf "%s: >= 1 survivor" adversary.Sim.Adversary.name)
+        true
+        (Rwtas.Cascade.survivors r >= 1))
+    (Sim.Adversary.all_builtin @ [ Rwtas.Anti_sifter.adversary ])
+
+let test_cascade_solo_survives () =
+  let r = Rwtas.Cascade.run ~seed:3 ~n:1 () in
+  checki "solo survives" 1 (Rwtas.Cascade.survivors r)
+
+let test_cascade_survivors_monotone () =
+  let r = Rwtas.Cascade.run ~seed:4 ~n:1024 () in
+  let prev = ref max_int in
+  Array.iter
+    (fun s ->
+      checkb "non-increasing" true (s <= !prev);
+      prev := s)
+    r.survivors_per_level;
+  checki "starts at n" 1024 r.survivors_per_level.(0)
+
+let test_cascade_sifts_hard_under_oblivious () =
+  (* One level should already crush n = 4096 to O(sqrt n)-ish. *)
+  let r = Rwtas.Cascade.run ~seed:5 ~n:4096 () in
+  checkb
+    (Printf.sprintf "level-1 survivors %d < 8*sqrt n" r.survivors_per_level.(1))
+    true
+    (r.survivors_per_level.(1) < 8 * 64);
+  checkb "final survivors tiny" true (Rwtas.Cascade.survivors r <= 16)
+
+let test_cascade_anti_sifter_total_immunity () =
+  let r =
+    Rwtas.Cascade.run ~adversary:Rwtas.Anti_sifter.adversary ~seed:6 ~n:512 ()
+  in
+  checki "nobody sifted" 512 (Rwtas.Cascade.survivors r)
+
+let test_cascade_steps_accounting () =
+  (* Each process takes one step per level it enters, so total steps =
+     sum over levels of that level's enterers. *)
+  let r = Rwtas.Cascade.run ~seed:7 ~n:256 () in
+  let levels = Array.length r.survivors_per_level - 1 in
+  let steps_from_history = ref 0 in
+  for l = 0 to levels - 1 do
+    steps_from_history := !steps_from_history + r.survivors_per_level.(l)
+  done;
+  checki "steps = sum of enterers" !steps_from_history r.total_steps
+
+let test_cascade_deterministic () =
+  let a = Rwtas.Cascade.run ~seed:8 ~n:300 () in
+  let b = Rwtas.Cascade.run ~seed:8 ~n:300 () in
+  checkb "same exits" true (a.exit_level = b.exit_level)
+
+let test_cascade_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Cascade.run: n must be >= 1")
+    (fun () -> ignore (Rwtas.Cascade.run ~seed:1 ~n:0 ()));
+  Alcotest.check_raises "levels=0" (Invalid_argument "Cascade.run: levels must be >= 1")
+    (fun () -> ignore (Rwtas.Cascade.run ~levels:0 ~seed:1 ~n:4 ()))
+
+let test_suggested_levels () =
+  checkb "grows with n" true
+    (Rwtas.Cascade.suggested_levels ~n:1_000_000
+    >= Rwtas.Cascade.suggested_levels ~n:16);
+  checkb "small" true (Rwtas.Cascade.suggested_levels ~n:1_000_000 <= 10)
+
+let qcheck_cascade_safety =
+  QCheck.Test.make ~name:"cascade always keeps a survivor" ~count:40
+    QCheck.(pair small_int (int_range 1 300))
+    (fun (seed, n) ->
+      let r = Rwtas.Cascade.run ~seed ~n () in
+      Rwtas.Cascade.survivors r >= 1
+      && r.survivors_per_level.(0) = n)
+
+let qcheck_cascade_validated_adversaries =
+  QCheck.Test.make ~name:"cascade passes the adversary contract" ~count:20
+    QCheck.(pair small_int (int_range 1 100))
+    (fun (seed, n) ->
+      let adversary = Sim.Validator.validated Rwtas.Anti_sifter.adversary in
+      let r = Rwtas.Cascade.run ~adversary ~seed ~n () in
+      Rwtas.Cascade.survivors r = n)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "sim.register_space",
+      [
+        tc "basic" `Quick test_registers_basic;
+        tc "growth" `Quick test_registers_growth;
+        tc "effects through scheduler" `Quick test_register_effects_through_scheduler;
+      ] );
+    ( "rwtas.sifter",
+      [
+        tc "writer stays" `Quick test_sifter_writer_stays;
+        tc "early reader stays" `Quick test_sifter_early_reader_stays;
+        tc "late reader leaves" `Quick test_sifter_late_reader_leaves;
+        tc "suggested probability" `Quick test_suggested_probability;
+      ] );
+    ( "rwtas.cascade",
+      [
+        tc "at least one survivor" `Quick test_cascade_at_least_one_survivor;
+        tc "solo survives" `Quick test_cascade_solo_survives;
+        tc "survivors monotone" `Quick test_cascade_survivors_monotone;
+        tc "sifts hard (oblivious)" `Quick test_cascade_sifts_hard_under_oblivious;
+        tc "anti-sifter immunity" `Quick test_cascade_anti_sifter_total_immunity;
+        tc "steps accounting" `Quick test_cascade_steps_accounting;
+        tc "deterministic" `Quick test_cascade_deterministic;
+        tc "invalid" `Quick test_cascade_invalid;
+        tc "suggested levels" `Quick test_suggested_levels;
+        QCheck_alcotest.to_alcotest qcheck_cascade_safety;
+        QCheck_alcotest.to_alcotest qcheck_cascade_validated_adversaries;
+      ] );
+  ]

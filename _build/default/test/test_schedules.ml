@@ -1,0 +1,257 @@
+(* Tests for schedule traces (record/replay) and arrival patterns, plus
+   the bootstrap CI module. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let rebatching_algo n =
+  let instance = Renaming.Rebatching.make ~t0:3 ~n () in
+  fun env -> Renaming.Rebatching.get_name env instance
+
+(* ------------------------------------------------------------------ *)
+(* Trace record / replay *)
+
+let test_record_replay_identical () =
+  let n = 64 in
+  let algo = rebatching_algo n in
+  let recorder, extract = Sim.Trace.recorder Sim.Adversary.random in
+  let original = Sim.Runner.run ~adversary:recorder ~seed:5 ~n ~algo () in
+  let trace = extract () in
+  checki "trace covers every step" original.total_steps (Sim.Trace.length trace);
+  let replayed =
+    Sim.Runner.run ~adversary:(Sim.Trace.replayer trace) ~seed:5 ~n ~algo ()
+  in
+  Alcotest.(check (array (option int))) "same names" original.names replayed.names;
+  Alcotest.(check (array int)) "same step counts" original.steps replayed.steps;
+  checki "same total" original.total_steps replayed.total_steps
+
+let test_record_replay_greedy () =
+  (* Replaying an adaptive strategy's schedule with an oblivious replayer
+     must still reproduce the run exactly. *)
+  let n = 48 in
+  let algo = rebatching_algo n in
+  let recorder, extract = Sim.Trace.recorder Sim.Adversary.greedy_collision in
+  let original = Sim.Runner.run ~adversary:recorder ~seed:9 ~n ~algo () in
+  let replayed =
+    Sim.Runner.run
+      ~adversary:(Sim.Trace.replayer (extract ()))
+      ~seed:9 ~n ~algo ()
+  in
+  Alcotest.(check (array (option int))) "same names" original.names replayed.names
+
+let test_record_crashes () =
+  let n = 40 in
+  let algo = rebatching_algo n in
+  let inner = Sim.Adversary.with_crashes ~fraction:0.3 Sim.Adversary.random in
+  let recorder, extract = Sim.Trace.recorder inner in
+  let original = Sim.Runner.run ~adversary:recorder ~seed:11 ~n ~algo () in
+  let trace = extract () in
+  let crash_decisions =
+    List.length
+      (List.filter
+         (function Sim.Trace.Crashed_pid _ -> true | Sim.Trace.Stepped _ -> false)
+         (Sim.Trace.decisions trace))
+  in
+  checki "crashes recorded" original.crash_count crash_decisions;
+  let replayed =
+    Sim.Runner.run ~adversary:(Sim.Trace.replayer trace) ~seed:11 ~n ~algo ()
+  in
+  checki "crashes replayed" original.crash_count replayed.crash_count;
+  Alcotest.(check (array bool)) "same crash set" original.crashed replayed.crashed
+
+let test_replay_exhausted_falls_back () =
+  (* An empty trace must still complete the run (fallback stepping). *)
+  let n = 16 in
+  let algo = rebatching_algo n in
+  let empty = Sim.Trace.random_trace (Prng.Splitmix.of_int 1) ~n ~steps:0 in
+  let r = Sim.Runner.run ~adversary:(Sim.Trace.replayer empty) ~seed:2 ~n ~algo () in
+  checkb "completes and unique" true (Sim.Runner.check_unique_names r)
+
+let test_random_trace_as_fuzz () =
+  (* Random traces are valid oblivious schedules: uniqueness must hold
+     under any of them. *)
+  let n = 32 in
+  let algo = rebatching_algo n in
+  let rng = Prng.Splitmix.of_int 77 in
+  for _ = 1 to 10 do
+    let trace = Sim.Trace.random_trace rng ~n ~steps:500 in
+    let r =
+      Sim.Runner.run ~adversary:(Sim.Trace.replayer trace) ~seed:3 ~n ~algo ()
+    in
+    checkb "unique under fuzzed schedule" true (Sim.Runner.check_unique_names r)
+  done
+
+let test_random_trace_invalid () =
+  let rng = Prng.Splitmix.of_int 1 in
+  Alcotest.check_raises "n=0" (Invalid_argument "Trace.random_trace: n must be >= 1")
+    (fun () -> ignore (Sim.Trace.random_trace rng ~n:0 ~steps:1))
+
+let qcheck_replay_determinism =
+  QCheck.Test.make ~name:"record+replay reproduces any run" ~count:30
+    QCheck.(pair small_int (int_range 2 80))
+    (fun (seed, n) ->
+      let algo = rebatching_algo n in
+      let recorder, extract = Sim.Trace.recorder Sim.Adversary.random in
+      let original = Sim.Runner.run ~adversary:recorder ~seed ~n ~algo () in
+      let replayed =
+        Sim.Runner.run
+          ~adversary:(Sim.Trace.replayer (extract ()))
+          ~seed ~n ~algo ()
+      in
+      original.names = replayed.names && original.steps = replayed.steps)
+
+(* ------------------------------------------------------------------ *)
+(* Arrivals *)
+
+let test_staggered_completes_unique () =
+  let n = 64 in
+  let algo = rebatching_algo n in
+  let adversary = Sim.Arrivals.staggered ~interval:7 Sim.Adversary.random in
+  let r = Sim.Runner.run ~adversary ~seed:4 ~n ~algo () in
+  checkb "unique" true (Sim.Runner.check_unique_names r)
+
+let test_bursts_completes_unique () =
+  let n = 96 in
+  let algo = rebatching_algo n in
+  let adversary = Sim.Arrivals.bursts ~size:16 ~gap:64 Sim.Adversary.random in
+  let r = Sim.Runner.run ~adversary ~seed:5 ~n ~algo () in
+  checkb "unique" true (Sim.Runner.check_unique_names r)
+
+let test_arrival_order_respected () =
+  (* With one process arriving far in the future, everyone else must be
+     already done by the time it probes: it wins its very first probe
+     whenever the namespace has slack. *)
+  let n = 8 in
+  let instance = Renaming.Rebatching.make ~t0:3 ~n:64 () in
+  let algo env = Renaming.Rebatching.get_name env instance in
+  let times = Array.make n 0 in
+  times.(0) <- 10_000;
+  (* everyone else finishes within hundreds of steps *)
+  let adversary = Sim.Arrivals.with_arrival_times ~times Sim.Adversary.random in
+  let r = Sim.Runner.run ~adversary ~seed:6 ~n ~algo () in
+  checkb "unique" true (Sim.Runner.check_unique_names r);
+  checkb "late process finished" true (r.names.(0) <> None)
+
+let test_arrivals_all_at_zero_is_neutral () =
+  (* Arrival times of all-zero must behave exactly like the inner
+     strategy. *)
+  let n = 32 in
+  let algo = rebatching_algo n in
+  let plain = Sim.Runner.run ~seed:7 ~n ~algo () in
+  let wrapped =
+    Sim.Runner.run
+      ~adversary:
+        (Sim.Arrivals.with_arrival_times ~times:(Array.make n 0)
+           Sim.Adversary.random)
+      ~seed:7 ~n ~algo ()
+  in
+  Alcotest.(check (array (option int))) "same names" plain.names wrapped.names
+
+let test_arrivals_invalid () =
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Arrivals.with_arrival_times: negative arrival time")
+    (fun () ->
+      ignore (Sim.Arrivals.with_arrival_times ~times:[| -1 |] Sim.Adversary.random));
+  Alcotest.check_raises "negative interval"
+    (Invalid_argument "Arrivals.staggered: negative interval") (fun () ->
+      ignore (Sim.Arrivals.staggered ~interval:(-1) Sim.Adversary.random));
+  Alcotest.check_raises "bad burst size"
+    (Invalid_argument "Arrivals.bursts: size must be >= 1") (fun () ->
+      ignore (Sim.Arrivals.bursts ~size:0 ~gap:1 Sim.Adversary.random))
+
+let test_arrivals_with_adaptive_algorithms () =
+  let n = 64 in
+  List.iter
+    (fun adversary ->
+      let space = Renaming.Object_space.create ~t0:3 () in
+      let algo env = Renaming.Adaptive_rebatching.get_name env space in
+      let r = Sim.Runner.run ~adversary ~seed:8 ~n ~algo () in
+      checkb "unique" true (Sim.Runner.check_unique_names r))
+    [
+      Sim.Arrivals.staggered ~interval:3 Sim.Adversary.random;
+      Sim.Arrivals.bursts ~size:8 ~gap:100 Sim.Adversary.greedy_collision;
+    ]
+
+let qcheck_arrivals_safety =
+  QCheck.Test.make ~name:"arrival patterns preserve uniqueness" ~count:25
+    QCheck.(triple small_int (int_range 2 60) (int_range 0 50))
+    (fun (seed, n, interval) ->
+      let algo = rebatching_algo n in
+      let adversary = Sim.Arrivals.staggered ~interval Sim.Adversary.random in
+      let r = Sim.Runner.run ~adversary ~seed ~n ~algo () in
+      Sim.Runner.check_unique_names r)
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap *)
+
+let test_bootstrap_mean_brackets () =
+  let rng = Prng.Splitmix.of_int 21 in
+  let xs = Array.init 200 (fun i -> float_of_int (i mod 10)) in
+  let iv = Stats.Bootstrap.mean_ci rng xs in
+  checkb "point is the sample mean" true
+    (Float.abs (iv.Stats.Bootstrap.point -. 4.5) < 1e-9);
+  checkb "interval brackets point" true
+    (iv.Stats.Bootstrap.low <= iv.point && iv.point <= iv.Stats.Bootstrap.high);
+  checkb "interval is tight-ish" true (iv.high -. iv.low < 1.5)
+
+let test_bootstrap_constant_sample () =
+  let rng = Prng.Splitmix.of_int 22 in
+  let iv = Stats.Bootstrap.mean_ci rng (Array.make 50 7.) in
+  checkb "degenerate interval" true (iv.low = 7. && iv.high = 7. && iv.point = 7.)
+
+let test_bootstrap_quantile () =
+  let rng = Prng.Splitmix.of_int 23 in
+  let xs = Array.init 500 (fun i -> float_of_int i) in
+  let iv = Stats.Bootstrap.quantile_ci rng ~q:0.9 xs in
+  checkb "point is ~ 449" true (Float.abs (iv.point -. 449.1) < 1.);
+  checkb "interval around point" true (iv.low <= iv.point && iv.point <= iv.high)
+
+let test_bootstrap_invalid () =
+  let rng = Prng.Splitmix.of_int 24 in
+  Alcotest.check_raises "empty" (Invalid_argument "Bootstrap.ci: empty sample")
+    (fun () -> ignore (Stats.Bootstrap.mean_ci rng [||]));
+  Alcotest.check_raises "bad confidence"
+    (Invalid_argument "Bootstrap.ci: confidence outside (0, 1)") (fun () ->
+      ignore (Stats.Bootstrap.mean_ci rng ~confidence:1. [| 1. |]));
+  Alcotest.check_raises "bad q"
+    (Invalid_argument "Bootstrap.quantile_ci: q outside [0,1]") (fun () ->
+      ignore (Stats.Bootstrap.quantile_ci rng ~q:2. [| 1. |]))
+
+let test_bootstrap_deterministic () =
+  let xs = Array.init 100 (fun i -> float_of_int (i * i mod 37)) in
+  let iv1 = Stats.Bootstrap.mean_ci (Prng.Splitmix.of_int 9) xs in
+  let iv2 = Stats.Bootstrap.mean_ci (Prng.Splitmix.of_int 9) xs in
+  checkb "same rng, same interval" true (iv1 = iv2)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "sim.trace",
+      [
+        tc "record/replay identical" `Quick test_record_replay_identical;
+        tc "record/replay greedy" `Quick test_record_replay_greedy;
+        tc "record crashes" `Quick test_record_crashes;
+        tc "replay exhausted falls back" `Quick test_replay_exhausted_falls_back;
+        tc "random trace fuzz" `Quick test_random_trace_as_fuzz;
+        tc "random trace invalid" `Quick test_random_trace_invalid;
+        QCheck_alcotest.to_alcotest qcheck_replay_determinism;
+      ] );
+    ( "sim.arrivals",
+      [
+        tc "staggered completes" `Quick test_staggered_completes_unique;
+        tc "bursts complete" `Quick test_bursts_completes_unique;
+        tc "arrival order respected" `Quick test_arrival_order_respected;
+        tc "zero times neutral" `Quick test_arrivals_all_at_zero_is_neutral;
+        tc "invalid args" `Quick test_arrivals_invalid;
+        tc "adaptive algorithms" `Quick test_arrivals_with_adaptive_algorithms;
+        QCheck_alcotest.to_alcotest qcheck_arrivals_safety;
+      ] );
+    ( "stats.bootstrap",
+      [
+        tc "mean brackets" `Quick test_bootstrap_mean_brackets;
+        tc "constant sample" `Quick test_bootstrap_constant_sample;
+        tc "quantile" `Quick test_bootstrap_quantile;
+        tc "invalid" `Quick test_bootstrap_invalid;
+        tc "deterministic" `Quick test_bootstrap_deterministic;
+      ] );
+  ]

@@ -1,0 +1,181 @@
+(* Tests for lib/shm: atomic TAS cells and the domain runner. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Atomic space *)
+
+let test_atomic_tas_semantics () =
+  let sp = Shm.Atomic_space.create ~capacity:8 in
+  checkb "first wins" true (Shm.Atomic_space.tas sp 3);
+  checkb "second loses" false (Shm.Atomic_space.tas sp 3);
+  checkb "is_taken" true (Shm.Atomic_space.is_taken sp 3);
+  checkb "other free" false (Shm.Atomic_space.is_taken sp 4);
+  checki "taken count" 1 (Shm.Atomic_space.taken_count sp)
+
+let test_atomic_release () =
+  let sp = Shm.Atomic_space.create ~capacity:4 in
+  ignore (Shm.Atomic_space.tas sp 0);
+  Shm.Atomic_space.release sp 0;
+  checkb "free after release" true (Shm.Atomic_space.tas sp 0)
+
+let test_atomic_reset () =
+  let sp = Shm.Atomic_space.create ~capacity:4 in
+  ignore (Shm.Atomic_space.tas sp 0);
+  ignore (Shm.Atomic_space.tas sp 1);
+  Shm.Atomic_space.reset sp;
+  checki "all free" 0 (Shm.Atomic_space.taken_count sp)
+
+let test_atomic_bounds () =
+  let sp = Shm.Atomic_space.create ~capacity:4 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Atomic_space.tas: location out of range") (fun () ->
+      ignore (Shm.Atomic_space.tas sp 4));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Atomic_space.tas: location out of range") (fun () ->
+      ignore (Shm.Atomic_space.tas sp (-1)));
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Atomic_space.create: capacity must be >= 1") (fun () ->
+      ignore (Shm.Atomic_space.create ~capacity:0))
+
+let test_atomic_concurrent_single_winner () =
+  (* 4 domains race on every cell; each cell must have exactly one
+     winner. *)
+  let cells = 64 in
+  let sp = Shm.Atomic_space.create ~capacity:cells in
+  let wins = Array.init 4 (fun _ -> Array.make cells false) in
+  let worker d () =
+    for loc = 0 to cells - 1 do
+      if Shm.Atomic_space.tas sp loc then wins.(d).(loc) <- true
+    done
+  in
+  let handles = Array.init 4 (fun d -> Domain.spawn (worker d)) in
+  Array.iter Domain.join handles;
+  for loc = 0 to cells - 1 do
+    let winners = ref 0 in
+    for d = 0 to 3 do
+      if wins.(d).(loc) then incr winners
+    done;
+    checki (Printf.sprintf "cell %d" loc) 1 !winners
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Domain runner *)
+
+let test_runner_rebatching_unique () =
+  let instance = Renaming.Rebatching.make ~t0:3 ~n:128 () in
+  let r =
+    Shm.Domain_runner.run ~domains:4 ~seed:1 ~procs:128
+      ~capacity:(Renaming.Rebatching.size instance)
+      ~algo:(fun env -> Renaming.Rebatching.get_name env instance)
+      ()
+  in
+  checkb "unique" true (Shm.Domain_runner.check_unique_names r);
+  checkb "in range" true
+    (Shm.Domain_runner.max_name r < Renaming.Rebatching.size instance);
+  checki "domains" 4 r.domains_used;
+  checkb "probes counted" true (r.total_probes >= 128)
+
+let test_runner_adaptive_unique () =
+  let space = Renaming.Object_space.create () in
+  let capacity = Renaming.Object_space.total_size space 16 in
+  let r =
+    Shm.Domain_runner.run ~domains:4 ~seed:2 ~procs:64 ~capacity
+      ~algo:(fun env -> Renaming.Adaptive_rebatching.get_name env space)
+      ()
+  in
+  checkb "unique" true (Shm.Domain_runner.check_unique_names r)
+
+let test_runner_fast_adaptive_unique () =
+  let space = Renaming.Object_space.create () in
+  let capacity = Renaming.Object_space.total_size space 16 in
+  let r =
+    Shm.Domain_runner.run ~domains:4 ~seed:3 ~procs:64 ~capacity
+      ~algo:(fun env -> Renaming.Fast_adaptive_rebatching.get_name env space)
+      ()
+  in
+  checkb "unique" true (Shm.Domain_runner.check_unique_names r)
+
+let test_runner_single_domain () =
+  let instance = Renaming.Rebatching.make ~n:32 () in
+  let r =
+    Shm.Domain_runner.run ~domains:1 ~seed:4 ~procs:32
+      ~capacity:(Renaming.Rebatching.size instance)
+      ~algo:(fun env -> Renaming.Rebatching.get_name env instance)
+      ()
+  in
+  checkb "unique" true (Shm.Domain_runner.check_unique_names r);
+  checki "one domain" 1 r.domains_used
+
+let test_runner_more_domains_than_procs () =
+  let instance = Renaming.Rebatching.make ~n:2 () in
+  let r =
+    Shm.Domain_runner.run ~domains:8 ~seed:5 ~procs:2
+      ~capacity:(Renaming.Rebatching.size instance)
+      ~algo:(fun env -> Renaming.Rebatching.get_name env instance)
+      ()
+  in
+  checki "clamped to procs" 2 r.domains_used;
+  checkb "unique" true (Shm.Domain_runner.check_unique_names r)
+
+let test_runner_invalid () =
+  Alcotest.check_raises "procs=0"
+    (Invalid_argument "Domain_runner.run: procs must be >= 1") (fun () ->
+      ignore
+        (Shm.Domain_runner.run ~seed:1 ~procs:0 ~capacity:1
+           ~algo:(fun _ -> None)
+           ()));
+  Alcotest.check_raises "domains=0"
+    (Invalid_argument "Domain_runner.run: domains must be >= 1") (fun () ->
+      ignore
+        (Shm.Domain_runner.run ~domains:0 ~seed:1 ~procs:1 ~capacity:1
+           ~algo:(fun _ -> None)
+           ()))
+
+let test_runner_wall_time_positive () =
+  let instance = Renaming.Rebatching.make ~n:16 () in
+  let r =
+    Shm.Domain_runner.run ~domains:2 ~seed:6 ~procs:16
+      ~capacity:(Renaming.Rebatching.size instance)
+      ~algo:(fun env -> Renaming.Rebatching.get_name env instance)
+      ()
+  in
+  checkb "positive wall time" true (r.wall_ns > 0.)
+
+let qcheck_shm_uniqueness =
+  QCheck.Test.make ~name:"multicore rebatching always unique" ~count:10
+    QCheck.(pair small_int (int_range 1 100))
+    (fun (seed, procs) ->
+      let instance = Renaming.Rebatching.make ~t0:3 ~n:procs () in
+      let r =
+        Shm.Domain_runner.run ~domains:3 ~seed ~procs
+          ~capacity:(Renaming.Rebatching.size instance)
+          ~algo:(fun env -> Renaming.Rebatching.get_name env instance)
+          ()
+      in
+      Shm.Domain_runner.check_unique_names r)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "shm.atomic_space",
+      [
+        tc "tas semantics" `Quick test_atomic_tas_semantics;
+        tc "release" `Quick test_atomic_release;
+        tc "reset" `Quick test_atomic_reset;
+        tc "bounds" `Quick test_atomic_bounds;
+        tc "concurrent single winner" `Quick test_atomic_concurrent_single_winner;
+      ] );
+    ( "shm.domain_runner",
+      [
+        tc "rebatching unique" `Quick test_runner_rebatching_unique;
+        tc "adaptive unique" `Quick test_runner_adaptive_unique;
+        tc "fast adaptive unique" `Quick test_runner_fast_adaptive_unique;
+        tc "single domain" `Quick test_runner_single_domain;
+        tc "more domains than procs" `Quick test_runner_more_domains_than_procs;
+        tc "invalid args" `Quick test_runner_invalid;
+        tc "wall time" `Quick test_runner_wall_time_positive;
+        QCheck_alcotest.to_alcotest qcheck_shm_uniqueness;
+      ] );
+  ]

@@ -1,0 +1,360 @@
+(* Tests for lib/stats: summaries, histograms, regression. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let float_close ?(eps = 1e-9) msg a b =
+  if Float.abs (a -. b) > eps then
+    Alcotest.failf "%s: %.12g <> %.12g (eps %.1g)" msg a b eps
+
+(* ------------------------------------------------------------------ *)
+(* Summary *)
+
+let test_acc_known_values () =
+  let acc = Stats.Summary.acc_create () in
+  List.iter (fun x -> Stats.Summary.acc_add acc x) [ 1.; 2.; 3.; 4.; 5. ];
+  checki "count" 5 (Stats.Summary.acc_count acc);
+  float_close "mean" 3. (Stats.Summary.acc_mean acc);
+  float_close "variance" 2.5 (Stats.Summary.acc_variance acc);
+  float_close "stddev" (sqrt 2.5) (Stats.Summary.acc_stddev acc);
+  float_close "min" 1. (Stats.Summary.acc_min acc);
+  float_close "max" 5. (Stats.Summary.acc_max acc)
+
+let test_acc_single () =
+  let acc = Stats.Summary.acc_create () in
+  Stats.Summary.acc_add acc 7.;
+  float_close "mean" 7. (Stats.Summary.acc_mean acc);
+  float_close "variance" 0. (Stats.Summary.acc_variance acc)
+
+let test_acc_empty () =
+  let acc = Stats.Summary.acc_create () in
+  checki "count" 0 (Stats.Summary.acc_count acc);
+  float_close "variance" 0. (Stats.Summary.acc_variance acc)
+
+let test_of_array_known () =
+  let s = Stats.Summary.of_array [| 1.; 2.; 3.; 4.; 5. |] in
+  checki "count" 5 s.count;
+  float_close "mean" 3. s.mean;
+  float_close "median" 3. s.median;
+  float_close "min" 1. s.min;
+  float_close "max" 5. s.max;
+  checkb "ci brackets mean" true (s.ci95_low <= s.mean && s.mean <= s.ci95_high)
+
+let test_of_array_single () =
+  let s = Stats.Summary.of_array [| 42. |] in
+  float_close "mean" 42. s.mean;
+  float_close "median" 42. s.median;
+  float_close "p05" 42. s.p05;
+  float_close "p95" 42. s.p95;
+  float_close "stddev" 0. s.stddev
+
+let test_of_array_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_array: empty sample")
+    (fun () -> ignore (Stats.Summary.of_array [||]))
+
+let test_of_int_array () =
+  let s = Stats.Summary.of_int_array [| 2; 4; 6 |] in
+  float_close "mean" 4. s.mean
+
+let test_percentile_interpolation () =
+  float_close "median of pair" 5. (Stats.Summary.percentile [| 0.; 10. |] 0.5);
+  float_close "q=0" 0. (Stats.Summary.percentile [| 0.; 10. |] 0.);
+  float_close "q=1" 10. (Stats.Summary.percentile [| 0.; 10. |] 1.);
+  float_close "quarter" 2.5 (Stats.Summary.percentile [| 0.; 10. |] 0.25);
+  (* order must not matter *)
+  float_close "unsorted input" 5. (Stats.Summary.percentile [| 10.; 0. |] 0.5)
+
+let test_percentile_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.percentile: empty sample")
+    (fun () -> ignore (Stats.Summary.percentile [||] 0.5));
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Summary.percentile: q outside [0,1]") (fun () ->
+      ignore (Stats.Summary.percentile [| 1. |] 1.5))
+
+let test_mean () =
+  float_close "mean" 2. (Stats.Summary.mean [| 1.; 2.; 3. |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.mean: empty sample")
+    (fun () -> ignore (Stats.Summary.mean [||]))
+
+let test_summary_matches_acc () =
+  (* of_array and the online accumulator must agree. *)
+  let rng = Prng.Splitmix.of_int 99 in
+  let xs = Array.init 500 (fun _ -> Prng.Splitmix.float rng *. 100.) in
+  let acc = Stats.Summary.acc_create () in
+  Array.iter (fun x -> Stats.Summary.acc_add acc x) xs;
+  let s = Stats.Summary.of_array xs in
+  float_close ~eps:1e-6 "mean agreement" (Stats.Summary.acc_mean acc) s.mean;
+  float_close ~eps:1e-6 "stddev agreement" (Stats.Summary.acc_stddev acc) s.stddev
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_histogram_basic () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add h 3;
+  Stats.Histogram.add h 3;
+  Stats.Histogram.add h 7;
+  checki "count 3" 2 (Stats.Histogram.count h 3);
+  checki "count 7" 1 (Stats.Histogram.count h 7);
+  checki "count absent" 0 (Stats.Histogram.count h 5);
+  checki "total" 3 (Stats.Histogram.total h);
+  checki "max value" 7 (Stats.Histogram.max_value h);
+  float_close ~eps:1e-9 "mean" (13. /. 3.) (Stats.Histogram.mean h)
+
+let test_histogram_add_many () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add_many h 2 10;
+  Stats.Histogram.add_many h 100 5;
+  checki "count 2" 10 (Stats.Histogram.count h 2);
+  checki "count 100" 5 (Stats.Histogram.count h 100);
+  checki "total" 15 (Stats.Histogram.total h);
+  Alcotest.(check (list (pair int int)))
+    "to_alist"
+    [ (2, 10); (100, 5) ]
+    (Stats.Histogram.to_alist h)
+
+let test_histogram_empty () =
+  let h = Stats.Histogram.create () in
+  checki "total" 0 (Stats.Histogram.total h);
+  checki "max value" (-1) (Stats.Histogram.max_value h);
+  checkb "mean is nan" true (Float.is_nan (Stats.Histogram.mean h))
+
+let test_histogram_negative () =
+  let h = Stats.Histogram.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Histogram.add: negative value")
+    (fun () -> Stats.Histogram.add h (-1))
+
+let test_histogram_render () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add_many h 1 10;
+  Stats.Histogram.add_many h 2 5;
+  let s = Stats.Histogram.render ~width:20 h in
+  checkb "mentions 1" true
+    (String.length s > 0 && String.contains s '#' && String.contains s '1')
+
+(* ------------------------------------------------------------------ *)
+(* Regression *)
+
+let test_linear_fit_exact () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let ys = Array.map (fun x -> (2. *. x) +. 1.) xs in
+  let f = Stats.Regression.linear_fit xs ys in
+  float_close "slope" 2. f.slope;
+  float_close "intercept" 1. f.intercept;
+  float_close "r2" 1. f.r2
+
+let test_linear_fit_constant_x () =
+  let f = Stats.Regression.linear_fit [| 3.; 3.; 3. |] [| 1.; 2.; 3. |] in
+  float_close "slope" 0. f.slope;
+  float_close "r2" 0. f.r2
+
+let test_linear_fit_constant_y () =
+  let f = Stats.Regression.linear_fit [| 1.; 2.; 3. |] [| 5.; 5.; 5. |] in
+  float_close "slope" 0. f.slope;
+  float_close "intercept" 5. f.intercept;
+  float_close "r2" 1. f.r2
+
+let test_linear_fit_invalid () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Regression.linear_fit: length mismatch") (fun () ->
+      ignore (Stats.Regression.linear_fit [| 1. |] [| 1.; 2. |]));
+  Alcotest.check_raises "too few"
+    (Invalid_argument "Regression.linear_fit: need at least two points")
+    (fun () -> ignore (Stats.Regression.linear_fit [| 1. |] [| 1. |]))
+
+let test_fit_log_model () =
+  let sizes = Array.init 10 (fun i -> float_of_int (1 lsl (i + 4))) in
+  let values = Array.map (fun n -> 3. +. (2. *. log n)) sizes in
+  let f = Stats.Regression.fit_model Stats.Regression.Log ~sizes ~values in
+  float_close ~eps:1e-6 "slope" 2. f.slope;
+  float_close ~eps:1e-6 "r2" 1. f.r2
+
+let test_fit_loglog_model () =
+  let sizes = Array.init 12 (fun i -> float_of_int (1 lsl (i + 4))) in
+  let values = Array.map (fun n -> 1. +. log (log n)) sizes in
+  let f = Stats.Regression.fit_model Stats.Regression.Log_log ~sizes ~values in
+  float_close ~eps:1e-6 "slope" 1. f.slope;
+  float_close ~eps:1e-6 "r2" 1. f.r2
+
+let test_best_model_discriminates () =
+  (* loglog data should prefer Log_log over Log and Linear. *)
+  let sizes = Array.init 14 (fun i -> float_of_int (1 lsl (i + 4))) in
+  let values = Array.map (fun n -> 2. +. (3. *. log (log n))) sizes in
+  let best, fit =
+    Stats.Regression.best_model
+      [ Stats.Regression.Log; Stats.Regression.Log_log; Stats.Regression.Linear ]
+      ~sizes ~values
+  in
+  checkb "picks loglog" true (best = Stats.Regression.Log_log);
+  checkb "good fit" true (fit.r2 > 0.999)
+
+let test_best_model_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Regression.best_model: empty model list") (fun () ->
+      ignore (Stats.Regression.best_model [] ~sizes:[| 1.; 2. |] ~values:[| 1.; 2. |]))
+
+let test_model_names () =
+  let open Stats.Regression in
+  List.iter
+    (fun m -> checkb "nonempty name" true (String.length (model_name m) > 0))
+    [ Const; Log_log; Log_log_sq; Log; Sqrt; Linear; N_log_log ]
+
+let test_apply_model_clamps () =
+  let open Stats.Regression in
+  (* tiny sizes must not produce NaNs *)
+  List.iter
+    (fun m ->
+      let v = apply_model m 1. in
+      Alcotest.check Alcotest.bool "finite" true (Float.is_finite v))
+    [ Const; Log_log; Log_log_sq; Log; Sqrt; Linear; N_log_log ]
+
+(* ------------------------------------------------------------------ *)
+(* Ascii plot *)
+
+let test_plot_basic () =
+  let s =
+    Stats.Ascii_plot.render
+      [
+        {
+          Stats.Ascii_plot.label = "line";
+          marker = '*';
+          points = [| (1., 1.); (2., 2.); (3., 3.) |];
+        };
+      ]
+  in
+  checkb "contains marker" true (String.contains s '*');
+  checkb "contains legend" true (String.contains s 'l');
+  checkb "contains axis" true (String.contains s '+')
+
+let test_plot_log_x () =
+  let s =
+    Stats.Ascii_plot.render ~log_x:true
+      [
+        {
+          Stats.Ascii_plot.label = "p";
+          marker = 'o';
+          points = [| (64., 1.); (4096., 2.) |];
+        };
+      ]
+  in
+  checkb "log axis label" true
+    (let rec find i =
+       i + 2 <= String.length s && (String.sub s i 2 = "2^" || find (i + 1))
+     in
+     find 0)
+
+let test_plot_single_point () =
+  let s =
+    Stats.Ascii_plot.render
+      [ { Stats.Ascii_plot.label = "pt"; marker = 'x'; points = [| (5., 5.) |] } ]
+  in
+  checkb "renders" true (String.contains s 'x')
+
+let test_plot_invalid () =
+  Alcotest.check_raises "no data" (Invalid_argument "Ascii_plot.render: no data")
+    (fun () ->
+      ignore
+        (Stats.Ascii_plot.render
+           [ { Stats.Ascii_plot.label = "e"; marker = 'x'; points = [||] } ]));
+  Alcotest.check_raises "log of nonpositive"
+    (Invalid_argument "Ascii_plot.render: log_x requires positive x") (fun () ->
+      ignore
+        (Stats.Ascii_plot.render ~log_x:true
+           [ { Stats.Ascii_plot.label = "e"; marker = 'x'; points = [| (0., 1.) |] } ]));
+  Alcotest.check_raises "tiny grid"
+    (Invalid_argument "Ascii_plot.render: dimensions must be >= 2") (fun () ->
+      ignore
+        (Stats.Ascii_plot.render ~width:1
+           [ { Stats.Ascii_plot.label = "e"; marker = 'x'; points = [| (1., 1.) |] } ]))
+
+let qcheck_plot_never_crashes =
+  QCheck.Test.make ~name:"plot renders any finite data" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 40)
+              (pair (float_range (-1000.) 1000.) (float_range (-1000.) 1000.)))
+    (fun points ->
+      let s =
+        Stats.Ascii_plot.render
+          [
+            {
+              Stats.Ascii_plot.label = "q";
+              marker = '*';
+              points = Array.of_list points;
+            };
+          ]
+      in
+      String.length s > 0)
+
+let qcheck_percentile_bounds =
+  QCheck.Test.make ~name:"percentile between min and max" ~count:300
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (float_bound_exclusive 1000.))
+              (float_range 0. 1.))
+    (fun (l, q) ->
+      let xs = Array.of_list l in
+      let p = Stats.Summary.percentile xs q in
+      let mn = Array.fold_left Float.min infinity xs in
+      let mx = Array.fold_left Float.max neg_infinity xs in
+      p >= mn -. 1e-9 && p <= mx +. 1e-9)
+
+let qcheck_r2_range =
+  QCheck.Test.make ~name:"r2 is in [0,1]" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 2 30) (float_bound_exclusive 100.))
+        (list_of_size (Gen.int_range 2 30) (float_bound_exclusive 100.)))
+    (fun (lx, ly) ->
+      let n = min (List.length lx) (List.length ly) in
+      QCheck.assume (n >= 2);
+      let xs = Array.of_list (List.filteri (fun i _ -> i < n) lx) in
+      let ys = Array.of_list (List.filteri (fun i _ -> i < n) ly) in
+      let f = Stats.Regression.linear_fit xs ys in
+      f.r2 >= -1e-9 && f.r2 <= 1. +. 1e-9)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "stats.summary",
+      [
+        tc "acc known values" `Quick test_acc_known_values;
+        tc "acc single" `Quick test_acc_single;
+        tc "acc empty" `Quick test_acc_empty;
+        tc "of_array known" `Quick test_of_array_known;
+        tc "of_array single" `Quick test_of_array_single;
+        tc "of_array empty" `Quick test_of_array_empty;
+        tc "of_int_array" `Quick test_of_int_array;
+        tc "percentile interpolation" `Quick test_percentile_interpolation;
+        tc "percentile invalid" `Quick test_percentile_invalid;
+        tc "mean" `Quick test_mean;
+        tc "summary matches acc" `Quick test_summary_matches_acc;
+        QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
+      ] );
+    ( "stats.histogram",
+      [
+        tc "basic" `Quick test_histogram_basic;
+        tc "add_many" `Quick test_histogram_add_many;
+        tc "empty" `Quick test_histogram_empty;
+        tc "negative" `Quick test_histogram_negative;
+        tc "render" `Quick test_histogram_render;
+      ] );
+    ( "stats.ascii_plot",
+      [
+        tc "basic" `Quick test_plot_basic;
+        tc "log x" `Quick test_plot_log_x;
+        tc "single point" `Quick test_plot_single_point;
+        tc "invalid" `Quick test_plot_invalid;
+        QCheck_alcotest.to_alcotest qcheck_plot_never_crashes;
+      ] );
+    ( "stats.regression",
+      [
+        tc "linear fit exact" `Quick test_linear_fit_exact;
+        tc "constant x" `Quick test_linear_fit_constant_x;
+        tc "constant y" `Quick test_linear_fit_constant_y;
+        tc "invalid" `Quick test_linear_fit_invalid;
+        tc "log model" `Quick test_fit_log_model;
+        tc "loglog model" `Quick test_fit_loglog_model;
+        tc "best model discriminates" `Quick test_best_model_discriminates;
+        tc "best model empty" `Quick test_best_model_empty;
+        tc "model names" `Quick test_model_names;
+        tc "apply model clamps" `Quick test_apply_model_clamps;
+        QCheck_alcotest.to_alcotest qcheck_r2_range;
+      ] );
+  ]

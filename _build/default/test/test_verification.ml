@@ -1,0 +1,336 @@
+(* Tests for the verification layer: the adversary-contract validator,
+   the event-stream spec checker, the schedule search, and the bounded
+   object space. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let rebatching_algo ?(t0 = 3) n =
+  let instance = Renaming.Rebatching.make ~t0 ~n () in
+  fun env -> Renaming.Rebatching.get_name env instance
+
+(* ------------------------------------------------------------------ *)
+(* Validator *)
+
+let test_validator_passes_builtins () =
+  let n = 64 in
+  let algo = rebatching_algo n in
+  List.iter
+    (fun adv ->
+      let adversary = Sim.Validator.validated adv in
+      let r = Sim.Runner.run ~adversary ~seed:3 ~n ~algo () in
+      checkb
+        (Printf.sprintf "%s passes validation" adversary.Sim.Adversary.name)
+        true
+        (Sim.Runner.check_unique_names r))
+    Sim.Adversary.all_builtin
+
+let test_validator_passes_wrappers () =
+  let n = 48 in
+  let algo = rebatching_algo n in
+  List.iter
+    (fun adv ->
+      let adversary = Sim.Validator.validated adv in
+      let r = Sim.Runner.run ~adversary ~seed:4 ~n ~algo () in
+      checkb "wrapped strategies pass" true (Sim.Runner.check_unique_names r))
+    [
+      Sim.Adversary.with_crashes ~fraction:0.3 Sim.Adversary.greedy_collision;
+      Sim.Arrivals.staggered ~interval:5 Sim.Adversary.random;
+      Sim.Arrivals.bursts ~size:8 ~gap:40 Sim.Adversary.round_robin;
+    ]
+
+let test_validator_passes_replay () =
+  let n = 32 in
+  let algo = rebatching_algo n in
+  let recorder, extract = Sim.Trace.recorder Sim.Adversary.random in
+  let _ = Sim.Runner.run ~adversary:recorder ~seed:5 ~n ~algo () in
+  let adversary = Sim.Validator.validated (Sim.Trace.replayer (extract ())) in
+  let r = Sim.Runner.run ~adversary ~seed:5 ~n ~algo () in
+  checkb "replay passes validation" true (Sim.Runner.check_unique_names r)
+
+let test_validator_catches_bad_strategy () =
+  (* A strategy that steps pid 0 unconditionally violates the contract
+     the moment pid 0 finishes. *)
+  let bad =
+    {
+      Sim.Adversary.name = "always-zero";
+      make =
+        (fun _ctx ->
+          {
+            Sim.Adversary.on_wait = (fun ~pid:_ ~loc:_ ~op:_ -> ());
+            on_tas = (fun ~loc:_ ~won:_ -> ());
+            on_settle = (fun ~pid:_ -> ());
+            pick = (fun () -> Sim.Adversary.Step 0);
+          });
+    }
+  in
+  let algo = rebatching_algo 4 in
+  checkb "raises contract violation" true
+    (try
+       ignore (Sim.Runner.run ~adversary:(Sim.Validator.validated bad) ~seed:6 ~n:4 ~algo ());
+       false
+     with Sim.Validator.Contract_violation _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Spec checker *)
+
+let run_with_spec ?adversary ~seed ~n ~attach algo =
+  let spec = Renaming.Spec.create () in
+  attach spec;
+  let r =
+    Sim.Runner.run ?adversary ~on_event:(Renaming.Spec.observe spec) ~seed ~n
+      ~algo ()
+  in
+  (r, spec)
+
+let test_spec_clean_rebatching () =
+  let instance = Renaming.Rebatching.make ~t0:3 ~n:128 () in
+  let algo env = Renaming.Rebatching.get_name env instance in
+  let _, spec =
+    run_with_spec ~seed:7 ~n:128
+      ~attach:(fun s -> Renaming.Spec.with_rebatching s instance)
+      algo
+  in
+  Alcotest.(check (list string)) "no violations" [] (Renaming.Spec.violations spec);
+  checkb "saw events" true (Renaming.Spec.events_seen spec > 0)
+
+let test_spec_clean_adaptive () =
+  let space = Renaming.Object_space.create ~t0:3 () in
+  let algo env = Renaming.Adaptive_rebatching.get_name env space in
+  let _, spec =
+    run_with_spec ~seed:8 ~n:100
+      ~attach:(fun s -> Renaming.Spec.with_object_space s space)
+      algo
+  in
+  Alcotest.(check (list string)) "no violations" [] (Renaming.Spec.violations spec)
+
+let test_spec_clean_fast_adaptive_under_greedy () =
+  let space = Renaming.Object_space.create () in
+  let algo env = Renaming.Fast_adaptive_rebatching.get_name env space in
+  let _, spec =
+    run_with_spec ~adversary:Sim.Adversary.greedy_collision ~seed:9 ~n:80
+      ~attach:(fun s -> Renaming.Spec.with_object_space s space)
+      algo
+  in
+  Alcotest.(check (list string)) "no violations" [] (Renaming.Spec.violations spec)
+
+let test_spec_clean_long_lived_churn () =
+  let object_ = Renaming.Long_lived.make ~t0:3 ~n:32 () in
+  let algo (env : Renaming.Env.t) =
+    let rec cycle r =
+      match Renaming.Long_lived.acquire env object_ with
+      | None -> None
+      | Some u ->
+        if r = 0 then Some u
+        else begin
+          Renaming.Long_lived.release env object_ u;
+          cycle (r - 1)
+        end
+    in
+    cycle 10
+  in
+  let _, spec =
+    run_with_spec ~seed:10 ~n:32
+      ~attach:(fun s ->
+        Renaming.Spec.with_rebatching s (Renaming.Long_lived.instance object_))
+      algo
+  in
+  Alcotest.(check (list string)) "no violations" [] (Renaming.Spec.violations spec)
+
+let test_spec_flags_double_win () =
+  let spec = Renaming.Spec.create () in
+  let probe ~pid won =
+    Renaming.Spec.observe spec ~pid
+      (Renaming.Events.Probe { obj = 0; batch = 0; location = 5; won })
+  in
+  probe ~pid:0 true;
+  probe ~pid:1 true;
+  (* impossible double win *)
+  checki "one violation" 1 (List.length (Renaming.Spec.violations spec))
+
+let test_spec_flags_lost_probe_on_free () =
+  let spec = Renaming.Spec.create () in
+  Renaming.Spec.observe spec ~pid:0
+    (Renaming.Events.Probe { obj = 0; batch = 0; location = 9; won = false });
+  checki "one violation" 1 (List.length (Renaming.Spec.violations spec))
+
+let test_spec_flags_phantom_acquire () =
+  let spec = Renaming.Spec.create () in
+  Renaming.Spec.observe spec ~pid:0
+    (Renaming.Events.Name_acquired { obj = 0; name = 3 });
+  checkb "violation mentions winning" true
+    (match Renaming.Spec.violations spec with
+    | [ v ] -> String.length v > 0
+    | _ -> false)
+
+let test_spec_flags_bad_release () =
+  let spec = Renaming.Spec.create () in
+  Renaming.Spec.observe spec ~pid:0
+    (Renaming.Events.Name_released { obj = 0; name = 3 });
+  checki "one violation" 1 (List.length (Renaming.Spec.violations spec))
+
+let test_spec_flags_out_of_batch_probe () =
+  let instance = Renaming.Rebatching.make ~t0:3 ~n:64 () in
+  let spec = Renaming.Spec.create () in
+  Renaming.Spec.with_rebatching spec instance;
+  (* batch 1 starts at offset 64; location 5 is inside batch 0 *)
+  Renaming.Spec.observe spec ~pid:0
+    (Renaming.Events.Probe { obj = 0; batch = 1; location = 5; won = true });
+  checki "one violation" 1 (List.length (Renaming.Spec.violations spec))
+
+let qcheck_spec_all_algorithms_clean =
+  QCheck.Test.make ~name:"spec checker finds no violations in real runs" ~count:20
+    QCheck.(pair small_int (int_range 2 80))
+    (fun (seed, n) ->
+      let space = Renaming.Object_space.create ~t0:3 () in
+      let checks =
+        [
+          (fun () ->
+            let instance = Renaming.Rebatching.make ~n () in
+            let algo env = Renaming.Rebatching.get_name env instance in
+            let _, spec =
+              run_with_spec ~seed ~n
+                ~attach:(fun s -> Renaming.Spec.with_rebatching s instance)
+                algo
+            in
+            Renaming.Spec.violations spec = []);
+          (fun () ->
+            let algo env = Renaming.Fast_adaptive_rebatching.get_name env space in
+            let _, spec =
+              run_with_spec ~seed ~n
+                ~attach:(fun s -> Renaming.Spec.with_object_space s space)
+                algo
+            in
+            Renaming.Spec.violations spec = []);
+        ]
+      in
+      List.for_all (fun f -> f ()) checks)
+
+(* ------------------------------------------------------------------ *)
+(* Search *)
+
+let test_search_monotone () =
+  let algo = rebatching_algo 48 in
+  let r =
+    Sim.Search.hill_climb ~seed:1 ~n:48 ~algo ~rounds:5 ~mutants_per_round:4
+      Sim.Search.Max_steps
+  in
+  checkb "best >= initial" true (r.best_score >= r.initial_score);
+  checki "evaluations" (1 + (5 * 4)) r.evaluations;
+  (* improvements are strictly increasing *)
+  let rec increasing = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  checkb "improvements increase" true (increasing r.improvements)
+
+let test_search_best_trace_reproduces_score () =
+  let n = 48 in
+  let algo = rebatching_algo n in
+  let r =
+    Sim.Search.hill_climb ~seed:2 ~n ~algo ~rounds:8 ~mutants_per_round:4
+      Sim.Search.Max_steps
+  in
+  let replayed =
+    Sim.Runner.run ~adversary:(Sim.Trace.replayer r.best_trace) ~seed:2 ~n ~algo ()
+  in
+  checki "trace reproduces best score" r.best_score replayed.max_steps
+
+let test_search_total_steps_objective () =
+  let algo = rebatching_algo 32 in
+  let r =
+    Sim.Search.hill_climb ~seed:3 ~n:32 ~algo ~rounds:4 ~mutants_per_round:3
+      Sim.Search.Total_steps
+  in
+  checkb "found something" true (r.best_score > 0)
+
+let test_search_invalid () =
+  let algo = rebatching_algo 4 in
+  Alcotest.check_raises "n=0" (Invalid_argument "Search.hill_climb: n must be >= 1")
+    (fun () ->
+      ignore (Sim.Search.hill_climb ~seed:1 ~n:0 ~algo Sim.Search.Max_steps));
+  Alcotest.check_raises "rounds=0"
+    (Invalid_argument "Search.hill_climb: budgets must be >= 1") (fun () ->
+      ignore
+        (Sim.Search.hill_climb ~seed:1 ~n:4 ~algo ~rounds:0 Sim.Search.Max_steps))
+
+(* ------------------------------------------------------------------ *)
+(* Bounded object space *)
+
+let test_cap_limits_objects () =
+  let space = Renaming.Object_space.create ~cap:5 () in
+  checki "cap" 5 (Renaming.Object_space.cap space);
+  ignore (Renaming.Object_space.obj space 5);
+  Alcotest.check_raises "beyond cap"
+    (Invalid_argument "Object_space: object index out of range") (fun () ->
+      ignore (Renaming.Object_space.obj space 6))
+
+let test_cap_bounds_space () =
+  (* With n known, capping at the first power-of-two index whose object
+     holds >= n processes keeps total space O(n); the race ladder only
+     visits power-of-two indices, so the cap must be one of them, and the
+     paper's t0 makes failing that level negligible. *)
+  let n = 64 in
+  let cap = 8 in
+  (* n_8 = 256 >= n *)
+  let space = Renaming.Object_space.create ~cap () in
+  let algo env = Renaming.Adaptive_rebatching.get_name env space in
+  let r = Sim.Runner.run ~seed:11 ~n ~algo () in
+  checkb "unique" true (Sim.Runner.check_unique_names r);
+  checkb "bounded space" true
+    (r.space_used <= Renaming.Object_space.total_size space cap)
+
+let test_cap_overload_returns_none () =
+  (* Far more processes than the capped space can serve: the algorithm
+     must fail gracefully (None), never block or duplicate. *)
+  let space = Renaming.Object_space.create ~cap:2 ~t0:1 () in
+  let algo env = Renaming.Adaptive_rebatching.get_name env space in
+  let r = Sim.Runner.run ~seed:12 ~n:64 ~algo () in
+  let winners = Array.to_list r.names |> List.filter_map (fun x -> x) in
+  checkb "some failures" true (List.length winners < 64);
+  checki "winners distinct" (List.length winners)
+    (List.length (List.sort_uniq compare winners))
+
+let test_cap_invalid () =
+  Alcotest.check_raises "cap 0"
+    (Invalid_argument "Object_space.create: cap outside [1, max_index]")
+    (fun () -> ignore (Renaming.Object_space.create ~cap:0 ()))
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "sim.validator",
+      [
+        tc "builtins pass" `Quick test_validator_passes_builtins;
+        tc "wrappers pass" `Quick test_validator_passes_wrappers;
+        tc "replay passes" `Quick test_validator_passes_replay;
+        tc "catches bad strategy" `Quick test_validator_catches_bad_strategy;
+      ] );
+    ( "renaming.spec",
+      [
+        tc "clean rebatching" `Quick test_spec_clean_rebatching;
+        tc "clean adaptive" `Quick test_spec_clean_adaptive;
+        tc "clean fast under greedy" `Quick test_spec_clean_fast_adaptive_under_greedy;
+        tc "clean long-lived churn" `Quick test_spec_clean_long_lived_churn;
+        tc "flags double win" `Quick test_spec_flags_double_win;
+        tc "flags lost probe on free" `Quick test_spec_flags_lost_probe_on_free;
+        tc "flags phantom acquire" `Quick test_spec_flags_phantom_acquire;
+        tc "flags bad release" `Quick test_spec_flags_bad_release;
+        tc "flags out-of-batch probe" `Quick test_spec_flags_out_of_batch_probe;
+        QCheck_alcotest.to_alcotest qcheck_spec_all_algorithms_clean;
+      ] );
+    ( "sim.search",
+      [
+        tc "monotone" `Quick test_search_monotone;
+        tc "best trace reproduces" `Quick test_search_best_trace_reproduces_score;
+        tc "total steps objective" `Quick test_search_total_steps_objective;
+        tc "invalid" `Quick test_search_invalid;
+      ] );
+    ( "renaming.object_space_cap",
+      [
+        tc "cap limits objects" `Quick test_cap_limits_objects;
+        tc "cap bounds space" `Quick test_cap_bounds_space;
+        tc "cap overload graceful" `Quick test_cap_overload_returns_none;
+        tc "cap invalid" `Quick test_cap_invalid;
+      ] );
+  ]
