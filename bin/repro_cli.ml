@@ -3,7 +3,15 @@
    repro_cli list                      enumerate experiments
    repro_cli run t1 t5 --trials 10     run selected experiments
    repro_cli all --scale 0.5           run everything, half-size
-   Add --csv DIR to also write each table as DIR/<id>_<k>.csv. *)
+   Add --csv DIR to also write each table as DIR/<id>_<k>.csv.
+
+   With --out DIR the run goes through the parallel engine instead:
+   trial jobs fan out across --jobs N domains, every trial lands as one
+   JSONL record in DIR/<id>.jsonl (plus DIR/manifest.json), and --resume
+   skips jobs already present there.  Per-job seeds are derived
+   deterministically from (seed, experiment, sweep point, trial), so any
+   --jobs value produces identical records.  Without --out, the serial
+   path below runs exactly as it always has. *)
 
 let make_ctx ~seed ~trials ~scale ~csv_dir ~current_id =
   let table_index = ref 0 in
@@ -31,10 +39,15 @@ let make_ctx ~seed ~trials ~scale ~csv_dir ~current_id =
     log = print_endline;
   }
 
-let run_experiments ids seed trials scale csv_dir =
+let run_serial ids seed trials scale csv_dir =
   (match csv_dir with
-  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
-  | _ -> ());
+  | Some dir ->
+    if Sys.file_exists dir && not (Sys.is_directory dir) then begin
+      Printf.eprintf "--csv: %s exists and is not a directory\n" dir;
+      exit 1
+    end;
+    Engine.Sink.mkdir_p dir
+  | None -> ());
   let current_id = ref "" in
   let ctx = make_ctx ~seed ~trials ~scale ~csv_dir ~current_id in
   let failures = ref [] in
@@ -53,6 +66,63 @@ let run_experiments ids seed trials scale csv_dir =
         Printf.printf "[%s done in %.1fs]\n" e.id (Unix.gettimeofday () -. t0))
     ids;
   if !failures = [] then 0 else 1
+
+(* The engine path: fan trial jobs out across domains into a JSONL store.
+   Experiments without a job-grain port fall back to the serial runner so
+   `all --out DIR` still covers the whole registry. *)
+let run_engine ids seed trials scale csv_dir out_dir workers resume =
+  if Sys.file_exists out_dir && not (Sys.is_directory out_dir) then begin
+    Printf.eprintf "--out: %s exists and is not a directory\n" out_dir;
+    exit 1
+  end;
+  Engine.Sink.mkdir_p out_dir;
+  let ctx = Harness.Experiment.default_ctx ~seed ~trials ~scale () in
+  let failures = ref [] in
+  let serial_fallback = ref [] in
+  List.iter
+    (fun id ->
+      match Harness.Registry.find id with
+      | None ->
+        Printf.eprintf "unknown experiment %S; try `repro_cli list'\n" id;
+        failures := id :: !failures
+      | Some e -> (
+        let t0 = Unix.gettimeofday () in
+        match
+          Engine.Plan.execute ~workers ~resume ~out_dir ~ctx e
+        with
+        | Some o ->
+          Printf.printf
+            "[%s: %d jobs (%d skipped via resume, %d executed) -> %s in %.1fs]\n%!"
+            o.Engine.Plan.experiment o.total_jobs o.skipped o.executed o.store
+            (Unix.gettimeofday () -. t0)
+        | None ->
+          Printf.eprintf
+            "[%s has no job-grain port yet; running serially]\n%!"
+            e.Harness.Experiment.id;
+          serial_fallback := id :: !serial_fallback
+        | exception Failure msg ->
+          Printf.eprintf "[%s FAILED: %s]\n%!" id msg;
+          failures := id :: !failures))
+    ids;
+  Engine.Plan.write_manifest ~out_dir ~ids ~workers ~resume ~ctx;
+  let serial_rc =
+    match List.rev !serial_fallback with
+    | [] -> 0
+    | fallback -> run_serial fallback seed trials scale csv_dir
+  in
+  if !failures = [] then serial_rc else 1
+
+let run_experiments ids seed trials scale csv_dir jobs out_dir resume =
+  match (out_dir, jobs, resume) with
+  | None, None, false -> run_serial ids seed trials scale csv_dir
+  | None, Some _, _ | None, _, true ->
+    Printf.eprintf "--jobs/--resume require --out DIR (the JSONL store)\n";
+    1
+  | Some out, _, _ ->
+    let workers =
+      match jobs with Some j -> max 1 j | None -> Engine.Pool.default_workers ()
+    in
+    run_engine ids seed trials scale csv_dir out workers resume
 
 (* ------------------------------------------------------------------ *)
 (* simulate: one configurable run with detailed output *)
@@ -281,6 +351,34 @@ let csv_t =
     & opt (some string) None
     & info [ "csv" ] ~docv:"DIR" ~doc:"Also write every table as CSV into $(docv).")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel engine (requires $(b,--out); \
+           default: recommended domain count).  Any value of $(docv) \
+           produces identical trial records — seeds are derived per job, \
+           not per worker.")
+
+let out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:
+          "Run through the parallel engine and store one JSONL record per \
+           trial in $(docv)/<id>.jsonl, plus $(docv)/manifest.json.")
+
+let resume_t =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Skip jobs whose records already exist in the $(b,--out) store \
+           (crash-safe restart; no duplicate records).")
+
 let list_cmd =
   let doc = "List the available experiments." in
   let run () =
@@ -299,15 +397,20 @@ let run_cmd =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_experiments $ ids_t $ seed_t $ trials_t $ scale_t $ csv_t)
+    Term.(
+      const run_experiments $ ids_t $ seed_t $ trials_t $ scale_t $ csv_t
+      $ jobs_t $ out_t $ resume_t)
 
 let all_cmd =
   let doc = "Run every experiment in order." in
-  let run seed trials scale csv =
-    run_experiments (Harness.Registry.ids ()) seed trials scale csv
+  let run seed trials scale csv jobs out resume =
+    run_experiments (Harness.Registry.ids ()) seed trials scale csv jobs out
+      resume
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ seed_t $ trials_t $ scale_t $ csv_t)
+    Term.(
+      const run $ seed_t $ trials_t $ scale_t $ csv_t $ jobs_t $ out_t
+      $ resume_t)
 
 let simulate_cmd =
   let doc = "Run one simulation with explicit parameters and print details." in

@@ -1,0 +1,47 @@
+let fold_lines file f init =
+  if not (Sys.file_exists file) then init
+  else begin
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> acc
+          | line -> go (f acc line)
+        in
+        go init)
+  end
+
+let records file =
+  List.rev
+    (fold_lines file
+       (fun acc line ->
+         match Sink.record_of_json line with
+         | Some r -> r :: acc
+         | None -> acc)
+       [])
+
+let completed_keys file =
+  let keys = Hashtbl.create 256 in
+  fold_lines file
+    (fun () line ->
+      match Sink.record_of_json line with
+      | Some r -> Hashtbl.replace keys r.Sink.key ()
+      | None -> ())
+    ();
+  keys
+
+let pending ~completed ~key jobs =
+  let skipped = ref 0 in
+  let todo =
+    List.filter
+      (fun job ->
+        if Hashtbl.mem completed (key job) then begin
+          incr skipped;
+          false
+        end
+        else true)
+      jobs
+  in
+  (todo, !skipped)

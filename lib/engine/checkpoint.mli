@@ -1,0 +1,26 @@
+(** Crash-safe resume: recover completed work from a JSONL store.
+
+    The JSONL store is its own checkpoint — every line is one finished
+    job, flushed when it completed.  On [--resume] the engine scans the
+    existing store, collects the job keys that are already present, and
+    schedules only the rest.  A line truncated mid-write by the crash
+    fails to parse and is simply not counted, so its job runs again; the
+    deterministic seed tree guarantees the rerun produces the record the
+    original run would have. *)
+
+val records : string -> Sink.record list
+(** [records file] is every well-formed record in [file], in file order.
+    A missing file is an empty store.  Malformed lines (truncated tails,
+    stray garbage) are skipped. *)
+
+val completed_keys : string -> (string, unit) Hashtbl.t
+(** The set of [Sink.record.key]s present in the store. *)
+
+val pending :
+  completed:(string, unit) Hashtbl.t ->
+  key:('a -> string) ->
+  'a list ->
+  'a list * int
+(** [pending ~completed ~key jobs] partitions [jobs] into the ones still
+    to run (order preserved) and the count of already-completed ones
+    being skipped. *)

@@ -1,0 +1,85 @@
+open Harness
+
+type outcome = {
+  experiment : string;
+  total_jobs : int;
+  skipped : int;
+  executed : int;
+  store : string;
+}
+
+let job_key ~experiment (job : Experiment.job) =
+  Printf.sprintf "%s/%d/%d" experiment job.Experiment.sweep_point
+    job.Experiment.trial
+
+let plan ~ctx (exp : Experiment.t) =
+  match exp.Experiment.jobs with None -> None | Some jobs -> Some (jobs ctx)
+
+let execute ?workers ?(resume = false) ?(progress = true) ~out_dir
+    ~(ctx : Experiment.ctx) (exp : Experiment.t) =
+  match plan ~ctx exp with
+  | None -> None
+  | Some jobs ->
+    let workers =
+      match workers with Some w -> max 1 w | None -> Pool.default_workers ()
+    in
+    let id = exp.Experiment.id in
+    let store = Sink.store_path ~dir:out_dir ~experiment:id in
+    let total_jobs = List.length jobs in
+    let todo, skipped =
+      if resume then
+        Checkpoint.pending
+          ~completed:(Checkpoint.completed_keys store)
+          ~key:(job_key ~experiment:id) jobs
+      else (jobs, 0)
+    in
+    let sink = Sink.create ~dir:out_dir ~experiment:id ~append:resume in
+    Fun.protect
+      ~finally:(fun () -> Sink.close sink)
+      (fun () ->
+        let meter =
+          if progress then
+            Some (Progress.create ~label:id ~total:(List.length todo) ())
+          else None
+        in
+        let run_one _i (job : Experiment.job) =
+          let seed =
+            Seed_tree.derive ~root:ctx.Experiment.seed ~experiment:id
+              ~sweep_point:job.Experiment.sweep_point
+              ~trial:job.Experiment.trial
+          in
+          let t0 = Unix.gettimeofday () in
+          let values = job.Experiment.run_job ~seed in
+          let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+          {
+            Sink.key = job_key ~experiment:id job;
+            experiment = id;
+            sweep_point = job.Experiment.sweep_point;
+            point_label = job.Experiment.point_label;
+            trial = job.Experiment.trial;
+            seed;
+            params = job.Experiment.params;
+            values;
+            wall_ns;
+          }
+        in
+        Pool.run ~workers ~f:run_one
+          ~consume:(fun _i record ->
+            Sink.write sink record;
+            Option.iter Progress.tick meter)
+          (Array.of_list todo);
+        Option.iter Progress.finish meter);
+    Some
+      { experiment = id; total_jobs; skipped; executed = List.length todo; store }
+
+let write_manifest ~out_dir ~ids ~workers ~resume ~(ctx : Experiment.ctx) =
+  Sink.write_manifest ~dir:out_dir
+    [
+      ("experiments", String.concat " " ids);
+      ("seed", string_of_int ctx.Experiment.seed);
+      ("trials", string_of_int ctx.Experiment.trials);
+      ("scale", Printf.sprintf "%g" ctx.Experiment.scale);
+      ("workers", string_of_int workers);
+      ("resume", string_of_bool resume);
+      ("written_at", Printf.sprintf "%.0f" (Unix.gettimeofday ()));
+    ]

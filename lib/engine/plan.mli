@@ -1,0 +1,52 @@
+(** Orchestration: turn an experiment's sweep into jobs and execute them.
+
+    The plan for one experiment is the list returned by its
+    [Experiment.jobs] view, each job paired with its {!Seed_tree} seed
+    and its stable key.  {!execute} then (1) drops jobs already present
+    in the store when resuming, (2) fans the rest out on {!Pool},
+    (3) appends one {!Sink.record} per job as it completes, and
+    (4) reports progress.  The pipeline is deterministic end to end:
+    worker count and resume points change only [wall_ns] and record
+    order, never the measured values. *)
+
+type outcome = {
+  experiment : string;
+  total_jobs : int;  (** size of the full plan *)
+  skipped : int;  (** already complete in the store (resume) *)
+  executed : int;  (** run in this invocation *)
+  store : string;  (** path of the JSONL file *)
+}
+
+val job_key : experiment:string -> Harness.Experiment.job -> string
+(** ["<experiment>/<sweep_point>/<trial>"]. *)
+
+val plan :
+  ctx:Harness.Experiment.ctx ->
+  Harness.Experiment.t ->
+  Harness.Experiment.job list option
+(** The experiment's job list, or [None] if it has no trial-grain view. *)
+
+val execute :
+  ?workers:int ->
+  ?resume:bool ->
+  ?progress:bool ->
+  out_dir:string ->
+  ctx:Harness.Experiment.ctx ->
+  Harness.Experiment.t ->
+  outcome option
+(** [execute ~out_dir ~ctx exp] runs [exp]'s plan into
+    [<out_dir>/<id>.jsonl].  [workers] defaults to
+    {!Pool.default_workers}[ ()]; [resume] (default [false]) keeps the
+    existing store and skips completed keys, otherwise the store is
+    truncated; [progress] (default [true]) prints stderr progress lines.
+    Returns [None] if the experiment exposes no job view (nothing is
+    written).  Per-job seeds are [Seed_tree.derive ~root:ctx.seed]. *)
+
+val write_manifest :
+  out_dir:string ->
+  ids:string list ->
+  workers:int ->
+  resume:bool ->
+  ctx:Harness.Experiment.ctx ->
+  unit
+(** Record the run parameters in [<out_dir>/manifest.json]. *)

@@ -1,0 +1,39 @@
+(** A [Domain]-based worker pool for independent trial jobs.
+
+    Tasks are drawn from a shared atomic counter (the "queue" is just the
+    next-unclaimed index, so claiming is a single [fetch_and_add]);
+    results are handed to a consumer callback serialized by an internal
+    mutex, so the consumer may write to a shared sink without further
+    locking.
+
+    With [workers <= 1] everything runs inline in the calling domain, in
+    task order, with no domains spawned — the serial path and the
+    parallel path share all the code that matters.
+
+    The pool executes; it does not seed.  Determinism across worker
+    counts is the seed tree's job ({!Seed_tree}): as long as [f] is a
+    pure function of its task, the multiset of results is independent of
+    [workers]. *)
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count ()] capped at 8 — the same policy as
+    {!Shm.Domain_runner}. *)
+
+val run :
+  workers:int ->
+  f:(int -> 'a -> 'b) ->
+  consume:(int -> 'b -> unit) ->
+  'a array ->
+  unit
+(** [run ~workers ~f ~consume tasks] applies [f i tasks.(i)] to every
+    task and calls [consume i result] exactly once per task, in
+    completion order, under the pool's mutex.  [f] runs concurrently on
+    up to [workers] domains and must not touch shared mutable state.
+
+    If any [f] or [consume] raises, remaining unclaimed tasks are
+    abandoned, all workers are joined, and the first exception is
+    re-raised in the calling domain. *)
+
+val map : workers:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~workers f tasks] is order-preserving parallel map, built on
+    {!run}. *)

@@ -1,0 +1,49 @@
+type t = {
+  label : string;
+  total : int;
+  interval : float;
+  out : out_channel;
+  started : float;
+  mutable completed : int;
+  mutable last_printed : float;
+}
+
+let create ?(interval = 0.5) ?(out = stderr) ~label ~total () =
+  {
+    label;
+    total;
+    interval;
+    out;
+    started = Unix.gettimeofday ();
+    completed = 0;
+    last_printed = 0.;
+  }
+
+let line t now =
+  let elapsed = now -. t.started in
+  let pct =
+    if t.total = 0 then 100.
+    else 100. *. float_of_int t.completed /. float_of_int t.total
+  in
+  let eta =
+    if t.completed = 0 || t.completed >= t.total then ""
+    else
+      let remaining =
+        elapsed
+        *. float_of_int (t.total - t.completed)
+        /. float_of_int t.completed
+      in
+      Printf.sprintf " eta %.1fs" remaining
+  in
+  Printf.sprintf "[%s] %d/%d jobs (%.0f%%) %.1fs%s" t.label t.completed t.total
+    pct elapsed eta
+
+let tick t =
+  t.completed <- t.completed + 1;
+  let now = Unix.gettimeofday () in
+  if now -. t.last_printed >= t.interval then begin
+    t.last_printed <- now;
+    Printf.fprintf t.out "%s\n%!" (line t now)
+  end
+
+let finish t = Printf.fprintf t.out "%s\n%!" (line t (Unix.gettimeofday ()))

@@ -1,0 +1,24 @@
+(** Aggregated progress/ETA lines on stderr.
+
+    One meter per engine run; workers call {!tick} from the pool's
+    consumer (already serialized), the meter rate-limits itself to one
+    line per [interval] seconds so a million fast jobs do not flood the
+    terminal.  The ETA is the naive linear extrapolation
+    [elapsed * remaining / done] — crude, but monotone and fine for
+    sweeps whose job costs vary slowly. *)
+
+type t
+
+val create :
+  ?interval:float -> ?out:out_channel -> label:string -> total:int -> unit -> t
+(** [create ~label ~total ()] starts the clock.  [interval] defaults to
+    [0.5] seconds, [out] to [stderr].  [total] already-excludes jobs
+    skipped by resume. *)
+
+val tick : t -> unit
+(** Record one completed job; prints at most once per [interval].
+    Serialize calls externally (the engine calls this under the pool
+    mutex). *)
+
+val finish : t -> unit
+(** Print the final "done" line unconditionally. *)

@@ -1,0 +1,319 @@
+type record = {
+  key : string;
+  experiment : string;
+  sweep_point : int;
+  point_label : string;
+  trial : int;
+  seed : int;
+  params : (string * float) list;
+  values : (string * float) list;
+  wall_ns : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_float b x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" x)
+  else if Float.is_nan x then Buffer.add_string b "\"nan\""
+  else if x = Float.infinity then Buffer.add_string b "\"inf\""
+  else if x = Float.neg_infinity then Buffer.add_string b "\"-inf\""
+  else Buffer.add_string b (Printf.sprintf "%.17g" x)
+
+let add_assoc b kvs =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      escape_string b k;
+      Buffer.add_char b ':';
+      add_float b v)
+    kvs;
+  Buffer.add_char b '}'
+
+let record_to_json r =
+  let b = Buffer.create 256 in
+  let field ?(first = false) name enc =
+    if not first then Buffer.add_char b ',';
+    escape_string b name;
+    Buffer.add_char b ':';
+    enc ()
+  in
+  Buffer.add_char b '{';
+  field ~first:true "key" (fun () -> escape_string b r.key);
+  field "experiment" (fun () -> escape_string b r.experiment);
+  field "sweep_point" (fun () -> Buffer.add_string b (string_of_int r.sweep_point));
+  field "point_label" (fun () -> escape_string b r.point_label);
+  field "trial" (fun () -> Buffer.add_string b (string_of_int r.trial));
+  field "seed" (fun () -> Buffer.add_string b (string_of_int r.seed));
+  field "params" (fun () -> add_assoc b r.params);
+  field "values" (fun () -> add_assoc b r.values);
+  field "wall_ns" (fun () -> add_float b r.wall_ns);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: a recursive-descent parser for the subset we emit (flat
+   objects of strings, numbers and string->number objects).  Anything
+   outside the subset — or a line cut short by a crash — yields None. *)
+
+exception Malformed
+
+type json =
+  | Num of float
+  | Str of string
+  | Obj of (string * json) list
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos >= len then raise Malformed else s.[!pos] in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c = if peek () <> c then raise Malformed else advance () in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char b '"'; advance ()
+        | '\\' -> Buffer.add_char b '\\'; advance ()
+        | '/' -> Buffer.add_char b '/'; advance ()
+        | 'n' -> Buffer.add_char b '\n'; advance ()
+        | 'r' -> Buffer.add_char b '\r'; advance ()
+        | 't' -> Buffer.add_char b '\t'; advance ()
+        | 'u' ->
+          advance ();
+          if !pos + 4 > len then raise Malformed;
+          let hex = String.sub s !pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex) with _ -> raise Malformed
+          in
+          (* Our encoder only emits \u00XX for control bytes. *)
+          if code < 0x100 then Buffer.add_char b (Char.chr code)
+          else raise Malformed;
+          pos := !pos + 4
+        | _ -> raise Malformed);
+        go ()
+      | c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < len && is_num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then raise Malformed;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> raise Malformed
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | '{' -> parse_obj ()
+    | _ -> Num (parse_number ())
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then begin
+      advance ();
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        skip_ws ();
+        match peek () with
+        | ',' -> advance (); members ((k, v) :: acc)
+        | '}' -> advance (); List.rev ((k, v) :: acc)
+        | _ -> raise Malformed
+      in
+      Obj (members [])
+    end
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then raise Malformed;
+  v
+
+let record_of_json line =
+  match parse_json line with
+  | exception Malformed -> None
+  | Num _ | Str _ -> None
+  | Obj fields -> (
+    let str name =
+      match List.assoc_opt name fields with
+      | Some (Str s) -> s
+      | _ -> raise Malformed
+    in
+    let num name =
+      match List.assoc_opt name fields with
+      | Some (Num f) -> f
+      | Some (Str "nan") -> Float.nan
+      | Some (Str "inf") -> Float.infinity
+      | Some (Str "-inf") -> Float.neg_infinity
+      | _ -> raise Malformed
+    in
+    let assoc name =
+      match List.assoc_opt name fields with
+      | Some (Obj kvs) ->
+        List.map
+          (fun (k, v) ->
+            match v with
+            | Num f -> (k, f)
+            | Str "nan" -> (k, Float.nan)
+            | Str "inf" -> (k, Float.infinity)
+            | Str "-inf" -> (k, Float.neg_infinity)
+            | _ -> raise Malformed)
+          kvs
+      | _ -> raise Malformed
+    in
+    try
+      Some
+        {
+          key = str "key";
+          experiment = str "experiment";
+          sweep_point = int_of_float (num "sweep_point");
+          point_label = str "point_label";
+          trial = int_of_float (num "trial");
+          seed = int_of_float (num "seed");
+          params = assoc "params";
+          values = assoc "values";
+          wall_ns = num "wall_ns";
+        }
+    with Malformed -> None)
+
+let float_eq a b = a = b || (Float.is_nan a && Float.is_nan b)
+
+let assoc_eq a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && float_eq v1 v2) a b
+
+let equal_ignoring_wall a b =
+  a.key = b.key && a.experiment = b.experiment
+  && a.sweep_point = b.sweep_point
+  && a.point_label = b.point_label
+  && a.trial = b.trial && a.seed = b.seed
+  && assoc_eq a.params b.params
+  && assoc_eq a.values b.values
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem *)
+
+let rec mkdir_p dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      failwith (Printf.sprintf "mkdir_p: %s exists and is not a directory" dir)
+  end
+  else begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir ->
+      (* lost a race with a concurrent mkdir; fine *)
+      ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Writing *)
+
+type t = { oc : out_channel; file : string }
+
+let store_path ~dir ~experiment = Filename.concat dir (experiment ^ ".jsonl")
+
+(* A crash can leave the store ending in a partial record with no
+   newline.  Appending straight after it would glue the next record onto
+   the garbage and corrupt both, so terminate the dangling line first —
+   it then parses as one malformed line that every scan skips. *)
+let ends_mid_line file =
+  Sys.file_exists file
+  &&
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      size > 0
+      &&
+      (seek_in ic (size - 1);
+       input_char ic <> '\n'))
+
+let create ~dir ~experiment ~append =
+  mkdir_p dir;
+  let file = store_path ~dir ~experiment in
+  let flags =
+    if append then [ Open_wronly; Open_append; Open_creat ]
+    else [ Open_wronly; Open_trunc; Open_creat ]
+  in
+  let needs_newline = append && ends_mid_line file in
+  let oc = open_out_gen flags 0o644 file in
+  if needs_newline then begin
+    output_char oc '\n';
+    flush oc
+  end;
+  { oc; file }
+
+let path t = t.file
+
+let write t r =
+  output_string t.oc (record_to_json r);
+  output_char t.oc '\n';
+  flush t.oc
+
+let close t = close_out t.oc
+
+let write_manifest ~dir fields =
+  mkdir_p dir;
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b "  ";
+      escape_string b k;
+      Buffer.add_string b ": ";
+      escape_string b v)
+    fields;
+  Buffer.add_string b "\n}\n";
+  let file = Filename.concat dir "manifest.json" in
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc

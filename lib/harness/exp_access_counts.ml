@@ -96,4 +96,5 @@ let exp =
     title = "Per-object access counts (footnote 1)";
     claim = "Footnote 1: each TAS object is accessed by O(log k) processes w.h.p.";
     run;
+    jobs = None;
   }

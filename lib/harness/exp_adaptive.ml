@@ -86,6 +86,56 @@ let run (ctx : Experiment.ctx) =
   fits "T5 fits, AdaptiveReBatching (paper constants) worst steps:" !paper_series;
   fits "T5 fits, AdaptiveReBatching (t0=3) worst steps:" !tuned_series
 
+let jobs (ctx : Experiment.ctx) =
+  let sizes =
+    List.map (Sweep.scaled ctx.scale)
+      (Sweep.geometric_sizes ~lo:4 ~hi:16384 ~factor:2)
+  in
+  List.concat
+    (List.mapi
+       (fun sweep_point k ->
+         List.init ctx.Experiment.trials (fun trial ->
+             {
+               Experiment.sweep_point;
+               point_label = Printf.sprintf "k=%d" k;
+               trial;
+               params = [ ("k", float_of_int k) ];
+               run_job =
+                 (fun ~seed ->
+                   let measure make_algo =
+                     let algo = make_algo () in
+                     let r = Sim.Runner.run_sequential ~seed ~n:k ~algo () in
+                     if not (Sim.Runner.check_unique_names r) then
+                       failwith "T5: uniqueness violated";
+                     ( float_of_int r.Sim.Runner.max_steps,
+                       float_of_int (Sim.Runner.max_name r) )
+                   in
+                   let adaptive_steps, adaptive_name =
+                     measure (fun () ->
+                         let space = Renaming.Object_space.create () in
+                         fun env ->
+                           Renaming.Adaptive_rebatching.get_name env space)
+                   in
+                   let tuned_steps, _ =
+                     measure (fun () ->
+                         let space = Renaming.Object_space.create ~t0:3 () in
+                         fun env ->
+                           Renaming.Adaptive_rebatching.get_name env space)
+                   in
+                   let doubling_steps, _ =
+                     measure (fun () ->
+                         let space = Renaming.Object_space.create () in
+                         fun env -> Baselines.Adaptive_doubling.get_name env space)
+                   in
+                   [
+                     ("adaptive_paper_max", adaptive_steps);
+                     ("adaptive_paper_name", adaptive_name);
+                     ("adaptive_t0_max", tuned_steps);
+                     ("doubling_max", doubling_steps);
+                   ]);
+             }))
+       sizes)
+
 let exp =
   {
     Experiment.id = "t5";
@@ -93,4 +143,5 @@ let exp =
     claim =
       "Theorem 5.1: O((log log k)^2) steps and largest name O(k), both w.h.p.";
     run;
+    jobs = Some jobs;
   }

@@ -56,4 +56,5 @@ let exp =
       "§1/§2: the w.h.p. bounds hold against a strong adaptive adversary — no \
        schedule escapes the log log n band";
     run;
+    jobs = None;
   }

@@ -87,4 +87,5 @@ let exp =
       "Extension: correctness and step bounds are independent of when \
        processes arrive, not just of how they interleave";
     run;
+    jobs = None;
   }

@@ -56,4 +56,5 @@ let exp =
     title = "Backup-phase frequency";
     claim = "§4: the backup scan runs with probability <= 1/n^(beta-o(1))";
     run;
+    jobs = None;
   }

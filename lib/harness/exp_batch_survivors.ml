@@ -80,4 +80,5 @@ let exp =
     title = "Batch survivor counts (Lemma 4.2)";
     claim = "Lemma 4.2: w.h.p. n_i <= n/2^(2^i+i+delta) and n_kappa <= log^2 n";
     run;
+    jobs = None;
   }

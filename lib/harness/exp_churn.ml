@@ -91,4 +91,5 @@ let exp =
       "Long-lived extension: holders always have distinct names and the \
        namespace stays O(concurrent contention) over unbounded acquisitions";
     run;
+    jobs = None;
   }

@@ -102,4 +102,5 @@ let exp =
       "§4: t0/beta set by Lemma 4.2's union bounds; batching (not the \
        constants) delivers the log log n shape";
     run;
+    jobs = None;
   }

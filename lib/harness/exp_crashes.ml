@@ -66,4 +66,5 @@ let exp =
     claim =
       "§2: under any number of crashes, survivors terminate with unique names";
     run;
+    jobs = None;
   }

@@ -48,6 +48,44 @@ let run (ctx : Experiment.ctx) =
     ~title:(Printf.sprintf "T9: namespace slack epsilon vs cost, n=%d" n)
     table
 
+let jobs (ctx : Experiment.ctx) =
+  let n = Sweep.scaled ctx.scale 4096 in
+  List.concat
+    (List.mapi
+       (fun sweep_point epsilon ->
+         List.init ctx.Experiment.trials (fun trial ->
+             {
+               Experiment.sweep_point;
+               point_label = Printf.sprintf "eps=%g" epsilon;
+               trial;
+               params = [ ("epsilon", epsilon); ("n", float_of_int n) ];
+               run_job =
+                 (fun ~seed ->
+                   let instance = Renaming.Rebatching.make ~epsilon ~n () in
+                   let backups = ref 0 in
+                   let on_event ~pid:_ = function
+                     | Renaming.Events.Backup_entered _ -> incr backups
+                     | _ -> ()
+                   in
+                   let algo env = Renaming.Rebatching.get_name env instance in
+                   let r = Sim.Runner.run_sequential ~on_event ~seed ~n ~algo () in
+                   if not (Sim.Runner.check_unique_names r) then
+                     failwith "T9: uniqueness violated";
+                   [
+                     ("max_steps", float_of_int r.Sim.Runner.max_steps);
+                     ( "total_per_proc",
+                       float_of_int r.Sim.Runner.total_steps /. float_of_int n );
+                     ("backups", float_of_int !backups);
+                     ( "m_over_n",
+                       float_of_int (Renaming.Rebatching.size instance)
+                       /. float_of_int n );
+                     ( "t0",
+                       float_of_int (Renaming.Rebatching.probe_budget instance 0)
+                     );
+                   ]);
+             }))
+       [ 0.1; 0.25; 0.5; 1.0; 2.0 ])
+
 let exp =
   {
     Experiment.id = "t9";
@@ -56,4 +94,5 @@ let exp =
       "§4: namespace (1+eps)n costs t0 = Theta(ln(1/eps)/eps) probes in batch \
        0; shape stays log log n + O(1)";
     run;
+    jobs = Some jobs;
   }

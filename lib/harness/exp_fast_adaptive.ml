@@ -87,6 +87,64 @@ let run (ctx : Experiment.ctx) =
   fits "T6 fits, FastAdaptive (paper constants) normalized total steps:" !fast_series;
   fits "T6 fits, FastAdaptive (t0=3) normalized total steps:" !fast_tuned_series
 
+let jobs (ctx : Experiment.ctx) =
+  let sizes =
+    List.map (Sweep.scaled ctx.scale)
+      (Sweep.geometric_sizes ~lo:4 ~hi:16384 ~factor:2)
+  in
+  List.concat
+    (List.mapi
+       (fun sweep_point k ->
+         List.init ctx.Experiment.trials (fun trial ->
+             {
+               Experiment.sweep_point;
+               point_label = Printf.sprintf "k=%d" k;
+               trial;
+               params = [ ("k", float_of_int k) ];
+               run_job =
+                 (fun ~seed ->
+                   let measure make_algo =
+                     let algo = make_algo () in
+                     let r = Sim.Runner.run_sequential ~seed ~n:k ~algo () in
+                     if not (Sim.Runner.check_unique_names r) then
+                       failwith "T6: uniqueness violated";
+                     ( float_of_int r.Sim.Runner.total_steps /. float_of_int k,
+                       float_of_int (Sim.Runner.max_name r) )
+                   in
+                   let fast_per, fast_name =
+                     measure (fun () ->
+                         let space = Renaming.Object_space.create () in
+                         fun env ->
+                           Renaming.Fast_adaptive_rebatching.get_name env space)
+                   in
+                   let adaptive_per, _ =
+                     measure (fun () ->
+                         let space = Renaming.Object_space.create () in
+                         fun env ->
+                           Renaming.Adaptive_rebatching.get_name env space)
+                   in
+                   let fast_tuned_per, _ =
+                     measure (fun () ->
+                         let space = Renaming.Object_space.create ~t0:3 () in
+                         fun env ->
+                           Renaming.Fast_adaptive_rebatching.get_name env space)
+                   in
+                   let adaptive_tuned_per, _ =
+                     measure (fun () ->
+                         let space = Renaming.Object_space.create ~t0:3 () in
+                         fun env ->
+                           Renaming.Adaptive_rebatching.get_name env space)
+                   in
+                   [
+                     ("fast_per_proc", fast_per);
+                     ("fast_name", fast_name);
+                     ("adaptive_per_proc", adaptive_per);
+                     ("fast_t0_per_proc", fast_tuned_per);
+                     ("adaptive_t0_per_proc", adaptive_tuned_per);
+                   ]);
+             }))
+       sizes)
+
 let exp =
   {
     Experiment.id = "t6";
@@ -95,4 +153,5 @@ let exp =
       "Theorem 5.2: total step complexity O(k log log k) w.h.p., largest name \
        O(k) w.h.p.";
     run;
+    jobs = Some jobs;
   }

@@ -224,4 +224,5 @@ let exp =
       "Theorem 6.1: with constant probability some process takes \
        Omega(log log n) steps under the oblivious layered adversary";
     run;
+    jobs = None;
   }

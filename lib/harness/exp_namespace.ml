@@ -89,4 +89,5 @@ let exp =
       "§4 structure: batch 0 serves almost all processes, uniformly; later \
        batches serve doubly-exponentially fewer";
     run;
+    jobs = None;
   }

@@ -60,4 +60,5 @@ let exp =
       "Extension of §2: even schedules optimized against the execution \
        cannot push ReBatching past its phase budget";
     run;
+    jobs = None;
   }

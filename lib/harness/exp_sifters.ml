@@ -78,4 +78,5 @@ let exp =
        Theta(log log n) levels against a weak adversary — and fail totally \
        against a strong one";
     run;
+    jobs = None;
   }

@@ -87,6 +87,50 @@ let run (ctx : Experiment.ctx) =
   fits "T1 fits, uniform probing:" !uniform
     [ Stats.Regression.Log_log; Stats.Regression.Log ]
 
+(* Job grain: one trial at one size runs all four algorithm variants on
+   the same derived seed (common random numbers, as in the serial path). *)
+let jobs (ctx : Experiment.ctx) =
+  let sizes =
+    List.map (Sweep.scaled ctx.scale)
+      (Sweep.geometric_sizes ~lo:256 ~hi:262144 ~factor:2)
+  in
+  List.concat
+    (List.mapi
+       (fun sweep_point n ->
+         List.init ctx.Experiment.trials (fun trial ->
+             {
+               Experiment.sweep_point;
+               point_label = Printf.sprintf "n=%d" n;
+               trial;
+               params = [ ("n", float_of_int n) ];
+               run_job =
+                 (fun ~seed ->
+                   let measure algo =
+                     let r = Sim.Runner.run_sequential ~seed ~n ~algo () in
+                     if not (Sim.Runner.check_unique_names r) then
+                       failwith "T1: uniqueness violated";
+                     float_of_int r.Sim.Runner.max_steps
+                   in
+                   let rebatch_paper = Renaming.Rebatching.make ~n () in
+                   let rebatch_tuned = Renaming.Rebatching.make ~t0:3 ~n () in
+                   [
+                     ( "rebatch_paper_max",
+                       measure (fun env ->
+                           Renaming.Rebatching.get_name env rebatch_paper) );
+                     ( "rebatch_t0_max",
+                       measure (fun env ->
+                           Renaming.Rebatching.get_name env rebatch_tuned) );
+                     ( "uniform_max",
+                       measure (fun env ->
+                           Baselines.Uniform_probe.get_name env ~m:(2 * n)
+                             ~max_steps:(1000 * n)) );
+                     ( "cyclic_max",
+                       measure (fun env ->
+                           Baselines.Cyclic_scan.get_name env ~m:(2 * n)) );
+                   ]);
+             }))
+       sizes)
+
 let exp =
   {
     Experiment.id = "t1";
@@ -95,4 +139,5 @@ let exp =
       "Theorem 4.1: ReBatching takes log log n + O(1) steps w.h.p.; uniform \
        probing pays Theta(log n)";
     run;
+    jobs = Some jobs;
   }

@@ -99,4 +99,5 @@ let exp =
       "Reproduction integrity: probe statistics measured on the simulator \
        transfer to real shared memory";
     run;
+    jobs = None;
   }

@@ -93,6 +93,43 @@ let run (ctx : Experiment.ctx) =
         %d: %d of %d (backup-phase events; Theorem 4.1 predicts ~0)."
        bound over runs)
 
+(* Job grain: one independent execution per job; the tail statistics
+   (exceedance counts at each batch-boundary threshold) are summed across
+   records downstream, so each job reports its own counts. *)
+let jobs (ctx : Experiment.ctx) =
+  let n = Sweep.scaled ctx.scale 4096 in
+  let runs = max (10 * ctx.Experiment.trials) 50 in
+  List.init runs (fun trial ->
+      {
+        Experiment.sweep_point = 0;
+        point_label = Printf.sprintf "n=%d" n;
+        trial;
+        params = [ ("n", float_of_int n); ("runs", float_of_int runs) ];
+        run_job =
+          (fun ~seed ->
+            let instance = Renaming.Rebatching.make ~t0:3 ~n () in
+            let t0 = Renaming.Rebatching.probe_budget instance 0 in
+            let kappa = Renaming.Rebatching.kappa instance in
+            let algo env = Renaming.Rebatching.get_name env instance in
+            let r = Sim.Runner.run_sequential ~seed ~n ~algo () in
+            if not (Sim.Runner.check_unique_names r) then
+              failwith "T12: uniqueness violated";
+            let exceed threshold =
+              Array.fold_left
+                (fun acc s -> if s > threshold then acc + 1 else acc)
+                0 r.Sim.Runner.steps
+            in
+            let tail =
+              List.init (kappa + 1) (fun i ->
+                  ( Printf.sprintf "exceed_batch_%d" i,
+                    float_of_int (exceed (t0 + i - 1)) ))
+            in
+            ("max_steps", float_of_int r.Sim.Runner.max_steps)
+            :: ( "total_per_proc",
+                 float_of_int r.Sim.Runner.total_steps /. float_of_int n )
+            :: tail);
+      })
+
 let exp =
   {
     Experiment.id = "t12";
@@ -101,4 +138,5 @@ let exp =
       "Theorem 4.1 + Lemma 4.2: P[a process exceeds t0 + i probes] decays \
        doubly exponentially in i";
     run;
+    jobs = Some jobs;
   }

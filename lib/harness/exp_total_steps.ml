@@ -63,10 +63,53 @@ let run (ctx : Experiment.ctx) =
        ~models:[ Stats.Regression.Const; Stats.Regression.Log_log ]
        ~sizes:sizes_arr ~values)
 
+let jobs (ctx : Experiment.ctx) =
+  let sizes =
+    List.map (Sweep.scaled ctx.scale)
+      (Sweep.geometric_sizes ~lo:256 ~hi:262144 ~factor:2)
+  in
+  List.concat
+    (List.mapi
+       (fun sweep_point n ->
+         List.init ctx.Experiment.trials (fun trial ->
+             {
+               Experiment.sweep_point;
+               point_label = Printf.sprintf "n=%d" n;
+               trial;
+               params = [ ("n", float_of_int n) ];
+               run_job =
+                 (fun ~seed ->
+                   let measure algo =
+                     let r = Sim.Runner.run_sequential ~seed ~n ~algo () in
+                     if not (Sim.Runner.check_unique_names r) then
+                       failwith "T2: uniqueness violated";
+                     float_of_int r.Sim.Runner.total_steps /. float_of_int n
+                   in
+                   let rebatch_paper = Renaming.Rebatching.make ~n () in
+                   let rebatch_tuned = Renaming.Rebatching.make ~t0:3 ~n () in
+                   [
+                     ( "rebatch_paper_per_proc",
+                       measure (fun env ->
+                           Renaming.Rebatching.get_name env rebatch_paper) );
+                     ( "rebatch_t0_per_proc",
+                       measure (fun env ->
+                           Renaming.Rebatching.get_name env rebatch_tuned) );
+                     ( "uniform_per_proc",
+                       measure (fun env ->
+                           Baselines.Uniform_probe.get_name env ~m:(2 * n)
+                             ~max_steps:(1000 * n)) );
+                     ( "cyclic_per_proc",
+                       measure (fun env ->
+                           Baselines.Cyclic_scan.get_name env ~m:(2 * n)) );
+                   ]);
+             }))
+       sizes)
+
 let exp =
   {
     Experiment.id = "t2";
     title = "Total step complexity vs n";
     claim = "Theorem 4.1: ReBatching's total step complexity is O(n) w.h.p.";
     run;
+    jobs = Some jobs;
   }

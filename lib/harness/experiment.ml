@@ -6,7 +6,21 @@ type ctx = {
   log : string -> unit;
 }
 
-type t = { id : string; title : string; claim : string; run : ctx -> unit }
+type job = {
+  sweep_point : int;
+  point_label : string;
+  trial : int;
+  params : (string * float) list;
+  run_job : seed:int -> (string * float) list;
+}
+
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  run : ctx -> unit;
+  jobs : (ctx -> job list) option;
+}
 
 let default_ctx ?(seed = 1) ?(trials = 5) ?(scale = 1.0) () =
   {

@@ -3,7 +3,14 @@
     Each table/figure of DESIGN.md §4 is one value of type {!t}; the
     registry ({!Registry.all}) collects them, and both the CLI
     ([bin/repro_cli]) and the bench harness ([bench/main]) drive
-    experiments exclusively through this interface. *)
+    experiments exclusively through this interface.
+
+    Experiments come in two grains.  The monolithic {!t.run} executes the
+    whole sweep serially and prints tables — the historical interface,
+    still the CLI default.  High-cost experiments additionally expose
+    {!t.jobs}: the same sweep decomposed into independent single-trial
+    {!job}s, which the parallel engine ([lib/engine]) fans out across
+    domains and records in a JSONL store. *)
 
 type ctx = {
   seed : int;  (** base seed; trial [i] uses [seed + i] *)
@@ -16,11 +23,32 @@ type ctx = {
   log : string -> unit;  (** free-form progress / fit lines *)
 }
 
+type job = {
+  sweep_point : int;
+      (** index of the parameter point within the experiment's sweep *)
+  point_label : string;  (** human-readable point, e.g. ["n=1024"] *)
+  trial : int;  (** trial index at this point, [0 .. trials-1] *)
+  params : (string * float) list;
+      (** the point's parameters, recorded verbatim in the result store *)
+  run_job : seed:int -> (string * float) list;
+      (** execute one trial with the given derived seed and return named
+          measured values.  Implementations must be self-contained —
+          allocate algorithm instances inside the closure and touch no
+          shared mutable state — so a job can run on any domain, in any
+          order, and [--jobs 1] and [--jobs 8] agree bit for bit. *)
+}
+
 type t = {
   id : string;  (** short id used on the CLI, e.g. "t1" *)
   title : string;
   claim : string;  (** the paper claim being checked, with its reference *)
   run : ctx -> unit;
+  jobs : (ctx -> job list) option;
+      (** trial-grain view of the same sweep for the parallel engine;
+          [None] for experiments that only run serially.  Builders read
+          only [ctx.seed]/[ctx.trials]/[ctx.scale]; per-job seeds are
+          derived by the engine ([Engine.Seed_tree]), not taken from
+          [ctx.seed + trial]. *)
 }
 
 val default_ctx : ?seed:int -> ?trials:int -> ?scale:float -> unit -> ctx
