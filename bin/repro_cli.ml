@@ -11,7 +11,17 @@
    skips jobs already present there.  Per-job seeds are derived
    deterministically from (seed, experiment, sweep point, trial), so any
    --jobs value produces identical records.  Without --out, the serial
-   path below runs exactly as it always has. *)
+   path below runs exactly as it always has.
+
+   The engine path is fault-tolerant: a raising job retries up to
+   --retries times (per-attempt seeds, deterministic), then quarantines
+   into DIR/<id>.failures.jsonl while the other jobs complete;
+   --job-timeout bounds each attempt, with a watchdog abandoning truly
+   stuck workers; SIGINT/SIGTERM drain in-flight jobs and print the
+   exact --resume command; --resume is validated against the stored
+   manifest and continues interrupted retry budgets.  repro_cli doctor
+   DIR audits a store offline (truncated tails, duplicate keys, seed
+   re-derivation, quarantine). *)
 
 let make_ctx ~seed ~trials ~scale ~csv_dir ~current_id =
   let table_index = ref 0 in
@@ -67,52 +77,139 @@ let run_serial ids seed trials scale csv_dir =
     ids;
   if !failures = [] then 0 else 1
 
+(* ------------------------------------------------------------------ *)
+(* Graceful shutdown: SIGINT/SIGTERM set a flag the engine polls before
+   claiming each job — in-flight jobs drain, the manifest is finalized
+   with status=interrupted, and the exact --resume command is printed.
+   A second signal force-exits. *)
+
+let interrupt_requested = Atomic.make false
+
+let install_signal_handlers () =
+  let handle _ =
+    if Atomic.get interrupt_requested then exit 130
+    else begin
+      Atomic.set interrupt_requested true;
+      prerr_endline
+        "\n[interrupt] draining in-flight jobs (press again to force-quit)"
+    end
+  in
+  List.iter
+    (fun s -> try Sys.set_signal s (Sys.Signal_handle handle) with _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
 (* The engine path: fan trial jobs out across domains into a JSONL store.
    Experiments without a job-grain port fall back to the serial runner so
    `all --out DIR` still covers the whole registry. *)
-let run_engine ids seed trials scale csv_dir out_dir workers resume =
+let run_engine ids seed trials scale csv_dir out_dir workers resume retries
+    job_timeout =
   if Sys.file_exists out_dir && not (Sys.is_directory out_dir) then begin
     Printf.eprintf "--out: %s exists and is not a directory\n" out_dir;
     exit 1
   end;
+  (* Resuming against a store written with different parameters would
+     silently mix incompatible records; refuse up front. *)
+  (if resume then
+     match Engine.Sink.read_manifest ~dir:out_dir with
+     | None -> ()
+     | Some manifest -> (
+       match
+         Engine.Checkpoint.validate_manifest ~manifest ~ids ~seed ~trials
+           ~scale
+       with
+       | Ok () -> ()
+       | Error msg ->
+         Printf.eprintf "--resume: %s\n" msg;
+         exit 1));
   Engine.Sink.mkdir_p out_dir;
   let ctx = Harness.Experiment.default_ctx ~seed ~trials ~scale () in
+  install_signal_handlers ();
+  let should_stop () = Atomic.get interrupt_requested in
+  let manifest status =
+    Engine.Plan.write_manifest ~out_dir ~ids ~workers ~resume ~status ~retries
+      ~job_timeout ~ctx
+  in
+  manifest "running";
   let failures = ref [] in
+  let quarantined = ref [] in
   let serial_fallback = ref [] in
   List.iter
     (fun id ->
-      match Harness.Registry.find id with
-      | None ->
-        Printf.eprintf "unknown experiment %S; try `repro_cli list'\n" id;
-        failures := id :: !failures
-      | Some e -> (
-        let t0 = Unix.gettimeofday () in
-        match
-          Engine.Plan.execute ~workers ~resume ~out_dir ~ctx e
-        with
-        | Some o ->
-          Printf.printf
-            "[%s: %d jobs (%d skipped via resume, %d executed) -> %s in %.1fs]\n%!"
-            o.Engine.Plan.experiment o.total_jobs o.skipped o.executed o.store
-            (Unix.gettimeofday () -. t0)
+      if not (should_stop ()) then
+        match Harness.Registry.find id with
         | None ->
-          Printf.eprintf
-            "[%s has no job-grain port yet; running serially]\n%!"
-            e.Harness.Experiment.id;
-          serial_fallback := id :: !serial_fallback
-        | exception Failure msg ->
-          Printf.eprintf "[%s FAILED: %s]\n%!" id msg;
-          failures := id :: !failures))
+          Printf.eprintf "unknown experiment %S; try `repro_cli list'\n" id;
+          failures := id :: !failures
+        | Some e -> (
+          let t0 = Unix.gettimeofday () in
+          match
+            Engine.Plan.execute ~workers ~resume ~retries ?job_timeout
+              ~should_stop ~out_dir ~ctx e
+          with
+          | Some o ->
+            Printf.printf
+              "[%s: %d jobs (%d skipped via resume, %d executed) -> %s in \
+               %.1fs]\n\
+               %!"
+              o.Engine.Plan.experiment o.total_jobs o.skipped o.executed
+              o.store
+              (Unix.gettimeofday () -. t0);
+            if o.Engine.Plan.malformed > 0 then
+              Printf.printf
+                "[%s: %d malformed mid-file line(s) skipped on resume — \
+                 audit with `repro_cli doctor %s']\n\
+                 %!"
+                id o.Engine.Plan.malformed out_dir;
+            if o.Engine.Plan.quarantined > 0 then begin
+              Printf.printf
+                "[%s: %d job(s) quarantined after %d failed attempt(s) -> \
+                 %s]\n\
+                 %!"
+                id o.Engine.Plan.quarantined o.Engine.Plan.failures
+                o.Engine.Plan.failures_store;
+              quarantined :=
+                !quarantined @ List.map (fun k -> (id, k)) o.failed_keys
+            end
+          | None ->
+            Printf.eprintf "[%s has no job-grain port yet; running serially]\n%!"
+              e.Harness.Experiment.id;
+            serial_fallback := id :: !serial_fallback
+          | exception Failure msg ->
+            Printf.eprintf "[%s FAILED: %s]\n%!" id msg;
+            failures := id :: !failures))
     ids;
-  Engine.Plan.write_manifest ~out_dir ~ids ~workers ~resume ~ctx;
-  let serial_rc =
-    match List.rev !serial_fallback with
-    | [] -> 0
-    | fallback -> run_serial fallback seed trials scale csv_dir
-  in
-  if !failures = [] then serial_rc else 1
+  let interrupted = should_stop () in
+  manifest (if interrupted then "interrupted" else "completed");
+  if interrupted then begin
+    let opts =
+      Printf.sprintf "--seed %d --trials %d --scale %g --jobs %d --retries %d%s"
+        seed trials scale workers retries
+        (match job_timeout with
+        | None -> ""
+        | Some t -> Printf.sprintf " --job-timeout %g" t)
+    in
+    Printf.eprintf
+      "[interrupted] store finalized; resume with:\n\
+      \  repro_cli run %s %s --out %s --resume\n\
+       %!"
+      (String.concat " " ids) opts out_dir;
+    130
+  end
+  else begin
+    if !quarantined <> [] then
+      Printf.eprintf "[%d job(s) quarantined: %s]\n%!"
+        (List.length !quarantined)
+        (String.concat " " (List.map snd !quarantined));
+    let serial_rc =
+      match List.rev !serial_fallback with
+      | [] -> 0
+      | fallback -> run_serial fallback seed trials scale csv_dir
+    in
+    if !failures <> [] || !quarantined <> [] then 1 else serial_rc
+  end
 
-let run_experiments ids seed trials scale csv_dir jobs out_dir resume =
+let run_experiments ids seed trials scale csv_dir jobs out_dir resume retries
+    job_timeout =
   match (out_dir, jobs, resume) with
   | None, None, false -> run_serial ids seed trials scale csv_dir
   | None, Some _, _ | None, _, true ->
@@ -122,7 +219,8 @@ let run_experiments ids seed trials scale csv_dir jobs out_dir resume =
     let workers =
       match jobs with Some j -> max 1 j | None -> Engine.Pool.default_workers ()
     in
-    run_engine ids seed trials scale csv_dir out workers resume
+    run_engine ids seed trials scale csv_dir out workers resume retries
+      job_timeout
 
 (* ------------------------------------------------------------------ *)
 (* simulate: one configurable run with detailed output *)
@@ -329,6 +427,120 @@ let report out seed trials scale =
   Printf.printf "report written to %s\n" out;
   0
 
+(* ------------------------------------------------------------------ *)
+(* doctor: audit a result store for integrity problems *)
+
+let doctor dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "doctor: %s is not a directory\n" dir;
+    2
+  end
+  else begin
+    let problems = ref 0 in
+    let notes = ref 0 in
+    let problem fmt =
+      incr problems;
+      Printf.ksprintf (fun s -> Printf.printf "PROBLEM  %s\n" s) fmt
+    in
+    let note fmt =
+      incr notes;
+      Printf.ksprintf (fun s -> Printf.printf "note     %s\n" s) fmt
+    in
+    let manifest = Engine.Sink.read_manifest ~dir in
+    let mfield name =
+      Option.bind manifest (fun m -> List.assoc_opt name m)
+    in
+    (match manifest with
+    | None ->
+      note "no readable manifest.json — seed-tree checks skipped"
+    | Some _ -> (
+      (match mfield "schema" with
+      | Some s when s <> Engine.Sink.schema_version ->
+        problem "manifest schema is %S; this binary writes %S" s
+          Engine.Sink.schema_version
+      | Some _ -> ()
+      | None -> note "manifest has no schema field (pre-fault-tolerance run)");
+      (match mfield "status" with
+      | Some "interrupted" ->
+        note "run status is \"interrupted\" — finish it with --resume"
+      | Some "running" ->
+        note
+          "run status is \"running\" — either a run is live or it was \
+           killed without cleanup (resume is safe)"
+      | _ -> ());
+      match mfield "git" with
+      | Some g -> Printf.printf "manifest: git %s\n" g
+      | None -> ()));
+    let root_seed = Option.bind (mfield "seed") int_of_string_opt in
+    let stores =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f ->
+             Filename.check_suffix f ".jsonl"
+             && not (Filename.check_suffix f ".failures.jsonl"))
+      |> List.sort compare
+    in
+    if stores = [] then note "no .jsonl stores in %s" dir;
+    List.iter
+      (fun file ->
+        let experiment = Filename.chop_suffix file ".jsonl" in
+        let path = Filename.concat dir file in
+        let scan = Engine.Checkpoint.scan_store path in
+        Printf.printf "%s: %d record(s), %d distinct key(s)\n" file
+          scan.Engine.Checkpoint.records
+          (Hashtbl.length scan.Engine.Checkpoint.keys);
+        if scan.Engine.Checkpoint.duplicates > 0 then
+          problem "%s: %d duplicate key(s)" file
+            scan.Engine.Checkpoint.duplicates;
+        if scan.Engine.Checkpoint.malformed_mid > 0 then
+          problem "%s: %d malformed mid-file line(s)" file
+            scan.Engine.Checkpoint.malformed_mid;
+        if scan.Engine.Checkpoint.malformed_tail then
+          note
+            "%s: truncated tail line (crash artifact; --resume repairs \
+             and re-runs it)"
+            file;
+        (* Every record's seed must be re-derivable from the manifest's
+           root seed and the record's own coordinates. *)
+        (match root_seed with
+        | None -> ()
+        | Some root ->
+          let mismatches = ref 0 in
+          List.iter
+            (fun (r : Engine.Sink.record) ->
+              let expect =
+                Engine.Seed_tree.derive_attempt ~root
+                  ~experiment:r.Engine.Sink.experiment
+                  ~sweep_point:r.Engine.Sink.sweep_point
+                  ~trial:r.Engine.Sink.trial ~attempt:r.Engine.Sink.attempt
+              in
+              if expect <> r.Engine.Sink.seed then incr mismatches)
+            (Engine.Checkpoint.records path);
+          if !mismatches > 0 then
+            problem
+              "%s: %d record(s) whose seed does not match the seed tree \
+               (wrong --seed, or records from another run mixed in)"
+              file !mismatches);
+        let fpath =
+          Engine.Fault.store_path ~dir ~experiment
+        in
+        if Sys.file_exists fpath then begin
+          let counts = Engine.Fault.attempt_counts fpath in
+          let total = List.length (Engine.Fault.load fpath) in
+          note "%s: quarantine holds %d failure record(s) across %d job(s)"
+            file total (Hashtbl.length counts);
+          Hashtbl.iter
+            (fun key attempts ->
+              let completed = Hashtbl.mem scan.Engine.Checkpoint.keys key in
+              Printf.printf "           %s: %d failed attempt(s)%s\n" key
+                attempts
+                (if completed then " (later succeeded)" else " (no record)"))
+            counts
+        end)
+      stores;
+    Printf.printf "doctor: %d problem(s), %d note(s)\n" !problems !notes;
+    if !problems = 0 then 0 else 1
+  end
+
 open Cmdliner
 
 let seed_t =
@@ -377,7 +589,34 @@ let resume_t =
     & info [ "resume" ]
         ~doc:
           "Skip jobs whose records already exist in the $(b,--out) store \
-           (crash-safe restart; no duplicate records).")
+           (crash-safe restart; no duplicate records).  The stored \
+           manifest.json is validated against this invocation's seed, \
+           trials, scale and experiment set first; a mismatch is an \
+           error.  Quarantined jobs re-schedule with whatever retry \
+           budget they have left.")
+
+let retries_t =
+  Arg.(
+    value & opt int 1
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Re-attempts after a job's first failure (requires $(b,--out)).  \
+           Each failed attempt is quarantined in \
+           $(b,<out>/<id>.failures.jsonl); a job failing $(docv)+1 times \
+           is given up on without aborting the run.  Retry seeds fold the \
+           attempt index into the seed tree, so retries are reproducible \
+           at any $(b,--jobs) value.")
+
+let job_timeout_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "job-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Fail any job attempt that runs longer than $(docv) seconds \
+           (requires $(b,--out)).  A stuck attempt is abandoned by the \
+           watchdog shortly after the deadline and quarantined; the rest \
+           of the run continues.")
 
 let list_cmd =
   let doc = "List the available experiments." in
@@ -399,18 +638,31 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_experiments $ ids_t $ seed_t $ trials_t $ scale_t $ csv_t
-      $ jobs_t $ out_t $ resume_t)
+      $ jobs_t $ out_t $ resume_t $ retries_t $ job_timeout_t)
 
 let all_cmd =
   let doc = "Run every experiment in order." in
-  let run seed trials scale csv jobs out resume =
+  let run seed trials scale csv jobs out resume retries job_timeout =
     run_experiments (Harness.Registry.ids ()) seed trials scale csv jobs out
-      resume
+      resume retries job_timeout
   in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
       const run $ seed_t $ trials_t $ scale_t $ csv_t $ jobs_t $ out_t
-      $ resume_t)
+      $ resume_t $ retries_t $ job_timeout_t)
+
+let doctor_cmd =
+  let doc =
+    "Audit a result store: truncated tails, malformed lines, duplicate \
+     keys, seed-tree mismatches, and quarantine contents."
+  in
+  let dir_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"The $(b,--out) directory to audit.")
+  in
+  Cmd.v (Cmd.info "doctor" ~doc) Term.(const doctor $ dir_t)
 
 let simulate_cmd =
   let doc = "Run one simulation with explicit parameters and print details." in
@@ -478,6 +730,7 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "repro_cli" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; simulate_cmd; verify_cmd; report_cmd ]
+    [ list_cmd; run_cmd; all_cmd; simulate_cmd; verify_cmd; report_cmd;
+      doctor_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

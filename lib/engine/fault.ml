@@ -1,0 +1,141 @@
+type failure = {
+  key : string;
+  experiment : string;
+  sweep_point : int;
+  trial : int;
+  attempt : int;
+  seed : int;
+  error : string;
+  backtrace : string;
+  wall_ns : float;
+}
+
+let store_path ~dir ~experiment =
+  Filename.concat dir (experiment ^ ".failures.jsonl")
+
+let failure_to_json f =
+  let b = Buffer.create 256 in
+  let field ?(first = false) name enc =
+    if not first then Buffer.add_char b ',';
+    Sink.Json.escape_string b name;
+    Buffer.add_char b ':';
+    enc ()
+  in
+  Buffer.add_char b '{';
+  field ~first:true "key" (fun () -> Sink.Json.escape_string b f.key);
+  field "experiment" (fun () -> Sink.Json.escape_string b f.experiment);
+  field "sweep_point" (fun () ->
+      Buffer.add_string b (string_of_int f.sweep_point));
+  field "trial" (fun () -> Buffer.add_string b (string_of_int f.trial));
+  field "attempt" (fun () -> Buffer.add_string b (string_of_int f.attempt));
+  field "seed" (fun () -> Buffer.add_string b (string_of_int f.seed));
+  field "error" (fun () -> Sink.Json.escape_string b f.error);
+  field "backtrace" (fun () -> Sink.Json.escape_string b f.backtrace);
+  field "wall_ns" (fun () -> Sink.Json.add_float b f.wall_ns);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let failure_of_json line =
+  match Sink.Json.parse line with
+  | Some (Sink.Json.Obj fields) -> (
+    try
+      Some
+        {
+          key = Sink.Json.str fields "key";
+          experiment = Sink.Json.str fields "experiment";
+          sweep_point = Sink.Json.int_ fields "sweep_point";
+          trial = Sink.Json.int_ fields "trial";
+          attempt = Sink.Json.int_ fields "attempt";
+          seed = Sink.Json.int_ fields "seed";
+          error = Sink.Json.str fields "error";
+          backtrace = Sink.Json.str fields "backtrace";
+          wall_ns = Sink.Json.num fields "wall_ns";
+        }
+    with Sink.Json.Malformed -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+let load file =
+  if not (Sys.file_exists file) then []
+  else begin
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line -> (
+            match failure_of_json line with
+            | Some f -> go (f :: acc)
+            | None -> go acc)
+        in
+        go [])
+  end
+
+let attempt_counts file =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt counts f.key) in
+      Hashtbl.replace counts f.key (max prev (f.attempt + 1)))
+    (load file);
+  counts
+
+(* ------------------------------------------------------------------ *)
+(* Writing
+
+   The sink opens its file lazily so a clean run leaves no empty
+   .failures.jsonl behind; a fresh (non-append) run still removes any
+   stale quarantine eagerly, so the store and its quarantine are always
+   from the same run. *)
+
+type t = {
+  dir : string;
+  experiment : string;
+  mutable oc : out_channel option;
+  mutable closed : bool;
+}
+
+let create ~dir ~experiment ~append =
+  let file = store_path ~dir ~experiment in
+  if not append && Sys.file_exists file then Sys.remove file;
+  { dir; experiment; oc = None; closed = false }
+
+let path t = store_path ~dir:t.dir ~experiment:t.experiment
+
+let channel t =
+  match t.oc with
+  | Some oc -> oc
+  | None ->
+    if t.closed then invalid_arg "Fault.write: sink is closed";
+    Sink.mkdir_p t.dir;
+    let file = path t in
+    (* Same crash hygiene as the result store: terminate a dangling
+       partial line before appending. *)
+    let needs_newline = Sink.ends_mid_line file in
+    let oc =
+      open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 file
+    in
+    if needs_newline then begin
+      output_char oc '\n';
+      flush oc
+    end;
+    t.oc <- Some oc;
+    oc
+
+let write t f =
+  let oc = channel t in
+  output_string oc (failure_to_json f);
+  output_char oc '\n';
+  flush oc
+
+let close t =
+  t.closed <- true;
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    t.oc <- None;
+    close_out oc

@@ -5,6 +5,7 @@ type t = {
   out : out_channel;
   started : float;
   mutable completed : int;
+  mutable failed : int;
   mutable last_printed : float;
 }
 
@@ -16,6 +17,7 @@ let create ?(interval = 0.5) ?(out = stderr) ~label ~total () =
     out;
     started = Unix.gettimeofday ();
     completed = 0;
+    failed = 0;
     last_printed = 0.;
   }
 
@@ -35,15 +37,24 @@ let line t now =
       in
       Printf.sprintf " eta %.1fs" remaining
   in
-  Printf.sprintf "[%s] %d/%d jobs (%.0f%%) %.1fs%s" t.label t.completed t.total
-    pct elapsed eta
+  let failed =
+    if t.failed = 0 then "" else Printf.sprintf " (%d failed)" t.failed
+  in
+  Printf.sprintf "[%s] %d/%d jobs (%.0f%%) %.1fs%s%s" t.label t.completed
+    t.total pct elapsed eta failed
 
-let tick t =
+let bump t =
   t.completed <- t.completed + 1;
   let now = Unix.gettimeofday () in
   if now -. t.last_printed >= t.interval then begin
     t.last_printed <- now;
     Printf.fprintf t.out "%s\n%!" (line t now)
   end
+
+let tick t = bump t
+
+let fail t =
+  t.failed <- t.failed + 1;
+  bump t
 
 let finish t = Printf.fprintf t.out "%s\n%!" (line t (Unix.gettimeofday ()))

@@ -20,5 +20,10 @@ val tick : t -> unit
     Serialize calls externally (the engine calls this under the pool
     mutex). *)
 
+val fail : t -> unit
+(** Record one job that settled as a failure (quarantined or abandoned):
+    counts toward completion for the ETA, and adds an ["(n failed)"]
+    marker to the line.  Same serialization contract as {!tick}. *)
+
 val finish : t -> unit
 (** Print the final "done" line unconditionally. *)

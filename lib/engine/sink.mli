@@ -9,7 +9,13 @@
     The encoder/decoder is a deliberately small, dependency-free JSON
     subset: flat objects of strings, numbers, and string→number maps —
     exactly the record schema below.  Floats round-trip exactly
-    ([%.17g]). *)
+    ([%.17g]).  The same subset backs the {!Fault} quarantine store and
+    the manifest reader. *)
+
+val schema_version : string
+(** Version tag written into every manifest ([schema] field) and checked
+    by resume validation and [repro_cli doctor].  Bumped on incompatible
+    record/manifest layout changes. *)
 
 type record = {
   key : string;
@@ -19,7 +25,13 @@ type record = {
   sweep_point : int;
   point_label : string;
   trial : int;
-  seed : int;  (** the {!Seed_tree}-derived seed the job ran with *)
+  attempt : int;
+      (** retry attempt index that produced this record; [0] unless the
+          job failed and was retried (see {!Fault}).  Schema-1 stores
+          have no attempt field; they decode as [0]. *)
+  seed : int;
+      (** the {!Seed_tree}-derived seed the job ran with
+          ([Seed_tree.derive_attempt] at [attempt]) *)
   params : (string * float) list;
   values : (string * float) list;  (** the job's measured values *)
   wall_ns : float;  (** wall-clock nanoseconds spent in [run_job] *)
@@ -35,6 +47,43 @@ val equal_ignoring_wall : record -> record -> bool
 (** Equality on everything except [wall_ns] — the comparison the
     determinism guarantee ([--jobs 1] vs [--jobs 8]) is stated in. *)
 
+(** {1 JSON subset}
+
+    Exposed so sibling stores ({!Fault}) and audits ([repro_cli doctor])
+    parse with exactly the decoder the result store uses. *)
+
+module Json : sig
+  exception Malformed
+
+  type t =
+    | Num of float
+    | Int of int
+        (** a numeric lexeme that is an exact OCaml int — kept separate
+            from [Num] so 62-bit seeds survive the round-trip *)
+    | Str of string
+    | Obj of (string * t) list
+
+  val parse : string -> t option
+  (** [None] outside the subset (or on a truncated line). *)
+
+  val escape_string : Buffer.t -> string -> unit
+  val add_float : Buffer.t -> float -> unit
+  val add_assoc : Buffer.t -> (string * float) list -> unit
+
+  (** Accessors for [Obj] field lists; all raise {!Malformed} on a
+      missing or mistyped field. *)
+
+  val str : (string * t) list -> string -> string
+  val num : (string * t) list -> string -> float
+  val num_opt : (string * t) list -> string -> default:float -> float
+
+  val int_ : (string * t) list -> string -> int
+  (** Exact integer field (indices, seeds) — never routed through float. *)
+
+  val int_opt : (string * t) list -> string -> default:int -> int
+  val assoc : (string * t) list -> string -> (string * float) list
+end
+
 (** {1 Writing} *)
 
 val store_path : dir:string -> experiment:string -> string
@@ -46,7 +95,9 @@ type t
 val create : dir:string -> experiment:string -> append:bool -> t
 (** Opens [<dir>/<experiment>.jsonl], creating [dir] (and parents) as
     needed.  [append:false] truncates any existing store; [append:true]
-    keeps it (the resume path). *)
+    keeps it (the resume path) and, if the file ends in a partial line
+    left by a crash, terminates that line first so the next record does
+    not glue onto the garbage. *)
 
 val path : t -> string
 
@@ -56,11 +107,20 @@ val write : t -> record -> unit
 
 val close : t -> unit
 
+val ends_mid_line : string -> bool
+(** [true] if the file exists, is non-empty and does not end in a
+    newline — the signature of a crash mid-write.  Shared with {!Fault}
+    and [repro_cli doctor]. *)
+
 (** {1 Run manifest} *)
 
 val write_manifest : dir:string -> (string * string) list -> unit
 (** [write_manifest ~dir fields] writes [<dir>/manifest.json] as a flat
     string→string object, overwriting any previous manifest. *)
+
+val read_manifest : dir:string -> (string * string) list option
+(** The string fields of [<dir>/manifest.json], or [None] if the file is
+    missing or unparseable.  Input to {!Checkpoint.validate_manifest}. *)
 
 (** {1 Filesystem helper} *)
 

@@ -1,0 +1,93 @@
+type slot = {
+  index : int;
+  key : string;
+  attempt : int;
+  started : float;
+  mutable warned : bool;
+}
+
+type t = {
+  timeout : float;
+  slots : slot option array;  (** one per worker; [None] between jobs *)
+  lock : Mutex.t;
+  mutable monitor : unit Domain.t option;
+  stopping : bool Atomic.t;
+}
+
+let create ~workers ~timeout =
+  if timeout <= 0. then invalid_arg "Watchdog.create: timeout <= 0";
+  {
+    timeout;
+    slots = Array.make (max 1 workers) None;
+    lock = Mutex.create ();
+    monitor = None;
+    stopping = Atomic.make false;
+  }
+
+let timeout t = t.timeout
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let job_started t ~worker ~index ~key ~attempt =
+  with_lock t (fun () ->
+      t.slots.(worker) <-
+        Some
+          { index; key; attempt; started = Unix.gettimeofday (); warned = false })
+
+let job_finished t ~worker =
+  with_lock t (fun () -> t.slots.(worker) <- None)
+
+type view = { index : int; key : string; attempt : int; elapsed : float }
+
+let current t ~worker =
+  with_lock t (fun () ->
+      match t.slots.(worker) with
+      | None -> None
+      | Some s ->
+        Some
+          {
+            index = s.index;
+            key = s.key;
+            attempt = s.attempt;
+            elapsed = Unix.gettimeofday () -. s.started;
+          })
+
+let default_on_stall ~key ~elapsed =
+  Printf.eprintf "[watchdog] job %s still running after %.1fs\n%!" key elapsed
+
+(* The monitor polls a few times per timeout period; fine-grained enough
+   to warn promptly, coarse enough to cost nothing. *)
+let start ?(on_stall = default_on_stall) t =
+  if t.monitor <> None then invalid_arg "Watchdog.start: already started";
+  Atomic.set t.stopping false;
+  let poll = Float.min 0.25 (t.timeout /. 4.) in
+  let body () =
+    while not (Atomic.get t.stopping) do
+      Unix.sleepf poll;
+      let stalled =
+        with_lock t (fun () ->
+            let now = Unix.gettimeofday () in
+            Array.fold_left
+              (fun acc slot ->
+                match slot with
+                | Some s when (not s.warned) && now -. s.started > t.timeout ->
+                  s.warned <- true;
+                  (s.key, now -. s.started) :: acc
+                | _ -> acc)
+              [] t.slots)
+      in
+      (* Callback outside the lock: it may log, which can be slow. *)
+      List.iter (fun (key, elapsed) -> on_stall ~key ~elapsed) stalled
+    done
+  in
+  t.monitor <- Some (Domain.spawn body)
+
+let stop t =
+  Atomic.set t.stopping true;
+  match t.monitor with
+  | None -> ()
+  | Some d ->
+    t.monitor <- None;
+    Domain.join d

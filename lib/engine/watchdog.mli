@@ -1,0 +1,54 @@
+(** Stuck-job detection via per-worker heartbeats.
+
+    Each pool worker reports the job attempt it is about to run
+    ({!job_started}) and reports back when it returns ({!job_finished});
+    the slot between the two is the heartbeat.  A monitor domain
+    ({!start}) scans the slots a few times per timeout period and calls
+    [on_stall] once per attempt that exceeds the timeout — the default
+    just warns on stderr; the engine's enforcement lives elsewhere:
+
+    - an attempt that {e finishes} over the timeout is failed and
+      quarantined by {!Plan} (checked against the attempt's own wall
+      clock, so the decision is deterministic and identical at any
+      [--jobs] value);
+    - an attempt that {e never} finishes is eventually abandoned by
+      {!Pool.run_guarded}, which uses {!current} to identify the stuck
+      job, records it as failed, and stops waiting for that worker.
+
+    OCaml domains cannot be killed, so "abandon" means the worker domain
+    is left behind, parked in the stuck computation; its result, if it
+    ever materializes, is discarded.  The watchdog guarantees the rest of
+    the run is not held hostage — the same crash-tolerance contract the
+    paper's algorithms give their processes (§2). *)
+
+type t
+
+val create : workers:int -> timeout:float -> t
+(** Heartbeat slots for [workers] workers.  [timeout] is in seconds.
+    @raise Invalid_argument if [timeout <= 0]. *)
+
+val timeout : t -> float
+
+val job_started :
+  t -> worker:int -> index:int -> key:string -> attempt:int -> unit
+(** Heartbeat: worker [worker] starts [attempt] of the job at task
+    [index] with stable key [key]. *)
+
+val job_finished : t -> worker:int -> unit
+(** Heartbeat: the worker's current attempt returned (either way). *)
+
+type view = { index : int; key : string; attempt : int; elapsed : float }
+
+val current : t -> worker:int -> view option
+(** The worker's in-flight attempt and how long it has been running, or
+    [None] between jobs.  Used by {!Pool.run_guarded} to abandon workers
+    stuck past [timeout] plus its grace period. *)
+
+val start : ?on_stall:(key:string -> elapsed:float -> unit) -> t -> unit
+(** Spawn the monitor domain.  [on_stall] fires at most once per attempt,
+    from the monitor domain, outside the heartbeat lock; the default
+    prints a warning to stderr.  @raise Invalid_argument if already
+    started. *)
+
+val stop : t -> unit
+(** Stop and join the monitor domain.  Idempotent. *)

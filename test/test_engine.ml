@@ -113,6 +113,7 @@ let sample_record =
     sweep_point = 1;
     point_label = "eps=0.25 \"quoted\"\n";
     trial = 2;
+    attempt = 1;
     seed = 123456789;
     params = [ ("epsilon", 0.25); ("n", 205.) ];
     values = [ ("max_steps", 57.); ("ratio", 1.1023456789012345) ];
