@@ -210,17 +210,27 @@ let run_engine ids seed trials scale csv_dir out_dir workers resume retries
 
 let run_experiments ids seed trials scale csv_dir jobs out_dir resume retries
     job_timeout =
-  match (out_dir, jobs, resume) with
-  | None, None, false -> run_serial ids seed trials scale csv_dir
-  | None, Some _, _ | None, _, true ->
-    Printf.eprintf "--jobs/--resume require --out DIR (the JSONL store)\n";
-    1
-  | Some out, _, _ ->
-    let workers =
-      match jobs with Some j -> max 1 j | None -> Engine.Pool.default_workers ()
-    in
-    run_engine ids seed trials scale csv_dir out workers resume retries
-      job_timeout
+  match
+    List.filter (fun id -> Harness.Registry.find id = None) ids
+  with
+  | _ :: _ as unknown ->
+    Printf.eprintf "unknown experiment(s) %s; try `repro_cli list'\n"
+      (String.concat ", " unknown);
+    2
+  | [] -> (
+    match (out_dir, jobs, resume) with
+    | None, None, false -> run_serial ids seed trials scale csv_dir
+    | None, Some _, _ | None, _, true ->
+      Printf.eprintf "--jobs/--resume require --out DIR (the JSONL store)\n";
+      2
+    | Some out, _, _ ->
+      let workers =
+        match jobs with
+        | Some j -> max 1 j
+        | None -> Engine.Pool.default_workers ()
+      in
+      run_engine ids seed trials scale csv_dir out workers resume retries
+        job_timeout)
 
 (* ------------------------------------------------------------------ *)
 (* simulate: one configurable run with detailed output *)
@@ -262,14 +272,14 @@ let simulate algo_name n seed adversary_name crash_fraction stagger histogram =
   | Error msg ->
     prerr_endline msg;
     Printf.eprintf "algorithms: %s\n" (String.concat ", " algo_names);
-    1
+    2
   | Ok algo ->
     (match Sim.Adversary.by_name adversary_name with
     | None ->
       Printf.eprintf "unknown adversary %S; one of: %s\n" adversary_name
         (String.concat ", "
            (List.map (fun a -> a.Sim.Adversary.name) Sim.Adversary.all_builtin));
-      1
+      2
     | Some adversary ->
       let adversary =
         if crash_fraction > 0. then
@@ -298,7 +308,7 @@ let simulate algo_name n seed adversary_name crash_fraction stagger histogram =
         print_endline "per-process steps:";
         print_string (Stats.Histogram.render h)
       end;
-      if Sim.Runner.check_unique_names r then 0 else 2)
+      if Sim.Runner.check_unique_names r then 0 else 1)
 
 (* ------------------------------------------------------------------ *)
 (* verify: the full safety battery *)
@@ -375,7 +385,7 @@ let verify seed rounds =
         adversaries)
     algorithms;
   Printf.printf "verify: %d checks, %d failures\n" !checks !failures;
-  if !failures = 0 then 0 else 2
+  if !failures = 0 then 0 else 1
 
 (* ------------------------------------------------------------------ *)
 (* report: run everything and emit one self-contained markdown file *)
@@ -528,20 +538,135 @@ let doctor dir =
           let total = List.length (Engine.Fault.load fpath) in
           note "%s: quarantine holds %d failure record(s) across %d job(s)"
             file total (Hashtbl.length counts);
-          Hashtbl.iter
-            (fun key attempts ->
-              let completed = Hashtbl.mem scan.Engine.Checkpoint.keys key in
-              Printf.printf "           %s: %d failed attempt(s)%s\n" key
-                attempts
-                (if completed then " (later succeeded)" else " (no record)"))
-            counts
+          (* Sorted: quarantine keys must print in a stable order, not
+             in Hashtbl bucket order. *)
+          Hashtbl.to_seq counts |> List.of_seq
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+          |> List.iter (fun (key, attempts) ->
+                 let completed = Hashtbl.mem scan.Engine.Checkpoint.keys key in
+                 Printf.printf "           %s: %d failed attempt(s)%s\n" key
+                   attempts
+                   (if completed then " (later succeeded)" else " (no record)"))
         end)
       stores;
     Printf.printf "doctor: %d problem(s), %d note(s)\n" !problems !notes;
     if !problems = 0 then 0 else 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* lint: AST-level determinism lint over the source tree *)
+
+let lint json root paths =
+  Analysis.Lint.run ~json ~root ~paths ~out:print_string ()
+
+(* ------------------------------------------------------------------ *)
+(* racecheck: happens-before certification of multicore executions *)
+
+let racecheck_algo_names = [ "rebatching"; "adaptive"; "fast" ]
+
+(* Builds a fresh (stateful) algorithm instance plus the shared-memory
+   capacity it needs.  Index 16 on the object ladder mirrors the shm
+   test suite: the adaptive ladder's reachable depth grows like
+   O(log log n), so 16 covers any feasible process count. *)
+let make_shm_algo name ~n ~t0 =
+  match name with
+  | "rebatching" ->
+    let instance = Renaming.Rebatching.make ~t0 ~n () in
+    Ok
+      ( (fun env -> Renaming.Rebatching.get_name env instance),
+        Renaming.Rebatching.size instance )
+  | "adaptive" ->
+    let space = Renaming.Object_space.create ~t0 () in
+    Ok
+      ( (fun env -> Renaming.Adaptive_rebatching.get_name env space),
+        Renaming.Object_space.total_size space 16 )
+  | "fast" ->
+    let space = Renaming.Object_space.create ~t0 () in
+    Ok
+      ( (fun env -> Renaming.Fast_adaptive_rebatching.get_name env space),
+        Renaming.Object_space.total_size space 16 )
+  | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+
+(* A deliberately racy execution for demonstrating the checker: two
+   domains plain-write the same location with no synchronization edge
+   between them, so their vector clocks are incomparable regardless of
+   interleaving and the monitor must report a race. *)
+let racecheck_racy_demo () =
+  let sp = Analysis.Hb_space.create ~mode:Analysis.Hb.Collect ~capacity:4 () in
+  let worker () = Analysis.Hb_space.write_plain sp "shared-counter" in
+  (* Raw spawns on purpose: the demo's point is exactly that nothing
+     orders the two writes.  repro-lint: allow domain-spawn *)
+  let handles = Array.init 2 (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join handles;
+  match Analysis.Hb_space.races sp with
+  | [] ->
+    prerr_endline
+      "racecheck --racy: internal error — the guaranteed race was not detected";
+    2
+  | races ->
+    List.iter (fun r -> print_endline (Analysis.Hb.race_to_string r)) races;
+    Printf.printf
+      "racecheck: %d race(s) detected (expected — this is the racy demo)\n"
+      (List.length races);
+    1
+
+let racecheck algo_name procs domains seed runs racy =
+  if racy then racecheck_racy_demo ()
+  else if procs < 1 || domains < 1 || runs < 1 then begin
+    Printf.eprintf "racecheck: --procs, --domains and --runs must be >= 1\n";
+    2
+  end
+  else
+    match make_shm_algo algo_name ~n:procs ~t0:3 with
+    | Error msg ->
+      Printf.eprintf "%s\nalgorithms: %s\n" msg
+        (String.concat ", " racecheck_algo_names);
+      2
+    | Ok _ ->
+      let dirty = ref 0 in
+      for i = 0 to runs - 1 do
+        let run_seed = seed + i in
+        (* Fresh instance per run: the renaming structures are stateful. *)
+        let algo, capacity =
+          match make_shm_algo algo_name ~n:procs ~t0:3 with
+          | Ok v -> v
+          | Error _ -> assert false
+        in
+        match
+          Analysis.Hb_runner.certify ~domains ~seed:run_seed ~procs ~capacity
+            ~algo ()
+        with
+        | Error races ->
+          incr dirty;
+          List.iter (fun r -> print_endline (Analysis.Hb.race_to_string r)) races;
+          Printf.printf "seed=%d: %d race(s)\n" run_seed (List.length races)
+        | Ok o ->
+          let r = o.Analysis.Hb_runner.result in
+          let s = o.Analysis.Hb_runner.stats in
+          if not (Shm.Domain_runner.check_unique_names r) then begin
+            incr dirty;
+            Printf.printf "seed=%d: race-free but names NOT unique\n" run_seed
+          end
+          else
+            Printf.printf
+              "seed=%d: certified race-free (domains=%d threads=%d \
+               atomic_locs=%d plain_locs=%d events=%d, unique names)\n"
+              run_seed r.Shm.Domain_runner.domains_used s.Analysis.Hb.threads
+              s.Analysis.Hb.atomic_locations s.Analysis.Hb.plain_locations
+              s.Analysis.Hb.events
+      done;
+      if !dirty = 0 then 0 else 1
+
 open Cmdliner
+
+(* Shared exit-code convention for the analysis/audit commands; also
+   what doctor, simulate and verify follow. *)
+let finding_exits =
+  [
+    Cmd.Exit.info 0 ~doc:"the tree (or run, or store) is clean.";
+    Cmd.Exit.info 1 ~doc:"findings were reported (violations, races, problems).";
+    Cmd.Exit.info 2 ~doc:"usage, parse or internal error.";
+  ]
 
 let seed_t =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base random seed.")
@@ -662,7 +787,102 @@ let doctor_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"DIR" ~doc:"The $(b,--out) directory to audit.")
   in
-  Cmd.v (Cmd.info "doctor" ~doc) Term.(const doctor $ dir_t)
+  Cmd.v (Cmd.info "doctor" ~doc ~exits:finding_exits) Term.(const doctor $ dir_t)
+
+let lint_cmd =
+  let doc =
+    "Lint the source tree for determinism hazards (AST-level, \
+     compiler-libs parser)."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses every .ml file with the compiler's own parser and flags \
+         identifier uses that break reproducibility: Stdlib.Random outside \
+         lib/prng, wall-clock reads outside the timing layers, raw \
+         Domain.spawn outside the runner/pool, Hashtbl iteration in \
+         result-producing code, polymorphic compare in lib/stats, and \
+         stray stdout prints.  Silence a justified use with a \
+         `repro-lint: allow <rule-id>' comment on the flagged line or the \
+         line above.";
+    ]
+  in
+  let json_t =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as a JSON array.")
+  in
+  let root_t =
+    Arg.(
+      value & opt string "."
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:
+            "Repository root; stripped from paths so rule scopes (lib/prng, \
+             bin, ...) match.")
+  in
+  let paths_t =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Files or directories to lint (default: bin lib examples bench \
+             test under $(b,--root)).")
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc ~man ~exits:finding_exits)
+    Term.(const lint $ json_t $ root_t $ paths_t)
+
+let racecheck_cmd =
+  let doc =
+    "Certify multicore runner executions data-race free with a \
+     vector-clock happens-before monitor."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the real Shm.Domain_runner with its instrumentation hooks \
+         wired into a happens-before monitor: spawn/join/latch edges join \
+         vector clocks, every TAS/release executes inside the monitor's \
+         critical section, and the result arrays' plain accesses are \
+         checked for unordered conflicts.  A clean exit certifies the \
+         witnessed executions race-free; races print with both access \
+         sites.  $(b,--racy) instead runs a deliberately racy two-domain \
+         demo that must exit 1.";
+    ]
+  in
+  let algo_t =
+    Arg.(
+      value & opt string "rebatching"
+      & info [ "algo" ] ~docv:"NAME"
+          ~doc:"Algorithm: rebatching, adaptive or fast.")
+  in
+  let procs_t =
+    Arg.(value & opt int 64 & info [ "procs" ] ~docv:"N" ~doc:"Process count.")
+  in
+  let domains_t =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"D" ~doc:"Worker domains to race.")
+  in
+  let runs_t =
+    Arg.(
+      value & opt int 1
+      & info [ "runs" ] ~docv:"R"
+          ~doc:"Independent executions to certify (seeds SEED..SEED+R-1).")
+  in
+  let racy_t =
+    Arg.(
+      value & flag
+      & info [ "racy" ]
+          ~doc:
+            "Run the deliberately racy demo instead: two unsynchronized \
+             domains write one plain location; exits 1 with the race \
+             report.")
+  in
+  Cmd.v
+    (Cmd.info "racecheck" ~doc ~man ~exits:finding_exits)
+    Term.(
+      const racecheck $ algo_t $ procs_t $ domains_t $ seed_t $ runs_t $ racy_t)
 
 let simulate_cmd =
   let doc = "Run one simulation with explicit parameters and print details." in
@@ -697,7 +917,7 @@ let simulate_cmd =
   let histogram_t =
     Arg.(value & flag & info [ "histogram" ] ~doc:"Print the step histogram.")
   in
-  Cmd.v (Cmd.info "simulate" ~doc)
+  Cmd.v (Cmd.info "simulate" ~doc ~exits:finding_exits)
     Term.(
       const simulate $ algo_t $ n_t $ seed_t $ adversary_t $ crash_t $ stagger_t
       $ histogram_t)
@@ -711,7 +931,8 @@ let verify_cmd =
   let rounds_t =
     Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"N" ~doc:"Seeds per cell.")
   in
-  Cmd.v (Cmd.info "verify" ~doc) Term.(const verify $ seed_t $ rounds_t)
+  Cmd.v (Cmd.info "verify" ~doc ~exits:finding_exits)
+    Term.(const verify $ seed_t $ rounds_t)
 
 let report_cmd =
   let doc = "Run every experiment and write a self-contained markdown report." in
@@ -731,6 +952,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "repro_cli" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; all_cmd; simulate_cmd; verify_cmd; report_cmd;
-      doctor_cmd ]
+      doctor_cmd; lint_cmd; racecheck_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,53 @@
+(* Standalone determinism linter — the same engine as `repro_cli lint`,
+   packaged as a single-purpose binary for editor integrations and CI
+   hooks that should not need the full experiment driver. *)
+
+open Cmdliner
+
+let lint json root paths =
+  Analysis.Lint.run ~json ~root ~paths ~out:print_string ()
+
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"the tree is clean.";
+    Cmd.Exit.info 1 ~doc:"violations were reported.";
+    Cmd.Exit.info 2 ~doc:"usage, parse or internal error.";
+  ]
+
+let cmd =
+  let doc = "AST-level determinism lint for the reproduction tree." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses every .ml file with the compiler's own parser \
+         (compiler-libs) and flags identifier uses that break \
+         reproducibility; see `repro_cli lint --help' for the rule \
+         table.  Silence a justified use with a `repro-lint: allow \
+         <rule-id>' comment on the flagged line or the line above.";
+    ]
+  in
+  let json_t =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as a JSON array.")
+  in
+  let root_t =
+    Arg.(
+      value & opt string "."
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:
+            "Repository root; stripped from paths so rule scopes (lib/prng, \
+             bin, ...) match.")
+  in
+  let paths_t =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Files or directories to lint (default: bin lib examples bench \
+             test under $(b,--root)).")
+  in
+  Cmd.v
+    (Cmd.info "repro_lint" ~version:"1.0.0" ~doc ~man ~exits)
+    Term.(const lint $ json_t $ root_t $ paths_t)
+
+let () = exit (Cmd.eval' cmd)

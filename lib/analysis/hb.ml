@@ -1,0 +1,244 @@
+(* Vector-clock happens-before monitor (Djit+ lineage, the discipline
+   FastTrack industrializes): every thread carries a vector clock,
+   synchronization edges join clocks, and each plain access is checked
+   against the location's recorded access epochs.  Two conflicting plain
+   accesses with incomparable clocks are a data race in the witnessed
+   execution.
+
+   All entry points lock one mutex, so the recorded event order is a
+   real linearization of the monitored run; [atomic_op_locked] runs the
+   actual atomic operation inside the critical section so that the
+   synchronization order used for clock joins is exactly the order the
+   hardware executed. *)
+
+type kind = Read | Write
+
+type access = { thread : int; kind : kind }
+
+type race = {
+  loc : string;
+  prior : access;
+  current : access;
+  prior_name : string;
+  current_name : string;
+}
+
+exception Race of race
+
+type mode = Raise | Collect
+
+type sync = [ `Acquire | `Release | `Rmw ]
+
+(* Epochs [(thread, clock value)] rather than full clocks: access [e] at
+   epoch (u, k) happens-before thread t's current event iff k <=
+   C_t(u), because everything u knew at its local time k flows to t
+   with u's k-th component. *)
+type plain_state = {
+  mutable writer : (int * int) option;
+  mutable readers : (int * int) list;  (** one entry per reading thread *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  max_threads : int;
+  clocks : Vclock.t array;  (** preallocated, one per possible thread *)
+  names : string array;
+  mutable nthreads : int;
+  atomics : (string, Vclock.t) Hashtbl.t;
+  plains : (string, plain_state) Hashtbl.t;
+  mutable races : race list;
+  mutable events : int;
+  mode : mode;
+}
+
+(* Everything the hot path touches is preallocated: clock arrays are
+   flat ints and the clocks/names tables never move, so concurrent
+   monitor calls perform no pointer stores into shared records (see the
+   note in vclock.ml on why that matters). *)
+let create ?(mode = Raise) ?(max_threads = 64) () =
+  if max_threads < 1 then invalid_arg "Hb.create: max_threads must be >= 1";
+  {
+    mutex = Mutex.create ();
+    max_threads;
+    clocks = Array.init max_threads (fun _ -> Vclock.create ~cap:max_threads);
+    names = Array.make max_threads "";
+    nthreads = 0;
+    atomics = Hashtbl.create 64;
+    plains = Hashtbl.create 64;
+    races = [];
+    events = 0;
+    mode;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let register t ~name =
+  with_lock t (fun () ->
+      let id = t.nthreads in
+      if id >= t.max_threads then
+        invalid_arg
+          (Printf.sprintf "Hb.register: monitor capacity %d exhausted"
+             t.max_threads);
+      (* Epoch 0 is "never accessed"; every thread starts at 1. *)
+      Vclock.set t.clocks.(id) id 1;
+      t.names.(id) <- (if name = "" then Printf.sprintf "thread-%d" id else name);
+      t.nthreads <- id + 1;
+      id)
+
+let thread_name t i =
+  with_lock t (fun () ->
+      if i >= 0 && i < t.nthreads then t.names.(i)
+      else Printf.sprintf "thread-%d" i)
+
+let check_thread t who i =
+  if i < 0 || i >= t.nthreads then
+    invalid_arg (Printf.sprintf "Hb.%s: unregistered thread %d" who i)
+
+(* ------------------------------------------------------------------ *)
+(* Synchronization edges *)
+
+let spawn t ~parent ~child =
+  with_lock t (fun () ->
+      check_thread t "spawn" parent;
+      check_thread t "spawn" child;
+      t.events <- t.events + 1;
+      Vclock.join t.clocks.(child) t.clocks.(parent);
+      Vclock.tick t.clocks.(child) child;
+      Vclock.tick t.clocks.(parent) parent)
+
+let join t ~parent ~child =
+  with_lock t (fun () ->
+      check_thread t "join" parent;
+      check_thread t "join" child;
+      t.events <- t.events + 1;
+      Vclock.join t.clocks.(parent) t.clocks.(child);
+      Vclock.tick t.clocks.(parent) parent)
+
+let atomic_clock t loc =
+  match Hashtbl.find_opt t.atomics loc with
+  | Some c -> c
+  | None ->
+    let c = Vclock.create ~cap:t.max_threads in
+    Hashtbl.replace t.atomics loc c;
+    c
+
+let atomic_update t ~thread ~loc ~sync =
+  check_thread t "atomic_op" thread;
+  t.events <- t.events + 1;
+  let l = atomic_clock t loc in
+  let c = t.clocks.(thread) in
+  (match sync with
+  | `Acquire -> Vclock.join c l
+  | `Release -> ()
+  | `Rmw -> Vclock.join c l);
+  Vclock.tick c thread;
+  match sync with
+  | `Acquire -> ()
+  | `Release | `Rmw -> Vclock.join l c
+
+let atomic_op t ~thread ~loc ~sync =
+  with_lock t (fun () -> atomic_update t ~thread ~loc ~sync)
+
+let atomic_op_locked t ~thread ~loc ~sync f =
+  with_lock t (fun () ->
+      let r = f () in
+      atomic_update t ~thread ~loc ~sync;
+      r)
+
+(* ------------------------------------------------------------------ *)
+(* Plain accesses *)
+
+let plain_state t loc =
+  match Hashtbl.find_opt t.plains loc with
+  | Some st -> st
+  | None ->
+    let st = { writer = None; readers = [] } in
+    Hashtbl.replace t.plains loc st;
+    st
+
+let report t ~loc ~prior ~current =
+  let r =
+    {
+      loc;
+      prior;
+      current;
+      prior_name = t.names.(prior.thread);
+      current_name = t.names.(current.thread);
+    }
+  in
+  t.races <- r :: t.races;
+  match t.mode with Raise -> raise (Race r) | Collect -> ()
+
+(* Epoch (u, k) is ordered before thread [thread]'s current event iff
+   k <= C_thread(u); a thread is trivially ordered with itself. *)
+let ordered t ~thread (u, k) =
+  u = thread || k <= Vclock.get t.clocks.(thread) u
+
+let plain_read t ~thread ~loc =
+  with_lock t (fun () ->
+      check_thread t "plain_read" thread;
+      t.events <- t.events + 1;
+      let st = plain_state t loc in
+      (match st.writer with
+      | Some ((u, _) as e) when not (ordered t ~thread e) ->
+        report t ~loc
+          ~prior:{ thread = u; kind = Write }
+          ~current:{ thread; kind = Read }
+      | _ -> ());
+      let epoch = Vclock.get t.clocks.(thread) thread in
+      st.readers <-
+        (thread, epoch) :: List.filter (fun (u, _) -> u <> thread) st.readers)
+
+let plain_write t ~thread ~loc =
+  with_lock t (fun () ->
+      check_thread t "plain_write" thread;
+      t.events <- t.events + 1;
+      let st = plain_state t loc in
+      (match st.writer with
+      | Some ((u, _) as e) when not (ordered t ~thread e) ->
+        report t ~loc
+          ~prior:{ thread = u; kind = Write }
+          ~current:{ thread; kind = Write }
+      | _ -> ());
+      List.iter
+        (fun ((u, _) as e) ->
+          if not (ordered t ~thread e) then
+            report t ~loc
+              ~prior:{ thread = u; kind = Read }
+              ~current:{ thread; kind = Write })
+        st.readers;
+      st.writer <- Some (thread, Vclock.get t.clocks.(thread) thread);
+      st.readers <- [])
+
+(* ------------------------------------------------------------------ *)
+(* Results *)
+
+let races t = with_lock t (fun () -> List.rev t.races)
+
+type stats = {
+  threads : int;
+  atomic_locations : int;
+  plain_locations : int;
+  events : int;
+}
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        threads = t.nthreads;
+        atomic_locations = Hashtbl.length t.atomics;
+        plain_locations = Hashtbl.length t.plains;
+        events = t.events;
+      })
+
+let kind_to_string = function Read -> "read" | Write -> "write"
+
+let race_to_string r =
+  Printf.sprintf
+    "data race on %s: %s by %s is unordered with %s by %s" r.loc
+    (kind_to_string r.prior.kind)
+    r.prior_name
+    (kind_to_string r.current.kind)
+    r.current_name

@@ -1,0 +1,97 @@
+(** Vector-clock happens-before race checker.
+
+    The monitor witnesses one concurrent execution: threads register,
+    synchronization operations (spawn/join edges, atomic operations on
+    named locations) join vector clocks, and each {e plain} (non-atomic)
+    access is checked against the location's recorded access epochs.
+    Two conflicting plain accesses whose clocks are incomparable are a
+    data race in the witnessed execution — by the DRF theorem for the
+    OCaml memory model, a program whose executions are all certified
+    race-free is sequentially consistent.
+
+    Every entry point is serialized by an internal mutex, so calls can
+    be made freely from concurrently running domains; the recorded event
+    order is a real linearization of the run.  Use
+    {!atomic_op_locked} to execute the underlying atomic operation
+    inside the critical section, making the clock-join order identical
+    to the hardware execution order.
+
+    In [Raise] mode (the default) the first race raises {!Race} in the
+    offending thread; in [Collect] mode races accumulate and the run
+    continues. *)
+
+type kind = Read | Write
+type access = { thread : int; kind : kind }
+
+type race = {
+  loc : string;
+  prior : access;
+  current : access;
+  prior_name : string;
+  current_name : string;
+}
+
+exception Race of race
+
+type mode = Raise | Collect
+type sync = [ `Acquire | `Release | `Rmw ]
+
+type t
+
+val create : ?mode:mode -> ?max_threads:int -> unit -> t
+(** A fresh monitor; [mode] defaults to [Raise].  [max_threads]
+    (default 64) bounds how many threads can register: clocks are
+    preallocated flat arrays so the concurrent hot path performs no
+    pointer stores into shared records (growable clocks provoke
+    stop-the-world GC storms under multicore contention). *)
+
+val register : t -> name:string -> int
+(** Register a thread and return its dense id.  [name] appears in race
+    reports. *)
+
+val thread_name : t -> int -> string
+
+val spawn : t -> parent:int -> child:int -> unit
+(** Record a spawn edge: the child inherits the parent's clock.  Call
+    from the parent before the child starts running. *)
+
+val join : t -> parent:int -> child:int -> unit
+(** Record a join edge: the parent inherits the child's clock.  Call
+    from the parent after the child has terminated. *)
+
+val atomic_op : t -> thread:int -> loc:string -> sync:sync -> unit
+(** Record an atomic operation on location [loc].  [`Acquire] joins the
+    location's clock into the thread ([Atomic.get], a latch spin);
+    [`Release] publishes the thread's clock to the location
+    ([Atomic.set]); [`Rmw] does both ([Atomic.exchange],
+    compare-and-set, TAS).  @raise Invalid_argument on an unregistered
+    thread. *)
+
+val atomic_op_locked :
+  t -> thread:int -> loc:string -> sync:sync -> (unit -> 'a) -> 'a
+(** Like {!atomic_op}, but runs [f] — the real atomic operation — inside
+    the monitor's critical section, so the recorded synchronization
+    order is exactly the executed order. *)
+
+val plain_read : t -> thread:int -> loc:string -> unit
+(** Record a plain (non-atomic) read and check it against the last
+    unordered write.  @raise Race in [Raise] mode. *)
+
+val plain_write : t -> thread:int -> loc:string -> unit
+(** Record a plain write and check it against unordered prior reads and
+    writes.  @raise Race in [Raise] mode. *)
+
+val races : t -> race list
+(** Races witnessed so far, in program order (useful in [Collect]
+    mode; in [Raise] mode at most one). *)
+
+type stats = {
+  threads : int;
+  atomic_locations : int;
+  plain_locations : int;
+  events : int;
+}
+
+val stats : t -> stats
+
+val race_to_string : race -> string

@@ -1,0 +1,78 @@
+(* Certify Shm.Domain_runner executions race-free.
+
+   The runner's instrumentation hooks are wired into a {!Hb} monitor:
+   spawn/join/latch events become synchronization edges, every
+   TAS/release runs inside the monitor's critical section (so the
+   clock-join order is the executed order), and the result arrays'
+   plain accesses are checked as plain reads/writes.  A run that
+   completes with no race is a witnessed data-race-free execution of
+   the real multicore substrate — certification, not assumption. *)
+
+type outcome = {
+  result : Shm.Domain_runner.result;
+  races : Hb.race list;
+  stats : Hb.stats;
+}
+
+let hooks hb =
+  let main = Hb.register hb ~name:"main" in
+  (* Worker thread ids, assigned at the spawn hook (main thread) so the
+     spawn edge exists before the worker's first event. *)
+  let tids : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let lock = Mutex.create () in
+  let tid d =
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        match Hashtbl.find_opt tids d with
+        | Some t -> t
+        | None ->
+          let t = Hb.register hb ~name:(Printf.sprintf "domain-%d" d) in
+          Hashtbl.replace tids d t;
+          t)
+  in
+  let result_cells pid =
+    (Printf.sprintf "names[%d]" pid, Printf.sprintf "probes[%d]" pid)
+  in
+  {
+    Shm.Domain_runner.tas =
+      (fun ~domain ~loc f ->
+        Hb.atomic_op_locked hb ~thread:(tid domain)
+          ~loc:(Printf.sprintf "cell[%d]" loc)
+          ~sync:`Rmw f);
+    release =
+      (fun ~domain ~loc f ->
+        Hb.atomic_op_locked hb ~thread:(tid domain)
+          ~loc:(Printf.sprintf "cell[%d]" loc)
+          ~sync:`Release f);
+    on_spawn = (fun d -> Hb.spawn hb ~parent:main ~child:(tid d));
+    on_join = (fun d -> Hb.join hb ~parent:main ~child:(tid d));
+    on_latch_release =
+      (fun () -> Hb.atomic_op hb ~thread:main ~loc:"latch" ~sync:`Release);
+    on_latch_acquire =
+      (fun d -> Hb.atomic_op hb ~thread:(tid d) ~loc:"latch" ~sync:`Acquire);
+    on_result_write =
+      (fun ~domain ~pid ->
+        let names, probes = result_cells pid in
+        let thread = tid domain in
+        Hb.plain_write hb ~thread ~loc:names;
+        Hb.plain_write hb ~thread ~loc:probes);
+    on_result_read =
+      (fun ~pid ->
+        let names, probes = result_cells pid in
+        Hb.plain_read hb ~thread:main ~loc:names;
+        Hb.plain_read hb ~thread:main ~loc:probes);
+  }
+
+let run ?domains ?(mode = Hb.Collect) ~seed ~procs ~capacity ~algo () =
+  let hb = Hb.create ~mode () in
+  let result =
+    Shm.Domain_runner.run ?domains ~hooks:(hooks hb) ~seed ~procs ~capacity
+      ~algo ()
+  in
+  { result; races = Hb.races hb; stats = Hb.stats hb }
+
+let certify ?domains ~seed ~procs ~capacity ~algo () =
+  let o = run ?domains ~mode:Hb.Collect ~seed ~procs ~capacity ~algo () in
+  match o.races with [] -> Ok o | races -> Error races

@@ -1,0 +1,45 @@
+(** Happens-before certification of {!Shm.Domain_runner} executions.
+
+    Runs the real multicore runner with its instrumentation hooks wired
+    into a {!Hb} vector-clock monitor: spawn/join/latch events are
+    synchronization edges, every TAS/release executes inside the
+    monitor's critical section, and the result arrays' plain accesses
+    are race-checked.  The outcome certifies that the witnessed
+    execution was data-race free (or reports exactly which accesses
+    were unordered).
+
+    Instrumentation serializes shared-memory operations, so certified
+    runs are for correctness checking; use the raw runner for timing. *)
+
+type outcome = {
+  result : Shm.Domain_runner.result;
+  races : Hb.race list;  (** empty iff the execution was race-free *)
+  stats : Hb.stats;
+}
+
+val hooks : Hb.t -> Shm.Domain_runner.hooks
+(** The hook set wiring a runner execution into [hb].  Exposed so
+    future engine substrates can reuse the same instrumentation. *)
+
+val run :
+  ?domains:int ->
+  ?mode:Hb.mode ->
+  seed:int ->
+  procs:int ->
+  capacity:int ->
+  algo:(Renaming.Env.t -> int option) ->
+  unit ->
+  outcome
+(** Instrumented {!Shm.Domain_runner.run}.  [mode] defaults to
+    [Collect] so a racy execution completes and reports every race;
+    pass [Raise] to fail fast inside the offending domain. *)
+
+val certify :
+  ?domains:int ->
+  seed:int ->
+  procs:int ->
+  capacity:int ->
+  algo:(Renaming.Env.t -> int option) ->
+  unit ->
+  (outcome, Hb.race list) result
+(** [Ok] iff the witnessed execution had no data race. *)

@@ -1,0 +1,72 @@
+(* Instrumented drop-in for Shm.Atomic_space.
+
+   Same operations, same semantics, but every access is recorded in a
+   {!Hb} monitor.  The atomic operation itself runs inside the
+   monitor's critical section, so the synchronization order used for
+   vector-clock joins is exactly the order the cells were really
+   operated on.  Threads are identified by their domain and registered
+   on first access; plain (non-atomic) shared state that travels with
+   the space is checked through [read_plain]/[write_plain]. *)
+
+type t = {
+  space : Shm.Atomic_space.t;
+  hb : Hb.t;
+  tids : (int, int) Hashtbl.t;  (* Domain.id :> int -> monitor thread id *)
+  tid_lock : Mutex.t;
+}
+
+let create ?mode ~capacity () =
+  {
+    space = Shm.Atomic_space.create ~capacity;
+    hb = Hb.create ?mode ();
+    tids = Hashtbl.create 8;
+    tid_lock = Mutex.create ();
+  }
+
+let hb t = t.hb
+let space t = t.space
+let capacity t = Shm.Atomic_space.capacity t.space
+
+let register_thread ?name t =
+  let d = (Domain.self () :> int) in
+  Mutex.lock t.tid_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.tid_lock)
+    (fun () ->
+      match Hashtbl.find_opt t.tids d with
+      | Some tid -> tid
+      | None ->
+        let name =
+          match name with Some n -> n | None -> Printf.sprintf "domain-%d" d
+        in
+        let tid = Hb.register t.hb ~name in
+        Hashtbl.replace t.tids d tid;
+        tid)
+
+let tid t = register_thread t
+
+let cell loc = Printf.sprintf "cell[%d]" loc
+
+let tas t loc =
+  let thread = tid t in
+  Hb.atomic_op_locked t.hb ~thread ~loc:(cell loc) ~sync:`Rmw (fun () ->
+      Shm.Atomic_space.tas t.space loc)
+
+let release t loc =
+  let thread = tid t in
+  Hb.atomic_op_locked t.hb ~thread ~loc:(cell loc) ~sync:`Release (fun () ->
+      Shm.Atomic_space.release t.space loc)
+
+let is_taken t loc =
+  let thread = tid t in
+  Hb.atomic_op_locked t.hb ~thread ~loc:(cell loc) ~sync:`Acquire (fun () ->
+      Shm.Atomic_space.is_taken t.space loc)
+
+(* Whole-space scans are documented quiescent on Atomic_space; they are
+   passed through unrecorded. *)
+let taken_count t = Shm.Atomic_space.taken_count t.space
+let reset t = Shm.Atomic_space.reset t.space
+
+let read_plain t loc = Hb.plain_read t.hb ~thread:(tid t) ~loc
+let write_plain t loc = Hb.plain_write t.hb ~thread:(tid t) ~loc
+let races t = Hb.races t.hb

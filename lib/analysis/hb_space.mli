@@ -1,0 +1,52 @@
+(** Instrumented drop-in for {!Shm.Atomic_space}.
+
+    [tas]/[release]/[is_taken] have the same semantics as the real
+    space (they operate on a genuine {!Shm.Atomic_space} underneath)
+    but record every operation in a {!Hb} happens-before monitor, with
+    the atomic op executed inside the monitor's critical section so the
+    recorded synchronization order is the executed order.  Threads are
+    keyed by {!Domain.self} and registered on first access.
+
+    Plain (non-atomic) state that rides along with the space — result
+    arrays, counters — is declared through {!read_plain} and
+    {!write_plain} with a caller-chosen location label; any pair of
+    unordered conflicting plain accesses raises {!Hb.Race} (default
+    mode) or is collected for {!races}.
+
+    Instrumentation serializes the monitored operations, so use this
+    for certification runs, not for timing. *)
+
+type t
+
+val create : ?mode:Hb.mode -> capacity:int -> unit -> t
+(** [mode] defaults to [Raise], as {!Hb.create}. *)
+
+val capacity : t -> int
+val tas : t -> int -> bool
+val release : t -> int -> unit
+val is_taken : t -> int -> bool
+
+val taken_count : t -> int
+(** Unrecorded pass-through: documented quiescent on the real space. *)
+
+val reset : t -> unit
+(** Unrecorded pass-through: documented quiescent on the real space. *)
+
+val read_plain : t -> string -> unit
+(** Record a plain read of the named location by the calling domain. *)
+
+val write_plain : t -> string -> unit
+(** Record a plain write of the named location by the calling domain. *)
+
+val register_thread : ?name:string -> t -> int
+(** Register the calling domain explicitly (otherwise it happens on
+    first access, named ["domain-<id>"]). *)
+
+val hb : t -> Hb.t
+(** The underlying monitor, for adding spawn/join edges. *)
+
+val space : t -> Shm.Atomic_space.t
+(** The real space underneath (for capacity checks or post-run
+    verification). *)
+
+val races : t -> Hb.race list

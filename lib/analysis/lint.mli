@@ -1,0 +1,55 @@
+(** The [repro_lint] determinism linter.
+
+    Parses [.ml] files with the compiler's own parser (compiler-libs)
+    and walks the AST with an {!Ast_iterator}, flagging every identifier
+    use that trips a rule in {!Lint_rules.all}.  Because the check is on
+    the parse tree, string literals and comments can never produce false
+    positives, and locations are exact.
+
+    The lint is syntactic: module aliases ([module R = Random]) and
+    [open]-ed bare names are not resolved.  It exists to make the
+    accidental violation loud, not to be a type-aware escape analysis. *)
+
+type finding = {
+  file : string;  (** normalized repo-relative path *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as the compiler reports *)
+  rule : string;  (** {!Lint_rules.rule} id *)
+  ident : string;  (** the offending identifier, [Stdlib.] stripped *)
+  doc : string;  (** the rule's rationale *)
+}
+
+val lint_source : path:string -> source:string -> (finding list, string) result
+(** Lint one compilation unit given as a string.  [path] (normalized,
+    repo-relative) selects which rules apply.  [Error msg] on a source
+    that does not parse. *)
+
+val lint_paths :
+  root:string -> paths:string list -> finding list * (string * string) list
+(** Lint every [.ml] file under [paths] (files or directories;
+    directories are walked in sorted order, skipping entries starting
+    with ['.'] or ['_']).  Returns sorted findings and per-file parse
+    errors.  [root] is stripped from file names for rule scoping. *)
+
+val collect_ml_files : string -> string list
+(** The file walk used by {!lint_paths}, exposed for tests. *)
+
+val normalize_path : root:string -> string -> string
+(** Strip [./] and a leading [root/] so rule scopes match. *)
+
+val default_roots : string list
+(** Subdirectories linted when no paths are given:
+    [bin lib examples bench test]. *)
+
+val finding_to_string : finding -> string
+(** [file:line:col: [rule] ident — rationale]. *)
+
+val findings_to_json : finding list -> string
+(** A JSON array of finding objects (for [--json]). *)
+
+val run :
+  ?json:bool -> root:string -> paths:string list -> out:(string -> unit) ->
+  unit -> int
+(** The shared CLI driver: lint [paths] (default: {!default_roots} under
+    [root]), write the report via [out], and return the exit code —
+    0 clean, 1 findings, 2 usage or parse error. *)

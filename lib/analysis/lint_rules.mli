@@ -1,0 +1,44 @@
+(** The declarative rule table behind {!Lint}.
+
+    A rule bans a list of identifier paths within a path scope.  Adding
+    a rule is one record in {!all}: give it a stable [id] (used in
+    reports, [--json] output and inline allow comments), a [doc]
+    sentence explaining what the rule protects, the [banned] identifier
+    paths (a trailing ['.'] matches the whole module prefix, and a
+    leading [Stdlib.] on the use site is stripped before matching),
+    and optionally [applies_to]/[allowed] repository-relative path
+    prefixes.
+
+    Individual expressions are exempted in source with
+
+    {v (* repro-lint: allow <rule-id> — justification *) v}
+
+    on the line of the flagged identifier or the line above. *)
+
+type rule = {
+  id : string;
+  doc : string;
+  banned : string list;
+      (** identifier paths; trailing ['.'] means "anything under this
+          module" *)
+  applies_to : string list;
+      (** path prefixes the rule is restricted to; [[]] = whole tree *)
+  allowed : string list;  (** path prefixes exempt from the rule *)
+}
+
+val all : rule list
+(** The shipped rule set, in reporting order. *)
+
+val find : string -> rule option
+(** Look a rule up by [id]. *)
+
+val applies : rule -> path:string -> bool
+(** Does [rule] constrain the file at (normalized, repo-relative)
+    [path]? *)
+
+val matches_ident : rule -> string -> bool
+(** Does the (normalized) identifier path trip this rule? *)
+
+val path_has_prefix : prefix:string -> string -> bool
+(** Component-wise path prefix test: ["lib/shm/"] and ["lib/shm"] both
+    match ["lib/shm/atomic_space.ml"], but ["lib/sh"] does not. *)

@@ -1,0 +1,33 @@
+(** Fixed-capacity vector clocks for the happens-before checker.
+
+    Components are indexed by dense thread ids below the capacity fixed
+    at creation.  Clocks are flat int arrays — every operation is
+    barrier-free int loads and stores, which matters: growable clocks
+    (record + pointer store on growth) throttle the multicore monitor
+    to a crawl through stop-the-world GC interactions.  All clocks in
+    one monitor share the same capacity; [join]/[leq] on mismatched
+    capacities raise [Invalid_argument]. *)
+
+type t
+
+val create : cap:int -> t
+(** The zero clock with components [0 .. cap-1]. *)
+
+val cap : t -> int
+
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val tick : t -> int -> unit
+(** Increment one component (a thread's own epoch counter). *)
+
+val join : t -> t -> unit
+(** [join t other] sets [t] to the componentwise maximum. *)
+
+val copy : t -> t
+
+val leq : t -> t -> bool
+(** Componentwise [<=]: does the first clock happen-before-or-equal the
+    second? *)
+
+val to_string : t -> string

@@ -14,6 +14,12 @@ type outcome = {
   failures_store : string;
 }
 
+(* Wall-clock reads in this module are measurement payloads — a record's
+   wall_ns and the manifest's written_at stamp, both documented as
+   nondeterministic — never control flow or record identity.
+   repro-lint: allow wall-clock *)
+let wall_now () = Unix.gettimeofday ()
+
 let job_key ~experiment (job : Experiment.job) =
   Printf.sprintf "%s/%d/%d" experiment job.Experiment.sweep_point
     job.Experiment.trial
@@ -139,13 +145,13 @@ let execute ?workers ?(resume = false) ?(progress = true) ?(retries = 0)
               Option.iter
                 (fun w -> Watchdog.job_started w ~worker ~index:i ~key ~attempt)
                 wd;
-              let t0 = Unix.gettimeofday () in
+              let t0 = wall_now () in
               let result =
                 match job.Experiment.run_job ~seed with
                 | values -> Ok values
                 | exception e -> Error (e, Printexc.get_raw_backtrace ())
               in
-              let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+              let wall_ns = (wall_now () -. t0) *. 1e9 in
               Option.iter (fun w -> Watchdog.job_finished w ~worker) wd;
               match result with
               | Error (e, bt) ->
@@ -274,5 +280,5 @@ let write_manifest ~out_dir ~ids ~workers ~resume ~status ~retries ~job_timeout
         | Some t -> Printf.sprintf "%g" t );
       ("resume", string_of_bool resume);
       ("status", status);
-      ("written_at", Printf.sprintf "%.0f" (Unix.gettimeofday ()));
+      ("written_at", Printf.sprintf "%.0f" (wall_now ()));
     ]

@@ -82,6 +82,9 @@ let start ?(on_stall = default_on_stall) t =
       List.iter (fun (key, elapsed) -> on_stall ~key ~elapsed) stalled
     done
   in
+  (* The monitor domain only sleeps, reads slots under the lock and
+     warns on stderr; it touches no experiment state.
+     repro-lint: allow domain-spawn *)
   t.monitor <- Some (Domain.spawn body)
 
 let stop t =

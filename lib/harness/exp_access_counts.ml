@@ -25,7 +25,10 @@ let measure ~ctx ~k make_algo =
         let r = Sim.Runner.run ~on_event ~seed ~n:k ~algo () in
         if not (Sim.Runner.check_unique_names r) then
           failwith "T15: uniqueness violated";
-        Hashtbl.fold (fun _ set acc -> max acc (Hashtbl.length set)) visitors 0)
+        Seq.fold_left
+          (fun acc set -> max acc (Hashtbl.length set))
+          0
+          (Hashtbl.to_seq_values visitors))
   in
   Stats.Summary.mean (Array.of_list (List.map float_of_int maxima))
 

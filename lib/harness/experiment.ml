@@ -23,14 +23,14 @@ type t = {
 }
 
 let default_ctx ?(seed = 1) ?(trials = 5) ?(scale = 1.0) () =
+  (* The default ctx IS the CLI's stdout sink; every other ctx writes
+     to a caller-supplied channel.  repro-lint: allow stdout-print *)
+  let out = print_string in
   {
     seed;
     trials;
     scale;
     emit_table =
-      (fun ~title table ->
-        print_newline ();
-        print_endline title;
-        print_string (Table.render table));
-    log = print_endline;
+      (fun ~title table -> out ("\n" ^ title ^ "\n" ^ Table.render table));
+    log = (fun line -> out (line ^ "\n"));
   }

@@ -28,12 +28,19 @@ let total_rate st = List.fold_left (fun acc t -> acc +. t.rate) st.zero_mass st.
    procedure per location, update rates. *)
 let step_layer st =
   let groups : (int, live list ref) Hashtbl.t = Hashtbl.create 64 in
+  (* Occupied locations are tracked in an explicit list and visited in
+     sorted order below: the per-location sampling consumes [st.rng], so
+     Hashtbl iteration order would leak into the random stream and break
+     seed-reproducibility across OCaml releases. *)
+  let locs = ref [] in
   List.iter
     (fun t ->
       let loc = Prng.Splitmix.int st.rng st.s in
       match Hashtbl.find_opt groups loc with
       | Some l -> l := t :: !l
-      | None -> Hashtbl.replace groups loc (ref [ t ]))
+      | None ->
+        locs := loc :: !locs;
+        Hashtbl.replace groups loc (ref [ t ]))
     st.live;
   let active = Hashtbl.length groups in
   let zero_per_loc = st.zero_mass /. float_of_int st.s in
@@ -48,8 +55,9 @@ let step_layer st =
     !new_zero
     +. (float_of_int (st.s - active) *. zero_per_loc *. idle_factor);
   let survivors = ref [] in
-  Hashtbl.iter
-    (fun _loc members_ref ->
+  List.iter
+    (fun loc ->
+      let members_ref = Hashtbl.find groups loc in
       let members = !members_ref in
       let lambda =
         List.fold_left (fun acc t -> acc +. t.rate) zero_per_loc members
@@ -85,7 +93,7 @@ let step_layer st =
           if t.count > 0 then survivors := t :: !survivors
           else new_zero := !new_zero +. t.rate)
         members)
-    groups;
+    (List.sort Int.compare !locs);
   st.live <- !survivors;
   st.zero_mass <- !new_zero;
   active

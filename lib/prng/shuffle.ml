@@ -15,20 +15,19 @@ let sample_without_replacement rng n k =
   if k < 0 || k > n then
     invalid_arg "Shuffle.sample_without_replacement: need 0 <= k <= n";
   (* Floyd's algorithm: for j = n-k .. n-1, draw t uniform on [0,j]; insert
-     t unless already present, else insert j. *)
+     t unless already present, else insert j.  Each round inserts exactly
+     one fresh element, collected in insertion order — extraction must not
+     go through Hashtbl iteration, whose order could shift across OCaml
+     releases and silently change sampled sets for a fixed seed. *)
   let seen = Hashtbl.create (2 * k) in
+  let picked = ref [] in
   for j = n - k to n - 1 do
     let t = Splitmix.int rng (j + 1) in
-    if Hashtbl.mem seen t then Hashtbl.replace seen j ()
-    else Hashtbl.replace seen t ()
+    let v = if Hashtbl.mem seen t then j else t in
+    Hashtbl.replace seen v ();
+    picked := v :: !picked
   done;
-  let out = Array.make k 0 in
-  let i = ref 0 in
-  Hashtbl.iter
-    (fun v () ->
-      out.(!i) <- v;
-      incr i)
-    seen;
+  let out = Array.of_list (List.rev !picked) in
   shuffle_in_place rng out;
   out
 

@@ -6,7 +6,30 @@ type result = {
   total_probes : int;
 }
 
-let run ?domains ~seed ~procs ~capacity ~algo () =
+type hooks = {
+  tas : domain:int -> loc:int -> (unit -> bool) -> bool;
+  release : domain:int -> loc:int -> (unit -> unit) -> unit;
+  on_spawn : int -> unit;
+  on_join : int -> unit;
+  on_latch_release : unit -> unit;
+  on_latch_acquire : int -> unit;
+  on_result_write : domain:int -> pid:int -> unit;
+  on_result_read : pid:int -> unit;
+}
+
+let null_hooks =
+  {
+    tas = (fun ~domain:_ ~loc:_ f -> f ());
+    release = (fun ~domain:_ ~loc:_ f -> f ());
+    on_spawn = ignore;
+    on_join = ignore;
+    on_latch_release = ignore;
+    on_latch_acquire = ignore;
+    on_result_write = (fun ~domain:_ ~pid:_ -> ());
+    on_result_read = (fun ~pid:_ -> ());
+  }
+
+let run ?domains ?hooks ~seed ~procs ~capacity ~algo () =
   if procs < 1 then invalid_arg "Domain_runner.run: procs must be >= 1";
   let domains =
     match domains with
@@ -15,27 +38,41 @@ let run ?domains ~seed ~procs ~capacity ~algo () =
       min d procs
     | None -> min procs (min 8 (max 2 (Domain.recommended_domain_count ())))
   in
+  let instrumented = Option.is_some hooks in
+  let h = Option.value hooks ~default:null_hooks in
   let space = Atomic_space.create ~capacity in
   let root = Prng.Splitmix.of_int seed in
   let names = Array.make procs None in
   let probes = Array.make procs 0 in
   let start_latch = Atomic.make false in
-  let run_process pid =
+  let run_process ~domain pid =
     let rng = Prng.Splitmix.split_at root pid in
     let count = ref 0 in
-    let tas loc =
-      incr count;
-      Atomic_space.tas space loc
-    in
-    let reset loc =
-      incr count;
-      Atomic_space.release space loc
+    (* The uninstrumented closures stay allocation-free on the TAS hot
+       path; the instrumented ones wrap each op for the monitor. *)
+    let tas, reset =
+      if instrumented then
+        ( (fun loc ->
+            incr count;
+            h.tas ~domain ~loc (fun () -> Atomic_space.tas space loc)),
+          fun loc ->
+            incr count;
+            h.release ~domain ~loc (fun () -> Atomic_space.release space loc) )
+      else
+        ( (fun loc ->
+            incr count;
+            Atomic_space.tas space loc),
+          fun loc ->
+            incr count;
+            Atomic_space.release space loc )
     in
     let env =
       Renaming.Env.make ~reset ~pid ~tas ~random_int:(Prng.Splitmix.int rng) ()
     in
     let name = algo env in
-    (* Distinct [pid] slots per domain: plain writes race-free. *)
+    (* Distinct [pid] slots per domain: plain writes race-free — a claim
+       the hook lets Analysis.Hb_runner certify rather than assume. *)
+    h.on_result_write ~domain ~pid;
     names.(pid) <- name;
     probes.(pid) <- !count
   in
@@ -43,17 +80,31 @@ let run ?domains ~seed ~procs ~capacity ~algo () =
     while not (Atomic.get start_latch) do
       Domain.cpu_relax ()
     done;
+    h.on_latch_acquire d;
     let pid = ref d in
     while !pid < procs do
-      run_process !pid;
+      run_process ~domain:d !pid;
       pid := !pid + domains
     done
   in
-  let handles = Array.init domains (fun d -> Domain.spawn (worker d)) in
+  let handles =
+    Array.init domains (fun d ->
+        h.on_spawn d;
+        Domain.spawn (worker d))
+  in
   let t0 = Unix.gettimeofday () in
+  h.on_latch_release ();
   Atomic.set start_latch true;
-  Array.iter Domain.join handles;
+  Array.iteri
+    (fun d handle ->
+      Domain.join handle;
+      h.on_join d)
+    handles;
   let t1 = Unix.gettimeofday () in
+  if instrumented then
+    for pid = 0 to procs - 1 do
+      h.on_result_read ~pid
+    done;
   {
     names;
     probes;

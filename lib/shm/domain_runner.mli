@@ -24,8 +24,35 @@ type result = {
   total_probes : int;
 }
 
+(** Instrumentation hooks, used by [Analysis.Hb_runner] to certify an
+    execution race-free with a vector-clock happens-before monitor.
+
+    [tas]/[release] are middleware: they receive the real operation as
+    a thunk and may bracket it (e.g. run it inside a monitor's critical
+    section so the recorded synchronization order is the executed
+    order).  The [on_*] callbacks mark the runner's synchronization
+    edges (spawn, join, start latch) and its plain result-array
+    accesses; each runs in the thread performing the event.  All hooks
+    must be safe to call from multiple domains. *)
+type hooks = {
+  tas : domain:int -> loc:int -> (unit -> bool) -> bool;
+  release : domain:int -> loc:int -> (unit -> unit) -> unit;
+  on_spawn : int -> unit;  (** main, before spawning worker [d] *)
+  on_join : int -> unit;  (** main, after joining worker [d] *)
+  on_latch_release : unit -> unit;  (** main, before opening the latch *)
+  on_latch_acquire : int -> unit;  (** worker [d], after the latch opens *)
+  on_result_write : domain:int -> pid:int -> unit;
+      (** worker [d], before writing [names.(pid)]/[probes.(pid)] *)
+  on_result_read : pid:int -> unit;
+      (** main, when reading slot [pid] after all joins *)
+}
+
+val null_hooks : hooks
+(** No-op hooks, a convenient base for overriding a subset. *)
+
 val run :
   ?domains:int ->
+  ?hooks:hooks ->
   seed:int ->
   procs:int ->
   capacity:int ->
@@ -35,8 +62,10 @@ val run :
 (** [run ~seed ~procs ~capacity ~algo ()] executes [procs] copies of
     [algo].  [domains] defaults to
     [max 2 (Domain.recommended_domain_count ())], capped at 8 and at
-    [procs].  @raise Invalid_argument if [procs < 1] or
-    [capacity < 1]. *)
+    [procs].  When [hooks] is given every TAS/release goes through the
+    middleware and the synchronization callbacks fire (certification
+    runs); without it the hot path is untouched.
+    @raise Invalid_argument if [procs < 1] or [capacity < 1]. *)
 
 val check_unique_names : result -> bool
 (** All assigned names distinct and every process got one. *)

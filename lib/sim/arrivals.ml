@@ -20,14 +20,12 @@ let with_arrival_times ~times inner =
       match !queue with
       | Some q -> q
       | None ->
-        let l =
-          Hashtbl.fold (fun pid _ acc -> pid :: acc) pending_first_wait []
-        in
+        let l = List.of_seq (Hashtbl.to_seq_keys pending_first_wait) in
         let q =
           List.sort
             (fun a b ->
-              let c = compare (arrival a) (arrival b) in
-              if c <> 0 then c else compare a b)
+              let c = Int.compare (arrival a) (arrival b) in
+              if c <> 0 then c else Int.compare a b)
             l
         in
         queue := Some q;

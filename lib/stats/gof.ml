@@ -105,7 +105,7 @@ let ks_statistic ~cdf xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Gof.ks_statistic: empty sample";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let fn = float_of_int n in
   let d = ref 0. in
   Array.iteri

@@ -57,7 +57,7 @@ let percentile xs q =
   if Array.length xs = 0 then invalid_arg "Summary.percentile: empty sample";
   if q < 0. || q > 1. then invalid_arg "Summary.percentile: q outside [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   percentile_sorted sorted q
 
 let mean xs =
@@ -69,7 +69,7 @@ let of_array xs =
   let acc = acc_create () in
   Array.iter (fun x -> acc_add acc x) xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let stddev = acc_stddev acc in
   let half_width = 1.96 *. stddev /. sqrt (float_of_int acc.count) in
   {

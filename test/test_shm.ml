@@ -50,6 +50,8 @@ let test_atomic_concurrent_single_winner () =
       if Shm.Atomic_space.tas sp loc then wins.(d).(loc) <- true
     done
   in
+  (* Raw spawns on purpose: this test races the bare Atomic_space
+     without the runner.  repro-lint: allow domain-spawn *)
   let handles = Array.init 4 (fun d -> Domain.spawn (worker d)) in
   Array.iter Domain.join handles;
   for loc = 0 to cells - 1 do
