@@ -437,6 +437,20 @@ let report out seed trials scale =
   Printf.printf "report written to %s\n" out;
   0
 
+let save_text ~file text =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc text;
+      output_char oc '\n')
+
+let read_text file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 (* ------------------------------------------------------------------ *)
 (* doctor: audit a result store for integrity problems *)
 
@@ -481,6 +495,13 @@ let doctor dir =
       match mfield "git" with
       | Some g -> Printf.printf "manifest: git %s\n" g
       | None -> ()));
+    (* Host parallelism: chaos and racecheck results depend on how many
+       domains actually ran, so record what this machine provides and
+       the cap the runner will apply. *)
+    Printf.printf
+      "host: Domain.recommended_domain_count=%d, runner default domains=%d\n"
+      (Domain.recommended_domain_count ())
+      (Shm.Domain_runner.default_domains ());
     let root_seed = Option.bind (mfield "seed") int_of_string_opt in
     let stores =
       Sys.readdir dir |> Array.to_list
@@ -549,6 +570,53 @@ let doctor dir =
                    (if completed then " (later succeeded)" else " (no record)"))
         end)
       stores;
+    (* Chaos artifacts: recorded fault plans must parse and re-encode
+       canonically (the replay contract), and a recorded verdict is a
+       captured invariant violation until someone fixes it. *)
+    let chaos_files prefix =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f ->
+             String.starts_with ~prefix f && Filename.check_suffix f ".json")
+      |> List.sort compare
+    in
+    let plan_seeds = Hashtbl.create 8 in
+    List.iter
+      (fun file ->
+        let path = Filename.concat dir file in
+        match Chaos.Fault_plan.load ~file:path with
+        | Error e -> problem "%s: unreadable chaos plan: %s" file e
+        | Ok plan ->
+          Hashtbl.replace plan_seeds plan.Chaos.Fault_plan.seed ();
+          Printf.printf
+            "%s: plan seed=%d algo=%s procs=%d domains=%d crash_frac=%g\n"
+            file plan.Chaos.Fault_plan.seed plan.Chaos.Fault_plan.algo
+            plan.Chaos.Fault_plan.procs plan.Chaos.Fault_plan.domains
+            plan.Chaos.Fault_plan.crash_frac;
+          if
+            String.trim (read_text path) <> Chaos.Fault_plan.to_json plan
+          then
+            problem "%s: not in canonical form — replay would re-record \
+                     different bytes (hand-edited?)"
+              file)
+      (chaos_files "chaos_plan_");
+    List.iter
+      (fun file ->
+        let path = Filename.concat dir file in
+        match Chaos.Chaos_runner.summary_of_json (String.trim (read_text path)) with
+        | Error e -> problem "%s: unreadable chaos verdict: %s" file e
+        | Ok s ->
+          Printf.printf "%s: verdict seed=%d %s\n" file
+            s.Chaos.Chaos_runner.seed
+            (if s.Chaos.Chaos_runner.ok then "ok" else "VIOLATED");
+          if not (Hashtbl.mem plan_seeds s.Chaos.Chaos_runner.seed) then
+            note
+              "%s: verdict for seed %d has no matching chaos_plan_%d.json \
+               (not replayable)"
+              file s.Chaos.Chaos_runner.seed s.Chaos.Chaos_runner.seed;
+          if not s.Chaos.Chaos_runner.ok then
+            problem "%s: recorded invariant violation(s): %s" file
+              (String.concat ", " s.Chaos.Chaos_runner.violations))
+      (chaos_files "chaos_verdict_");
     Printf.printf "doctor: %d problem(s), %d note(s)\n" !problems !notes;
     if !problems = 0 then 0 else 1
   end
@@ -562,30 +630,11 @@ let lint json root paths =
 (* ------------------------------------------------------------------ *)
 (* racecheck: happens-before certification of multicore executions *)
 
-let racecheck_algo_names = [ "rebatching"; "adaptive"; "fast" ]
-
-(* Builds a fresh (stateful) algorithm instance plus the shared-memory
-   capacity it needs.  Index 16 on the object ladder mirrors the shm
-   test suite: the adaptive ladder's reachable depth grows like
-   O(log log n), so 16 covers any feasible process count. *)
-let make_shm_algo name ~n ~t0 =
-  match name with
-  | "rebatching" ->
-    let instance = Renaming.Rebatching.make ~t0 ~n () in
-    Ok
-      ( (fun env -> Renaming.Rebatching.get_name env instance),
-        Renaming.Rebatching.size instance )
-  | "adaptive" ->
-    let space = Renaming.Object_space.create ~t0 () in
-    Ok
-      ( (fun env -> Renaming.Adaptive_rebatching.get_name env space),
-        Renaming.Object_space.total_size space 16 )
-  | "fast" ->
-    let space = Renaming.Object_space.create ~t0 () in
-    Ok
-      ( (fun env -> Renaming.Fast_adaptive_rebatching.get_name env space),
-        Renaming.Object_space.total_size space 16 )
-  | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+(* The algorithm table lives in Chaos.Algos so racecheck, the chaos
+   commands and recorded fault plans all interpret an algorithm name the
+   same way. *)
+let racecheck_algo_names = Chaos.Algos.names
+let make_shm_algo name ~n ~t0 = Chaos.Algos.make name ~n ~t0 ()
 
 (* A deliberately racy execution for demonstrating the checker: two
    domains plain-write the same location with no synchronization edge
@@ -656,6 +705,187 @@ let racecheck algo_name procs domains seed runs racy =
               s.Analysis.Hb.events
       done;
       if !dirty = 0 then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* chaos: deterministic crash/delay injection on the multicore substrate *)
+
+let chaos_plan_file ~dir ~seed =
+  Filename.concat dir (Printf.sprintf "chaos_plan_%d.json" seed)
+
+let chaos_verdict_file ~dir ~seed =
+  Filename.concat dir (Printf.sprintf "chaos_verdict_%d.json" seed)
+
+let chaos_record ~dir (o : Chaos.Chaos_runner.outcome) =
+  let v = o.Chaos.Chaos_runner.verdict in
+  let plan = v.Chaos.Chaos_runner.plan in
+  let seed = plan.Chaos.Fault_plan.seed in
+  Engine.Sink.mkdir_p dir;
+  Chaos.Fault_plan.save ~file:(chaos_plan_file ~dir ~seed) plan;
+  save_text
+    ~file:(chaos_verdict_file ~dir ~seed)
+    (Chaos.Chaos_runner.verdict_to_json v)
+
+let chaos_print_outcome ~json (o : Chaos.Chaos_runner.outcome) =
+  let v = o.Chaos.Chaos_runner.verdict in
+  if json then print_endline (Chaos.Chaos_runner.verdict_to_json v)
+  else begin
+    let p = v.Chaos.Chaos_runner.plan in
+    Printf.printf
+      "seed=%d algo=%s procs=%d domains=%d crash_frac=%g: armed=%d fired=%d \
+       survivors=%d names=%d max_name=%d leaked=%d\n"
+      p.Chaos.Fault_plan.seed p.Chaos.Fault_plan.algo p.Chaos.Fault_plan.procs
+      p.Chaos.Fault_plan.domains p.Chaos.Fault_plan.crash_frac
+      (List.length p.Chaos.Fault_plan.crashes)
+      (List.length v.Chaos.Chaos_runner.fired)
+      v.Chaos.Chaos_runner.survivors v.Chaos.Chaos_runner.names_assigned
+      v.Chaos.Chaos_runner.max_name v.Chaos.Chaos_runner.leaked;
+    (match o.Chaos.Chaos_runner.races with
+    | None -> ()
+    | Some [] -> Printf.printf "happens-before: certified race-free\n"
+    | Some races ->
+      List.iter (fun r -> print_endline (Analysis.Hb.race_to_string r)) races;
+      Printf.printf "happens-before: %d race(s)\n" (List.length races));
+    match v.Chaos.Chaos_runner.violations with
+    | [] -> Printf.printf "invariants: ok\n"
+    | vs -> Printf.printf "invariants VIOLATED: %s\n" (String.concat ", " vs)
+  end
+
+let chaos_outcome_exit (o : Chaos.Chaos_runner.outcome) =
+  let racy =
+    match o.Chaos.Chaos_runner.races with Some (_ :: _) -> true | _ -> false
+  in
+  if Chaos.Chaos_runner.ok o.Chaos.Chaos_runner.verdict && not racy then 0
+  else 1
+
+let chaos_run algo_name procs domains seed crash_frac pause_frac name_bound out
+    certify json =
+  match Chaos.Algos.make algo_name ~n:procs () with
+  | Error msg ->
+    Printf.eprintf "%s\nalgorithms: %s\n" msg
+      (String.concat ", " Chaos.Algos.names);
+    2
+  | Ok (algo, capacity) -> (
+    let domains =
+      match domains with
+      | Some d -> d
+      | None -> Shm.Domain_runner.default_domains ~procs ()
+    in
+    match
+      Chaos.Fault_plan.make ~seed ~procs ~domains ~algo:algo_name ~capacity
+        ?name_bound ~crash_frac ~pause_frac ()
+    with
+    | exception Invalid_argument msg ->
+      Printf.eprintf "chaos run: %s\n" msg;
+      2
+    | plan ->
+      let o = Chaos.Chaos_runner.run ~certify ~plan ~algo () in
+      Option.iter (fun dir -> chaos_record ~dir o) out;
+      chaos_print_outcome ~json o;
+      chaos_outcome_exit o)
+
+let chaos_soak_json ~runs ~failures ~violations =
+  let open Engine.Sink.Json in
+  to_string
+    (Obj
+       [
+         ("kind", Str "chaos-soak");
+         ("runs", Int runs);
+         ("failing", Int (List.length failures));
+         ("failing_seeds", Arr (List.map (fun (s, _) -> Int s) failures));
+         ("ok", Bool (failures = []));
+         ("violations", Arr (List.map (fun v -> Str v) violations));
+       ])
+
+(* Soak: many independent seeded runs cycling through the crash
+   fractions.  A failing run's plan and verdict are recorded to --out,
+   so any violation arrives as a committable regression fixture. *)
+let chaos_soak algo_name procs domains seed runs fracs pause_frac out certify
+    json =
+  if runs < 1 || fracs = [] then begin
+    Printf.eprintf "chaos soak: --runs must be >= 1 and --crash-fracs non-empty\n";
+    2
+  end
+  else begin
+    let failures = ref [] in
+    let ran = ref 0 in
+    let usage = ref None in
+    (try
+       for i = 0 to runs - 1 do
+         let frac = List.nth fracs (i mod List.length fracs) in
+         let run_seed = seed + i in
+         match Chaos.Algos.make algo_name ~n:procs () with
+         | Error msg -> usage := Some msg; raise Exit
+         | Ok (algo, capacity) ->
+           let domains =
+             match domains with
+             | Some d -> d
+             | None -> Shm.Domain_runner.default_domains ~procs ()
+           in
+           let plan =
+             Chaos.Fault_plan.make ~seed:run_seed ~procs ~domains
+               ~algo:algo_name ~capacity ~crash_frac:frac ~pause_frac ()
+           in
+           let o = Chaos.Chaos_runner.run ~certify ~plan ~algo () in
+           incr ran;
+           if chaos_outcome_exit o <> 0 then begin
+             failures := (run_seed, o) :: !failures;
+             Option.iter (fun dir -> chaos_record ~dir o) out;
+             if not json then chaos_print_outcome ~json:false o
+           end
+       done
+     with
+    | Exit -> ()
+    | Invalid_argument msg -> usage := Some msg);
+    match !usage with
+    | Some msg ->
+      Printf.eprintf "chaos soak: %s\n" msg;
+      2
+    | None ->
+      let failures = List.rev !failures in
+      let violations =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun (_, (o : Chaos.Chaos_runner.outcome)) ->
+               o.Chaos.Chaos_runner.verdict.Chaos.Chaos_runner.violations)
+             failures)
+      in
+      if json then
+        print_endline (chaos_soak_json ~runs:!ran ~failures ~violations)
+      else
+        Printf.printf "chaos soak: %d run(s), %d violating (seeds: %s)%s\n"
+          !ran
+          (List.length failures)
+          (match failures with
+          | [] -> "none"
+          | fs ->
+            String.concat ", " (List.map (fun (s, _) -> string_of_int s) fs))
+          (if violations = [] then ""
+           else "; violations: " ^ String.concat ", " violations);
+      if failures = [] then 0 else 1
+  end
+
+let chaos_replay file out certify json =
+  match Chaos.Fault_plan.load ~file with
+  | Error e ->
+    Printf.eprintf "chaos replay: %s: %s\n" file e;
+    2
+  | Ok plan -> (
+    (* Integrity: a recorded plan must be in canonical form — the replay
+       byte-identity contract (`to_json (of_json s) = s`) is what makes
+       committed fixtures trustworthy. *)
+    if String.trim (read_text file) <> Chaos.Fault_plan.to_json plan then
+      Printf.eprintf
+        "chaos replay: warning: %s is not in canonical form (hand-edited?); \
+         replaying its parsed content\n"
+        file;
+    match Chaos.Chaos_runner.run_plan ~certify plan with
+    | Error e ->
+      Printf.eprintf "chaos replay: %s\n" e;
+      2
+    | Ok o ->
+      Option.iter (fun dir -> chaos_record ~dir o) out;
+      chaos_print_outcome ~json o;
+      chaos_outcome_exit o)
 
 open Cmdliner
 
@@ -884,6 +1114,139 @@ let racecheck_cmd =
     Term.(
       const racecheck $ algo_t $ procs_t $ domains_t $ seed_t $ runs_t $ racy_t)
 
+let chaos_cmd =
+  let doc =
+    "Deterministic crash/delay fault injection on the real multicore \
+     substrate."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Derives a fault plan — pure data — from (seed, procs, domains): \
+         which logical processes fail-stop, at which of their own TAS \
+         operations, and on which side (before the operation, or after a \
+         win but before the name is recorded, leaking the slot); plus \
+         bounded delays that widen the explored interleavings.  The plan \
+         executes through the runner's instrumentation hooks, an \
+         invariant monitor checks survivor progress, survivor \
+         uniqueness, the namespace bound and leaked-slot accounting, and \
+         plans record to JSON so a failing run replays as a committed \
+         regression fixture.";
+      `P
+        "Exit codes follow the audit convention: 0 all invariants held, \
+         1 a violation (or data race, under --certify) was found, 2 \
+         usage or internal error.";
+    ]
+  in
+  let algo_t =
+    Arg.(
+      value & opt string "rebatching"
+      & info [ "algo" ] ~docv:"NAME"
+          ~doc:"Algorithm: rebatching, adaptive or fast.")
+  in
+  let procs_t =
+    Arg.(value & opt int 64 & info [ "procs" ] ~docv:"N" ~doc:"Process count.")
+  in
+  let domains_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Worker domains (default: the runner's host cap; 1 makes the \
+             fired faults and the verdict exactly reproducible).")
+  in
+  let crash_frac_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "crash-frac" ] ~docv:"F"
+          ~doc:"Fraction of processes armed with a fail-stop.")
+  in
+  let pause_frac_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "pause-frac" ] ~docv:"F"
+          ~doc:"Fraction of processes armed with a bounded delay.")
+  in
+  let name_bound_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "name-bound" ] ~docv:"B"
+          ~doc:
+            "Namespace invariant: every assigned name must be < $(docv) \
+             (default: the algorithm's capacity).")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Record chaos_plan_<seed>.json and chaos_verdict_<seed>.json \
+             into $(docv) (soak records only violating runs; repro_cli \
+             doctor audits them).")
+  in
+  let certify_t =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Also run the happens-before monitor over the same execution; \
+             a data race fails the run.")
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the verdict (or soak summary) as JSON.")
+  in
+  let run_cmd =
+    let doc = "Derive a plan from the seed and execute it once." in
+    Cmd.v (Cmd.info "run" ~doc ~exits:finding_exits)
+      Term.(
+        const chaos_run $ algo_t $ procs_t $ domains_t $ seed_t $ crash_frac_t
+        $ pause_frac_t $ name_bound_t $ out_t $ certify_t $ json_t)
+  in
+  let soak_cmd =
+    let doc =
+      "Run many seeded plans (seeds SEED..SEED+RUNS-1), cycling through \
+       the crash fractions; violating runs are recorded as fixtures."
+    in
+    let runs_t =
+      Arg.(
+        value & opt int 100
+        & info [ "runs" ] ~docv:"R" ~doc:"Independent runs to execute.")
+    in
+    let fracs_t =
+      Arg.(
+        value
+        & opt (list float) [ 0.1; 0.5; 0.9 ]
+        & info [ "crash-fracs" ] ~docv:"F1,F2,.."
+            ~doc:"Crash fractions the runs cycle through.")
+    in
+    Cmd.v (Cmd.info "soak" ~doc ~exits:finding_exits)
+      Term.(
+        const chaos_soak $ algo_t $ procs_t $ domains_t $ seed_t $ runs_t
+        $ fracs_t $ pause_frac_t $ out_t $ certify_t $ json_t)
+  in
+  let replay_cmd =
+    let doc =
+      "Re-execute a recorded plan file exactly (regression fixtures)."
+    in
+    let file_t =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"PLAN.json" ~doc:"A chaos_plan_<seed>.json file.")
+    in
+    Cmd.v (Cmd.info "replay" ~doc ~exits:finding_exits)
+      Term.(const chaos_replay $ file_t $ out_t $ certify_t $ json_t)
+  in
+  Cmd.group
+    (Cmd.info "chaos" ~doc ~man ~exits:finding_exits)
+    [ run_cmd; soak_cmd; replay_cmd ]
+
 let simulate_cmd =
   let doc = "Run one simulation with explicit parameters and print details." in
   let algo_t =
@@ -952,6 +1315,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "repro_cli" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; all_cmd; simulate_cmd; verify_cmd; report_cmd;
-      doctor_cmd; lint_cmd; racecheck_cmd ]
+      doctor_cmd; lint_cmd; racecheck_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

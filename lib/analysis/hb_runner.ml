@@ -37,12 +37,12 @@ let hooks hb =
   in
   {
     Shm.Domain_runner.tas =
-      (fun ~domain ~loc f ->
+      (fun ~domain ~pid:_ ~loc f ->
         Hb.atomic_op_locked hb ~thread:(tid domain)
           ~loc:(Printf.sprintf "cell[%d]" loc)
           ~sync:`Rmw f);
     release =
-      (fun ~domain ~loc f ->
+      (fun ~domain ~pid:_ ~loc f ->
         Hb.atomic_op_locked hb ~thread:(tid domain)
           ~loc:(Printf.sprintf "cell[%d]" loc)
           ~sync:`Release f);

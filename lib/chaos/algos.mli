@@ -1,0 +1,23 @@
+(** The shared-memory algorithm table.
+
+    Fault plans name their algorithm as an opaque string
+    ({!Fault_plan.t.algo}); this table interprets the name, building a
+    fresh (stateful) instance plus the {!Shm.Atomic_space} capacity it
+    needs.  It is shared by the chaos CLI, the replay path and
+    [repro_cli racecheck], so a recorded plan replays against exactly
+    the construction that produced it. *)
+
+val names : string list
+(** The recognized names: ["rebatching"], ["adaptive"], ["fast"]. *)
+
+val make :
+  string ->
+  n:int ->
+  ?t0:int ->
+  unit ->
+  ((Renaming.Env.t -> int option) * int, string) result
+(** [make name ~n ()] is [Ok (algo, capacity)] — a fresh instance sized
+    for [n] processes and the shared-memory capacity covering every
+    location it can touch (for the adaptive ladder, depth 16 covers any
+    feasible process count, mirroring the shm test suite).  [t0]
+    defaults to 3.  [Error] names the unknown algorithm. *)

@@ -128,9 +128,7 @@ let channel t =
 
 let write t f =
   let oc = channel t in
-  output_string oc (failure_to_json f);
-  output_char oc '\n';
-  flush oc
+  Io_fault.guarded_write ~oc (failure_to_json f ^ "\n")
 
 let close t =
   t.closed <- true;

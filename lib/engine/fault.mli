@@ -62,6 +62,7 @@ val path : t -> string
 
 val write : t -> failure -> unit
 (** Appends one line and flushes.  Not thread-safe; the engine serializes
-    calls through {!Pool}'s consumer mutex. *)
+    calls through {!Pool}'s consumer mutex.  Goes through
+    {!Io_fault.guarded_write} like the result store. *)
 
 val close : t -> unit

@@ -1,0 +1,56 @@
+exception Injected of string
+
+type kind = Drop | Short of int | After_append
+
+type plan = { op : int; kind : kind }
+
+(* Armed plan plus the count of guarded writes seen since arming.  The
+   mutex makes arm/disarm from a driver thread safe against concurrent
+   store writes; in the unarmed fast path the lock is uncontended and
+   the cost is irrelevant next to the flush that follows. *)
+let lock = Mutex.create ()
+let state : (plan * int ref) option ref = ref None
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let arm plan = with_lock (fun () -> state := Some (plan, ref 0))
+let disarm () = with_lock (fun () -> state := None)
+let armed () = with_lock (fun () -> Option.is_some !state)
+
+let writes_seen () =
+  with_lock (fun () ->
+      match !state with None -> 0 | Some (_, seen) -> !seen)
+
+let guarded_write ~oc payload =
+  let fire =
+    with_lock (fun () ->
+        match !state with
+        | None -> None
+        | Some (plan, seen) ->
+          let op = !seen in
+          incr seen;
+          if op = plan.op then Some (plan.kind, op) else None)
+  in
+  match fire with
+  | None ->
+    output_string oc payload;
+    flush oc
+  | Some (Drop, op) ->
+    raise (Injected (Printf.sprintf "io_fault: dropped write #%d (ENOSPC)" op))
+  | Some (Short k, op) ->
+    let k = max 0 (min k (String.length payload)) in
+    output_substring oc payload 0 k;
+    flush oc;
+    raise
+      (Injected
+         (Printf.sprintf "io_fault: short write (%d/%d bytes) at write #%d" k
+            (String.length payload) op))
+  | Some (After_append, op) ->
+    output_string oc payload;
+    flush oc;
+    raise
+      (Injected
+         (Printf.sprintf
+            "io_fault: killed between append and fsync at write #%d" op))

@@ -1,0 +1,68 @@
+(** Injectable I/O fault point under the append-only stores.
+
+    Every record append in {!Sink} and {!Fault} goes through
+    {!guarded_write}.  Unarmed (the production state) it is exactly
+    [output_string] + [flush].  Armed, it fails the [op]-th guarded
+    write the way a real crash or full disk would, which is how the
+    resume path's claims ("no duplicated or silently lost settled
+    jobs") get exercised end to end instead of only against passive
+    truncation:
+
+    - {!kind.Drop} — nothing reaches the file before the failure
+      (ENOSPC before the first byte): the record is lost and the job
+      must re-run on resume.
+    - {!kind.Short} — only a prefix is written and flushed (process
+      killed mid-[write(2)], or a short write on a full disk): the
+      store gains a torn tail line that {!Sink.create}[ ~append:true]
+      terminates and {!Checkpoint.scan_store} skips.
+    - {!kind.After_append} — the full line is durable but the failure
+      fires before the caller observes success (killed between append
+      and fsync acknowledgement): the record exists, so resume must
+      deduplicate rather than re-run, or the job settles twice.
+
+    Sweeping [op] over every write of a run, and [Short]'s prefix
+    length over every byte position of a record, is the kill-point
+    sweep in [test/test_fault.ml].
+
+    Arming is process-global and meant for tests and fault drills; the
+    engine serializes store writes through {!Pool}'s consumer mutex, and
+    the shim carries its own lock so arming races cannot corrupt the
+    fault schedule itself. *)
+
+exception Injected of string
+(** Raised by {!guarded_write} when the armed fault fires.  The payload
+    names the kind and the operation index, e.g.
+    ["io_fault: short write (3/17 bytes) at write #2"]. *)
+
+type kind =
+  | Drop  (** fail before any byte is written *)
+  | Short of int
+      (** write and flush only the first [k] bytes (clamped to the
+          payload length), then fail *)
+  | After_append  (** write and flush the whole payload, then fail *)
+
+type plan = {
+  op : int;  (** 0-based index of the guarded write that fails *)
+  kind : kind;
+}
+
+val arm : plan -> unit
+(** Install a fault.  Replaces any previously armed plan and resets the
+    write counter. *)
+
+val disarm : unit -> unit
+(** Remove the armed fault (idempotent).  {!guarded_write} reverts to
+    plain write-and-flush. *)
+
+val armed : unit -> bool
+
+val writes_seen : unit -> int
+(** Guarded writes counted since the last {!arm} (0 when unarmed) —
+    lets a sweep discover how many kill-points a scenario has. *)
+
+val guarded_write : oc:out_channel -> string -> unit
+(** Append [payload] to [oc] and flush, unless the armed fault decides
+    this write fails.  @raise Injected when the fault fires; whatever
+    prefix the kind prescribes has already been written and flushed, so
+    the channel holds no unflushed suffix that a later [close_out]
+    would leak into the file. *)

@@ -49,40 +49,12 @@ val equal_ignoring_wall : record -> record -> bool
 
 (** {1 JSON subset}
 
-    Exposed so sibling stores ({!Fault}) and audits ([repro_cli doctor])
-    parse with exactly the decoder the result store uses. *)
+    The shared {!Jsonu} codec, re-exported so sibling stores ({!Fault})
+    and audits ([repro_cli doctor]) keep parsing with exactly the
+    decoder the result store uses.  The chaos layer's plan/verdict
+    artifacts use {!Jsonu} directly. *)
 
-module Json : sig
-  exception Malformed
-
-  type t =
-    | Num of float
-    | Int of int
-        (** a numeric lexeme that is an exact OCaml int — kept separate
-            from [Num] so 62-bit seeds survive the round-trip *)
-    | Str of string
-    | Obj of (string * t) list
-
-  val parse : string -> t option
-  (** [None] outside the subset (or on a truncated line). *)
-
-  val escape_string : Buffer.t -> string -> unit
-  val add_float : Buffer.t -> float -> unit
-  val add_assoc : Buffer.t -> (string * float) list -> unit
-
-  (** Accessors for [Obj] field lists; all raise {!Malformed} on a
-      missing or mistyped field. *)
-
-  val str : (string * t) list -> string -> string
-  val num : (string * t) list -> string -> float
-  val num_opt : (string * t) list -> string -> default:float -> float
-
-  val int_ : (string * t) list -> string -> int
-  (** Exact integer field (indices, seeds) — never routed through float. *)
-
-  val int_opt : (string * t) list -> string -> default:int -> int
-  val assoc : (string * t) list -> string -> (string * float) list
-end
+module Json = Jsonu
 
 (** {1 Writing} *)
 
@@ -103,7 +75,9 @@ val path : t -> string
 
 val write : t -> record -> unit
 (** Appends one line and flushes.  Not thread-safe; the engine serializes
-    calls through {!Pool}'s consumer mutex. *)
+    calls through {!Pool}'s consumer mutex.  The append goes through
+    {!Io_fault.guarded_write}, so fault drills can inject write failures
+    here.  @raise Io_fault.Injected when an armed fault fires. *)
 
 val close : t -> unit
 

@@ -1,0 +1,10 @@
+(** B2: crash tolerance on real shared memory under injected faults.
+
+    The multicore analogue of T8: {!Chaos.Chaos_runner} fail-stops a
+    seeded fraction of processes on genuine OCaml 5 atomics — including
+    after a TAS win, before the name is recorded — and the invariant
+    monitor certifies survivor progress, survivor uniqueness, the
+    namespace bound, and that every leaked slot is accounted to a fired
+    after-win crash. *)
+
+val exp : Experiment.t

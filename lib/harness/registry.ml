@@ -20,6 +20,7 @@ let all =
     Exp_namespace.exp;
     Exp_coupling.exp;
     Exp_lowerbound.exp;
+    Exp_chaos.exp;
   ]
 
 let find id =

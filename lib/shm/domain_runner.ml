@@ -7,8 +7,8 @@ type result = {
 }
 
 type hooks = {
-  tas : domain:int -> loc:int -> (unit -> bool) -> bool;
-  release : domain:int -> loc:int -> (unit -> unit) -> unit;
+  tas : domain:int -> pid:int -> loc:int -> (unit -> bool) -> bool;
+  release : domain:int -> pid:int -> loc:int -> (unit -> unit) -> unit;
   on_spawn : int -> unit;
   on_join : int -> unit;
   on_latch_release : unit -> unit;
@@ -19,8 +19,8 @@ type hooks = {
 
 let null_hooks =
   {
-    tas = (fun ~domain:_ ~loc:_ f -> f ());
-    release = (fun ~domain:_ ~loc:_ f -> f ());
+    tas = (fun ~domain:_ ~pid:_ ~loc:_ f -> f ());
+    release = (fun ~domain:_ ~pid:_ ~loc:_ f -> f ());
     on_spawn = ignore;
     on_join = ignore;
     on_latch_release = ignore;
@@ -29,6 +29,51 @@ let null_hooks =
     on_result_read = (fun ~pid:_ -> ());
   }
 
+(* Middleware layering: [outer] brackets [inner], which brackets the
+   real operation; callbacks fire outer-first.  An exception raised by
+   the outer middleware before it calls the thunk (the chaos injector's
+   fail-stop) therefore skips the inner layer entirely, which is what a
+   crash before the operation means. *)
+let compose_hooks outer inner =
+  {
+    tas =
+      (fun ~domain ~pid ~loc f ->
+        outer.tas ~domain ~pid ~loc (fun () -> inner.tas ~domain ~pid ~loc f));
+    release =
+      (fun ~domain ~pid ~loc f ->
+        outer.release ~domain ~pid ~loc (fun () ->
+            inner.release ~domain ~pid ~loc f));
+    on_spawn =
+      (fun d ->
+        outer.on_spawn d;
+        inner.on_spawn d);
+    on_join =
+      (fun d ->
+        outer.on_join d;
+        inner.on_join d);
+    on_latch_release =
+      (fun () ->
+        outer.on_latch_release ();
+        inner.on_latch_release ());
+    on_latch_acquire =
+      (fun d ->
+        outer.on_latch_acquire d;
+        inner.on_latch_acquire d);
+    on_result_write =
+      (fun ~domain ~pid ->
+        outer.on_result_write ~domain ~pid;
+        inner.on_result_write ~domain ~pid);
+    on_result_read =
+      (fun ~pid ->
+        outer.on_result_read ~pid;
+        inner.on_result_read ~pid);
+  }
+
+let domain_cap () = min 8 (max 2 (Domain.recommended_domain_count ()))
+
+let default_domains ?procs () =
+  match procs with None -> domain_cap () | Some p -> min p (domain_cap ())
+
 let run ?domains ?hooks ~seed ~procs ~capacity ~algo () =
   if procs < 1 then invalid_arg "Domain_runner.run: procs must be >= 1";
   let domains =
@@ -36,7 +81,7 @@ let run ?domains ?hooks ~seed ~procs ~capacity ~algo () =
     | Some d ->
       if d < 1 then invalid_arg "Domain_runner.run: domains must be >= 1";
       min d procs
-    | None -> min procs (min 8 (max 2 (Domain.recommended_domain_count ())))
+    | None -> default_domains ~procs ()
   in
   let instrumented = Option.is_some hooks in
   let h = Option.value hooks ~default:null_hooks in
@@ -54,10 +99,11 @@ let run ?domains ?hooks ~seed ~procs ~capacity ~algo () =
       if instrumented then
         ( (fun loc ->
             incr count;
-            h.tas ~domain ~loc (fun () -> Atomic_space.tas space loc)),
+            h.tas ~domain ~pid ~loc (fun () -> Atomic_space.tas space loc)),
           fun loc ->
             incr count;
-            h.release ~domain ~loc (fun () -> Atomic_space.release space loc) )
+            h.release ~domain ~pid ~loc (fun () ->
+                Atomic_space.release space loc) )
       else
         ( (fun loc ->
             incr count;

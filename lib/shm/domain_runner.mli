@@ -25,18 +25,22 @@ type result = {
 }
 
 (** Instrumentation hooks, used by [Analysis.Hb_runner] to certify an
-    execution race-free with a vector-clock happens-before monitor.
+    execution race-free with a vector-clock happens-before monitor and
+    by [Chaos.Chaos_runner] to inject deterministic fail-stops and
+    delays.
 
     [tas]/[release] are middleware: they receive the real operation as
     a thunk and may bracket it (e.g. run it inside a monitor's critical
     section so the recorded synchronization order is the executed
-    order).  The [on_*] callbacks mark the runner's synchronization
-    edges (spawn, join, start latch) and its plain result-array
-    accesses; each runs in the thread performing the event.  All hooks
-    must be safe to call from multiple domains. *)
+    order), and they see which logical process [pid] is performing the
+    operation — the coordinate fault plans are written in.  The [on_*]
+    callbacks mark the runner's synchronization edges (spawn, join,
+    start latch) and its plain result-array accesses; each runs in the
+    thread performing the event.  All hooks must be safe to call from
+    multiple domains. *)
 type hooks = {
-  tas : domain:int -> loc:int -> (unit -> bool) -> bool;
-  release : domain:int -> loc:int -> (unit -> unit) -> unit;
+  tas : domain:int -> pid:int -> loc:int -> (unit -> bool) -> bool;
+  release : domain:int -> pid:int -> loc:int -> (unit -> unit) -> unit;
   on_spawn : int -> unit;  (** main, before spawning worker [d] *)
   on_join : int -> unit;  (** main, after joining worker [d] *)
   on_latch_release : unit -> unit;  (** main, before opening the latch *)
@@ -49,6 +53,21 @@ type hooks = {
 
 val null_hooks : hooks
 (** No-op hooks, a convenient base for overriding a subset. *)
+
+val compose_hooks : hooks -> hooks -> hooks
+(** [compose_hooks outer inner] layers two hook sets over one run:
+    [outer]'s middleware brackets [inner]'s, which brackets the real
+    operation, and every callback fires [outer]'s part first.  This is
+    how the chaos injector ([outer]) and the happens-before monitor
+    ([inner]) observe the same execution — an [outer] fail-stop raised
+    before the thunk runs never reaches [inner], exactly as a crash
+    before the operation should not. *)
+
+val default_domains : ?procs:int -> unit -> int
+(** The domain count {!run} uses when [?domains] is omitted:
+    [max 2 (Domain.recommended_domain_count ())] capped at 8, and at
+    [procs] when given.  Exposed so operator tooling ([repro_cli
+    doctor]) can report the cap actually in effect on this host. *)
 
 val run :
   ?domains:int ->

@@ -514,6 +514,119 @@ let qcheck_truncated_resume =
           List.length resumed = List.length full
           && List.for_all2 Engine.Sink.equal_ignoring_wall resumed full))
 
+(* ------------------------------------------------------------------ *)
+(* Io_fault: injected write failures under the stores *)
+
+let sample_record ~trial : Engine.Sink.record =
+  {
+    Engine.Sink.key = Printf.sprintf "synf/0/%d" trial;
+    experiment = "synf";
+    sweep_point = 0;
+    point_label = "p=0";
+    trial;
+    attempt = 0;
+    seed = 1000 + trial;
+    params = [ ("p", 0.) ];
+    values = [ ("v", float_of_int (77 * trial)) ];
+    wall_ns = 1.0;
+  }
+
+(* Write A, fail B's write the prescribed way, then "resume": re-open
+   append (terminating any torn tail) and re-write exactly the settled
+   jobs that have no record.  The store must end with each key exactly
+   once, regardless of where the failure cut. *)
+let sink_killpoint ~kind ~expect_b_durable () =
+  with_temp_dir (fun dir ->
+      let a = sample_record ~trial:0 and b = sample_record ~trial:1 in
+      let sink = Engine.Sink.create ~dir ~experiment:"synf" ~append:false in
+      Engine.Sink.write sink a;
+      Engine.Io_fault.arm { Engine.Io_fault.op = 0; kind };
+      (match Engine.Sink.write sink b with
+      | exception Engine.Io_fault.Injected _ -> ()
+      | () -> Alcotest.fail "armed fault did not fire");
+      Engine.Io_fault.disarm ();
+      Engine.Sink.close sink;
+      let store = Engine.Sink.store_path ~dir ~experiment:"synf" in
+      let completed = Engine.Checkpoint.completed_keys store in
+      checkb "A settled and survived" true
+        (Hashtbl.mem completed a.Engine.Sink.key);
+      checkb "B durability matches the fault kind" expect_b_durable
+        (Hashtbl.mem completed b.Engine.Sink.key);
+      (* Resume: append mode, dedup on completed keys. *)
+      let sink = Engine.Sink.create ~dir ~experiment:"synf" ~append:true in
+      if not (Hashtbl.mem completed b.Engine.Sink.key) then
+        Engine.Sink.write sink b;
+      Engine.Sink.close sink;
+      let scan = Engine.Checkpoint.scan_store store in
+      checki "both jobs settled exactly once" 2
+        (Hashtbl.length scan.Engine.Checkpoint.keys);
+      checki "no duplicated records" 0 scan.Engine.Checkpoint.duplicates;
+      let final = sorted_records ~dir ~id:"synf" in
+      checkb "records readable and equal to intent" true
+        (List.for_all2 Engine.Sink.equal_ignoring_wall final [ a; b ]))
+
+let test_io_fault_drop () = sink_killpoint ~kind:Engine.Io_fault.Drop ~expect_b_durable:false ()
+
+let test_io_fault_after_append () =
+  sink_killpoint ~kind:Engine.Io_fault.After_append ~expect_b_durable:true ()
+
+(* Sweep the short-write cut over every byte position of the record:
+   only the full-line prefix settles the job; every shorter prefix is a
+   torn tail that resume terminates and re-runs. *)
+let test_io_fault_short_sweep () =
+  let b = sample_record ~trial:1 in
+  let payload_len =
+    String.length (Engine.Sink.record_to_json b) + 1 (* '\n' *)
+  in
+  for cut = 0 to payload_len - 1 do
+    sink_killpoint
+      ~kind:(Engine.Io_fault.Short cut)
+      ~expect_b_durable:(cut = payload_len - 1)
+      ()
+  done
+
+(* End to end through the engine: fail each record write of a run in
+   each way, then --resume must reconstruct exactly the fault-free
+   store. *)
+let test_io_fault_engine_sweep () =
+  let exp =
+    synth ~id:"synf" ~points:2 (fun ~p ~t ~seed ->
+        ignore (p, t);
+        value_of ~seed)
+  in
+  let pristine =
+    with_temp_dir (fun dir ->
+        ignore (execute ~workers:1 ~dir exp);
+        sorted_records ~dir ~id:"synf")
+  in
+  let writes = List.length pristine in
+  checki "engine sweep covers all four record writes" 4 writes;
+  List.iter
+    (fun kind ->
+      for op = 0 to writes - 1 do
+        with_temp_dir (fun dir ->
+            Engine.Io_fault.arm { Engine.Io_fault.op; kind };
+            (match execute ~workers:2 ~dir exp with
+            | exception Engine.Io_fault.Injected _ -> ()
+            | _o ->
+              Engine.Io_fault.disarm ();
+              Alcotest.fail "injected write failure did not abort the run");
+            Engine.Io_fault.disarm ();
+            ignore (execute ~workers:2 ~resume:true ~dir exp);
+            let resumed = sorted_records ~dir ~id:"synf" in
+            let scan =
+              Engine.Checkpoint.scan_store
+                (Engine.Sink.store_path ~dir ~experiment:"synf")
+            in
+            checki "no duplicates after resume" 0
+              scan.Engine.Checkpoint.duplicates;
+            checkb "resume reconstructs the fault-free store" true
+              (List.length resumed = List.length pristine
+              && List.for_all2 Engine.Sink.equal_ignoring_wall resumed
+                   pristine))
+      done)
+    [ Engine.Io_fault.Drop; Engine.Io_fault.Short 5; Engine.Io_fault.After_append ]
+
 let suite =
   [
     ( "fault",
@@ -543,5 +656,13 @@ let suite =
         Alcotest.test_case "manifest: round-trip with fault fields" `Quick
           test_manifest_roundtrip;
         QCheck_alcotest.to_alcotest qcheck_truncated_resume;
+        Alcotest.test_case "io_fault: dropped write re-runs" `Quick
+          test_io_fault_drop;
+        Alcotest.test_case "io_fault: durable-but-unacked write dedups" `Quick
+          test_io_fault_after_append;
+        Alcotest.test_case "io_fault: short-write kill-point sweep" `Quick
+          test_io_fault_short_sweep;
+        Alcotest.test_case "io_fault: engine kill-point sweep resumes" `Slow
+          test_io_fault_engine_sweep;
       ] );
   ]

@@ -125,7 +125,7 @@ let test_registry_complete () =
     "ids in order"
     [
       "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "t9"; "t10"; "t11";
-      "t12"; "t13"; "t14"; "t15"; "t16"; "t17"; "t18"; "f1"; "f2";
+      "t12"; "t13"; "t14"; "t15"; "t16"; "t17"; "t18"; "f1"; "f2"; "b2";
     ]
     (Harness.Registry.ids ())
 
