@@ -23,7 +23,7 @@
    DIR audits a store offline (truncated tails, duplicate keys, seed
    re-derivation, quarantine). *)
 
-let make_ctx ~seed ~trials ~scale ~csv_dir ~current_id =
+let make_ctx ~seed ~trials ~scale ~substrate ~csv_dir ~current_id =
   let table_index = ref 0 in
   let emit_table ~title table =
     print_newline ();
@@ -45,11 +45,12 @@ let make_ctx ~seed ~trials ~scale ~csv_dir ~current_id =
     Harness.Experiment.seed;
     trials;
     scale;
+    substrate;
     emit_table;
     log = print_endline;
   }
 
-let run_serial ids seed trials scale csv_dir =
+let run_serial ids seed trials scale substrate csv_dir =
   (match csv_dir with
   | Some dir ->
     if Sys.file_exists dir && not (Sys.is_directory dir) then begin
@@ -59,7 +60,7 @@ let run_serial ids seed trials scale csv_dir =
     Engine.Sink.mkdir_p dir
   | None -> ());
   let current_id = ref "" in
-  let ctx = make_ctx ~seed ~trials ~scale ~csv_dir ~current_id in
+  let ctx = make_ctx ~seed ~trials ~scale ~substrate ~csv_dir ~current_id in
   let failures = ref [] in
   List.iter
     (fun id ->
@@ -101,8 +102,8 @@ let install_signal_handlers () =
 (* The engine path: fan trial jobs out across domains into a JSONL store.
    Experiments without a job-grain port fall back to the serial runner so
    `all --out DIR` still covers the whole registry. *)
-let run_engine ids seed trials scale csv_dir out_dir workers resume retries
-    job_timeout =
+let run_engine ids seed trials scale substrate csv_dir out_dir workers resume
+    retries job_timeout =
   if Sys.file_exists out_dir && not (Sys.is_directory out_dir) then begin
     Printf.eprintf "--out: %s exists and is not a directory\n" out_dir;
     exit 1
@@ -122,7 +123,7 @@ let run_engine ids seed trials scale csv_dir out_dir workers resume retries
          Printf.eprintf "--resume: %s\n" msg;
          exit 1));
   Engine.Sink.mkdir_p out_dir;
-  let ctx = Harness.Experiment.default_ctx ~seed ~trials ~scale () in
+  let ctx = Harness.Experiment.default_ctx ~seed ~trials ~scale ~substrate () in
   install_signal_handlers ();
   let should_stop () = Atomic.get interrupt_requested in
   let manifest status =
@@ -203,13 +204,13 @@ let run_engine ids seed trials scale csv_dir out_dir workers resume retries
     let serial_rc =
       match List.rev !serial_fallback with
       | [] -> 0
-      | fallback -> run_serial fallback seed trials scale csv_dir
+      | fallback -> run_serial fallback seed trials scale substrate csv_dir
     in
     if !failures <> [] || !quarantined <> [] then 1 else serial_rc
   end
 
-let run_experiments ids seed trials scale csv_dir jobs out_dir resume retries
-    job_timeout =
+let run_experiments ids seed trials scale substrate csv_dir jobs out_dir resume
+    retries job_timeout =
   match
     List.filter (fun id -> Harness.Registry.find id = None) ids
   with
@@ -219,7 +220,7 @@ let run_experiments ids seed trials scale csv_dir jobs out_dir resume retries
     2
   | [] -> (
     match (out_dir, jobs, resume) with
-    | None, None, false -> run_serial ids seed trials scale csv_dir
+    | None, None, false -> run_serial ids seed trials scale substrate csv_dir
     | None, Some _, _ | None, _, true ->
       Printf.eprintf "--jobs/--resume require --out DIR (the JSONL store)\n";
       2
@@ -229,8 +230,8 @@ let run_experiments ids seed trials scale csv_dir jobs out_dir resume retries
         | Some j -> max 1 j
         | None -> Engine.Pool.default_workers ()
       in
-      run_engine ids seed trials scale csv_dir out workers resume retries
-        job_timeout)
+      run_engine ids seed trials scale substrate csv_dir out workers resume
+        retries job_timeout)
 
 (* ------------------------------------------------------------------ *)
 (* simulate: one configurable run with detailed output *)
@@ -239,76 +240,97 @@ let algo_names =
   [ "rebatching"; "rebatching-paper"; "adaptive"; "fast"; "uniform"; "scan";
     "cyclic"; "doubling" ]
 
-let make_algo name ~n ~t0 ~epsilon =
+let make_spec name ~n ~t0 ~epsilon =
+  let m = int_of_float (Float.ceil ((1. +. epsilon) *. float_of_int n)) in
   match name with
   | "rebatching" ->
-    let instance = Renaming.Rebatching.make ~epsilon ~t0 ~n () in
-    Ok (fun env -> Renaming.Rebatching.get_name env instance)
+    Ok (Harness.Substrate.rebatching (Renaming.Rebatching.make ~epsilon ~t0 ~n ()))
   | "rebatching-paper" ->
-    let instance = Renaming.Rebatching.make ~epsilon ~n () in
-    Ok (fun env -> Renaming.Rebatching.get_name env instance)
+    Ok (Harness.Substrate.rebatching (Renaming.Rebatching.make ~epsilon ~n ()))
   | "adaptive" ->
-    let space = Renaming.Object_space.create ~t0 () in
-    Ok (fun env -> Renaming.Adaptive_rebatching.get_name env space)
+    Ok (Harness.Substrate.adaptive (Renaming.Object_space.create ~t0 ()))
   | "fast" ->
-    let space = Renaming.Object_space.create ~t0 () in
-    Ok (fun env -> Renaming.Fast_adaptive_rebatching.get_name env space)
-  | "uniform" ->
-    let m = int_of_float (Float.ceil ((1. +. epsilon) *. float_of_int n)) in
-    Ok (fun env -> Baselines.Uniform_probe.get_name env ~m ~max_steps:(1000 * n))
-  | "scan" ->
-    let m = int_of_float (Float.ceil ((1. +. epsilon) *. float_of_int n)) in
-    Ok (fun env -> Baselines.Linear_scan.get_name env ~m)
-  | "cyclic" ->
-    let m = int_of_float (Float.ceil ((1. +. epsilon) *. float_of_int n)) in
-    Ok (fun env -> Baselines.Cyclic_scan.get_name env ~m)
+    Ok (Harness.Substrate.fast_adaptive (Renaming.Object_space.create ~t0 ()))
+  | "uniform" -> Ok (Harness.Substrate.uniform ~m ~max_steps:(1000 * n))
+  | "scan" -> Ok (Harness.Substrate.linear_scan ~m)
+  | "cyclic" -> Ok (Harness.Substrate.cyclic_scan ~m)
   | "doubling" ->
-    let space = Renaming.Object_space.create ~t0 () in
-    Ok (fun env -> Baselines.Adaptive_doubling.get_name env space)
+    Ok (Harness.Substrate.adaptive_doubling (Renaming.Object_space.create ~t0 ()))
   | other -> Error (Printf.sprintf "unknown algorithm %S" other)
 
-let simulate algo_name n seed adversary_name crash_fraction stagger histogram =
-  match make_algo algo_name ~n ~t0:3 ~epsilon:1.0 with
+let simulate algo_name n seed adversary_name crash_fraction stagger substrate
+    histogram =
+  match make_spec algo_name ~n ~t0:3 ~epsilon:1.0 with
   | Error msg ->
     prerr_endline msg;
     Printf.eprintf "algorithms: %s\n" (String.concat ", " algo_names);
     2
-  | Ok algo ->
+  | Ok spec ->
     (match Sim.Adversary.by_name adversary_name with
     | None ->
       Printf.eprintf "unknown adversary %S; one of: %s\n" adversary_name
         (String.concat ", "
            (List.map (fun a -> a.Sim.Adversary.name) Sim.Adversary.all_builtin));
       2
-    | Some adversary ->
-      let adversary =
-        if crash_fraction > 0. then
-          Sim.Adversary.with_crashes ~fraction:crash_fraction adversary
-        else adversary
+    | Some adversary -> (
+      let plain = crash_fraction <= 0. && stagger = None in
+      let finish ~adversary_label r =
+        Printf.printf
+          "algo=%s n=%d seed=%d adversary=%s substrate=%s\nunique=%b \
+           max_name=%d max_steps=%d total_steps=%d crashes=%d \
+           point_contention=%d space_used=%d\n"
+          algo_name n seed adversary_label
+          (Harness.Substrate.to_string substrate)
+          (Sim.Runner.check_unique_names r)
+          (Sim.Runner.max_name r) r.Sim.Runner.max_steps r.Sim.Runner.total_steps
+          r.Sim.Runner.crash_count r.Sim.Runner.point_contention
+          r.Sim.Runner.space_used;
+        if histogram then begin
+          let h = Stats.Histogram.create () in
+          Array.iteri
+            (fun pid s ->
+              if not r.Sim.Runner.crashed.(pid) then Stats.Histogram.add h s)
+            r.Sim.Runner.steps;
+          print_endline "per-process steps:";
+          print_string (Stats.Histogram.render h)
+        end;
+        if Sim.Runner.check_unique_names r then 0 else 1
       in
-      let adversary =
-        match stagger with
-        | Some interval -> Sim.Arrivals.staggered ~interval adversary
-        | None -> adversary
-      in
-      let r = Sim.Runner.run ~adversary ~seed ~n ~algo () in
-      Printf.printf
-        "algo=%s n=%d seed=%d adversary=%s\nunique=%b max_name=%d \
-         max_steps=%d total_steps=%d crashes=%d point_contention=%d \
-         space_used=%d\n"
-        algo_name n seed adversary.Sim.Adversary.name
-        (Sim.Runner.check_unique_names r)
-        (Sim.Runner.max_name r) r.max_steps r.total_steps r.crash_count
-        r.point_contention r.space_used;
-      if histogram then begin
-        let h = Stats.Histogram.create () in
-        Array.iteri
-          (fun pid s -> if not r.crashed.(pid) then Stats.Histogram.add h s)
-          r.steps;
-        print_endline "per-process steps:";
-        print_string (Stats.Histogram.render h)
-      end;
-      if Sim.Runner.check_unique_names r then 0 else 1)
+      (* The fast core only expresses the uniformly random oblivious
+         schedule, and the atomic cells only a sequential one; richer
+         schedules need the effects scheduler. *)
+      match substrate with
+      | Harness.Substrate.Fast when adversary_name = "random" && plain ->
+        finish ~adversary_label:"random"
+          (Harness.Substrate.run Harness.Substrate.Fast spec ~seed ~n ())
+      | Harness.Substrate.Fast ->
+        Printf.eprintf
+          "--substrate fast supports only --adversary random without \
+           --crash-fraction/--stagger; use --substrate effects\n";
+        2
+      | Harness.Substrate.Atomic when adversary_name = "sequential" && plain ->
+        finish ~adversary_label:"sequential"
+          (Harness.Substrate.run_sequential ~shuffled:false
+             Harness.Substrate.Atomic spec ~seed ~n ())
+      | Harness.Substrate.Atomic ->
+        Printf.eprintf
+          "--substrate atomic supports only --adversary sequential without \
+           --crash-fraction/--stagger; use --substrate effects\n";
+        2
+      | Harness.Substrate.Effects ->
+        let adversary =
+          if crash_fraction > 0. then
+            Sim.Adversary.with_crashes ~fraction:crash_fraction adversary
+          else adversary
+        in
+        let adversary =
+          match stagger with
+          | Some interval -> Sim.Arrivals.staggered ~interval adversary
+          | None -> adversary
+        in
+        finish ~adversary_label:adversary.Sim.Adversary.name
+          (Sim.Runner.run ~adversary ~seed ~n
+             ~algo:(Harness.Substrate.closure spec) ())))
 
 (* ------------------------------------------------------------------ *)
 (* verify: the full safety battery *)
@@ -390,15 +412,16 @@ let verify seed rounds =
 (* ------------------------------------------------------------------ *)
 (* report: run everything and emit one self-contained markdown file *)
 
-let report out seed trials scale =
+let report out seed trials scale substrate =
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "# Experiment report\n\n";
   p
-    "Generated by `repro_cli report` — seed %d, trials %d, scale %.2f.  See \
-     DESIGN.md for the experiment index and EXPERIMENTS.md for the recorded \
-     full-scale analysis.\n"
-    seed trials scale;
+    "Generated by `repro_cli report` — seed %d, trials %d, scale %.2f, \
+     substrate %s.  See DESIGN.md for the experiment index and \
+     EXPERIMENTS.md for the recorded full-scale analysis.\n"
+    seed trials scale
+    (Harness.Substrate.to_string substrate);
   let in_code = ref false in
   let close_code () =
     if !in_code then begin
@@ -411,6 +434,7 @@ let report out seed trials scale =
       Harness.Experiment.seed;
       trials;
       scale;
+      substrate;
       emit_table =
         (fun ~title table ->
           close_code ();
@@ -918,6 +942,32 @@ let csv_t =
     & opt (some string) None
     & info [ "csv" ] ~docv:"DIR" ~doc:"Also write every table as CSV into $(docv).")
 
+let substrate_conv =
+  let parse s =
+    match Harness.Substrate.of_string s with
+    | Some sub -> Ok sub
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown substrate %S; one of: %s" s
+             (String.concat ", "
+                (List.map Harness.Substrate.to_string Harness.Substrate.all))))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Harness.Substrate.to_string s))
+
+let substrate_t ~default =
+  Arg.(
+    value
+    & opt substrate_conv default
+    & info [ "substrate" ] ~docv:"SUB"
+        ~doc:
+          "Execution substrate: $(b,fast) (zero-allocation state-machine \
+           core), $(b,effects) (reference effect scheduler) or $(b,atomic) \
+           (real atomics, sequential).  Substrates are result-equivalent \
+           on the schedules they share, so this only changes speed; \
+           adversarial/crash/event experiments always use the effects \
+           path regardless.")
+
 let jobs_t =
   Arg.(
     value
@@ -992,19 +1042,21 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run_experiments $ ids_t $ seed_t $ trials_t $ scale_t $ csv_t
-      $ jobs_t $ out_t $ resume_t $ retries_t $ job_timeout_t)
+      const run_experiments $ ids_t $ seed_t $ trials_t $ scale_t
+      $ substrate_t ~default:Harness.Substrate.Fast
+      $ csv_t $ jobs_t $ out_t $ resume_t $ retries_t $ job_timeout_t)
 
 let all_cmd =
   let doc = "Run every experiment in order." in
-  let run seed trials scale csv jobs out resume retries job_timeout =
-    run_experiments (Harness.Registry.ids ()) seed trials scale csv jobs out
-      resume retries job_timeout
+  let run seed trials scale substrate csv jobs out resume retries job_timeout =
+    run_experiments (Harness.Registry.ids ()) seed trials scale substrate csv
+      jobs out resume retries job_timeout
   in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
-      const run $ seed_t $ trials_t $ scale_t $ csv_t $ jobs_t $ out_t
-      $ resume_t $ retries_t $ job_timeout_t)
+      const run $ seed_t $ trials_t $ scale_t
+      $ substrate_t ~default:Harness.Substrate.Fast
+      $ csv_t $ jobs_t $ out_t $ resume_t $ retries_t $ job_timeout_t)
 
 let doctor_cmd =
   let doc =
@@ -1283,6 +1335,7 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc ~exits:finding_exits)
     Term.(
       const simulate $ algo_t $ n_t $ seed_t $ adversary_t $ crash_t $ stagger_t
+      $ substrate_t ~default:Harness.Substrate.Effects
       $ histogram_t)
 
 let verify_cmd =
@@ -1297,6 +1350,84 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc ~exits:finding_exits)
     Term.(const verify $ seed_t $ rounds_t)
 
+(* Informational chatter goes to stderr so `--json` leaves stdout a
+   single parseable document. *)
+let bench json seed scale out check threshold =
+  let suite = Bench_kernels.run_suite ~seed ~scale in
+  if json then
+    print_endline (Jsonu.to_string (Bench_kernels.to_json suite))
+  else print_endline (Bench_kernels.render suite);
+  let path = Bench_kernels.save ~dir:out suite in
+  Printf.eprintf "[bench] wrote %s\n%!" path;
+  match check with
+  | None -> 0
+  | Some file ->
+    (match Bench_kernels.load file with
+    | exception Sys_error msg ->
+      Printf.eprintf "[bench] cannot read baseline: %s\n%!" msg;
+      2
+    | exception Jsonu.Malformed ->
+      Printf.eprintf "[bench] baseline %s is not a bench JSON document\n%!"
+        file;
+      2
+    | baseline -> (
+      match Bench_kernels.check ~threshold ~baseline ~current:suite with
+      | [] ->
+        Printf.eprintf
+          "[bench] regression check passed against %s (threshold %g)\n%!" file
+          threshold;
+        0
+      | findings ->
+        List.iter (Printf.eprintf "[bench] FAIL: %s\n%!") findings;
+        1))
+
+let bench_cmd =
+  let doc =
+    "Time the fast-core and PRNG kernels, record BENCH_<k>.json, and \
+     optionally fail on regressions against a committed baseline."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs each kernel's hot loop under Gc.minor_words metering and \
+         reports ns/op, words/op and the fast-vs-effects speedup per \
+         algorithm pair.  Every invocation writes the next free \
+         BENCH_<k>.json under $(b,--out); BENCH_0.json is the committed \
+         baseline CI diffs against.  With $(b,--check), allocation counts \
+         must stay within max(0.25, threshold x baseline) words/op of the \
+         baseline and each speedup must reach 5x or (1 - threshold) of \
+         its baseline; absolute ns/op is reported but never checked, \
+         since it only measures the host machine.";
+    ]
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the suite as JSON instead of tables.")
+  in
+  let out_t =
+    Arg.(
+      value & opt string "bench"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Directory for BENCH_<k>.json files.")
+  in
+  let check_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"FILE"
+          ~doc:"Baseline BENCH_<k>.json to diff against; regressions exit 1.")
+  in
+  let threshold_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "threshold" ] ~docv:"T"
+          ~doc:"Relative regression tolerance for $(b,--check).")
+  in
+  Cmd.v (Cmd.info "bench" ~doc ~man ~exits:finding_exits)
+    Term.(
+      const bench $ json_t $ seed_t $ scale_t $ out_t $ check_t $ threshold_t)
+
 let report_cmd =
   let doc = "Run every experiment and write a self-contained markdown report." in
   let out_t =
@@ -1305,7 +1436,9 @@ let report_cmd =
       & info [ "out" ] ~docv:"FILE" ~doc:"Output path.")
   in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(const report $ out_t $ seed_t $ trials_t $ scale_t)
+    Term.(
+      const report $ out_t $ seed_t $ trials_t $ scale_t
+      $ substrate_t ~default:Harness.Substrate.Fast)
 
 let main_cmd =
   let doc =
@@ -1314,7 +1447,7 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "repro_cli" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; simulate_cmd; verify_cmd; report_cmd;
-      doctor_cmd; lint_cmd; racecheck_cmd; chaos_cmd ]
+    [ list_cmd; run_cmd; all_cmd; simulate_cmd; verify_cmd; bench_cmd;
+      report_cmd; doctor_cmd; lint_cmd; racecheck_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

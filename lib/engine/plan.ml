@@ -272,6 +272,7 @@ let write_manifest ~out_dir ~ids ~workers ~resume ~status ~retries ~job_timeout
       ("seed", string_of_int ctx.Experiment.seed);
       ("trials", string_of_int ctx.Experiment.trials);
       ("scale", Printf.sprintf "%g" ctx.Experiment.scale);
+      ("substrate", Substrate.to_string ctx.Experiment.substrate);
       ("workers", string_of_int workers);
       ("retries", string_of_int retries);
       ( "job_timeout",

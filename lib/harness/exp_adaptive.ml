@@ -2,12 +2,14 @@ let log2 x = log x /. log 2.
 
 type point = { max_steps : float; max_name : float }
 
-let measure ~ctx ~k make_algo =
+let measure ~ctx ~k make_spec =
   let points =
     Sweep.collect_seeds ~seed:ctx.Experiment.seed ~trials:ctx.Experiment.trials
       (fun seed ->
-        let algo = make_algo () in
-        let r = Sim.Runner.run_sequential ~seed ~n:k ~algo () in
+        let spec = make_spec () in
+        let r =
+          Substrate.run_sequential ctx.Experiment.substrate spec ~seed ~n:k ()
+        in
         if not (Sim.Runner.check_unique_names r) then
           failwith "T5: uniqueness violated";
         {
@@ -41,18 +43,15 @@ let run (ctx : Experiment.ctx) =
     (fun k ->
       let adaptive_steps, adaptive_name =
         measure ~ctx ~k (fun () ->
-            let space = Renaming.Object_space.create () in
-            fun env -> Renaming.Adaptive_rebatching.get_name env space)
+            Substrate.adaptive (Renaming.Object_space.create ()))
       in
       let tuned_steps, _ =
         measure ~ctx ~k (fun () ->
-            let space = Renaming.Object_space.create ~t0:3 () in
-            fun env -> Renaming.Adaptive_rebatching.get_name env space)
+            Substrate.adaptive (Renaming.Object_space.create ~t0:3 ()))
       in
       let doubling_steps, _ =
         measure ~ctx ~k (fun () ->
-            let space = Renaming.Object_space.create () in
-            fun env -> Baselines.Adaptive_doubling.get_name env space)
+            Substrate.adaptive_doubling (Renaming.Object_space.create ()))
       in
       paper_series := (k, adaptive_steps) :: !paper_series;
       tuned_series := (k, tuned_steps) :: !tuned_series;
@@ -102,30 +101,28 @@ let jobs (ctx : Experiment.ctx) =
                params = [ ("k", float_of_int k) ];
                run_job =
                  (fun ~seed ->
-                   let measure make_algo =
-                     let algo = make_algo () in
-                     let r = Sim.Runner.run_sequential ~seed ~n:k ~algo () in
+                   let measure spec =
+                     let r =
+                       Substrate.run_sequential ctx.Experiment.substrate spec
+                         ~seed ~n:k ()
+                     in
                      if not (Sim.Runner.check_unique_names r) then
                        failwith "T5: uniqueness violated";
                      ( float_of_int r.Sim.Runner.max_steps,
                        float_of_int (Sim.Runner.max_name r) )
                    in
                    let adaptive_steps, adaptive_name =
-                     measure (fun () ->
-                         let space = Renaming.Object_space.create () in
-                         fun env ->
-                           Renaming.Adaptive_rebatching.get_name env space)
+                     measure (Substrate.adaptive (Renaming.Object_space.create ()))
                    in
                    let tuned_steps, _ =
-                     measure (fun () ->
-                         let space = Renaming.Object_space.create ~t0:3 () in
-                         fun env ->
-                           Renaming.Adaptive_rebatching.get_name env space)
+                     measure
+                       (Substrate.adaptive
+                          (Renaming.Object_space.create ~t0:3 ()))
                    in
                    let doubling_steps, _ =
-                     measure (fun () ->
-                         let space = Renaming.Object_space.create () in
-                         fun env -> Baselines.Adaptive_doubling.get_name env space)
+                     measure
+                       (Substrate.adaptive_doubling
+                          (Renaming.Object_space.create ()))
                    in
                    [
                      ("adaptive_paper_max", adaptive_steps);

@@ -16,16 +16,15 @@ let run (ctx : Experiment.ctx) =
     (fun epsilon ->
       let instance = Renaming.Rebatching.make ~epsilon ~n () in
       let backups = ref 0 in
-      let on_event ~pid:_ = function
-        | Renaming.Events.Backup_entered _ -> incr backups
-        | _ -> ()
+      let spec =
+        Substrate.rebatching ~on_backup:(fun () -> incr backups) instance
       in
-      let algo env = Renaming.Rebatching.get_name env instance in
       let maxs = Stats.Summary.acc_create () in
       let totals = Stats.Summary.acc_create () in
       for trial = 0 to ctx.trials - 1 do
         let r =
-          Sim.Runner.run_sequential ~on_event ~seed:(ctx.seed + trial) ~n ~algo ()
+          Substrate.run_sequential ctx.substrate spec ~seed:(ctx.seed + trial)
+            ~n ()
         in
         if not (Sim.Runner.check_unique_names r) then
           failwith "T9: uniqueness violated";
@@ -63,12 +62,15 @@ let jobs (ctx : Experiment.ctx) =
                  (fun ~seed ->
                    let instance = Renaming.Rebatching.make ~epsilon ~n () in
                    let backups = ref 0 in
-                   let on_event ~pid:_ = function
-                     | Renaming.Events.Backup_entered _ -> incr backups
-                     | _ -> ()
+                   let spec =
+                     Substrate.rebatching
+                       ~on_backup:(fun () -> incr backups)
+                       instance
                    in
-                   let algo env = Renaming.Rebatching.get_name env instance in
-                   let r = Sim.Runner.run_sequential ~on_event ~seed ~n ~algo () in
+                   let r =
+                     Substrate.run_sequential ctx.Experiment.substrate spec
+                       ~seed ~n ()
+                   in
                    if not (Sim.Runner.check_unique_names r) then
                      failwith "T9: uniqueness violated";
                    [

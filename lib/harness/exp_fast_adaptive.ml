@@ -1,11 +1,13 @@
 let log2 x = log x /. log 2.
 
-let measure ~ctx ~k make_algo =
+let measure ~ctx ~k make_spec =
   let totals =
     Sweep.collect_seeds ~seed:ctx.Experiment.seed ~trials:ctx.Experiment.trials
       (fun seed ->
-        let algo = make_algo () in
-        let r = Sim.Runner.run_sequential ~seed ~n:k ~algo () in
+        let spec = make_spec () in
+        let r =
+          Substrate.run_sequential ctx.Experiment.substrate spec ~seed ~n:k ()
+        in
         if not (Sim.Runner.check_unique_names r) then
           failwith "T6: uniqueness violated";
         ( float_of_int r.Sim.Runner.total_steps /. float_of_int k,
@@ -37,23 +39,19 @@ let run (ctx : Experiment.ctx) =
     (fun k ->
       let fast_per, fast_name =
         measure ~ctx ~k (fun () ->
-            let space = Renaming.Object_space.create () in
-            fun env -> Renaming.Fast_adaptive_rebatching.get_name env space)
+            Substrate.fast_adaptive (Renaming.Object_space.create ()))
       in
       let adaptive_per, _ =
         measure ~ctx ~k (fun () ->
-            let space = Renaming.Object_space.create () in
-            fun env -> Renaming.Adaptive_rebatching.get_name env space)
+            Substrate.adaptive (Renaming.Object_space.create ()))
       in
       let fast_tuned_per, _ =
         measure ~ctx ~k (fun () ->
-            let space = Renaming.Object_space.create ~t0:3 () in
-            fun env -> Renaming.Fast_adaptive_rebatching.get_name env space)
+            Substrate.fast_adaptive (Renaming.Object_space.create ~t0:3 ()))
       in
       let adaptive_tuned_per, _ =
         measure ~ctx ~k (fun () ->
-            let space = Renaming.Object_space.create ~t0:3 () in
-            fun env -> Renaming.Adaptive_rebatching.get_name env space)
+            Substrate.adaptive (Renaming.Object_space.create ~t0:3 ()))
       in
       fast_series := (k, fast_per) :: !fast_series;
       fast_tuned_series := (k, fast_tuned_per) :: !fast_tuned_series;
@@ -103,37 +101,32 @@ let jobs (ctx : Experiment.ctx) =
                params = [ ("k", float_of_int k) ];
                run_job =
                  (fun ~seed ->
-                   let measure make_algo =
-                     let algo = make_algo () in
-                     let r = Sim.Runner.run_sequential ~seed ~n:k ~algo () in
+                   let measure spec =
+                     let r =
+                       Substrate.run_sequential ctx.Experiment.substrate spec
+                         ~seed ~n:k ()
+                     in
                      if not (Sim.Runner.check_unique_names r) then
                        failwith "T6: uniqueness violated";
                      ( float_of_int r.Sim.Runner.total_steps /. float_of_int k,
                        float_of_int (Sim.Runner.max_name r) )
                    in
                    let fast_per, fast_name =
-                     measure (fun () ->
-                         let space = Renaming.Object_space.create () in
-                         fun env ->
-                           Renaming.Fast_adaptive_rebatching.get_name env space)
+                     measure
+                       (Substrate.fast_adaptive (Renaming.Object_space.create ()))
                    in
                    let adaptive_per, _ =
-                     measure (fun () ->
-                         let space = Renaming.Object_space.create () in
-                         fun env ->
-                           Renaming.Adaptive_rebatching.get_name env space)
+                     measure (Substrate.adaptive (Renaming.Object_space.create ()))
                    in
                    let fast_tuned_per, _ =
-                     measure (fun () ->
-                         let space = Renaming.Object_space.create ~t0:3 () in
-                         fun env ->
-                           Renaming.Fast_adaptive_rebatching.get_name env space)
+                     measure
+                       (Substrate.fast_adaptive
+                          (Renaming.Object_space.create ~t0:3 ()))
                    in
                    let adaptive_tuned_per, _ =
-                     measure (fun () ->
-                         let space = Renaming.Object_space.create ~t0:3 () in
-                         fun env ->
-                           Renaming.Adaptive_rebatching.get_name env space)
+                     measure
+                       (Substrate.adaptive
+                          (Renaming.Object_space.create ~t0:3 ()))
                    in
                    [
                      ("fast_per_proc", fast_per);

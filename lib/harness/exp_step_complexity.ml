@@ -1,11 +1,14 @@
 let log2 x = log x /. log 2.
 
-(* Worst per-process step count of [algo] on [n] processes, averaged over
-   trials (each trial is an independent seeded execution). *)
-let measure_max ~ctx ~n algo =
+(* Worst per-process step count of [spec] on [n] processes, averaged over
+   trials (each trial is an independent seeded execution), on the ctx's
+   substrate (all three agree bit for bit on this schedule). *)
+let measure_max ~ctx ~n spec =
   Sweep.over_seeds ~seed:ctx.Experiment.seed ~trials:ctx.Experiment.trials
     (fun seed ->
-      let r = Sim.Runner.run_sequential ~seed ~n ~algo () in
+      let r =
+        Substrate.run_sequential ctx.Experiment.substrate spec ~seed ~n ()
+      in
       if not (Sim.Runner.check_unique_names r) then
         failwith "T1: uniqueness violated";
       float_of_int r.Sim.Runner.max_steps)
@@ -30,21 +33,18 @@ let run (ctx : Experiment.ctx) =
   let tuned = ref [] and uniform = ref [] and cyclic = ref [] in
   List.iter
     (fun n ->
-      let rebatch_paper = Renaming.Rebatching.make ~n () in
-      let rebatch_tuned = Renaming.Rebatching.make ~t0:3 ~n () in
-      let paper_max =
-        measure_max ~ctx ~n (fun env -> Renaming.Rebatching.get_name env rebatch_paper)
+      let rebatch_paper =
+        Substrate.rebatching (Renaming.Rebatching.make ~n ())
       in
-      let tuned_max =
-        measure_max ~ctx ~n (fun env -> Renaming.Rebatching.get_name env rebatch_tuned)
+      let rebatch_tuned =
+        Substrate.rebatching (Renaming.Rebatching.make ~t0:3 ~n ())
       in
+      let paper_max = measure_max ~ctx ~n rebatch_paper in
+      let tuned_max = measure_max ~ctx ~n rebatch_tuned in
       let uniform_max =
-        measure_max ~ctx ~n (fun env ->
-            Baselines.Uniform_probe.get_name env ~m:(2 * n) ~max_steps:(1000 * n))
+        measure_max ~ctx ~n (Substrate.uniform ~m:(2 * n) ~max_steps:(1000 * n))
       in
-      let cyclic_max =
-        measure_max ~ctx ~n (fun env -> Baselines.Cyclic_scan.get_name env ~m:(2 * n))
-      in
+      let cyclic_max = measure_max ~ctx ~n (Substrate.cyclic_scan ~m:(2 * n)) in
       tuned := (n, tuned_max.Stats.Summary.mean) :: !tuned;
       uniform := (n, uniform_max.Stats.Summary.mean) :: !uniform;
       cyclic := (n, cyclic_max.Stats.Summary.mean) :: !cyclic;
@@ -105,28 +105,29 @@ let jobs (ctx : Experiment.ctx) =
                params = [ ("n", float_of_int n) ];
                run_job =
                  (fun ~seed ->
-                   let measure algo =
-                     let r = Sim.Runner.run_sequential ~seed ~n ~algo () in
+                   let measure spec =
+                     let r =
+                       Substrate.run_sequential ctx.Experiment.substrate spec
+                         ~seed ~n ()
+                     in
                      if not (Sim.Runner.check_unique_names r) then
                        failwith "T1: uniqueness violated";
                      float_of_int r.Sim.Runner.max_steps
                    in
-                   let rebatch_paper = Renaming.Rebatching.make ~n () in
-                   let rebatch_tuned = Renaming.Rebatching.make ~t0:3 ~n () in
                    [
                      ( "rebatch_paper_max",
-                       measure (fun env ->
-                           Renaming.Rebatching.get_name env rebatch_paper) );
+                       measure
+                         (Substrate.rebatching (Renaming.Rebatching.make ~n ()))
+                     );
                      ( "rebatch_t0_max",
-                       measure (fun env ->
-                           Renaming.Rebatching.get_name env rebatch_tuned) );
+                       measure
+                         (Substrate.rebatching
+                            (Renaming.Rebatching.make ~t0:3 ~n ())) );
                      ( "uniform_max",
-                       measure (fun env ->
-                           Baselines.Uniform_probe.get_name env ~m:(2 * n)
-                             ~max_steps:(1000 * n)) );
+                       measure
+                         (Substrate.uniform ~m:(2 * n) ~max_steps:(1000 * n)) );
                      ( "cyclic_max",
-                       measure (fun env ->
-                           Baselines.Cyclic_scan.get_name env ~m:(2 * n)) );
+                       measure (Substrate.cyclic_scan ~m:(2 * n)) );
                    ]);
              }))
        sizes)

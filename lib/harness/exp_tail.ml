@@ -4,13 +4,15 @@ let run (ctx : Experiment.ctx) =
   let instance = Renaming.Rebatching.make ~t0:3 ~n () in
   let t0 = Renaming.Rebatching.probe_budget instance 0 in
   let kappa = Renaming.Rebatching.kappa instance in
-  let algo env = Renaming.Rebatching.get_name env instance in
+  let spec = Substrate.rebatching instance in
   (* Pool per-process step counts and per-run maxima across many
      independent executions. *)
   let all_steps = ref [] in
   let maxima = ref [] in
   for trial = 0 to runs - 1 do
-    let r = Sim.Runner.run_sequential ~seed:(ctx.seed + trial) ~n ~algo () in
+    let r =
+      Substrate.run_sequential ctx.substrate spec ~seed:(ctx.seed + trial) ~n ()
+    in
     if not (Sim.Runner.check_unique_names r) then failwith "T12: uniqueness violated";
     Array.iter (fun s -> all_steps := float_of_int s :: !all_steps) r.Sim.Runner.steps;
     maxima := float_of_int r.Sim.Runner.max_steps :: !maxima
@@ -110,8 +112,10 @@ let jobs (ctx : Experiment.ctx) =
             let instance = Renaming.Rebatching.make ~t0:3 ~n () in
             let t0 = Renaming.Rebatching.probe_budget instance 0 in
             let kappa = Renaming.Rebatching.kappa instance in
-            let algo env = Renaming.Rebatching.get_name env instance in
-            let r = Sim.Runner.run_sequential ~seed ~n ~algo () in
+            let spec = Substrate.rebatching instance in
+            let r =
+              Substrate.run_sequential ctx.Experiment.substrate spec ~seed ~n ()
+            in
             if not (Sim.Runner.check_unique_names r) then
               failwith "T12: uniqueness violated";
             let exceed threshold =

@@ -1,7 +1,9 @@
-let measure_total_per_proc ~ctx ~n algo =
+let measure_total_per_proc ~ctx ~n spec =
   Sweep.over_seeds ~seed:ctx.Experiment.seed ~trials:ctx.Experiment.trials
     (fun seed ->
-      let r = Sim.Runner.run_sequential ~seed ~n ~algo () in
+      let r =
+        Substrate.run_sequential ctx.Experiment.substrate spec ~seed ~n ()
+      in
       if not (Sim.Runner.check_unique_names r) then
         failwith "T2: uniqueness violated";
       float_of_int r.Sim.Runner.total_steps /. float_of_int n)
@@ -24,23 +26,20 @@ let run (ctx : Experiment.ctx) =
   let tuned = ref [] in
   List.iter
     (fun n ->
-      let rebatch_paper = Renaming.Rebatching.make ~n () in
-      let rebatch_tuned = Renaming.Rebatching.make ~t0:3 ~n () in
       let paper =
-        measure_total_per_proc ~ctx ~n (fun env ->
-            Renaming.Rebatching.get_name env rebatch_paper)
+        measure_total_per_proc ~ctx ~n
+          (Substrate.rebatching (Renaming.Rebatching.make ~n ()))
       in
       let tuned_s =
-        measure_total_per_proc ~ctx ~n (fun env ->
-            Renaming.Rebatching.get_name env rebatch_tuned)
+        measure_total_per_proc ~ctx ~n
+          (Substrate.rebatching (Renaming.Rebatching.make ~t0:3 ~n ()))
       in
       let uniform =
-        measure_total_per_proc ~ctx ~n (fun env ->
-            Baselines.Uniform_probe.get_name env ~m:(2 * n) ~max_steps:(1000 * n))
+        measure_total_per_proc ~ctx ~n
+          (Substrate.uniform ~m:(2 * n) ~max_steps:(1000 * n))
       in
       let cyclic =
-        measure_total_per_proc ~ctx ~n (fun env ->
-            Baselines.Cyclic_scan.get_name env ~m:(2 * n))
+        measure_total_per_proc ~ctx ~n (Substrate.cyclic_scan ~m:(2 * n))
       in
       tuned := (n, tuned_s.Stats.Summary.mean) :: !tuned;
       Table.add_row table
@@ -79,28 +78,29 @@ let jobs (ctx : Experiment.ctx) =
                params = [ ("n", float_of_int n) ];
                run_job =
                  (fun ~seed ->
-                   let measure algo =
-                     let r = Sim.Runner.run_sequential ~seed ~n ~algo () in
+                   let measure spec =
+                     let r =
+                       Substrate.run_sequential ctx.Experiment.substrate spec
+                         ~seed ~n ()
+                     in
                      if not (Sim.Runner.check_unique_names r) then
                        failwith "T2: uniqueness violated";
                      float_of_int r.Sim.Runner.total_steps /. float_of_int n
                    in
-                   let rebatch_paper = Renaming.Rebatching.make ~n () in
-                   let rebatch_tuned = Renaming.Rebatching.make ~t0:3 ~n () in
                    [
                      ( "rebatch_paper_per_proc",
-                       measure (fun env ->
-                           Renaming.Rebatching.get_name env rebatch_paper) );
+                       measure
+                         (Substrate.rebatching (Renaming.Rebatching.make ~n ()))
+                     );
                      ( "rebatch_t0_per_proc",
-                       measure (fun env ->
-                           Renaming.Rebatching.get_name env rebatch_tuned) );
+                       measure
+                         (Substrate.rebatching
+                            (Renaming.Rebatching.make ~t0:3 ~n ())) );
                      ( "uniform_per_proc",
-                       measure (fun env ->
-                           Baselines.Uniform_probe.get_name env ~m:(2 * n)
-                             ~max_steps:(1000 * n)) );
+                       measure
+                         (Substrate.uniform ~m:(2 * n) ~max_steps:(1000 * n)) );
                      ( "cyclic_per_proc",
-                       measure (fun env ->
-                           Baselines.Cyclic_scan.get_name env ~m:(2 * n)) );
+                       measure (Substrate.cyclic_scan ~m:(2 * n)) );
                    ]);
              }))
        sizes)

@@ -2,6 +2,7 @@ type ctx = {
   seed : int;
   trials : int;
   scale : float;
+  substrate : Substrate.t;
   emit_table : title:string -> Table.t -> unit;
   log : string -> unit;
 }
@@ -22,7 +23,8 @@ type t = {
   jobs : (ctx -> job list) option;
 }
 
-let default_ctx ?(seed = 1) ?(trials = 5) ?(scale = 1.0) () =
+let default_ctx ?(seed = 1) ?(trials = 5) ?(scale = 1.0)
+    ?(substrate = Substrate.Fast) () =
   (* The default ctx IS the CLI's stdout sink; every other ctx writes
      to a caller-supplied channel.  repro-lint: allow stdout-print *)
   let out = print_string in
@@ -30,6 +32,7 @@ let default_ctx ?(seed = 1) ?(trials = 5) ?(scale = 1.0) () =
     seed;
     trials;
     scale;
+    substrate;
     emit_table =
       (fun ~title table -> out ("\n" ^ title ^ "\n" ^ Table.render table));
     log = (fun line -> out (line ^ "\n"));

@@ -18,6 +18,12 @@ type ctx = {
   scale : float;
       (** multiplier on the experiment's default problem sizes; [1.0] for
           the published defaults, smaller for quick runs *)
+  substrate : Substrate.t;
+      (** execution substrate for experiments whose schedules all three
+          substrates can express (the oblivious headline tables
+          t1/t2/t5/t6/t9/t12); experiments that need adversaries, crashes
+          or event traces ignore it and use the effects path.  Because
+          substrates are result-equivalent, this only changes speed. *)
   emit_table : title:string -> Table.t -> unit;
       (** sink for finished tables (prints, and optionally saves CSV) *)
   log : string -> unit;  (** free-form progress / fit lines *)
@@ -46,11 +52,13 @@ type t = {
   jobs : (ctx -> job list) option;
       (** trial-grain view of the same sweep for the parallel engine;
           [None] for experiments that only run serially.  Builders read
-          only [ctx.seed]/[ctx.trials]/[ctx.scale]; per-job seeds are
+          only [ctx.seed]/[ctx.trials]/[ctx.scale]/[ctx.substrate];
+          per-job seeds are
           derived by the engine ([Engine.Seed_tree]), not taken from
           [ctx.seed + trial]. *)
 }
 
-val default_ctx : ?seed:int -> ?trials:int -> ?scale:float -> unit -> ctx
+val default_ctx :
+  ?seed:int -> ?trials:int -> ?scale:float -> ?substrate:Substrate.t -> unit -> ctx
 (** A context that prints tables and log lines to stdout.  Defaults:
-    [seed = 1], [trials = 5], [scale = 1.0]. *)
+    [seed = 1], [trials = 5], [scale = 1.0], [substrate = Fast]. *)

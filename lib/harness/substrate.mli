@@ -1,0 +1,90 @@
+(** Selectable execution substrates for the headline experiments.
+
+    One renaming algorithm, three ways to execute it:
+
+    - {!Fast} — the zero-allocation state-machine core
+      ([Sim.Fast_core] driving a [Renaming.Fast_algo] encoding).  Only
+      oblivious schedules (uniformly random or sequential) are
+      expressible, which is exactly what the headline tables use; in
+      exchange a run is several times faster and allocation-free, so
+      large sweeps stop being GC-bound.
+    - {!Effects} — the reference path: closures over [Renaming.Env]
+      suspended per operation by the effects scheduler.  Required for
+      adaptive adversaries, crash injection via [Sim.Adversary], and
+      event tracing.
+    - {!Atomic} — real [bool Atomic.t] cells ([Shm.Atomic_space]) driven
+      sequentially; the sanity check that the simulated TAS matches
+      genuine hardware atomics.
+
+    The three substrates consume identical per-pid SplitMix64 streams, so
+    on the schedules they share they produce {e identical} results
+    field for field — pinned by the cross-substrate equivalence suite in
+    [test/test_fast_core.ml].  Experiments therefore report the same
+    numbers whichever substrate executes them; switching is purely a
+    speed/capability trade. *)
+
+type t = Fast | Effects | Atomic
+
+val to_string : t -> string
+(** ["fast"], ["effects"], ["atomic"] — the CLI spelling. *)
+
+val of_string : string -> t option
+
+val all : t list
+
+(** {1 Algorithm specs}
+
+    A {!spec} bundles the two faces of one algorithm instance — the
+    reference closure and its state-machine encoding — plus the location
+    capacity the atomic substrate must preallocate.  Constructors
+    guarantee both faces describe the same instance, which is what makes
+    substrate choice transparent. *)
+
+type spec
+
+val label : spec -> string
+
+val closure : spec -> Renaming.Env.t -> int option
+(** The reference-closure face, for drivers that need bespoke runner
+    options (adversaries, crash injection, event hooks) and therefore
+    call [Sim.Runner] directly. *)
+
+val fast_algo : spec -> Renaming.Fast_algo.t
+(** The state-machine face, for drivers that manage a reusable
+    [Sim.Fast_core] handle themselves (the benchmark harness). *)
+
+val capacity : spec -> int
+(** Locations the atomic substrate preallocates for this instance. *)
+
+val rebatching :
+  ?backup:bool -> ?on_backup:(unit -> unit) -> Renaming.Rebatching.t -> spec
+(** [on_backup] fires once per process entering the backup scan, on every
+    substrate (via [Events.Backup_entered] on the closure side and the
+    [Fast_algo] hook on the fast side). *)
+
+val adaptive : Renaming.Object_space.t -> spec
+val fast_adaptive : Renaming.Object_space.t -> spec
+val uniform : m:int -> max_steps:int -> spec
+val linear_scan : m:int -> spec
+val cyclic_scan : m:int -> spec
+val adaptive_doubling : ?probes_per_level:int -> Renaming.Object_space.t -> spec
+
+(** {1 Execution} *)
+
+val run_sequential :
+  ?shuffled:bool -> t -> spec -> seed:int -> n:int -> unit -> Sim.Runner.result
+(** One process at a time, in seeded random order ([shuffled], default
+    [true]); equals [Sim.Runner.run_sequential] on every substrate. *)
+
+val run :
+  ?max_total_steps:int ->
+  t ->
+  spec ->
+  seed:int ->
+  n:int ->
+  unit ->
+  Sim.Runner.result
+(** Concurrent execution under the uniformly random oblivious schedule;
+    equals [Sim.Runner.run ~adversary:Adversary.random].
+    @raise Invalid_argument on {!Atomic}, which is sequential-only.
+    @raise Scheduler.Step_limit_exceeded past [max_total_steps]. *)

@@ -1,0 +1,48 @@
+(** A bank of SplitMix64 streams stored unboxed in one int64 bigarray.
+
+    Drop-in replacement for an array of {!Splitmix.t} generators in
+    allocation-free hot loops: stream [i] seeded via {!reseed} produces
+    bit-for-bit the same draws as [Splitmix.split_at root i], but
+    advancing it allocates nothing — the state lives unboxed in the
+    bigarray and the mixing arithmetic stays in registers.  This is what
+    lets the fast simulation core ([Sim.Fast_core]) claim 0 allocations
+    per simulated step while remaining seed-compatible with the
+    effects-based scheduler. *)
+
+type t = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** [t] is the raw state bank; index = stream. *)
+
+val create : int -> t
+(** [create n] allocates [n] streams, all zeroed; call {!reseed} (or
+    {!set_state}) before drawing.  @raise Invalid_argument if [n < 1]. *)
+
+val streams : t -> int
+(** Number of streams in the bank. *)
+
+val reseed : t -> seed:int -> unit
+(** [reseed t ~seed] seeds every stream [i] to the exact initial state of
+    [Splitmix.split_at g i] where [g = Splitmix.of_int seed] — the run
+    convention of [Sim.Runner].  Allocation-free (the root derivation is
+    inlined rather than taking a boxed int64), so a preallocated bank can
+    be reseeded between benchmark iterations. *)
+
+val set_state : t -> int -> int64 -> unit
+(** [set_state t i s] pins stream [i]'s raw state, e.g. to
+    [Splitmix.state g] so the stream continues [g]'s future draws. *)
+
+val get_state : t -> int -> int64
+
+val bits : t -> int -> int
+(** [bits t i] advances stream [i] and returns 62 uniform bits; equals
+    [Splitmix.bits] on a generator with the same state.  The stream index
+    is {e not} bounds-checked (hot path). *)
+
+val int : t -> int -> int -> int
+(** [int t i bound] is uniform on [0, bound) from stream [i]; identical
+    draw (and state advance) to [Splitmix.int].  Allocation-free.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> int -> float
+(** [float t i] is uniform on [0,1) with 53 bits, as [Splitmix.float].
+    The result is a boxed float (OCaml boxes float returns); use in
+    set-up code, not in the zero-allocation loop. *)

@@ -4,7 +4,7 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 (* The SplitMix64 finalizer: two xor-shift-multiply rounds.  This is the
    standard mix64 function; it is a bijection on 64-bit words. *)
-let mix64 z =
+let[@inline] mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
@@ -14,8 +14,10 @@ let create seed = { state = mix64 (Int64.add seed golden_gamma) }
 let of_int seed = create (Int64.of_int seed)
 
 let copy t = { state = t.state }
+let state t = t.state
+let of_state s = { state = s }
 
-let next_int64 t =
+let[@inline] next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
 
@@ -32,7 +34,7 @@ let split_at t i =
   in
   create child_seed
 
-let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+let[@inline] bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
@@ -53,7 +55,7 @@ let int_in t lo hi =
   if hi < lo then invalid_arg "Splitmix.int_in: empty range";
   lo + int t (hi - lo + 1)
 
-let float t =
+let[@inline] float t =
   (* 53 random bits scaled into [0,1). *)
   let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
   float_of_int v *. 0x1p-53

@@ -29,6 +29,15 @@ val copy : t -> t
 (** [copy t] is a generator that will produce the same future stream as
     [t]; advancing one does not affect the other. *)
 
+val state : t -> int64
+(** [state t] is the raw 64-bit generator state.  Together with
+    {!of_state} it lets {!Flat} mirror a generator in flat storage:
+    [of_state (state t)] produces the exact future stream of [t]. *)
+
+val of_state : int64 -> t
+(** [of_state s] is the generator whose raw state is [s] — the inverse of
+    {!state}.  Unlike {!create}, the argument is {e not} diffused. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     independent of the rest of [t]'s stream. *)

@@ -1,0 +1,412 @@
+(* Direct-style integer state machines for the renaming algorithms.
+
+   Each encoding here is a transcription of the corresponding
+   closure-over-[Env.t] implementation into an explicit machine: the
+   per-process control state lives in a caller-provided flat int array,
+   randomness comes from a [Prng.Flat] stream bank, and the machine
+   communicates with its driver ([Sim.Fast_core]) one shared-memory
+   operation at a time through plain ints.  The contract that makes the
+   cross-substrate equivalence property hold is strict: every machine
+   draws from its stream in {e exactly} the order the closure
+   implementation calls [env.random_int], and performs TAS operations on
+   exactly the same locations — so for equal seeds the two substrates
+   produce identical names, step counts and space usage, which the QCheck
+   suite pins.
+
+   Action encoding (see the .mli): [a >= 0] requests TAS on location [a];
+   [a = -1] is "finished, no name"; [a <= -2] is "finished with name
+   [-2 - a]". *)
+
+type t = {
+  label : string;
+  slots : int;
+  init : int array -> int -> Prng.Flat.t -> int -> int;
+  resume : int array -> int -> Prng.Flat.t -> int -> int -> bool -> int;
+}
+
+let finished_none = -1
+let[@inline] finished u = -2 - u
+let[@inline] pending a = a >= 0
+let name_of_action a = if a <= -2 then Some (-2 - a) else None
+
+let label t = t.label
+let slots t = t.slots
+
+(* ------------------------------------------------------------------ *)
+(* ReBatching (§4).  State: st.(off) = batch index, or kappa+1 once the
+   machine is in the backup scan; st.(off+1) = probe index within the
+   batch.  Draw order matches [Rebatching.get_name]: one uniform draw on
+   the batch size immediately before each TAS; the backup scan draws
+   nothing. *)
+
+let rebatching ?(backup = true) ?on_backup (r : Rebatching.t) =
+  let kappa = Rebatching.kappa r in
+  let sizes = Array.init (kappa + 1) (Rebatching.batch_size r) in
+  let offsets = Array.init (kappa + 1) (Rebatching.batch_offset r) in
+  let probes = Array.init (kappa + 1) (Rebatching.probe_budget r) in
+  let base = Rebatching.base r in
+  let m = Rebatching.size r in
+  let backup_mode = kappa + 1 in
+  (* Batches are never empty ([Rebatching.make] shrinks kappa instead),
+     so entering a batch always yields a probe. *)
+  let enter_batch st off rng pid i =
+    st.(off) <- i;
+    st.(off + 1) <- 1;
+    offsets.(i) + Prng.Flat.int rng pid sizes.(i)
+  in
+  let next_batch st off rng pid i =
+    if i <= kappa then enter_batch st off rng pid i
+    else if backup then begin
+      (match on_backup with None -> () | Some f -> f ());
+      st.(off) <- backup_mode;
+      base
+    end
+    else finished_none
+  in
+  let init st off rng pid = enter_batch st off rng pid 0 in
+  let resume st off rng pid loc won =
+    if won then finished loc
+    else begin
+      let i = st.(off) in
+      if i <= kappa then begin
+        let j = st.(off + 1) + 1 in
+        if j <= probes.(i) then begin
+          st.(off + 1) <- j;
+          offsets.(i) + Prng.Flat.int rng pid sizes.(i)
+        end
+        else next_batch st off rng pid (i + 1)
+      end
+      else if loc + 1 < base + m then loc + 1
+      else finished_none
+    end
+  in
+  { label = "rebatching"; slots = 2; init; resume }
+
+(* ------------------------------------------------------------------ *)
+(* Shared geometry tables for the adaptive machines: per object index
+   1..cap, the batch sizes/offsets/budgets and the namespace interval.
+   Precomputed so the step path does no option matching or float math. *)
+
+type geometry = {
+  cap : int;
+  okappa : int array;
+  osizes : int array array;
+  ooffsets : int array array;
+  oprobes : int array array;
+  nm_lo : int array;  (* first name of R_i *)
+  nm_hi : int array;  (* one past the last name of R_i *)
+}
+
+let geometry_of (space : Object_space.t) =
+  let cap = Object_space.cap space in
+  let okappa = Array.make (cap + 1) 0 in
+  let osizes = Array.make (cap + 1) [||] in
+  let ooffsets = Array.make (cap + 1) [||] in
+  let oprobes = Array.make (cap + 1) [||] in
+  let nm_lo = Array.make (cap + 1) 0 in
+  let nm_hi = Array.make (cap + 1) 0 in
+  for i = 1 to cap do
+    let r = Object_space.obj space i in
+    let k = Rebatching.kappa r in
+    okappa.(i) <- k;
+    osizes.(i) <- Array.init (k + 1) (Rebatching.batch_size r);
+    ooffsets.(i) <- Array.init (k + 1) (Rebatching.batch_offset r);
+    oprobes.(i) <- Array.init (k + 1) (Rebatching.probe_budget r);
+    nm_lo.(i) <- Rebatching.base r;
+    nm_hi.(i) <- Rebatching.base r + Rebatching.size r
+  done;
+  { cap; okappa; osizes; ooffsets; oprobes; nm_lo; nm_hi }
+
+let[@inline] in_obj g i name = name >= g.nm_lo.(i) && name < g.nm_hi.(i)
+
+(* ------------------------------------------------------------------ *)
+(* AdaptiveReBatching (§5.1): race up powers of two with full
+   backup-free GetName calls, then binary-search the winning interval.
+   State: st.(off) = phase (0 race / 1 crunch), +1 = l, +2 = a, +3 = b,
+   +4 = held name, +5 = current object, +6 = batch, +7 = probe. *)
+
+let adaptive (space : Object_space.t) =
+  let g = geometry_of space in
+  let start_obj st off rng pid d =
+    st.(off + 5) <- d;
+    st.(off + 6) <- 0;
+    st.(off + 7) <- 1;
+    g.ooffsets.(d).(0) + Prng.Flat.int rng pid g.osizes.(d).(0)
+  in
+  let init st off rng pid =
+    st.(off) <- 0;
+    st.(off + 1) <- 0;
+    start_obj st off rng pid 1
+  in
+  let resume st off rng pid loc won =
+    let d = st.(off + 5) in
+    if won then begin
+      if st.(off) = 0 then begin
+        (* race success at level l *)
+        let l = st.(off + 1) in
+        if l = 0 then finished loc
+        else begin
+          let a = (1 lsl (l - 1)) + 1 and b = 1 lsl l in
+          if a >= b then finished loc
+          else begin
+            st.(off) <- 1;
+            st.(off + 2) <- a;
+            st.(off + 3) <- b;
+            st.(off + 4) <- loc;
+            start_obj st off rng pid ((a + b) / 2)
+          end
+        end
+      end
+      else begin
+        (* crunch hit at midpoint d: lower b, supersede the name *)
+        let a = st.(off + 2) in
+        st.(off + 3) <- d;
+        st.(off + 4) <- loc;
+        if a >= d then finished loc
+        else start_obj st off rng pid ((a + d) / 2)
+      end
+    end
+    else begin
+      (* advance inside object d: next probe, next batch, or give up *)
+      let i = st.(off + 6) in
+      let j = st.(off + 7) + 1 in
+      if j <= g.oprobes.(d).(i) then begin
+        st.(off + 7) <- j;
+        g.ooffsets.(d).(i) + Prng.Flat.int rng pid g.osizes.(d).(i)
+      end
+      else if i + 1 <= g.okappa.(d) then begin
+        st.(off + 6) <- i + 1;
+        st.(off + 7) <- 1;
+        g.ooffsets.(d).(i + 1) + Prng.Flat.int rng pid g.osizes.(d).(i + 1)
+      end
+      else if st.(off) = 0 then begin
+        (* race: R_{2^l} failed, try the next level *)
+        let l = st.(off + 1) + 1 in
+        let idx = 1 lsl l in
+        if idx > g.cap then finished_none
+        else begin
+          st.(off + 1) <- l;
+          start_obj st off rng pid idx
+        end
+      end
+      else begin
+        (* crunch miss at midpoint d: raise a *)
+        let a = d + 1 and b = st.(off + 3) in
+        st.(off + 2) <- a;
+        if a >= b then finished st.(off + 4)
+        else start_obj st off rng pid ((a + b) / 2)
+      end
+    end
+  in
+  { label = "adaptive"; slots = 8; init; resume }
+
+(* ------------------------------------------------------------------ *)
+(* FastAdaptiveReBatching (Figure 2).  The recursive Search is run on an
+   explicit per-process stack of (a, b, t) frames; object indices are
+   bounded by [Object_space.max_index], so the recursion depth is at most
+   ~log2 60 and [stack_frames] is far beyond reach.  State: st.(off) =
+   mode (0 race / 1 search), +1 = l, +2 = u, +3 = a, +4 = b, +5 = t,
+   +6 = probe j, +7 = stack pointer, +8.. = frames. *)
+
+let fa_stack_frames = 16
+let fa_header = 8
+
+let fast_adaptive (space : Object_space.t) =
+  let g = geometry_of space in
+  (if g.cap >= 1 then begin
+     let r1 = Object_space.obj space 1 in
+     if Rebatching.epsilon r1 <> 1.0 then
+       invalid_arg "Fast_algo.fast_adaptive: object space must use epsilon = 1"
+   end);
+  let draw st off rng pid a t =
+    st.(off + 6) <- 1;
+    g.ooffsets.(a).(t) + Prng.Flat.int rng pid g.osizes.(a).(t)
+  in
+  (* Mutual recursion over pure control transfers; every path ends in a
+     draw or a finish, and the depth is bounded by the explicit stack. *)
+  let rec enter_search st off rng pid a b t =
+    if t > g.okappa.(a) then search_return st off rng pid st.(off + 2)
+    else begin
+      st.(off) <- 1;
+      st.(off + 3) <- a;
+      st.(off + 4) <- b;
+      st.(off + 5) <- t;
+      draw st off rng pid a t
+    end
+  and search_return st off rng pid u =
+    st.(off + 2) <- u;
+    let sp = st.(off + 7) in
+    if sp > 0 then begin
+      let fr = off + fa_header + (3 * (sp - 1)) in
+      st.(off + 7) <- sp - 1;
+      let a = st.(fr) and b = st.(fr + 1) and t = st.(fr + 2) in
+      let d = (a + b + 1) / 2 in
+      if in_obj g d u then enter_search st off rng pid a d (t + 1)
+      else search_return st off rng pid u
+    end
+    else begin
+      let l = st.(off + 1) - 1 in
+      st.(off + 1) <- l;
+      crunch_step st off rng pid l u
+    end
+  and crunch_step st off rng pid l u =
+    if l >= 1 && in_obj g (1 lsl l) u then
+      enter_search st off rng pid (1 lsl (l - 1)) (1 lsl l) 1
+    else finished u
+  in
+  let init st off rng pid =
+    st.(off) <- 0;
+    st.(off + 1) <- 0;
+    st.(off + 2) <- -1;
+    st.(off + 7) <- 0;
+    draw st off rng pid 1 0
+  in
+  let resume st off rng pid loc won =
+    if st.(off) = 0 then begin
+      (* race: probing batch 0 of R_{2^l} *)
+      let l = st.(off + 1) in
+      let idx = 1 lsl l in
+      if won then begin
+        st.(off + 2) <- loc;
+        crunch_step st off rng pid l loc
+      end
+      else begin
+        let j = st.(off + 6) + 1 in
+        if j <= g.oprobes.(idx).(0) then begin
+          st.(off + 6) <- j;
+          g.ooffsets.(idx).(0) + Prng.Flat.int rng pid g.osizes.(idx).(0)
+        end
+        else begin
+          let l = l + 1 in
+          let idx = 1 lsl l in
+          if idx > g.cap then finished_none
+          else begin
+            st.(off + 1) <- l;
+            draw st off rng pid idx 0
+          end
+        end
+      end
+    end
+    else begin
+      (* search: probing batch t of R_a *)
+      let a = st.(off + 3) and b = st.(off + 4) and t = st.(off + 5) in
+      if won then search_return st off rng pid loc
+      else begin
+        let j = st.(off + 6) + 1 in
+        if j <= g.oprobes.(a).(t) then begin
+          st.(off + 6) <- j;
+          g.ooffsets.(a).(t) + Prng.Flat.int rng pid g.osizes.(a).(t)
+        end
+        else begin
+          let d = (a + b + 1) / 2 in
+          if d < b then begin
+            let sp = st.(off + 7) in
+            if sp >= fa_stack_frames then
+              invalid_arg "Fast_algo.fast_adaptive: search stack overflow";
+            let fr = off + fa_header + (3 * sp) in
+            st.(fr) <- a;
+            st.(fr + 1) <- b;
+            st.(fr + 2) <- t;
+            st.(off + 7) <- sp + 1;
+            enter_search st off rng pid d b 0
+          end
+          else begin
+            let u = st.(off + 2) in
+            if in_obj g d u then enter_search st off rng pid a d (t + 1)
+            else search_return st off rng pid u
+          end
+        end
+      end
+    end
+  in
+  {
+    label = "fast-adaptive";
+    slots = fa_header + (3 * fa_stack_frames);
+    init;
+    resume;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Baselines, for the comparison sweeps. *)
+
+let uniform ~m ~max_steps =
+  if m < 1 then invalid_arg "Fast_algo.uniform: m must be >= 1";
+  if max_steps < 1 then invalid_arg "Fast_algo.uniform: max_steps must be >= 1";
+  let init st off rng pid =
+    st.(off) <- 1;
+    Prng.Flat.int rng pid m
+  in
+  let resume st off rng pid loc won =
+    if won then finished loc
+    else begin
+      let s = st.(off) + 1 in
+      if s > max_steps then finished_none
+      else begin
+        st.(off) <- s;
+        Prng.Flat.int rng pid m
+      end
+    end
+  in
+  { label = "uniform"; slots = 1; init; resume }
+
+let linear_scan ~m =
+  if m < 1 then invalid_arg "Fast_algo.linear_scan: m must be >= 1";
+  let init _st _off _rng _pid = 0 in
+  let resume _st _off _rng _pid loc won =
+    if won then finished loc else if loc + 1 >= m then finished_none else loc + 1
+  in
+  { label = "linear-scan"; slots = 1; init; resume }
+
+let cyclic_scan ~m =
+  if m < 1 then invalid_arg "Fast_algo.cyclic_scan: m must be >= 1";
+  let init st off rng pid =
+    let start = Prng.Flat.int rng pid m in
+    st.(off) <- start;
+    st.(off + 1) <- 0;
+    start
+  in
+  let resume st off _rng _pid loc won =
+    if won then finished loc
+    else begin
+      let i = st.(off + 1) + 1 in
+      if i >= m then finished_none
+      else begin
+        st.(off + 1) <- i;
+        (st.(off) + i) mod m
+      end
+    end
+  in
+  { label = "cyclic-scan"; slots = 2; init; resume }
+
+let adaptive_doubling ?(probes_per_level = 4) (space : Object_space.t) =
+  if probes_per_level < 1 then
+    invalid_arg "Fast_algo.adaptive_doubling: probes_per_level must be >= 1";
+  let g = geometry_of space in
+  let draw rng pid i =
+    g.nm_lo.(i) + Prng.Flat.int rng pid (g.nm_hi.(i) - g.nm_lo.(i))
+  in
+  let init st off rng pid =
+    st.(off) <- 1;
+    st.(off + 1) <- 1;
+    draw rng pid 1
+  in
+  let resume st off rng pid loc won =
+    if won then finished loc
+    else begin
+      let j = st.(off + 1) + 1 in
+      if j <= probes_per_level then begin
+        st.(off + 1) <- j;
+        draw rng pid st.(off)
+      end
+      else begin
+        let i = st.(off) + 1 in
+        if i > g.cap then finished_none
+        else begin
+          st.(off) <- i;
+          st.(off + 1) <- 1;
+          draw rng pid i
+        end
+      end
+    end
+  in
+  { label = "doubling"; slots = 2; init; resume }

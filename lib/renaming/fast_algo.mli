@@ -1,0 +1,72 @@
+(** Allocation-free state-machine encodings of the renaming algorithms.
+
+    The closure-over-{!Env.t} implementations in this library are the
+    reference semantics, but running them under the effects scheduler
+    costs a heap-allocated continuation per shared-memory operation.  A
+    {!t} is the same algorithm re-expressed as an explicit integer
+    machine: control state lives in a caller-provided flat [int array]
+    ([slots] ints per process), coins come from a {!Prng.Flat} stream
+    bank (stream = pid), and each transition returns the next action as
+    a plain int.  [Sim.Fast_core] drives these machines with zero heap
+    allocation per simulated step.
+
+    {b Equivalence contract}: every encoding draws from its stream in
+    exactly the order the closure implementation calls
+    [env.random_int] and probes exactly the same locations.  Given the
+    per-pid streams [Splitmix.split_at root pid] on both sides, the fast
+    and effects substrates therefore produce identical names, step
+    counts and namespace maxima — the property pinned by the QCheck
+    cross-substrate suite in [test/test_fast_core.ml].
+
+    {b Action encoding}: [a >= 0] — perform TAS on location [a] and call
+    [resume] with the outcome; [a = -1] — the process finished without a
+    name; [a <= -2] — finished with name [-2 - a] (see
+    {!name_of_action}). *)
+
+type t = {
+  label : string;
+  slots : int;  (** ints of per-process state the driver must provide *)
+  init : int array -> int -> Prng.Flat.t -> int -> int;
+      (** [init st off rng pid]: first action; state in
+          [st.(off .. off+slots-1)] *)
+  resume : int array -> int -> Prng.Flat.t -> int -> int -> bool -> int;
+      (** [resume st off rng pid loc won]: next action after the TAS on
+          [loc] returned [won] *)
+}
+
+val label : t -> string
+val slots : t -> int
+
+val pending : int -> bool
+(** [pending a] — the action requests a TAS (is [>= 0]). *)
+
+val name_of_action : int -> int option
+(** The name carried by a finish action, if any. *)
+
+(** {1 Paper algorithms} *)
+
+val rebatching : ?backup:bool -> ?on_backup:(unit -> unit) -> Rebatching.t -> t
+(** Machine for {!Rebatching.get_name} on the given instance.  [backup]
+    as in the closure version (default [true]); [on_backup] fires once
+    each time a process enters the backup scan — the fast substrate's
+    replacement for the [Events.Backup_entered] instrumentation. *)
+
+val adaptive : Object_space.t -> t
+(** Machine for {!Adaptive_rebatching.get_name} (race + binary-search
+    crunch, §5.1). *)
+
+val fast_adaptive : Object_space.t -> t
+(** Machine for {!Fast_adaptive_rebatching.get_name} (Figure 2); the
+    recursive Search runs on an explicit bounded stack inside the state
+    array.  @raise Invalid_argument unless the space uses [epsilon = 1]. *)
+
+(** {1 Baselines} *)
+
+val uniform : m:int -> max_steps:int -> t
+(** [Baselines.Uniform_probe.get_name]. *)
+
+val linear_scan : m:int -> t
+val cyclic_scan : m:int -> t
+
+val adaptive_doubling : ?probes_per_level:int -> Object_space.t -> t
+(** [Baselines.Adaptive_doubling.get_name]. *)

@@ -224,6 +224,41 @@ let with_crashes ~fraction inner =
   in
   { name = Printf.sprintf "%s+crash%.2f" inner.name fraction; make }
 
+let with_planned_crashes ~crashes inner =
+  (* Deterministic before-op fail-stops at 1-based per-process operation
+     indices — the [Chaos.Fault_plan] convention.  The inner strategy's
+     pick is consulted first and only then overridden, so its rng stream
+     advances exactly as it would without crashes; that is what lets the
+     fast core replay the same schedule from the same seed. *)
+  List.iter
+    (fun (_, op) ->
+      if op < 1 then
+        invalid_arg "Adversary.with_planned_crashes: op must be >= 1")
+    crashes;
+  let make ctx =
+    let cb = inner.make ctx in
+    let armed = Hashtbl.create 16 in
+    List.iter (fun (pid, op) -> Hashtbl.replace armed pid op) crashes;
+    let executed = Hashtbl.create 16 in
+    let pick () =
+      match cb.pick () with
+      | Crash pid -> Crash pid
+      | Step pid -> (
+        let so_far =
+          match Hashtbl.find_opt executed pid with Some c -> c | None -> 0
+        in
+        match Hashtbl.find_opt armed pid with
+        | Some op when so_far + 1 = op ->
+          Hashtbl.remove armed pid;
+          Crash pid
+        | _ ->
+          Hashtbl.replace executed pid (so_far + 1);
+          Step pid)
+    in
+    { on_wait = cb.on_wait; on_tas = cb.on_tas; on_settle = cb.on_settle; pick }
+  in
+  { name = inner.name ^ "+planned-crashes"; make }
+
 let all_builtin = [ random; round_robin; layered; greedy_collision; sequential ]
 
 let by_name name = List.find_opt (fun t -> t.name = name) all_builtin

@@ -1,0 +1,251 @@
+(* The allocation-free execution path for oblivious schedules.
+
+   The effects scheduler pays one continuation capture plus a [Waiting]
+   cell per shared-memory operation; at n ~ 10^5..10^6 that allocation
+   (and the GC work behind it) dominates wall clock.  For the schedules
+   the big sweeps actually use — the uniformly random oblivious adversary
+   and the sequential solo order — no continuation is needed: a process
+   is fully described by the integer state of its [Fast_algo] machine.
+   This driver runs those machines with zero heap allocation per step:
+   coins live unboxed in a [Prng.Flat] bank, the ready set is a flat
+   Fisher-Yates swap array, and the TAS space is a reused
+   [Location_space] cleared in place between runs.
+
+   Equivalence: [run] reproduces [Runner.run ~adversary:Adversary.random]
+   and [run_sequential] reproduces [Runner.run_sequential] decision for
+   decision — same per-pid coin streams ([Splitmix.split_at root pid]),
+   same scheduler stream (index [n]), same swap-removal of settled
+   processes, so results agree bit for bit.  The QCheck suite pins this.
+
+   A handle is reusable: [create] once, then [reset ~seed] + [run] per
+   execution, with only [result] (called outside the measured loop)
+   allocating. *)
+
+type t = {
+  algo : Renaming.Fast_algo.t;
+  n : int;
+  space : Location_space.t;
+  rng : Prng.Flat.t;  (* streams 0..n-1 = processes, n = scheduler *)
+  st : int array;  (* n * slots machine state *)
+  pending : int array;  (* per pid: location of the pending TAS *)
+  ready : int array;  (* Fisher-Yates swap array of waiting pids *)
+  names : int array;  (* -1 = none *)
+  steps : int array;
+  crashed : Bytes.t;
+  active : Bytes.t;
+  order : int array;  (* sequential execution order *)
+  crash_op : int array;  (* 0 = unarmed; else 1-based op index *)
+  crash_after_win : Bytes.t;
+  mutable size : int;  (* live prefix of [ready] *)
+  mutable total_steps : int;
+  mutable crash_count : int;
+  mutable active_count : int;
+  mutable max_active : int;
+  mutable point_contention : int;
+}
+
+let create ~algo ~n () =
+  if n < 1 then invalid_arg "Fast_core.create: n must be >= 1";
+  {
+    algo;
+    n;
+    space = Location_space.create ();
+    rng = Prng.Flat.create (n + 1);
+    st = Array.make (n * Renaming.Fast_algo.slots algo) 0;
+    pending = Array.make n (-1);
+    ready = Array.make n 0;
+    names = Array.make n (-1);
+    steps = Array.make n 0;
+    crashed = Bytes.make n '\000';
+    active = Bytes.make n '\000';
+    order = Array.make n 0;
+    crash_op = Array.make n 0;
+    crash_after_win = Bytes.make n '\000';
+    size = 0;
+    total_steps = 0;
+    crash_count = 0;
+    active_count = 0;
+    max_active = 0;
+    point_contention = 0;
+  }
+
+let reset t ~seed =
+  Location_space.clear t.space;
+  Prng.Flat.reseed t.rng ~seed;
+  Array.fill t.names 0 t.n (-1);
+  Array.fill t.steps 0 t.n 0;
+  Array.fill t.pending 0 t.n (-1);
+  Array.fill t.crash_op 0 t.n 0;
+  Bytes.fill t.crashed 0 t.n '\000';
+  Bytes.fill t.active 0 t.n '\000';
+  Bytes.fill t.crash_after_win 0 t.n '\000';
+  t.size <- 0;
+  t.total_steps <- 0;
+  t.crash_count <- 0;
+  t.active_count <- 0;
+  t.max_active <- 0;
+  t.point_contention <- 0
+
+let arm_crash t ~pid ~op ~after_win =
+  if pid < 0 || pid >= t.n then invalid_arg "Fast_core.arm_crash: bad pid";
+  if op < 1 then invalid_arg "Fast_core.arm_crash: op must be >= 1";
+  t.crash_op.(pid) <- op;
+  Bytes.unsafe_set t.crash_after_win pid (if after_win then '\001' else '\000')
+
+let[@inline] activate t pid =
+  if Bytes.unsafe_get t.active pid = '\000' then begin
+    Bytes.unsafe_set t.active pid '\001';
+    t.active_count <- t.active_count + 1;
+    if t.active_count > t.max_active then t.max_active <- t.active_count
+  end
+
+let[@inline] retire t pid =
+  if Bytes.unsafe_get t.active pid = '\001' then begin
+    Bytes.unsafe_set t.active pid '\000';
+    t.active_count <- t.active_count - 1
+  end
+
+(* Start every machine; mirrors [Scheduler.create] running each body up
+   to its first pending operation. *)
+let start_all t =
+  let slots = Renaming.Fast_algo.slots t.algo in
+  let init = t.algo.Renaming.Fast_algo.init in
+  t.size <- 0;
+  for pid = 0 to t.n - 1 do
+    let a = init t.st (pid * slots) t.rng pid in
+    if a >= 0 then begin
+      t.pending.(pid) <- a;
+      t.ready.(t.size) <- pid;
+      t.size <- t.size + 1
+    end
+    else begin
+      match Renaming.Fast_algo.name_of_action a with
+      | Some u -> t.names.(pid) <- u
+      | None -> ()
+    end
+  done
+
+let run ?(max_total_steps = 10_000_000) t =
+  start_all t;
+  let slots = Renaming.Fast_algo.slots t.algo in
+  let resume = t.algo.Renaming.Fast_algo.resume in
+  let budget = ref max_total_steps in
+  while t.size > 0 do
+    if !budget <= 0 then raise Scheduler.Step_limit_exceeded;
+    decr budget;
+    (* Same decision as [Adversary.random]: uniform index into the
+       waiting set, drawn from the scheduler's own stream. *)
+    let idx = Prng.Flat.int t.rng t.n t.size in
+    let pid = Array.unsafe_get t.ready idx in
+    let armed = Array.unsafe_get t.crash_op pid in
+    if
+      armed > 0
+      && armed = t.steps.(pid) + 1
+      && Bytes.unsafe_get t.crash_after_win pid = '\000'
+    then begin
+      (* planned before-op crash: the pending operation never executes *)
+      Bytes.unsafe_set t.crashed pid '\001';
+      t.crash_count <- t.crash_count + 1;
+      retire t pid;
+      t.size <- t.size - 1;
+      t.ready.(idx) <- t.ready.(t.size)
+    end
+    else begin
+      let loc = Array.unsafe_get t.pending pid in
+      t.steps.(pid) <- t.steps.(pid) + 1;
+      t.total_steps <- t.total_steps + 1;
+      activate t pid;
+      let won = Location_space.tas t.space loc in
+      if
+        won && armed > 0
+        && Bytes.unsafe_get t.crash_after_win pid = '\001'
+        && t.steps.(pid) >= armed
+      then begin
+        (* after-win crash: the slot is taken in shared memory but the
+           process dies before recording the name — the leak the chaos
+           layer models *)
+        Bytes.unsafe_set t.crashed pid '\001';
+        t.crash_count <- t.crash_count + 1;
+        retire t pid;
+        t.size <- t.size - 1;
+        t.ready.(idx) <- t.ready.(t.size)
+      end
+      else begin
+        let a = resume t.st (pid * slots) t.rng pid loc won in
+        if a >= 0 then t.pending.(pid) <- a
+        else begin
+          if a <= -2 then t.names.(pid) <- -2 - a;
+          retire t pid;
+          t.size <- t.size - 1;
+          t.ready.(idx) <- t.ready.(t.size)
+        end
+      end
+    end
+  done;
+  t.point_contention <- t.max_active
+
+let run_sequential ?(shuffled = true) t =
+  let slots = Renaming.Fast_algo.slots t.algo in
+  let init = t.algo.Renaming.Fast_algo.init in
+  let resume = t.algo.Renaming.Fast_algo.resume in
+  (* Same order as [Runner.run_sequential]: a Fisher-Yates permutation
+     from the scheduler stream, or pid order. *)
+  for i = 0 to t.n - 1 do
+    t.order.(i) <- i
+  done;
+  if shuffled then
+    for i = t.n - 1 downto 1 do
+      let j = Prng.Flat.int t.rng t.n (i + 1) in
+      let tmp = t.order.(i) in
+      t.order.(i) <- t.order.(j);
+      t.order.(j) <- tmp
+    done;
+  for k = 0 to t.n - 1 do
+    let pid = t.order.(k) in
+    let off = pid * slots in
+    let a = ref (init t.st off t.rng pid) in
+    while !a >= 0 do
+      t.steps.(pid) <- t.steps.(pid) + 1;
+      t.total_steps <- t.total_steps + 1;
+      let won = Location_space.tas t.space !a in
+      a := resume t.st off t.rng pid !a won
+    done;
+    if !a <= -2 then t.names.(pid) <- -2 - !a
+  done;
+  t.point_contention <- 1
+
+(* Result extraction (allocates; call outside measured loops). *)
+let result t =
+  let names =
+    Array.init t.n (fun pid ->
+        let u = t.names.(pid) in
+        if u < 0 then None else Some u)
+  in
+  let steps = Array.copy t.steps in
+  let crashed = Array.init t.n (fun pid -> Bytes.get t.crashed pid = '\001') in
+  {
+    Runner.names;
+    steps;
+    crashed;
+    total_steps = t.total_steps;
+    max_steps = Runner.surviving_max steps crashed;
+    space_used = Location_space.high_water_mark t.space;
+    crash_count = t.crash_count;
+    point_contention = t.point_contention;
+  }
+
+let space t = t.space
+let total_steps t = t.total_steps
+
+(* One-shot conveniences mirroring the [Runner] entry points. *)
+let run_once ?max_total_steps ~seed ~n ~algo () =
+  let t = create ~algo ~n () in
+  reset t ~seed;
+  run ?max_total_steps t;
+  result t
+
+let run_sequential_once ?shuffled ~seed ~n ~algo () =
+  let t = create ~algo ~n () in
+  reset t ~seed;
+  run_sequential ?shuffled t;
+  result t

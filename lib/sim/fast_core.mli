@@ -1,0 +1,77 @@
+(** Zero-allocation execution of {!Renaming.Fast_algo} machines.
+
+    The direct-style fast path for oblivious schedules: where the effects
+    scheduler allocates a continuation and a waiting cell per
+    shared-memory operation, this driver executes explicit integer state
+    machines with no heap allocation per step — unboxed SplitMix64
+    streams ({!Prng.Flat}), a flat Fisher-Yates ready array, and an
+    in-place-cleared {!Location_space}.
+
+    {b Equivalence}: with the same [seed], [n] and algorithm, {!run}
+    produces a result identical field-for-field to
+    [Runner.run ~adversary:Adversary.random], and {!run_sequential} to
+    [Runner.run_sequential] — the per-pid coin streams, the scheduler's
+    picks and the settle bookkeeping replay the effects path decision for
+    decision.  Adversaries other than the uniform oblivious one are not
+    expressible here; use the effects substrate for those runs.
+
+    Handles are reusable so benchmarks can measure steady state:
+    [create] preallocates everything for [(algo, n)]; each execution is
+    [reset ~seed] followed by {!run} or {!run_sequential}, neither of
+    which allocates; {!result} (which does allocate) extracts the
+    outcome. *)
+
+type t
+
+val create : algo:Renaming.Fast_algo.t -> n:int -> unit -> t
+(** Preallocate a handle for [n] processes running [algo].
+    @raise Invalid_argument if [n < 1]. *)
+
+val reset : t -> seed:int -> unit
+(** Re-seed and clear the handle for a fresh execution; allocation-free
+    once the location space is warm.  Also disarms planned crashes. *)
+
+val arm_crash : t -> pid:int -> op:int -> after_win:bool -> unit
+(** Arm a planned fail-stop for [pid] at its [op]-th operation (1-based,
+    counted over its own steps), for crash-edge testing against
+    {!Chaos.Fault_plan} schedules.  With [after_win = false] the process
+    crashes instead of executing its [op]-th operation — expressible on
+    the effects substrate as {!Adversary.with_planned_crashes}, so
+    results stay comparable.  With [after_win = true] it executes
+    operations normally and dies immediately after its first TAS win at
+    or beyond [op]: the slot stays taken but no surviving process holds
+    the name (the §2 leak).  Call after {!reset}. *)
+
+val run : ?max_total_steps:int -> t -> unit
+(** Execute under the uniformly random oblivious schedule.
+    @raise Scheduler.Step_limit_exceeded past [max_total_steps]
+    (default 10M), like the effects path. *)
+
+val run_sequential : ?shuffled:bool -> t -> unit
+(** Execute processes to completion one at a time, in a seeded random
+    order ([shuffled], default [true]) or pid order. *)
+
+val result : t -> Runner.result
+(** Extract the outcome of the last execution (allocates fresh arrays —
+    keep outside measured loops). *)
+
+val space : t -> Location_space.t
+val total_steps : t -> int
+
+(** {1 One-shot conveniences} *)
+
+val run_once :
+  ?max_total_steps:int ->
+  seed:int ->
+  n:int ->
+  algo:Renaming.Fast_algo.t ->
+  unit ->
+  Runner.result
+
+val run_sequential_once :
+  ?shuffled:bool ->
+  seed:int ->
+  n:int ->
+  algo:Renaming.Fast_algo.t ->
+  unit ->
+  Runner.result

@@ -33,6 +33,10 @@ val is_taken : t -> int -> bool
 val reset : t -> unit
 (** Frees every location and zeroes the counters. *)
 
+val clear : t -> unit
+(** Like {!reset}, but keeps the backing storage so a reused space stops
+    allocating once warm — the benchmark-friendly variant. *)
+
 val probe_count : t -> int
 (** Total number of [tas] calls so far — the total step complexity of
     everything run against this space. *)

@@ -56,6 +56,11 @@ val run_sequential :
     anchors, and experiment T7 quantifies the gap to adversarial
     schedules. *)
 
+val surviving_max : int array -> bool array -> int
+(** [surviving_max steps crashed] is the largest step count among
+    non-crashed processes — the reduction both this module and
+    {!Fast_core} use to fill [result.max_steps]. *)
+
 val check_unique_names : result -> bool
 (** [check_unique_names r] verifies the fundamental safety property: all
     names of non-crashed processes are pairwise distinct and every

@@ -29,6 +29,11 @@ type t = {
   mutable total_steps : int;
   mutable crashes : int;
   cb : Adversary.callbacks;
+  (* Payload of the effect currently being suspended, stashed here so the
+     per-process handler closures below can be built once in [start]
+     instead of once per shared-memory operation. *)
+  pend_loc : int array;
+  pend_val : int array;
 }
 
 let retire t pid =
@@ -39,6 +44,39 @@ let retire t pid =
 
 let start t pid body =
   t.cells.(pid) <- Running;
+  (* One handler closure (and its [Some] wrapper) per operation kind per
+     process, built here once: the effect's payload travels through
+     [pend_loc]/[pend_val] rather than being captured, so suspending an
+     operation no longer constructs a fresh closure — only the [Waiting]
+     cell that must carry the continuation remains per-step. *)
+  let h_tas (k : (bool, unit) Effect.Deep.continuation) =
+    let loc = t.pend_loc.(pid) in
+    t.cells.(pid) <- Waiting { loc; op = Ptas k };
+    t.waiting <- t.waiting + 1;
+    t.cb.on_wait ~pid ~loc ~op:Adversary.Tas_op
+  in
+  let h_reset (k : (unit, unit) Effect.Deep.continuation) =
+    let loc = t.pend_loc.(pid) in
+    t.cells.(pid) <- Waiting { loc; op = Preset k };
+    t.waiting <- t.waiting + 1;
+    t.cb.on_wait ~pid ~loc ~op:Adversary.Reset_op
+  in
+  let h_read (k : (int, unit) Effect.Deep.continuation) =
+    let reg = t.pend_loc.(pid) in
+    t.cells.(pid) <- Waiting { loc = reg; op = Pread k };
+    t.waiting <- t.waiting + 1;
+    t.cb.on_wait ~pid ~loc:reg ~op:Adversary.Read_op
+  in
+  let h_write (k : (unit, unit) Effect.Deep.continuation) =
+    let reg = t.pend_loc.(pid) in
+    t.cells.(pid) <- Waiting { loc = reg; op = Pwrite (t.pend_val.(pid), k) };
+    t.waiting <- t.waiting + 1;
+    t.cb.on_wait ~pid ~loc:reg ~op:Adversary.Write_op
+  in
+  let some_h_tas = Some h_tas in
+  let some_h_reset = Some h_reset in
+  let some_h_read = Some h_read in
+  let some_h_write = Some h_write in
   Effect.Deep.match_with body ()
     {
       retc =
@@ -48,32 +86,22 @@ let start t pid body =
           t.cb.on_settle ~pid);
       exnc = (function Crash_signal -> () | e -> raise e);
       effc =
-        (fun (type a) (eff : a Effect.t) ->
+        (fun (type a) (eff : a Effect.t) :
+             ((a, unit) Effect.Deep.continuation -> unit) option ->
           match eff with
           | Proc.Tas loc ->
-            Some
-              (fun (k : (a, unit) Effect.Deep.continuation) ->
-                t.cells.(pid) <- Waiting { loc; op = Ptas k };
-                t.waiting <- t.waiting + 1;
-                t.cb.on_wait ~pid ~loc ~op:Adversary.Tas_op)
+            t.pend_loc.(pid) <- loc;
+            some_h_tas
           | Proc.Reset loc ->
-            Some
-              (fun (k : (a, unit) Effect.Deep.continuation) ->
-                t.cells.(pid) <- Waiting { loc; op = Preset k };
-                t.waiting <- t.waiting + 1;
-                t.cb.on_wait ~pid ~loc ~op:Adversary.Reset_op)
+            t.pend_loc.(pid) <- loc;
+            some_h_reset
           | Proc.Read reg ->
-            Some
-              (fun (k : (a, unit) Effect.Deep.continuation) ->
-                t.cells.(pid) <- Waiting { loc = reg; op = Pread k };
-                t.waiting <- t.waiting + 1;
-                t.cb.on_wait ~pid ~loc:reg ~op:Adversary.Read_op)
+            t.pend_loc.(pid) <- reg;
+            some_h_read
           | Proc.Write (reg, value) ->
-            Some
-              (fun (k : (a, unit) Effect.Deep.continuation) ->
-                t.cells.(pid) <- Waiting { loc = reg; op = Pwrite (value, k) };
-                t.waiting <- t.waiting + 1;
-                t.cb.on_wait ~pid ~loc:reg ~op:Adversary.Write_op)
+            t.pend_loc.(pid) <- reg;
+            t.pend_val.(pid) <- value;
+            some_h_write
           | _ -> None);
     }
 
@@ -102,6 +130,8 @@ let create ?registers ~space ~adversary ~rng ~n ~body () =
       total_steps = 0;
       crashes = 0;
       cb;
+      pend_loc = Array.make n 0;
+      pend_val = Array.make n 0;
     }
   in
   for pid = 0 to n - 1 do

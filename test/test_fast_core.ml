@@ -1,0 +1,244 @@
+(* Cross-substrate equivalence: the zero-allocation fast core, the
+   effects scheduler and the real-atomics sequential driver must produce
+   identical results field for field whenever they execute the same
+   schedule with the same seed.  This is the contract that lets the
+   headline experiments run on the fast substrate while the adversarial
+   and multicore work stays on the reference paths. *)
+
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Result comparison *)
+
+let results_equal (a : Sim.Runner.result) (b : Sim.Runner.result) =
+  a.Sim.Runner.names = b.Sim.Runner.names
+  && a.Sim.Runner.steps = b.Sim.Runner.steps
+  && a.Sim.Runner.crashed = b.Sim.Runner.crashed
+  && a.Sim.Runner.total_steps = b.Sim.Runner.total_steps
+  && a.Sim.Runner.max_steps = b.Sim.Runner.max_steps
+  && a.Sim.Runner.space_used = b.Sim.Runner.space_used
+  && a.Sim.Runner.crash_count = b.Sim.Runner.crash_count
+  && a.Sim.Runner.point_contention = b.Sim.Runner.point_contention
+
+let diff_report label (a : Sim.Runner.result) (b : Sim.Runner.result) =
+  let fields =
+    [
+      ("names", a.Sim.Runner.names = b.Sim.Runner.names);
+      ("steps", a.Sim.Runner.steps = b.Sim.Runner.steps);
+      ("crashed", a.Sim.Runner.crashed = b.Sim.Runner.crashed);
+      ("total_steps", a.Sim.Runner.total_steps = b.Sim.Runner.total_steps);
+      ("max_steps", a.Sim.Runner.max_steps = b.Sim.Runner.max_steps);
+      ("space_used", a.Sim.Runner.space_used = b.Sim.Runner.space_used);
+      ("crash_count", a.Sim.Runner.crash_count = b.Sim.Runner.crash_count);
+      ( "point_contention",
+        a.Sim.Runner.point_contention = b.Sim.Runner.point_contention );
+    ]
+  in
+  let bad = List.filter (fun (_, ok) -> not ok) fields in
+  Printf.sprintf "%s: fields differ: %s" label
+    (String.concat ", " (List.map fst bad))
+
+(* ------------------------------------------------------------------ *)
+(* Spec generation: (algorithm, parameters) drawn by QCheck *)
+
+let spec_of_choice ~n ~t0 ~epsilon = function
+  | 0 -> Harness.Substrate.rebatching (Renaming.Rebatching.make ~epsilon ~t0 ~n ())
+  | 1 -> Harness.Substrate.adaptive (Renaming.Object_space.create ~t0 ())
+  | 2 -> Harness.Substrate.fast_adaptive (Renaming.Object_space.create ~t0 ())
+  | 3 -> Harness.Substrate.uniform ~m:(2 * n) ~max_steps:(1000 * n)
+  | 4 -> Harness.Substrate.linear_scan ~m:(2 * n)
+  | 5 -> Harness.Substrate.cyclic_scan ~m:(2 * n)
+  | _ -> Harness.Substrate.adaptive_doubling (Renaming.Object_space.create ~t0 ())
+
+let case_gen =
+  QCheck.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let* n = int_range 1 192 in
+    let* choice = int_range 0 6 in
+    let* t0 = int_range 2 4 in
+    let* eps_i = int_range 1 4 in
+    let* shuffled = bool in
+    return (seed, n, choice, t0, 0.25 *. float_of_int eps_i, shuffled))
+
+let case_print (seed, n, choice, t0, epsilon, shuffled) =
+  Printf.sprintf "seed=%d n=%d algo=%d t0=%d epsilon=%g shuffled=%b" seed n
+    choice t0 epsilon shuffled
+
+let case_arb = QCheck.make ~print:case_print case_gen
+
+(* The sequential schedule is expressible on all three substrates. *)
+let qcheck_sequential_equivalence =
+  QCheck.Test.make ~name:"sequential: fast = effects = atomic" ~count:220
+    case_arb (fun (seed, n, choice, t0, epsilon, shuffled) ->
+      let run substrate =
+        let spec = spec_of_choice ~n ~t0 ~epsilon choice in
+        Harness.Substrate.run_sequential ~shuffled substrate spec ~seed ~n ()
+      in
+      let fast = run Harness.Substrate.Fast in
+      let effects = run Harness.Substrate.Effects in
+      let atomic = run Harness.Substrate.Atomic in
+      if not (results_equal fast effects) then
+        QCheck.Test.fail_report (diff_report "fast vs effects" fast effects);
+      if not (results_equal fast atomic) then
+        QCheck.Test.fail_report (diff_report "fast vs atomic" fast atomic);
+      true)
+
+(* The uniformly random concurrent schedule: fast vs effects (the atomic
+   driver is sequential-only). *)
+let qcheck_concurrent_equivalence =
+  QCheck.Test.make ~name:"uniform concurrent: fast = effects" ~count:60
+    case_arb (fun (seed, n, choice, t0, epsilon, _shuffled) ->
+      let run substrate =
+        let spec = spec_of_choice ~n ~t0 ~epsilon choice in
+        Harness.Substrate.run substrate spec ~seed ~n ()
+      in
+      let fast = run Harness.Substrate.Fast in
+      let effects = run Harness.Substrate.Effects in
+      if not (results_equal fast effects) then
+        QCheck.Test.fail_report (diff_report "fast vs effects" fast effects);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Crash edges: Chaos.Fault_plan schedules replayed on both substrates *)
+
+let algo_name = function
+  | 0 -> "rebatching"
+  | 1 -> "adaptive"
+  | _ -> "fast"
+
+(* Before-op crashes are expressible on both substrates
+   (Adversary.with_planned_crashes on effects, arm_crash on fast), so a
+   Fault_plan's armed schedule must produce identical results and the
+   same safety verdict on both. *)
+let qcheck_crash_equivalence =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_range 1 100_000 in
+      let* n = int_range 4 96 in
+      let* choice = int_range 0 2 in
+      let* frac_i = int_range 1 3 in
+      return (seed, n, choice, 0.25 *. float_of_int frac_i))
+  in
+  let print (seed, n, choice, frac) =
+    Printf.sprintf "seed=%d n=%d algo=%s crash_frac=%g" seed n
+      (algo_name choice) frac
+  in
+  QCheck.Test.make ~name:"planned before-op crashes: fast = effects" ~count:60
+    (QCheck.make ~print gen) (fun (seed, n, choice, crash_frac) ->
+      let plan =
+        Chaos.Fault_plan.make ~seed ~procs:n ~domains:1
+          ~algo:(algo_name choice) ~capacity:(8 * n) ~crash_frac ()
+      in
+      let crashes =
+        List.filter_map
+          (fun (c : Chaos.Fault_plan.crash) ->
+            match c.Chaos.Fault_plan.point with
+            | Chaos.Fault_plan.Before_op ->
+              Some (c.Chaos.Fault_plan.pid, c.Chaos.Fault_plan.op)
+            | Chaos.Fault_plan.After_win -> None)
+          plan.Chaos.Fault_plan.crashes
+      in
+      let spec =
+        spec_of_choice ~n ~t0:3 ~epsilon:1.0
+          (match choice with 0 -> 0 | 1 -> 1 | _ -> 2)
+      in
+      let effects =
+        Sim.Runner.run
+          ~adversary:
+            (Sim.Adversary.with_planned_crashes ~crashes Sim.Adversary.random)
+          ~seed ~n
+          ~algo:(Harness.Substrate.closure spec)
+          ()
+      in
+      let core =
+        Sim.Fast_core.create ~algo:(Harness.Substrate.fast_algo spec) ~n ()
+      in
+      Sim.Fast_core.reset core ~seed;
+      List.iter
+        (fun (pid, op) ->
+          Sim.Fast_core.arm_crash core ~pid ~op ~after_win:false)
+        crashes;
+      Sim.Fast_core.run core;
+      let fast = Sim.Fast_core.result core in
+      if not (results_equal fast effects) then
+        QCheck.Test.fail_report (diff_report "fast vs effects" fast effects);
+      if
+        Sim.Runner.check_unique_names fast
+        <> Sim.Runner.check_unique_names effects
+      then QCheck.Test.fail_report "uniqueness verdicts differ";
+      true)
+
+(* After-win crashes (the §2 leak) exist only on the fast substrate; pin
+   their accounting: the crashed process holds no name, survivors stay
+   unique, and every fired crash is counted. *)
+let test_after_win_leak () =
+  let n = 64 in
+  let spec =
+    Harness.Substrate.rebatching (Renaming.Rebatching.make ~t0:3 ~n ())
+  in
+  let core =
+    Sim.Fast_core.create ~algo:(Harness.Substrate.fast_algo spec) ~n ()
+  in
+  List.iter
+    (fun seed ->
+      Sim.Fast_core.reset core ~seed;
+      (* arm a spread of early after-win crashes *)
+      let armed = [ (1, 1); (7, 2); (13, 1); (30, 3); (55, 2) ] in
+      List.iter
+        (fun (pid, op) -> Sim.Fast_core.arm_crash core ~pid ~op ~after_win:true)
+        armed;
+      Sim.Fast_core.run core;
+      let r = Sim.Fast_core.result core in
+      Array.iteri
+        (fun pid crashed ->
+          if crashed then
+            checkb
+              (Printf.sprintf "seed %d: crashed pid %d has no name" seed pid)
+              true
+              (r.Sim.Runner.names.(pid) = None))
+        r.Sim.Runner.crashed;
+      checkb
+        (Printf.sprintf "seed %d: survivors unique" seed)
+        true
+        (Sim.Runner.check_unique_names r);
+      let fired = r.Sim.Runner.crash_count in
+      checkb
+        (Printf.sprintf "seed %d: fired crashes within armed" seed)
+        true
+        (fired >= 1 && fired <= List.length armed))
+    [ 1; 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Prng.Flat is bit-compatible with the Splitmix split_at convention *)
+
+let test_flat_stream_identity () =
+  let streams = 5 and draws = 64 in
+  let bank = Prng.Flat.create streams in
+  List.iter
+    (fun seed ->
+      Prng.Flat.reseed bank ~seed;
+      let root = Prng.Splitmix.of_int seed in
+      for i = 0 to streams - 1 do
+        let g = Prng.Splitmix.split_at root i in
+        for d = 1 to draws do
+          let a = Prng.Flat.bits bank i and b = Prng.Splitmix.bits g in
+          if a <> b then
+            Alcotest.failf "seed %d stream %d draw %d: flat %d <> splitmix %d"
+              seed i d a b
+        done
+      done)
+    [ 0; 1; 42; 123456; max_int ]
+
+let suite =
+  [
+    ( "fast_core.equivalence",
+      [
+        QCheck_alcotest.to_alcotest qcheck_sequential_equivalence;
+        QCheck_alcotest.to_alcotest qcheck_concurrent_equivalence;
+        QCheck_alcotest.to_alcotest qcheck_crash_equivalence;
+        Alcotest.test_case "after-win leak accounting" `Quick
+          test_after_win_leak;
+        Alcotest.test_case "flat stream identity" `Quick
+          test_flat_stream_identity;
+      ] );
+  ]

@@ -155,6 +155,7 @@ let test_experiments_smoke () =
       Harness.Experiment.seed = 1;
       trials = 2;
       scale = 0.05;
+      substrate = Harness.Substrate.Fast;
       emit_table = (fun ~title:_ _ -> incr tables);
       log = (fun _ -> ());
     }
