@@ -641,6 +641,58 @@ let doctor dir =
             problem "%s: recorded invariant violation(s): %s" file
               (String.concat ", " s.Chaos.Chaos_runner.violations))
       (chaos_files "chaos_verdict_");
+    (* Service artifacts: a socket file with no daemon behind it is a
+       crash leftover (a graceful drain unlinks it), and every recorded
+       load artifact must parse and carry a clean audit. *)
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".sock")
+    |> List.sort compare
+    |> List.iter (fun file ->
+           let path = Filename.concat dir file in
+           let probe = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+           (match Unix.connect probe (ADDR_UNIX path) with
+           | () -> note "%s: a live renamed daemon is serving" file
+           | exception Unix.Unix_error (ECONNREFUSED, _, _) ->
+             problem
+               "%s: stale socket file — the daemon behind it crashed \
+                (a graceful drain unlinks its socket); remove it or let \
+                renamed reclaim it"
+               file
+           | exception Unix.Unix_error (e, _, _) ->
+             problem "%s: socket probe failed: %s" file (Unix.error_message e));
+           try Unix.close probe with Unix.Unix_error _ -> ());
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.starts_with ~prefix:"BENCH_SERVICE_" f
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+    |> List.iter (fun file ->
+           let path = Filename.concat dir file in
+           match Service.Service_bench.load path with
+           | exception Jsonu.Malformed ->
+             problem "%s: not a bench-service JSON document (schema drift?)"
+               file
+           | exception Sys_error e -> problem "%s: unreadable: %s" file e
+           | a ->
+             Printf.printf
+               "%s: %.0f/s x %.1fs on %d shard(s): %.0f op/s, p99 %.1fus\n"
+               file a.Service.Service_bench.rate
+               a.Service.Service_bench.duration_s
+               a.Service.Service_bench.shards
+               a.Service.Service_bench.throughput
+               (float_of_int a.Service.Service_bench.lat_p99 /. 1e3);
+             if
+               a.Service.Service_bench.violations <> 0
+               || a.Service.Service_bench.leaked > 0
+               || a.Service.Service_bench.errors <> 0
+               || a.Service.Service_bench.timeouts <> 0
+             then
+               problem
+                 "%s: recorded audit failures (%d violation(s), %d leaked, \
+                  %d error(s), %d timeout(s))"
+                 file a.Service.Service_bench.violations
+                 a.Service.Service_bench.leaked a.Service.Service_bench.errors
+                 a.Service.Service_bench.timeouts);
     Printf.printf "doctor: %d problem(s), %d note(s)\n" !problems !notes;
     if !problems = 0 then 0 else 1
   end
@@ -1428,6 +1480,195 @@ let bench_cmd =
     Term.(
       const bench $ json_t $ seed_t $ scale_t $ out_t $ check_t $ threshold_t)
 
+(* ------------------------------------------------------------------ *)
+(* load: open-loop Poisson load against a running renamed daemon *)
+
+let load_daemon json socket mode conns clients rate duration hold_const
+    hold_mean seed out check threshold =
+  let hold =
+    match hold_const with
+    | Some s -> Service.Load_gen.Const s
+    | None -> Service.Load_gen.Exponential hold_mean
+  in
+  let cfg =
+    {
+      (Service.Load_gen.default_config ~path:socket) with
+      mode;
+      conns;
+      clients;
+      rate;
+      duration_s = duration;
+      hold;
+      seed;
+      log = (fun s -> Printf.eprintf "[load] %s\n%!" s);
+    }
+  in
+  (* The artifact records the server's geometry; ask it. *)
+  let geometry =
+    match Service.Client.connect ~path:socket () with
+    | Error e -> Error e
+    | Ok c ->
+      let g =
+        match Service.Client.stats c with
+        | Error e -> Error e
+        | Ok j -> (
+          match
+            (Jsonu.int_ (Jsonu.obj j) "shards", Jsonu.int_ (Jsonu.obj j) "capacity")
+          with
+          | g -> Ok g
+          | exception Jsonu.Malformed -> Error "stats reply missing geometry")
+      in
+      Service.Client.close c;
+      g
+  in
+  match geometry with
+  | Error e ->
+    Printf.eprintf "[load] %s\n%!" e;
+    2
+  | Ok (shards, capacity) -> (
+    match Service.Load_gen.run cfg with
+    | Error e ->
+      Printf.eprintf "[load] %s\n%!" e;
+      2
+    | Ok r ->
+      let art = Service.Service_bench.of_run ~shards ~capacity ~cfg r in
+      if json then
+        print_endline (Jsonu.to_string (Service.Service_bench.to_json art))
+      else print_endline (Service.Service_bench.render art);
+      let path = Service.Service_bench.save ~dir:out art in
+      Printf.eprintf "[load] wrote %s\n%!" path;
+      let audit_exit = if Service.Load_gen.ok r then 0 else 1 in
+      (match check with
+      | None -> audit_exit
+      | Some file -> (
+        match Service.Service_bench.load file with
+        | exception Sys_error msg ->
+          Printf.eprintf "[load] cannot read baseline: %s\n%!" msg;
+          2
+        | exception Jsonu.Malformed ->
+          Printf.eprintf
+            "[load] baseline %s is not a bench-service JSON document\n%!" file;
+          2
+        | baseline -> (
+          match
+            Service.Service_bench.check ~threshold ~baseline ~current:art
+          with
+          | [] ->
+            Printf.eprintf
+              "[load] regression check passed against %s (threshold %g)\n%!"
+              file threshold;
+            audit_exit
+          | findings ->
+            List.iter (Printf.eprintf "[load] FAIL: %s\n%!") findings;
+            1))))
+
+let load_cmd =
+  let doc =
+    "Drive open-loop Poisson load at a running renamed daemon and record \
+     a BENCH_SERVICE_<k>.json latency artifact."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Acquire arrivals follow a Poisson process at $(b,--rate); each \
+         granted name is held for a sampled duration and released.  \
+         Arrivals are posted on schedule whether or not earlier \
+         operations completed (open loop), and acquire latency is \
+         measured from the scheduled arrival, so queueing delay is \
+         never hidden.  The run audits uniqueness (no name granted \
+         twice while held) and slot conservation (server taken count \
+         is zero after the final drain); audit failures exit 1.";
+      `P
+        "Every invocation writes the next free BENCH_SERVICE_<k>.json \
+         under $(b,--out); BENCH_SERVICE_0.json is the committed \
+         baseline CI diffs against with $(b,--check), which gates on \
+         the audit invariants and on throughput relative to the \
+         baseline — absolute latency is recorded but never gated.";
+    ]
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the artifact as JSON instead of a summary.")
+  in
+  let socket_t =
+    Arg.(
+      value
+      & opt string "renamed.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's socket path.")
+  in
+  let mode_t =
+    Arg.(
+      value
+      & opt
+          (enum [ ("binary", Service.Wire.Binary); ("json", Service.Wire.Json) ])
+          Service.Wire.Binary
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Wire mode: $(b,binary) (native) or $(b,json) (line-JSON).")
+  in
+  let conns_t =
+    Arg.(
+      value & opt int 4
+      & info [ "conns" ] ~docv:"N" ~doc:"Connections to spread load over.")
+  in
+  let clients_t =
+    Arg.(
+      value & opt int 64
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Client-id space (the daemon's shard-routing keys).")
+  in
+  let rate_t =
+    Arg.(
+      value & opt float 1000.
+      & info [ "rate" ] ~docv:"OPS"
+          ~doc:"Target acquire arrivals per second (Poisson).")
+  in
+  let duration_t =
+    Arg.(
+      value & opt float 5.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Load window length.")
+  in
+  let hold_const_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hold-const" ] ~docv:"SECONDS"
+          ~doc:"Hold every name for exactly $(docv) (overrides --hold-mean).")
+  in
+  let hold_mean_t =
+    Arg.(
+      value & opt float 0.001
+      & info [ "hold-mean" ] ~docv:"SECONDS"
+          ~doc:"Mean of the exponential hold-time distribution.")
+  in
+  let out_t =
+    Arg.(
+      value & opt string "bench"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for BENCH_SERVICE_<k>.json files.")
+  in
+  let check_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"FILE"
+          ~doc:
+            "Baseline BENCH_SERVICE_<k>.json to diff against; regressions \
+             exit 1.")
+  in
+  let threshold_t =
+    Arg.(
+      value & opt float 0.5
+      & info [ "threshold" ] ~docv:"T"
+          ~doc:"Relative throughput tolerance for $(b,--check).")
+  in
+  Cmd.v (Cmd.info "load" ~doc ~man ~exits:finding_exits)
+    Term.(
+      const load_daemon $ json_t $ socket_t $ mode_t $ conns_t $ clients_t
+      $ rate_t $ duration_t $ hold_const_t $ hold_mean_t $ seed_t $ out_t
+      $ check_t $ threshold_t)
+
 let report_cmd =
   let doc = "Run every experiment and write a self-contained markdown report." in
   let out_t =
@@ -1448,6 +1689,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "repro_cli" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; all_cmd; simulate_cmd; verify_cmd; bench_cmd;
-      report_cmd; doctor_cmd; lint_cmd; racecheck_cmd; chaos_cmd ]
+      load_cmd; report_cmd; doctor_cmd; lint_cmd; racecheck_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

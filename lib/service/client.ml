@@ -1,0 +1,183 @@
+type t = {
+  fd : Unix.file_descr;
+  mode : Wire.mode;
+  mutable next : int;
+  out : Buffer.t;  (* encoded, unsent request bytes *)
+  mutable buf : Bytes.t;  (* response bytes awaiting a full frame *)
+  mutable start : int;
+  mutable fill : int;
+  scratch : Bytes.t;
+}
+
+let connect ?(mode = Wire.Binary) ~path () =
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  match Unix.connect fd (ADDR_UNIX path) with
+  | () ->
+    Ok
+      {
+        fd;
+        mode;
+        next = 0;
+        out = Buffer.create 256;
+        buf = Bytes.create 4096;
+        start = 0;
+        fill = 0;
+        scratch = Bytes.create 65536;
+      }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let fd t = t.fd
+
+let fresh_id t =
+  let id = t.next in
+  t.next <- (id + 1) land 0xffffffff;
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Sending *)
+
+let try_flush t =
+  let s = Buffer.contents t.out in
+  let len = String.length s in
+  if len > 0 then begin
+    match Unix.write_substring t.fd s 0 len with
+    | n ->
+      Buffer.clear t.out;
+      if n < len then Buffer.add_substring t.out s n (len - n)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  end
+
+let post t req =
+  Wire.encode_request t.mode t.out req;
+  try_flush t
+
+let pending_out t = Buffer.length t.out > 0
+
+let flush t =
+  try
+    while pending_out t do
+      ignore (Unix.select [] [ t.fd ] [] (-1.));
+      try_flush t
+    done;
+    Ok ()
+  with Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "flush: %s" (Unix.error_message e))
+
+(* ------------------------------------------------------------------ *)
+(* Receiving *)
+
+let reserve t extra =
+  let live = t.fill - t.start in
+  if t.fill + extra > Bytes.length t.buf then begin
+    let needed = live + extra in
+    let target =
+      let n = ref (Bytes.length t.buf) in
+      while !n < needed do
+        n := !n * 2
+      done;
+      !n
+    in
+    let dst =
+      if target = Bytes.length t.buf then t.buf else Bytes.create target
+    in
+    Bytes.blit t.buf t.start dst 0 live;
+    t.buf <- dst;
+    t.start <- 0;
+    t.fill <- live
+  end
+
+let decode_one t =
+  match Wire.decode_response t.mode t.buf ~pos:t.start ~len:(t.fill - t.start) with
+  | Wire.Frame (r, consumed) ->
+    t.start <- t.start + consumed;
+    if t.start = t.fill then begin
+      t.start <- 0;
+      t.fill <- 0
+    end;
+    Ok (Some r)
+  | Wire.Need_more -> Ok None
+  | Wire.Corrupt msg -> Error (Printf.sprintf "corrupt response stream: %s" msg)
+
+(* [timeout = 0.] still performs one poll-and-read round, so callers
+   can drain a readable fd with repeated zero-timeout calls. *)
+let recv t ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go ~first =
+    match decode_one t with
+    | Ok (Some _) as r -> r
+    | Error _ as e -> e
+    | Ok None -> (
+      let left = deadline -. Unix.gettimeofday () in
+      let left = if first then Float.max left 0. else left in
+      if left < 0. then Ok None
+      else
+        match Unix.select [ t.fd ] [] [] left with
+        | exception Unix.Unix_error (EINTR, _, _) -> go ~first
+        | [], _, _ -> Ok None
+        | _ -> (
+          match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+            go ~first:false
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "read: %s" (Unix.error_message e))
+          | 0 -> Error "connection closed by server"
+          | n ->
+            reserve t n;
+            Bytes.blit t.scratch 0 t.buf t.fill n;
+            t.fill <- t.fill + n;
+            go ~first:false))
+  in
+  go ~first:true
+
+(* ------------------------------------------------------------------ *)
+(* Synchronous calls: one request in flight, its response is the next
+   frame (stats/shutdown answer inline; acquire/release per shard stay
+   ordered for a single id). *)
+
+let roundtrip t req =
+  post t req;
+  match flush t with
+  | Error _ as e -> e
+  | Ok () -> (
+    let rec await () =
+      match recv t ~timeout:30. with
+      | Error _ as e -> e
+      | Ok None -> Error "timed out waiting for response"
+      | Ok (Some r) ->
+        if Wire.response_id r = Wire.request_id req then Ok r else await ()
+    in
+    await ())
+
+let err_of ~op code msg =
+  Printf.sprintf "%s failed: %s (code %d)" (Wire.op_string op) msg code
+
+let acquire t ~client =
+  match roundtrip t (Wire.Acquire { id = fresh_id t; client }) with
+  | Error _ as e -> e
+  | Ok (Wire.Acquired { name; _ }) -> Ok name
+  | Ok (Wire.Error { op; code; msg; _ }) -> Error (err_of ~op code msg)
+  | Ok _ -> Error "unexpected response to acquire"
+
+let release t ~client ~name =
+  match roundtrip t (Wire.Release { id = fresh_id t; client; name }) with
+  | Error _ as e -> e
+  | Ok (Wire.Released _) -> Ok ()
+  | Ok (Wire.Error { op; code; msg; _ }) -> Error (err_of ~op code msg)
+  | Ok _ -> Error "unexpected response to release"
+
+let stats t =
+  match roundtrip t (Wire.Stats { id = fresh_id t }) with
+  | Error _ as e -> e
+  | Ok (Wire.Stats_reply { stats; _ }) -> Ok stats
+  | Ok (Wire.Error { op; code; msg; _ }) -> Error (err_of ~op code msg)
+  | Ok _ -> Error "unexpected response to stats"
+
+let shutdown t =
+  match roundtrip t (Wire.Shutdown { id = fresh_id t }) with
+  | Error _ as e -> e
+  | Ok (Wire.Shutting_down _) -> Ok ()
+  | Ok (Wire.Error { op; code; msg; _ }) -> Error (err_of ~op code msg)
+  | Ok _ -> Error "unexpected response to shutdown"

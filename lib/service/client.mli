@@ -1,0 +1,52 @@
+(** Client side of the renaming service.
+
+    Two usage styles over one connection type:
+
+    - {b Synchronous}: {!acquire}/{!release}/{!stats}/{!shutdown} send
+      one request and block for its response — the convenient form for
+      tools and tests.
+    - {b Pipelined}: {!post} many requests (ids from {!fresh_id}),
+      {!pump} the socket, and collect completions with {!recv} — the
+      form the open-loop load generator needs, where send times are
+      dictated by the arrival process, not by completions.
+
+    The two styles must not be interleaved on one connection: the
+    synchronous calls assume every in-flight id is their own. *)
+
+type t
+
+val connect : ?mode:Wire.mode -> path:string -> unit -> (t, string) result
+(** Connect to the daemon's Unix-domain socket.  [mode] defaults to
+    {!Wire.Binary}; pass {!Wire.Json} to exercise the line-JSON
+    fallback.  [Error] describes a connect failure. *)
+
+val close : t -> unit
+val fd : t -> Unix.file_descr
+(** for [select] in external loops *)
+
+val fresh_id : t -> int
+(** Next request id (counter, wraps within u32). *)
+
+(** {1 Synchronous operations} *)
+
+val acquire : t -> client:int -> (int, string) result
+val release : t -> client:int -> name:int -> (unit, string) result
+val stats : t -> (Jsonu.t, string) result
+val shutdown : t -> (unit, string) result
+
+(** {1 Pipelined operations} *)
+
+val post : t -> Wire.request -> unit
+(** Queue an encoded request and opportunistically flush without
+    blocking. *)
+
+val flush : t -> (unit, string) result
+(** Block until the send queue is empty. *)
+
+val pending_out : t -> bool
+(** Unsent bytes remain (the fd should be watched for writability). *)
+
+val recv : t -> timeout:float -> (Wire.response option, string) result
+(** One decoded response, waiting up to [timeout] seconds for bytes.
+    [Ok None] on timeout; [Error] on connection loss or protocol
+    corruption. *)

@@ -1,0 +1,340 @@
+type hold = Const of float | Exponential of float
+
+type config = {
+  path : string;
+  mode : Wire.mode;
+  conns : int;
+  clients : int;
+  rate : float;
+  duration_s : float;
+  hold : hold;
+  seed : int;
+  log : string -> unit;
+}
+
+let default_config ~path =
+  {
+    path;
+    mode = Wire.Binary;
+    conns = 4;
+    clients = 64;
+    rate = 1000.;
+    duration_s = 5.;
+    hold = Exponential 0.001;
+    seed = 1;
+    log = ignore;
+  }
+
+type result = {
+  wall_s : float;
+  offered : int;
+  acquired : int;
+  acquire_failures : int;
+  released : int;
+  errors : int;
+  timeouts : int;
+  violations : int;
+  leaked : int;
+  throughput : float;
+  latency : Stats.Hdr.t;
+}
+
+let ok r =
+  r.violations = 0 && r.leaked = 0 && r.errors = 0 && r.timeouts = 0
+
+(* Scheduled releases, ordered by due time. *)
+module Heap = struct
+  type entry = { at : float; name : int; client : int; conn : int }
+  type t = { mutable a : entry array; mutable len : int }
+
+  let dummy = { at = 0.; name = 0; client = 0; conn = 0 }
+  let create () = { a = Array.make 64 dummy; len = 0 }
+  let is_empty h = h.len = 0
+  let peek h = h.a.(0)
+
+  let push h e =
+    if h.len = Array.length h.a then begin
+      let b = Array.make (2 * h.len) dummy in
+      Array.blit h.a 0 b 0 h.len;
+      h.a <- b
+    end;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    h.a.(!i) <- e;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if h.a.(!i).at < h.a.(p).at then begin
+        let tmp = h.a.(p) in
+        h.a.(p) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := p
+      end
+      else continue := false
+    done
+
+  let pop h =
+    let top = h.a.(0) in
+    h.len <- h.len - 1;
+    h.a.(0) <- h.a.(h.len);
+    h.a.(h.len) <- dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < h.len && h.a.(l).at < h.a.(!s).at then s := l;
+      if r < h.len && h.a.(r).at < h.a.(!s).at then s := r;
+      if !s <> !i then begin
+        let tmp = h.a.(!s) in
+        h.a.(!s) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !s
+      end
+      else continue := false
+    done;
+    top
+end
+
+type pending = Await_acquire of { sent : float; client : int } | Await_release of { name : int }
+
+type st = {
+  cfg : config;
+  conns : Client.t array;
+  rng : Prng.Splitmix.t;
+  pending : (int * int, pending) Hashtbl.t;  (* (conn, id) -> op *)
+  held : (int, int) Hashtbl.t;  (* name -> conn that holds it *)
+  releasing : (int, int) Hashtbl.t;  (* name -> releases in flight *)
+  heap : Heap.t;
+  latency : Stats.Hdr.t;
+  mutable rr : int;  (* round-robin cursor: conns and client ids *)
+  mutable offered : int;
+  mutable acquired : int;
+  mutable acquire_failures : int;
+  mutable released : int;
+  mutable errors : int;
+  mutable violations : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let hold_sample st =
+  match st.cfg.hold with
+  | Const s -> s
+  | Exponential mean ->
+    if mean <= 0. then 0.
+    else Prng.Dist.exponential_sample st.rng ~rate:(1. /. mean)
+
+(* [at] is the scheduled arrival, not the post instant: latency is
+   measured from when the operation {e should} have started, so catch-up
+   bursts cannot hide queueing delay (no coordinated omission). *)
+let post_acquire st ~at =
+  let conn = st.rr mod Array.length st.conns in
+  let client = st.rr mod st.cfg.clients in
+  st.rr <- st.rr + 1;
+  let c = st.conns.(conn) in
+  let id = Client.fresh_id c in
+  Hashtbl.replace st.pending (conn, id) (Await_acquire { sent = at; client });
+  Client.post c (Wire.Acquire { id; client });
+  st.offered <- st.offered + 1
+
+let post_release st (e : Heap.entry) =
+  if Hashtbl.mem st.held e.name then begin
+    Hashtbl.remove st.held e.name;
+    let inflight =
+      Option.value (Hashtbl.find_opt st.releasing e.name) ~default:0
+    in
+    Hashtbl.replace st.releasing e.name (inflight + 1);
+    let c = st.conns.(e.conn) in
+    let id = Client.fresh_id c in
+    Hashtbl.replace st.pending (e.conn, id) (Await_release { name = e.name });
+    Client.post c (Wire.Release { id; client = e.client; name = e.name })
+  end
+
+let release_done st name =
+  match Hashtbl.find_opt st.releasing name with
+  | Some n when n > 1 -> Hashtbl.replace st.releasing name (n - 1)
+  | Some _ -> Hashtbl.remove st.releasing name
+  | None -> ()
+
+let on_response st ~conn ~at r =
+  let key = (conn, Wire.response_id r) in
+  match Hashtbl.find_opt st.pending key with
+  | None ->
+    (* A reply we never asked for; count it, something is off. *)
+    st.errors <- st.errors + 1
+  | Some entry -> (
+    Hashtbl.remove st.pending key;
+    match (entry, r) with
+    | Await_acquire { sent; client }, Wire.Acquired { name; _ } ->
+      st.acquired <- st.acquired + 1;
+      Stats.Hdr.record st.latency
+        (int_of_float (Float.max 0. ((at -. sent) *. 1e9)));
+      if Hashtbl.mem st.held name then
+        (* Held and no release in flight: two live grants of one name. *)
+        st.violations <- st.violations + 1
+      else begin
+        Hashtbl.replace st.held name conn;
+        Heap.push st.heap
+          { at = at +. hold_sample st; name; client; conn }
+      end
+    | Await_acquire _, Wire.Error { code; _ } ->
+      if code = Wire.err_capacity then
+        st.acquire_failures <- st.acquire_failures + 1
+      else st.errors <- st.errors + 1
+    | Await_release { name }, Wire.Released _ ->
+      st.released <- st.released + 1;
+      release_done st name
+    | Await_release { name }, Wire.Error _ ->
+      st.errors <- st.errors + 1;
+      release_done st name
+    | _ -> st.errors <- st.errors + 1)
+
+(* Drain every decoded response on every connection; [Error] is
+   connection loss or stream corruption. *)
+let pump st =
+  let n = Array.length st.conns in
+  let rec one i =
+    if i >= n then Ok ()
+    else
+      match Client.recv st.conns.(i) ~timeout:0. with
+      | Error _ as e -> e
+      | Ok None -> one (i + 1)
+      | Ok (Some r) ->
+        on_response st ~conn:i ~at:(now ()) r;
+        one i
+  in
+  one 0
+
+let run (cfg : config) =
+  if cfg.conns < 1 then invalid_arg "Load_gen.run: conns < 1";
+  if cfg.clients < 1 then invalid_arg "Load_gen.run: clients < 1";
+  if cfg.rate <= 0. then invalid_arg "Load_gen.run: rate <= 0";
+  let connected = ref [] in
+  let connect_all () =
+    let rec go i =
+      if i = cfg.conns then Ok ()
+      else
+        match Client.connect ~mode:cfg.mode ~path:cfg.path () with
+        | Error _ as e -> e
+        | Ok c ->
+          connected := c :: !connected;
+          go (i + 1)
+    in
+    go 0
+  in
+  match connect_all () with
+  | Error e ->
+    List.iter Client.close !connected;
+    Error e
+  | Ok () ->
+    let st =
+      {
+        cfg;
+        conns = Array.of_list (List.rev !connected);
+        rng = Prng.Splitmix.of_int cfg.seed;
+        pending = Hashtbl.create 1024;
+        held = Hashtbl.create 1024;
+        releasing = Hashtbl.create 64;
+        heap = Heap.create ();
+        latency = Stats.Hdr.create ();
+        rr = 0;
+        offered = 0;
+        acquired = 0;
+        acquire_failures = 0;
+        released = 0;
+        errors = 0;
+        violations = 0;
+      }
+    in
+    let fds = Array.to_list (Array.map Client.fd st.conns) in
+    let t_start = now () in
+    let t_end = t_start +. cfg.duration_s in
+    let drain_deadline = t_end +. 10. in
+    let next_arrival =
+      ref (t_start +. Prng.Dist.exponential_sample st.rng ~rate:cfg.rate)
+    in
+    let failure = ref None in
+    let fail e = if !failure = None then failure := Some e in
+    let finished = ref false in
+    while (not !finished) && !failure = None do
+      let t = now () in
+      let draining = t >= t_end in
+      (* Post every arrival that has come due (open loop: the schedule,
+         not completions, decides). *)
+      while !next_arrival <= now () && not draining do
+        post_acquire st ~at:!next_arrival;
+        next_arrival :=
+          !next_arrival +. Prng.Dist.exponential_sample st.rng ~rate:cfg.rate
+      done;
+      (* Post due releases; when draining, everything still held is due. *)
+      while
+        (not (Heap.is_empty st.heap))
+        && ((Heap.peek st.heap).at <= now () || draining)
+      do
+        post_release st (Heap.pop st.heap)
+      done;
+      (match pump st with Error e -> fail e | Ok () -> ());
+      if draining then begin
+        if Hashtbl.length st.pending = 0 && Heap.is_empty st.heap then
+          finished := true
+        else if now () > drain_deadline then begin
+          cfg.log
+            (Printf.sprintf "drain timed out with %d operation(s) unanswered"
+               (Hashtbl.length st.pending));
+          finished := true
+        end
+      end;
+      if (not !finished) && !failure = None then begin
+        let t = now () in
+        let until_arrival = if draining then 0.05 else !next_arrival -. t in
+        let until_release =
+          if Heap.is_empty st.heap then 0.05 else (Heap.peek st.heap).at -. t
+        in
+        let timeout =
+          Float.max 0. (Float.min 0.05 (Float.min until_arrival until_release))
+        in
+        match Unix.select fds [] [] timeout with
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | _ -> ()
+      end
+    done;
+    let timeouts = Hashtbl.length st.pending in
+    let res =
+      match !failure with
+      | Some e -> Error e
+      | None ->
+        (* Everything we held has been released; the server's taken
+           count is now pure leak. *)
+        let leaked =
+          if timeouts > 0 then -1
+          else
+            match Client.stats st.conns.(0) with
+            | Error e ->
+              cfg.log (Printf.sprintf "final stats failed: %s" e);
+              -1
+            | Ok j -> (
+              match Jsonu.int_ (Jsonu.obj j) "taken" with
+              | v -> v
+              | exception Jsonu.Malformed -> -1)
+        in
+        let wall_s = now () -. t_start in
+        Ok
+          {
+            wall_s;
+            offered = st.offered;
+            acquired = st.acquired;
+            acquire_failures = st.acquire_failures;
+            released = st.released;
+            errors = st.errors;
+            timeouts;
+            violations = st.violations;
+            leaked;
+            throughput =
+              float_of_int (st.acquired + st.released)
+              /. Float.max 1e-9 wall_s;
+            latency = st.latency;
+          }
+    in
+    Array.iter Client.close st.conns;
+    res

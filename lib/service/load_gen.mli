@@ -1,0 +1,63 @@
+(** Open-loop Poisson load generator for the renaming daemon.
+
+    Arrivals are a Poisson process: exponential inter-arrival gaps
+    (rate [rate]) drawn from the repository's exact samplers
+    ({!Prng.Dist.exponential_sample}, the §6 machinery), and an acquire
+    is {e posted at its scheduled arrival time} whether or not earlier
+    operations have completed — the open-loop discipline that exposes
+    queueing delay instead of hiding it behind client backpressure.
+    Each granted name is held for a sampled duration, then released.
+
+    While running, the generator audits the service's two safety
+    properties from the outside:
+
+    - {b uniqueness}: a granted name must not already be held by this
+      run (modulo a release in flight for it — the server may legally
+      re-grant as soon as it processes the release);
+    - {b conservation}: after the final drain releases everything, the
+      server's [taken] count must be zero ([leaked] in the result).
+
+    Acquire latency (scheduled arrival → [Acquired], so a generator
+    that falls behind cannot hide queueing delay) is recorded in a
+    {!Stats.Hdr} histogram in nanoseconds. *)
+
+type hold =
+  | Const of float  (** hold every name for exactly this many seconds *)
+  | Exponential of float  (** exponential holds with this mean (seconds) *)
+
+type config = {
+  path : string;  (** daemon socket *)
+  mode : Wire.mode;
+  conns : int;  (** connections to spread load over *)
+  clients : int;  (** client-id space (shard routing keys) *)
+  rate : float;  (** target acquire arrivals per second *)
+  duration_s : float;
+  hold : hold;
+  seed : int;
+  log : string -> unit;
+}
+
+val default_config : path:string -> config
+(** Binary mode, 4 conns, 64 clients, 1000/s for 5 s, Exponential 1 ms
+    holds, seed 1, silent log. *)
+
+type result = {
+  wall_s : float;  (** measured run wall time, arrivals through drain *)
+  offered : int;  (** acquires posted *)
+  acquired : int;
+  acquire_failures : int;  (** [err_capacity] responses *)
+  released : int;
+  errors : int;  (** error responses other than capacity *)
+  timeouts : int;  (** operations never answered before the drain gave up *)
+  violations : int;  (** uniqueness violations observed *)
+  leaked : int;  (** server [taken] after the final drain; -1 if unknown *)
+  throughput : float;  (** (acquired + released) / wall_s *)
+  latency : Stats.Hdr.t;  (** acquire latency, nanoseconds *)
+}
+
+val ok : result -> bool
+(** No violations, no leaks, no errors, no timeouts. *)
+
+val run : config -> (result, string) Stdlib.result
+(** Drive the load and return the audit.  [Error] covers setup failures
+    (cannot connect) and mid-run connection loss. *)

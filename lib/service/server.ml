@@ -1,0 +1,606 @@
+(* Wall-clock here is operator telemetry (uptime, flush deadlines) and
+   never enters experiment records. *)
+
+type config = {
+  socket_path : string;
+  shards : int;
+  capacity : int;
+  seed : int;
+  backlog : int;
+  max_conns : int;
+  log : string -> unit;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    shards = 2;
+    capacity = 4096;
+    seed = 1;
+    backlog = 64;
+    max_conns = 1024;
+    log = ignore;
+  }
+
+type report = {
+  conns_served : int;
+  requests : int;
+  acquires : int;
+  releases : int;
+  errors : int;
+  drained_releases : int;
+  taken_at_exit : int;
+  wall_s : float;
+}
+
+let report_clean r = r.taken_at_exit = 0
+
+type handle = { flag : bool Atomic.t; wake : Unix.file_descr option Atomic.t }
+
+let create_handle () = { flag = Atomic.make false; wake = Atomic.make None }
+
+let poke fd = try ignore (Unix.write fd (Bytes.make 1 '!') 0 1) with _ -> ()
+
+let stop h =
+  Atomic.set h.flag true;
+  match Atomic.get h.wake with None -> () | Some fd -> poke fd
+
+let stop_requested h = Atomic.get h.flag
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain queues *)
+
+module Q = struct
+  type 'a t = { q : 'a Queue.t; mu : Mutex.t; cv : Condition.t }
+
+  let create () =
+    { q = Queue.create (); mu = Mutex.create (); cv = Condition.create () }
+
+  let push t x =
+    Mutex.lock t.mu;
+    Queue.push x t.q;
+    Condition.signal t.cv;
+    Mutex.unlock t.mu
+
+  let pop_blocking t =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.q do
+      Condition.wait t.cv t.mu
+    done;
+    let x = Queue.pop t.q in
+    Mutex.unlock t.mu;
+    x
+
+  (* Everything queued right now, in order; never blocks. *)
+  let drain t =
+    Mutex.lock t.mu;
+    let out = List.of_seq (Queue.to_seq t.q) in
+    Queue.clear t.q;
+    Mutex.unlock t.mu;
+    out
+end
+
+type job =
+  | Acquire_job of { conn : int; id : int; client : int }
+  | Release_job of { conn : int; id : int; name : int; drain : bool }
+  | Quit
+
+type done_op =
+  | Did_acquire of { conn : int; id : int; name : int option }
+  | Did_release of { conn : int; id : int; name : int; drain : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Connections *)
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  session : Session.t;
+  out : string Queue.t;  (* encoded responses awaiting write *)
+  mutable out_off : int;  (* offset into the head of [out] *)
+  mutable inflight : int;
+  mutable closing : bool;  (* close once flushed and drained *)
+  mutable dead : bool;  (* fd closed; record kept for in-flight jobs *)
+}
+
+let out_pending c = not (Queue.is_empty c.out)
+
+type phase = Serving | Draining_jobs | Draining_ledgers | Flushing
+
+type state = {
+  cfg : config;
+  pool : Shard.t;
+  handle : handle;
+  workers : job Q.t array;
+  outbox : done_op Q.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  conns : (int, conn) Hashtbl.t;
+  started : float;
+  scratch : Bytes.t;
+  mutable listen_fd : Unix.file_descr option;
+  mutable phase : phase;
+  mutable next_cid : int;
+  mutable inflight_total : int;
+  mutable conns_served : int;
+  mutable requests : int;
+  mutable acquires : int;
+  mutable releases : int;
+  mutable errors : int;
+  mutable drained_releases : int;
+  mutable flush_deadline : float;
+}
+
+let now () = Unix.gettimeofday ()
+let conn_list st = Hashtbl.to_seq_values st.conns |> List.of_seq
+
+(* ------------------------------------------------------------------ *)
+(* Worker domains: each owns one shard and loops on its queue. *)
+
+let worker_loop st i =
+  let q = st.workers.(i) in
+  let continue = ref true in
+  while !continue do
+    match Q.pop_blocking q with
+    | Quit -> continue := false
+    | Acquire_job { conn; id; client } ->
+      let name =
+        try Shard.acquire st.pool ~shard:i ~client
+        with e ->
+          st.cfg.log
+            (Printf.sprintf "worker %d: acquire raised %s" i
+               (Printexc.to_string e));
+          None
+      in
+      Q.push st.outbox (Did_acquire { conn; id; name });
+      poke st.wake_w
+    | Release_job { conn; id; name; drain } ->
+      (try Shard.release st.pool ~name
+       with e ->
+         st.cfg.log
+           (Printf.sprintf "worker %d: release %d raised %s" i name
+              (Printexc.to_string e)));
+      Q.push st.outbox (Did_release { conn; id; name; drain });
+      poke st.wake_w
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Replies *)
+
+let send_response st c r =
+  if not c.dead then begin
+    let b = Buffer.create 64 in
+    let mode = Option.value (Session.mode c.session) ~default:Wire.Binary in
+    Wire.encode_response mode b r;
+    Queue.push (Buffer.contents b) c.out;
+    (match r with Wire.Error _ -> st.errors <- st.errors + 1 | _ -> ())
+  end
+
+let enqueue_job st ~shard job =
+  st.inflight_total <- st.inflight_total + 1;
+  Q.push st.workers.(shard) job
+
+(* Auto-release a name that no live session will ever release (granted
+   to a dead connection, or left on a ledger at shutdown). *)
+let enqueue_drain_release st name =
+  match Shard.shard_of_name st.pool name with
+  | None -> st.cfg.log (Printf.sprintf "drain: name %d outside namespace" name)
+  | Some shard ->
+    st.drained_releases <- st.drained_releases + 1;
+    enqueue_job st ~shard (Release_job { conn = -1; id = 0; name; drain = true })
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Tear down a connection's I/O; its record stays in the table until
+   in-flight jobs settle so late completions can be drained. *)
+let disconnect st c =
+  if not c.dead then begin
+    c.dead <- true;
+    close_fd c.fd;
+    Queue.clear c.out;
+    c.out_off <- 0;
+    List.iter
+      (fun name ->
+        Session.note_released c.session name;
+        enqueue_drain_release st name)
+      (Session.held c.session);
+    if c.inflight = 0 then Hashtbl.remove st.conns c.cid
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Request handling (I/O domain only) *)
+
+let stats_json st =
+  let pool_fields = Jsonu.obj (Shard.stats st.pool) in
+  let held =
+    List.fold_left
+      (fun acc c -> acc + Session.held_count c.session)
+      0 (conn_list st)
+  in
+  Jsonu.Obj
+    ([ ("kind", Jsonu.Str "renamed-stats"); ("schema", Jsonu.Int 1) ]
+    @ pool_fields
+    @ [
+        ("held_by_sessions", Jsonu.Int held);
+        ("conns", Jsonu.Int (Hashtbl.length st.conns));
+        ("conns_served", Jsonu.Int st.conns_served);
+        ("requests", Jsonu.Int st.requests);
+        ("uptime_s", Jsonu.Num (now () -. st.started));
+      ])
+
+let handle_request st c (r : Wire.request) =
+  st.requests <- st.requests + 1;
+  let id = Wire.request_id r in
+  let op = Wire.request_op r in
+  if st.phase <> Serving then
+    send_response st c
+      (Wire.Error { id; op; code = Wire.err_shutdown; msg = "shutting down" })
+  else
+    match r with
+    | Wire.Acquire { id; client } ->
+      c.inflight <- c.inflight + 1;
+      enqueue_job st
+        ~shard:(Shard.shard_of_client st.pool client)
+        (Acquire_job { conn = c.cid; id; client })
+    | Wire.Release { id; client = _; name } ->
+      if Session.holds c.session name then begin
+        (* The ledger entry goes now, not at completion: a second
+           release of the same name racing the first must already see
+           it gone, or it would free a re-acquired cell. *)
+        Session.note_released c.session name;
+        c.inflight <- c.inflight + 1;
+        match Shard.shard_of_name st.pool name with
+        | Some shard ->
+          enqueue_job st ~shard
+            (Release_job { conn = c.cid; id; name; drain = false })
+        | None -> assert false (* ledger only ever holds granted names *)
+      end
+      else
+        send_response st c
+          (Wire.Error
+             { id; op; code = Wire.err_not_held; msg = "name not held here" })
+    | Wire.Stats { id } ->
+      send_response st c (Wire.Stats_reply { id; stats = stats_json st })
+    | Wire.Shutdown { id } ->
+      send_response st c (Wire.Shutting_down { id });
+      stop st.handle
+
+let handle_done st op =
+  st.inflight_total <- st.inflight_total - 1;
+  let find cid = Hashtbl.find_opt st.conns cid in
+  let settle cid =
+    match find cid with
+    | None -> ()
+    | Some c ->
+      c.inflight <- c.inflight - 1;
+      if c.dead && c.inflight = 0 then Hashtbl.remove st.conns c.cid
+  in
+  match op with
+  | Did_acquire { conn; id; name } -> (
+    (match (find conn, name) with
+    | Some c, Some name when not c.dead ->
+      st.acquires <- st.acquires + 1;
+      Session.note_acquired c.session name;
+      send_response st c (Wire.Acquired { id; name })
+    | _, Some name ->
+      (* Granted to a connection that died while the job was in
+         flight: nobody will release it, so the server must. *)
+      st.acquires <- st.acquires + 1;
+      enqueue_drain_release st name
+    | Some c, None when not c.dead ->
+      send_response st c
+        (Wire.Error
+           {
+             id;
+             op = Wire.Op_acquire;
+             code = Wire.err_capacity;
+             msg = "namespace exhausted";
+           })
+    | _, None -> ());
+    settle conn)
+  | Did_release { conn; id; name = _; drain } ->
+    st.releases <- st.releases + 1;
+    if not drain then begin
+      (match find conn with
+      | Some c when not c.dead -> send_response st c (Wire.Released { id })
+      | _ -> ());
+      settle conn
+    end
+
+(* ------------------------------------------------------------------ *)
+(* I/O *)
+
+let on_readable st c =
+  match Unix.read c.fd st.scratch 0 (Bytes.length st.scratch) with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> disconnect st c
+  | 0 -> disconnect st c
+  | n -> (
+    match Session.feed c.session ~buf:st.scratch ~len:n with
+    | Ok reqs -> List.iter (handle_request st c) reqs
+    | Error msg ->
+      send_response st c
+        (Wire.Error
+           { id = 0; op = Wire.Op_acquire; code = Wire.err_proto; msg });
+      c.closing <- true)
+
+let on_writable st c =
+  try
+    let continue = ref true in
+    while !continue && not (Queue.is_empty c.out) do
+      let head = Queue.peek c.out in
+      let len = String.length head - c.out_off in
+      let n = Unix.write_substring c.fd head c.out_off len in
+      if n = len then begin
+        ignore (Queue.pop c.out);
+        c.out_off <- 0
+      end
+      else begin
+        c.out_off <- c.out_off + n;
+        continue := false
+      end
+    done
+  with
+  | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | Unix.Unix_error _ -> disconnect st c
+
+let accept_ready st listen_fd =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true listen_fd with
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (e, _, _) ->
+      st.cfg.log (Printf.sprintf "accept: %s" (Unix.error_message e));
+      continue := false
+    | fd, _ ->
+      if Hashtbl.length st.conns >= st.cfg.max_conns then begin
+        st.cfg.log "accept: connection limit reached, refusing";
+        close_fd fd
+      end
+      else begin
+        Unix.set_nonblock fd;
+        let cid = st.next_cid in
+        st.next_cid <- cid + 1;
+        st.conns_served <- st.conns_served + 1;
+        Hashtbl.replace st.conns cid
+          {
+            fd;
+            cid;
+            session = Session.create ();
+            out = Queue.create ();
+            out_off = 0;
+            inflight = 0;
+            closing = false;
+            dead = false;
+          }
+      end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Startup: bind, reclaiming a stale socket file if the daemon behind
+   it is gone (the failure mode `repro_cli doctor` audits). *)
+
+let bind_socket cfg =
+  let path = cfg.socket_path in
+  let stale_or_error () =
+    let probe = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+    let verdict =
+      match Unix.connect probe (ADDR_UNIX path) with
+      | () -> Error (Printf.sprintf "%s: a daemon is already serving" path)
+      | exception Unix.Unix_error (ECONNREFUSED, _, _) -> Ok `Stale
+      | exception Unix.Unix_error (ENOENT, _, _) -> Ok `Gone
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+    in
+    close_fd probe;
+    verdict
+  in
+  let ready =
+    match Unix.stat path with
+    | exception Unix.Unix_error (ENOENT, _, _) -> Ok ()
+    | { st_kind = S_SOCK; _ } -> (
+      match stale_or_error () with
+      | Error _ as e -> e
+      | Ok `Gone -> Ok ()
+      | Ok `Stale ->
+        cfg.log (Printf.sprintf "reclaiming stale socket file %s" path);
+        Unix.unlink path;
+        Ok ())
+    | _ -> Error (Printf.sprintf "%s exists and is not a socket" path)
+  in
+  match ready with
+  | Error _ as e -> e
+  | Ok () -> (
+    let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+    match
+      Unix.bind fd (ADDR_UNIX path);
+      Unix.listen fd cfg.backlog;
+      Unix.set_nonblock fd
+    with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      close_fd fd;
+      Error (Printf.sprintf "bind %s: %s" path (Unix.error_message e)))
+
+(* ------------------------------------------------------------------ *)
+(* The serving loop *)
+
+let select_step st =
+  let reads = ref [ st.wake_r ] in
+  let writes = ref [] in
+  (match (st.phase, st.listen_fd) with
+  | Serving, Some fd when Hashtbl.length st.conns < st.cfg.max_conns ->
+    reads := fd :: !reads
+  | _ -> ());
+  List.iter
+    (fun c ->
+      if not c.dead then begin
+        if st.phase = Serving && not c.closing then reads := c.fd :: !reads;
+        if out_pending c then writes := c.fd :: !writes
+      end)
+    (conn_list st);
+  match Unix.select !reads !writes [] 0.1 with
+  | exception Unix.Unix_error (EINTR, _, _) -> ([], [])
+  | r, w, _ -> (r, w)
+
+let run ?handle cfg =
+  if cfg.shards < 1 then invalid_arg "Server.run: shards < 1";
+  if cfg.capacity < 1 then invalid_arg "Server.run: capacity < 1";
+  let handle = match handle with Some h -> h | None -> create_handle () in
+  match bind_socket cfg with
+  | Error _ as e -> e
+  | Ok listen_fd ->
+    let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+    Unix.set_nonblock wake_r;
+    Unix.set_nonblock wake_w;
+    Atomic.set handle.wake (Some wake_w);
+    let pool =
+      Shard.create ~shards:cfg.shards ~capacity:cfg.capacity ~seed:cfg.seed ()
+    in
+    let st =
+      {
+        cfg;
+        pool;
+        handle;
+        workers = Array.init cfg.shards (fun _ -> Q.create ());
+        outbox = Q.create ();
+        wake_r;
+        wake_w;
+        conns = Hashtbl.create 64;
+        started = now ();
+        scratch = Bytes.create 65536;
+        listen_fd = Some listen_fd;
+        phase = Serving;
+        next_cid = 0;
+        inflight_total = 0;
+        conns_served = 0;
+        requests = 0;
+        acquires = 0;
+        releases = 0;
+        errors = 0;
+        drained_releases = 0;
+        flush_deadline = 0.;
+      }
+    in
+    (* The only Domain.spawn outside lib/shm and the engine pool: the
+       serving substrate owns its shard workers the same way the runner
+       owns its domains.  They are joined on every exit path below. *)
+    let domains =
+      Array.init cfg.shards (fun i -> Domain.spawn (fun () -> worker_loop st i))
+    in
+    cfg.log
+      (Printf.sprintf "serving on %s: %d shard(s), capacity %d, namespace %d"
+         cfg.socket_path cfg.shards cfg.capacity (Shard.namespace pool));
+    let fd_conn fd =
+      List.find_opt (fun c -> (not c.dead) && c.fd = fd) (conn_list st)
+    in
+    let close_listener () =
+      match st.listen_fd with
+      | None -> ()
+      | Some fd ->
+        st.listen_fd <- None;
+        close_fd fd;
+        (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())
+    in
+    let running = ref true in
+    while !running do
+      let readable, writable = select_step st in
+      (* Wake bytes carry no data; drain and discard. *)
+      if List.mem st.wake_r readable then (
+        try
+          while Unix.read st.wake_r st.scratch 0 512 > 0 do
+            ()
+          done
+        with Unix.Unix_error _ -> ());
+      List.iter (handle_done st) (Q.drain st.outbox);
+      (match st.listen_fd with
+      | Some fd when List.mem fd readable -> accept_ready st fd
+      | _ -> ());
+      List.iter
+        (fun fd ->
+          if fd <> st.wake_r && Some fd <> st.listen_fd then
+            match fd_conn fd with Some c -> on_readable st c | None -> ())
+        readable;
+      List.iter
+        (fun fd -> match fd_conn fd with Some c -> on_writable st c | None -> ())
+        writable;
+      (* Connections asked to close (protocol corruption): flush, drop. *)
+      List.iter
+        (fun c ->
+          if c.closing && (not c.dead) && (not (out_pending c)) && c.inflight = 0
+          then disconnect st c)
+        (conn_list st);
+      (* Phase transitions *)
+      (match st.phase with
+      | Serving when stop_requested handle ->
+        cfg.log "stop requested: draining in-flight jobs";
+        close_listener ();
+        st.phase <- Draining_jobs
+      | Serving -> ()
+      | Draining_jobs when st.inflight_total = 0 ->
+        let drained = ref 0 in
+        List.iter
+          (fun c ->
+            List.iter
+              (fun name ->
+                Session.note_released c.session name;
+                enqueue_drain_release st name;
+                incr drained)
+              (Session.held c.session))
+          (conn_list st);
+        cfg.log
+          (Printf.sprintf "drained jobs; auto-releasing %d held name(s)"
+             !drained);
+        st.phase <- Draining_ledgers
+      | Draining_jobs -> ()
+      | Draining_ledgers when st.inflight_total = 0 ->
+        st.phase <- Flushing;
+        st.flush_deadline <- now () +. 5.
+      | Draining_ledgers -> ()
+      | Flushing ->
+        let unflushed =
+          List.exists (fun c -> (not c.dead) && out_pending c) (conn_list st)
+        in
+        if (not unflushed) || now () > st.flush_deadline then running := false);
+      ()
+    done;
+    (* Teardown: close clients, stop workers, check slot conservation. *)
+    List.iter (fun c -> if not c.dead then close_fd c.fd) (conn_list st);
+    Hashtbl.reset st.conns;
+    Array.iter (fun q -> Q.push q Quit) st.workers;
+    Array.iter Domain.join domains;
+    close_listener ();
+    Atomic.set handle.wake None;
+    close_fd wake_r;
+    close_fd wake_w;
+    let taken_at_exit = Shard.taken_count pool in
+    if taken_at_exit <> 0 then
+      cfg.log
+        (Printf.sprintf "LEAK: %d cell(s) still taken at exit" taken_at_exit);
+    Ok
+      {
+        conns_served = st.conns_served;
+        requests = st.requests;
+        acquires = st.acquires;
+        releases = st.releases;
+        errors = st.errors;
+        drained_releases = st.drained_releases;
+        taken_at_exit;
+        wall_s = now () -. st.started;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Embedding *)
+
+type spawned = {
+  sh : handle;
+  dom : (report, string) result Domain.t;
+}
+
+let spawn ?handle cfg =
+  let sh = match handle with Some h -> h | None -> create_handle () in
+  { sh; dom = Domain.spawn (fun () -> run ~handle:sh cfg) }
+
+let spawned_handle s = s.sh
+let join s = Domain.join s.dom

@@ -1,0 +1,85 @@
+(** The renaming daemon's serving loop.
+
+    Architecture (the async-front-end-over-pure-core layering the
+    frenetic exemplar uses, realized with what OCaml 5 + Unix give us):
+
+    - {b One I/O domain} runs a [select] event loop over the
+      Unix-domain listening socket, every client connection and a
+      self-pipe.  It owns all sessions (framing + held-name ledgers),
+      performs all reads and writes, and handles [stats]/[shutdown]
+      inline.
+    - {b One worker domain per shard} owns that shard's
+      {!Renaming.Long_lived} instance and executes acquires/releases
+      against the shared {!Shm.Atomic_space} — the genuinely parallel
+      part.  Jobs arrive on a per-worker queue; completions return on a
+      shared outbox, and the worker taps the self-pipe so the I/O
+      domain wakes immediately.
+
+    Responses therefore complete out of order across shards; the wire
+    protocol's request ids make that safe.
+
+    {b Graceful shutdown} ([SIGTERM]/[SIGINT] via {!stop}, or a client
+    [shutdown] request): the loop stops accepting connections and new
+    work (late requests get {!Wire.err_shutdown}), drains every
+    in-flight job, auto-releases every name still on a session ledger,
+    flushes and closes, joins the workers, and finally checks the
+    slot-conservation law: a clean exit has [taken_at_exit = 0] —
+    the same leak accounting the chaos invariant monitor enforces. *)
+
+type config = {
+  socket_path : string;
+  shards : int;  (** worker domains = allocator shards, >= 1 *)
+  capacity : int;  (** concurrent holders per shard *)
+  seed : int;
+  backlog : int;  (** listen backlog *)
+  max_conns : int;  (** accepted connections beyond this are refused *)
+  log : string -> unit;  (** operator log lines (renamed sends to stderr) *)
+}
+
+val default_config : socket_path:string -> config
+(** 2 shards, capacity 4096, seed 1, backlog 64, max_conns 1024,
+    silent log. *)
+
+type report = {
+  conns_served : int;
+  requests : int;
+  acquires : int;
+  releases : int;
+  errors : int;  (** error responses sent *)
+  drained_releases : int;  (** ledger names auto-released at shutdown *)
+  taken_at_exit : int;  (** slot-conservation residue; 0 on a clean exit *)
+  wall_s : float;
+}
+
+val report_clean : report -> bool
+(** [taken_at_exit = 0] — the daemon's exit-0 condition. *)
+
+type handle
+(** Out-of-band stop control, safe to trigger from a signal handler
+    (an [Atomic] flag plus a self-pipe write). *)
+
+val create_handle : unit -> handle
+val stop : handle -> unit
+val stop_requested : handle -> bool
+
+val run : ?handle:handle -> config -> (report, string) result
+(** Bind, serve until {!stop} or a [shutdown] request, drain, and
+    report.  [Error] covers startup failures only (socket in use by a
+    live daemon, bind permission); once serving, [run] always returns
+    [Ok] with the drain report.  A stale socket file (no listener
+    behind it) is reclaimed with a log note — the failure mode
+    [repro_cli doctor] audits. *)
+
+(** {1 Embedding} *)
+
+type spawned
+(** A server running on its own domain (tests, in-process tools). *)
+
+val spawn : ?handle:handle -> config -> spawned
+(** {!run} on a fresh domain.  Trigger the drain with {!stop} on
+    {!spawned_handle} (or a [shutdown] request), then {!join}. *)
+
+val spawned_handle : spawned -> handle
+
+val join : spawned -> (report, string) result
+(** Wait for the serving loop to finish and return {!run}'s result. *)

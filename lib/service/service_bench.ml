@@ -1,0 +1,198 @@
+type t = {
+  shards : int;
+  capacity : int;
+  conns : int;
+  clients : int;
+  rate : float;
+  duration_s : float;
+  seed : int;
+  wall_s : float;
+  offered : int;
+  acquired : int;
+  acquire_failures : int;
+  released : int;
+  errors : int;
+  timeouts : int;
+  violations : int;
+  leaked : int;
+  throughput : float;
+  lat_p50 : int;
+  lat_p99 : int;
+  lat_p999 : int;
+  lat_mean : float;
+  lat_max : int;
+}
+
+let of_run ~shards ~capacity ~cfg (r : Load_gen.result) =
+  let q = Stats.Hdr.quantile r.latency in
+  {
+    shards;
+    capacity;
+    conns = cfg.Load_gen.conns;
+    clients = cfg.Load_gen.clients;
+    rate = cfg.Load_gen.rate;
+    duration_s = cfg.Load_gen.duration_s;
+    seed = cfg.Load_gen.seed;
+    wall_s = r.wall_s;
+    offered = r.offered;
+    acquired = r.acquired;
+    acquire_failures = r.acquire_failures;
+    released = r.released;
+    errors = r.errors;
+    timeouts = r.timeouts;
+    violations = r.violations;
+    leaked = r.leaked;
+    throughput = r.throughput;
+    lat_p50 = q 0.5;
+    lat_p99 = q 0.99;
+    lat_p999 = q 0.999;
+    lat_mean =
+      (let m = Stats.Hdr.mean r.latency in
+       if Float.is_nan m then 0. else m);
+    lat_max = Stats.Hdr.max_value r.latency;
+  }
+
+let to_json t =
+  Jsonu.Obj
+    [
+      ("kind", Jsonu.Str "bench-service");
+      ("schema", Jsonu.Int 1);
+      ("shards", Jsonu.Int t.shards);
+      ("capacity", Jsonu.Int t.capacity);
+      ("conns", Jsonu.Int t.conns);
+      ("clients", Jsonu.Int t.clients);
+      ("rate", Jsonu.Num t.rate);
+      ("duration_s", Jsonu.Num t.duration_s);
+      ("seed", Jsonu.Int t.seed);
+      ("wall_s", Jsonu.Num t.wall_s);
+      ("offered", Jsonu.Int t.offered);
+      ("acquired", Jsonu.Int t.acquired);
+      ("acquire_failures", Jsonu.Int t.acquire_failures);
+      ("released", Jsonu.Int t.released);
+      ("errors", Jsonu.Int t.errors);
+      ("timeouts", Jsonu.Int t.timeouts);
+      ("violations", Jsonu.Int t.violations);
+      ("leaked", Jsonu.Int t.leaked);
+      ("throughput", Jsonu.Num t.throughput);
+      ("lat_p50_ns", Jsonu.Int t.lat_p50);
+      ("lat_p99_ns", Jsonu.Int t.lat_p99);
+      ("lat_p999_ns", Jsonu.Int t.lat_p999);
+      ("lat_mean_ns", Jsonu.Num t.lat_mean);
+      ("lat_max_ns", Jsonu.Int t.lat_max);
+    ]
+
+let of_json j =
+  let f = Jsonu.obj j in
+  if Jsonu.str f "kind" <> "bench-service" then raise Jsonu.Malformed;
+  if Jsonu.int_ f "schema" <> 1 then raise Jsonu.Malformed;
+  {
+    shards = Jsonu.int_ f "shards";
+    capacity = Jsonu.int_ f "capacity";
+    conns = Jsonu.int_ f "conns";
+    clients = Jsonu.int_ f "clients";
+    rate = Jsonu.num f "rate";
+    duration_s = Jsonu.num f "duration_s";
+    seed = Jsonu.int_ f "seed";
+    wall_s = Jsonu.num f "wall_s";
+    offered = Jsonu.int_ f "offered";
+    acquired = Jsonu.int_ f "acquired";
+    acquire_failures = Jsonu.int_ f "acquire_failures";
+    released = Jsonu.int_ f "released";
+    errors = Jsonu.int_ f "errors";
+    timeouts = Jsonu.int_ f "timeouts";
+    violations = Jsonu.int_ f "violations";
+    leaked = Jsonu.int_ f "leaked";
+    throughput = Jsonu.num f "throughput";
+    lat_p50 = Jsonu.int_ f "lat_p50_ns";
+    lat_p99 = Jsonu.int_ f "lat_p99_ns";
+    lat_p999 = Jsonu.int_ f "lat_p999_ns";
+    lat_mean = Jsonu.num f "lat_mean_ns";
+    lat_max = Jsonu.int_ f "lat_max_ns";
+  }
+
+let load path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Jsonu.parse (String.trim contents) with
+  | Some j -> of_json j
+  | None -> raise Jsonu.Malformed
+
+let render t =
+  String.concat "\n"
+    [
+      Printf.sprintf "service load: %d shard(s) x capacity %d, %d conn(s), %d client id(s)"
+        t.shards t.capacity t.conns t.clients;
+      Printf.sprintf "offered %.0f/s for %.1fs (seed %d): wall %.2fs" t.rate
+        t.duration_s t.seed t.wall_s;
+      Printf.sprintf
+        "ops: %d offered, %d acquired (%d capacity-failed), %d released"
+        t.offered t.acquired t.acquire_failures t.released;
+      Printf.sprintf
+        "audit: %d violation(s), %d leaked, %d error(s), %d timeout(s)"
+        t.violations t.leaked t.errors t.timeouts;
+      Printf.sprintf "throughput: %.0f op/s" t.throughput;
+      Printf.sprintf
+        "acquire latency: p50 %.1fus  p99 %.1fus  p999 %.1fus  mean %.1fus  max %.1fus"
+        (float_of_int t.lat_p50 /. 1e3)
+        (float_of_int t.lat_p99 /. 1e3)
+        (float_of_int t.lat_p999 /. 1e3)
+        (t.lat_mean /. 1e3)
+        (float_of_int t.lat_max /. 1e3);
+    ]
+
+let check ~threshold ~baseline ~current =
+  let findings = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> findings := s :: !findings) fmt in
+  if current.violations <> 0 then
+    add "%d uniqueness violation(s) — two live grants of one name"
+      current.violations;
+  if current.leaked <> 0 then
+    add "%d leaked slot(s) at drain (slot-conservation residue)" current.leaked;
+  if current.errors <> 0 then add "%d protocol error(s)" current.errors;
+  if current.timeouts <> 0 then
+    add "%d operation(s) unanswered at drain" current.timeouts;
+  if current.acquired = 0 then add "no successful acquires";
+  if
+    not
+      (current.lat_p50 <= current.lat_p99 && current.lat_p99 <= current.lat_p999)
+  then
+    add "latency quantiles out of order: p50=%d p99=%d p999=%d ns"
+      current.lat_p50 current.lat_p99 current.lat_p999;
+  let floor = (1. -. threshold) *. baseline.throughput in
+  if current.throughput < floor then
+    add "throughput fell to %.0f op/s (baseline %.0f, floor %.0f)"
+      current.throughput baseline.throughput floor;
+  List.rev !findings
+
+(* Next free BENCH_SERVICE_<k>.json, mirroring the kernel bench's
+   side-by-side accumulation with index 0 as the committed baseline. *)
+let next_index dir =
+  let taken = Hashtbl.create 8 in
+  (if Sys.file_exists dir then
+     Array.iter
+       (fun f ->
+         match Scanf.sscanf_opt f "BENCH_SERVICE_%d.json%!" (fun i -> i) with
+         | Some i -> Hashtbl.replace taken i ()
+         | None -> ())
+       (Sys.readdir dir));
+  let rec go i = if Hashtbl.mem taken i then go (i + 1) else i in
+  go 0
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ()
+  end
+
+let save ~dir t =
+  mkdir_p dir;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "BENCH_SERVICE_%d.json" (next_index dir))
+  in
+  let oc = open_out_bin path in
+  output_string oc (Jsonu.to_string (to_json t));
+  output_char oc '\n';
+  close_out oc;
+  path

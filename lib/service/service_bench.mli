@@ -1,0 +1,60 @@
+(** The service load-test artifact ([bench/BENCH_SERVICE_<k>.json]) and
+    its regression gate.
+
+    A run records the offered-load configuration, the audit counters
+    from {!Load_gen} and the acquire-latency quantiles.  {!check}
+    compares a fresh run against a committed baseline the way the
+    kernel bench does: {e invariants} are absolute (zero uniqueness
+    violations, zero leaked slots, zero errors/timeouts, quantiles
+    ordered), while {e throughput} is relative to the baseline within a
+    threshold — absolute latency is machine noise and is recorded but
+    never gated. *)
+
+type t = {
+  (* configuration *)
+  shards : int;
+  capacity : int;
+  conns : int;
+  clients : int;
+  rate : float;
+  duration_s : float;
+  seed : int;
+  (* audit *)
+  wall_s : float;
+  offered : int;
+  acquired : int;
+  acquire_failures : int;
+  released : int;
+  errors : int;
+  timeouts : int;
+  violations : int;
+  leaked : int;
+  throughput : float;
+  (* latency, nanoseconds *)
+  lat_p50 : int;
+  lat_p99 : int;
+  lat_p999 : int;
+  lat_mean : float;
+  lat_max : int;
+}
+
+val of_run :
+  shards:int -> capacity:int -> cfg:Load_gen.config -> Load_gen.result -> t
+
+val to_json : t -> Jsonu.t
+val of_json : Jsonu.t -> t
+(** @raise Jsonu.Malformed on schema mismatch. *)
+
+val load : string -> t
+(** @raise Jsonu.Malformed / [Sys_error]. *)
+
+val save : dir:string -> t -> string
+(** Write to the next free [BENCH_SERVICE_<k>.json] in [dir] and return
+    the path; [BENCH_SERVICE_0.json] stays the committed baseline. *)
+
+val render : t -> string
+
+val check : threshold:float -> baseline:t -> current:t -> string list
+(** Findings, empty when the run passes.  Invariant findings fire on
+    the current run alone; throughput fires when it falls below
+    [(1 - threshold) x baseline]. *)

@@ -1,0 +1,90 @@
+type t = {
+  mutable mode : Wire.mode option;
+  mutable buf : Bytes.t;
+  mutable start : int;  (* first unconsumed byte *)
+  mutable fill : int;  (* one past the last valid byte *)
+  mutable corrupt : string option;
+  held : (int, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    mode = None;
+    buf = Bytes.create 4096;
+    start = 0;
+    fill = 0;
+    corrupt = None;
+    held = Hashtbl.create 16;
+  }
+
+let mode t = t.mode
+let buffered t = t.fill - t.start
+
+(* Make room for [extra] bytes: compact the live region to the front,
+   growing the backing store only when compaction is not enough.  The
+   live region is bounded by max_frame + header, so the buffer is too. *)
+let reserve t extra =
+  let live = t.fill - t.start in
+  if t.fill + extra > Bytes.length t.buf then begin
+    let needed = live + extra in
+    let target =
+      if needed <= Bytes.length t.buf then Bytes.length t.buf
+      else
+        let n = ref (Bytes.length t.buf) in
+        while !n < needed do
+          n := !n * 2
+        done;
+        !n
+    in
+    let dst = if target = Bytes.length t.buf then t.buf else Bytes.create target in
+    Bytes.blit t.buf t.start dst 0 live;
+    t.buf <- dst;
+    t.start <- 0;
+    t.fill <- live
+  end
+
+let feed t ~buf ~len =
+  match t.corrupt with
+  | Some msg -> Result.Error msg
+  | None ->
+    if len > 0 then begin
+      reserve t len;
+      Bytes.blit buf 0 t.buf t.fill len;
+      t.fill <- t.fill + len
+    end;
+    if t.mode = None && t.fill > t.start then
+      t.mode <-
+        Some (if Bytes.get t.buf t.start = '{' then Wire.Json else Wire.Binary);
+    let out = ref [] in
+    let err = ref None in
+    (match t.mode with
+    | None -> ()
+    | Some mode ->
+      let continue = ref true in
+      while !continue do
+        match
+          Wire.decode_request mode t.buf ~pos:t.start ~len:(t.fill - t.start)
+        with
+        | Wire.Frame (r, consumed) ->
+          t.start <- t.start + consumed;
+          out := r :: !out
+        | Wire.Need_more -> continue := false
+        | Wire.Corrupt msg ->
+          t.corrupt <- Some msg;
+          err := Some msg;
+          continue := false
+      done);
+    (match !err with
+    | Some msg -> Result.Error msg
+    | None ->
+      if t.start = t.fill then begin
+        t.start <- 0;
+        t.fill <- 0
+      end;
+      Result.Ok (List.rev !out))
+
+let note_acquired t name = Hashtbl.replace t.held name ()
+let note_released t name = Hashtbl.remove t.held name
+let holds t name = Hashtbl.mem t.held name
+let held t = Hashtbl.to_seq_keys t.held |> List.of_seq
+let held_count t = Hashtbl.length t.held

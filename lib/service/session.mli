@@ -1,0 +1,40 @@
+(** Per-connection protocol state.
+
+    A session owns the connection's read buffer and framing mode and
+    turns an arbitrary byte-stream chop (partial reads, several frames
+    per read, frames split across reads) into whole {!Wire.request}s.
+    It also keeps the connection's {e held-name ledger}: every name the
+    server has granted this connection and not yet seen released.  The
+    ledger is what makes release validation ([err_not_held]) and
+    crash/shutdown cleanup possible — when a connection dies, exactly
+    the names on its ledger are returned to the pool, so a misbehaving
+    client cannot leak slots.
+
+    The first byte of the connection selects the mode: ['{'] is a JSON
+    session, anything else binary (see {!Wire.mode}). *)
+
+type t
+
+val create : unit -> t
+
+val mode : t -> Wire.mode option
+(** [None] until the first byte arrives. *)
+
+val feed : t -> buf:Bytes.t -> len:int -> (Wire.request list, string) result
+(** [feed t ~buf ~len] appends [buf.[0, len)] to the session buffer and
+    drains every complete frame, in order.  [Error] means the stream is
+    corrupt (bad framing, oversized frame, invalid JSON) and the
+    connection must be closed; a session never recovers from [Error]. *)
+
+val buffered : t -> int
+(** Bytes waiting for the rest of their frame (tests/diagnostics). *)
+
+(** {1 Held-name ledger} *)
+
+val note_acquired : t -> int -> unit
+val note_released : t -> int -> unit
+val holds : t -> int -> bool
+val held : t -> int list
+(** Names currently held, in no particular order. *)
+
+val held_count : t -> int

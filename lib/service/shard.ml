@@ -1,0 +1,124 @@
+type shard = {
+  index : int;
+  ll : Renaming.Long_lived.t;
+  env : Renaming.Env.t;  (* owner-domain only: carries the coin stream *)
+  acquires : int Atomic.t;
+  releases : int Atomic.t;
+  failures : int Atomic.t;
+  probes : int Atomic.t;
+}
+
+type t = {
+  space : Shm.Atomic_space.t;
+  pool : shard array;
+  capacity : int;
+  per_shard : int;
+  route_salt : Prng.Splitmix.t;  (* never advanced; split_at per client *)
+}
+
+let create ?(epsilon = 1.0) ?(t0 = 3) ~shards ~capacity ~seed () =
+  if shards < 1 then invalid_arg "Shard.create: shards < 1";
+  if capacity < 1 then invalid_arg "Shard.create: capacity < 1";
+  (* All shards share one geometry; probe it once to size the space. *)
+  let probe = Renaming.Rebatching.make ~epsilon ~t0 ~n:capacity () in
+  let m = Renaming.Rebatching.size probe in
+  let space = Shm.Atomic_space.create ~capacity:(shards * m) in
+  let root = Prng.Splitmix.of_int seed in
+  (* [split] advances [root], so the routing stream below is disjoint
+     from every per-shard coin stream derived by [split_at]. *)
+  let route_salt = Prng.Splitmix.split root in
+  let pool =
+    Array.init shards (fun index ->
+        let ll =
+          Renaming.Long_lived.make ~epsilon ~t0 ~base:(index * m) ~n:capacity ()
+        in
+        let probes = Atomic.make 0 in
+        let rng = Prng.Splitmix.split_at root index in
+        let env =
+          Renaming.Env.make ~pid:index
+            ~tas:(fun loc ->
+              Atomic.incr probes;
+              Shm.Atomic_space.tas space loc)
+            ~reset:(fun loc -> Shm.Atomic_space.release space loc)
+            ~random_int:(fun bound -> Prng.Splitmix.int rng bound)
+            ()
+        in
+        {
+          index;
+          ll;
+          env;
+          acquires = Atomic.make 0;
+          releases = Atomic.make 0;
+          failures = Atomic.make 0;
+          probes;
+        })
+  in
+  { space; pool; capacity; per_shard = m; route_salt }
+
+let shards t = Array.length t.pool
+let capacity t = t.capacity
+let per_shard_namespace t = t.per_shard
+let namespace t = Array.length t.pool * t.per_shard
+
+(* Diffuse the client id through the seed tree so routing is a stable
+   pure function of (seed, client) but adjacent ids do not pile onto
+   one shard. *)
+let shard_of_client t client =
+  let s = Prng.Splitmix.split_at t.route_salt (client land max_int) in
+  Prng.Splitmix.int s (Array.length t.pool)
+
+let shard_of_name t name =
+  if name < 0 || name >= namespace t then None else Some (name / t.per_shard)
+
+let acquire t ~shard ~client:_ =
+  let s = t.pool.(shard) in
+  match Renaming.Long_lived.acquire s.env s.ll with
+  | Some name ->
+    Atomic.incr s.acquires;
+    Some name
+  | None ->
+    Atomic.incr s.failures;
+    None
+
+let release t ~name =
+  match shard_of_name t name with
+  | None -> invalid_arg "Shard.release: name outside the pool's namespace"
+  | Some i ->
+    let s = t.pool.(i) in
+    Renaming.Long_lived.release s.env s.ll name;
+    Atomic.incr s.releases
+
+let sum t f = Array.fold_left (fun acc s -> acc + Atomic.get (f s)) 0 t.pool
+let acquires t = sum t (fun s -> s.acquires)
+let releases t = sum t (fun s -> s.releases)
+let failures t = sum t (fun s -> s.failures)
+let probes t = sum t (fun s -> s.probes)
+let taken_count t = Shm.Atomic_space.taken_count t.space
+let leaked t ~held = taken_count t - held
+
+let stats t =
+  let per_shard =
+    Array.to_list t.pool
+    |> List.map (fun s ->
+           Jsonu.Obj
+             [
+               ("shard", Jsonu.Int s.index);
+               ("acquires", Jsonu.Int (Atomic.get s.acquires));
+               ("releases", Jsonu.Int (Atomic.get s.releases));
+               ("failures", Jsonu.Int (Atomic.get s.failures));
+               ("probes", Jsonu.Int (Atomic.get s.probes));
+             ])
+  in
+  Jsonu.Obj
+    [
+      ("shards", Jsonu.Int (shards t));
+      ("capacity", Jsonu.Int t.capacity);
+      ("per_shard_namespace", Jsonu.Int t.per_shard);
+      ("namespace", Jsonu.Int (namespace t));
+      ("acquires", Jsonu.Int (acquires t));
+      ("releases", Jsonu.Int (releases t));
+      ("failures", Jsonu.Int (failures t));
+      ("probes", Jsonu.Int (probes t));
+      ("taken", Jsonu.Int (taken_count t));
+      ("per_shard", Jsonu.Arr per_shard);
+    ]

@@ -1,0 +1,335 @@
+type mode = Binary | Json
+
+type request =
+  | Acquire of { id : int; client : int }
+  | Release of { id : int; client : int; name : int }
+  | Stats of { id : int }
+  | Shutdown of { id : int }
+
+type op = Op_acquire | Op_release | Op_stats | Op_shutdown
+
+type response =
+  | Acquired of { id : int; name : int }
+  | Released of { id : int }
+  | Stats_reply of { id : int; stats : Jsonu.t }
+  | Shutting_down of { id : int }
+  | Error of { id : int; op : op; code : int; msg : string }
+
+let err_proto = 1
+let err_capacity = 2
+let err_not_held = 3
+let err_shutdown = 4
+let max_frame = 65536
+
+let request_id = function
+  | Acquire { id; _ } | Release { id; _ } | Stats { id } | Shutdown { id } -> id
+
+let request_op = function
+  | Acquire _ -> Op_acquire
+  | Release _ -> Op_release
+  | Stats _ -> Op_stats
+  | Shutdown _ -> Op_shutdown
+
+let response_id = function
+  | Acquired { id; _ }
+  | Released { id }
+  | Stats_reply { id; _ }
+  | Shutting_down { id }
+  | Error { id; _ } ->
+    id
+
+let op_string = function
+  | Op_acquire -> "acquire"
+  | Op_release -> "release"
+  | Op_stats -> "stats"
+  | Op_shutdown -> "shutdown"
+
+let op_of_string = function
+  | "acquire" -> Some Op_acquire
+  | "release" -> Some Op_release
+  | "stats" -> Some Op_stats
+  | "shutdown" -> Some Op_shutdown
+  | _ -> None
+
+let op_code = function
+  | Op_acquire -> 1
+  | Op_release -> 2
+  | Op_stats -> 3
+  | Op_shutdown -> 4
+
+let op_of_code = function
+  | 1 -> Some Op_acquire
+  | 2 -> Some Op_release
+  | 3 -> Some Op_stats
+  | 4 -> Some Op_shutdown
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Binary primitives: big-endian fixed-width fields into a Buffer, and
+   bounds-checked reads out of a Bytes window. *)
+
+let u32_max = (1 lsl 32) - 1
+
+let check_u32 what v =
+  if v < 0 || v > u32_max then
+    invalid_arg (Printf.sprintf "Wire: %s %d outside u32" what v)
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let add_u16 b v =
+  add_u8 b (v lsr 8);
+  add_u8 b v
+
+let add_u32 b v =
+  add_u8 b (v lsr 24);
+  add_u8 b (v lsr 16);
+  add_u8 b (v lsr 8);
+  add_u8 b v
+
+let get_u8 buf off = Char.code (Bytes.get buf off)
+let get_u16 buf off = (get_u8 buf off lsl 8) lor get_u8 buf (off + 1)
+
+let get_u32 buf off =
+  (get_u8 buf off lsl 24)
+  lor (get_u8 buf (off + 1) lsl 16)
+  lor (get_u8 buf (off + 2) lsl 8)
+  lor get_u8 buf (off + 3)
+
+(* Payload encoders build into a scratch buffer so the length prefix can
+   be written first without backpatching. *)
+let with_frame out payload =
+  let b = Buffer.create 32 in
+  payload b;
+  let len = Buffer.length b in
+  if len > max_frame then invalid_arg "Wire: frame exceeds max_frame";
+  add_u32 out len;
+  Buffer.add_buffer out b
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+let encode_request_binary out r =
+  with_frame out (fun b ->
+      add_u8 b (op_code (request_op r));
+      check_u32 "id" (request_id r);
+      add_u32 b (request_id r);
+      match r with
+      | Acquire { client; _ } ->
+        check_u32 "client" client;
+        add_u32 b client
+      | Release { client; name; _ } ->
+        check_u32 "client" client;
+        check_u32 "name" name;
+        add_u32 b client;
+        add_u32 b name
+      | Stats _ | Shutdown _ -> ())
+
+let request_to_json r =
+  let base = [ ("id", Jsonu.Int (request_id r));
+               ("op", Jsonu.Str (op_string (request_op r))) ] in
+  let rest =
+    match r with
+    | Acquire { client; _ } -> [ ("client", Jsonu.Int client) ]
+    | Release { client; name; _ } ->
+      [ ("client", Jsonu.Int client); ("name", Jsonu.Int name) ]
+    | Stats _ | Shutdown _ -> []
+  in
+  Jsonu.Obj (base @ rest)
+
+let encode_request mode out r =
+  match mode with
+  | Binary -> encode_request_binary out r
+  | Json ->
+    Buffer.add_string out (Jsonu.to_string (request_to_json r));
+    Buffer.add_char out '\n'
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+let response_op = function
+  | Acquired _ -> Op_acquire
+  | Released _ -> Op_release
+  | Stats_reply _ -> Op_stats
+  | Shutting_down _ -> Op_shutdown
+  | Error { op; _ } -> op
+
+let encode_response_binary out r =
+  with_frame out (fun b ->
+      let status = match r with Error _ -> 1 | _ -> 0 in
+      add_u8 b status;
+      add_u8 b (op_code (response_op r));
+      check_u32 "id" (response_id r);
+      add_u32 b (response_id r);
+      match r with
+      | Acquired { name; _ } ->
+        check_u32 "name" name;
+        add_u32 b name
+      | Released _ | Shutting_down _ -> ()
+      | Stats_reply { stats; _ } ->
+        let s = Jsonu.to_string stats in
+        if String.length s > 0xffff then invalid_arg "Wire: stats too large";
+        add_u16 b (String.length s);
+        Buffer.add_string b s
+      | Error { code; msg; _ } ->
+        add_u8 b code;
+        let msg =
+          if String.length msg > 0xffff then String.sub msg 0 0xffff else msg
+        in
+        add_u16 b (String.length msg);
+        Buffer.add_string b msg)
+
+let response_to_json r =
+  let base ok =
+    [ ("id", Jsonu.Int (response_id r));
+      ("op", Jsonu.Str (op_string (response_op r)));
+      ("ok", Jsonu.Bool ok) ]
+  in
+  match r with
+  | Acquired { name; _ } -> Jsonu.Obj (base true @ [ ("name", Jsonu.Int name) ])
+  | Released _ | Shutting_down _ -> Jsonu.Obj (base true)
+  | Stats_reply { stats; _ } -> Jsonu.Obj (base true @ [ ("stats", stats) ])
+  | Error { code; msg; _ } ->
+    Jsonu.Obj (base false @ [ ("code", Jsonu.Int code); ("error", Jsonu.Str msg) ])
+
+let encode_response mode out r =
+  match mode with
+  | Binary -> encode_response_binary out r
+  | Json ->
+    Buffer.add_string out (Jsonu.to_string (response_to_json r));
+    Buffer.add_char out '\n'
+
+(* ------------------------------------------------------------------ *)
+(* Incremental decoding *)
+
+type 'a step = Frame of 'a * int | Need_more | Corrupt of string
+
+(* Binary framing shared by both directions: returns the payload window
+   once it is fully buffered.  [pos]/[len] delimit the unread region. *)
+let binary_frame buf ~pos ~len k =
+  if len < 4 then Need_more
+  else begin
+    let plen = get_u32 buf pos in
+    if plen > max_frame then
+      Corrupt (Printf.sprintf "frame length %d exceeds max %d" plen max_frame)
+    else if plen = 0 then Corrupt "empty frame"
+    else if len < 4 + plen then Need_more
+    else
+      match k (pos + 4) plen with
+      | Ok v -> Frame (v, 4 + plen)
+      | Error msg -> Corrupt msg
+  end
+
+let decode_request_binary buf ~pos ~len =
+  binary_frame buf ~pos ~len (fun off plen ->
+      if plen < 5 then Error "request payload shorter than header"
+      else
+        let id = get_u32 buf (off + 1) in
+        match (op_of_code (get_u8 buf off), plen) with
+        | Some Op_acquire, 9 -> Ok (Acquire { id; client = get_u32 buf (off + 5) })
+        | Some Op_release, 13 ->
+          Ok
+            (Release
+               { id; client = get_u32 buf (off + 5); name = get_u32 buf (off + 9) })
+        | Some Op_stats, 5 -> Ok (Stats { id })
+        | Some Op_shutdown, 5 -> Ok (Shutdown { id })
+        | Some op, _ ->
+          Error (Printf.sprintf "bad %s payload length %d" (op_string op) plen)
+        | None, _ -> Error (Printf.sprintf "unknown opcode %d" (get_u8 buf off)))
+
+let decode_response_binary buf ~pos ~len =
+  binary_frame buf ~pos ~len (fun off plen ->
+      if plen < 6 then Error "response payload shorter than header"
+      else
+        let status = get_u8 buf off in
+        let id = get_u32 buf (off + 2) in
+        match (op_of_code (get_u8 buf (off + 1)), status) with
+        | None, _ -> Error (Printf.sprintf "unknown opcode %d" (get_u8 buf (off + 1)))
+        | Some op, 1 ->
+          if plen < 9 then Error "error payload shorter than header"
+          else
+            let code = get_u8 buf (off + 6) in
+            let mlen = get_u16 buf (off + 7) in
+            if plen <> 9 + mlen then Error "error payload length mismatch"
+            else
+              Ok
+                (Error
+                   { id; op; code; msg = Bytes.sub_string buf (off + 9) mlen })
+        | Some Op_acquire, 0 when plen = 10 ->
+          Ok (Acquired { id; name = get_u32 buf (off + 6) })
+        | Some Op_release, 0 when plen = 6 -> Ok (Released { id })
+        | Some Op_shutdown, 0 when plen = 6 -> Ok (Shutting_down { id })
+        | Some Op_stats, 0 when plen >= 8 ->
+          let slen = get_u16 buf (off + 6) in
+          if plen <> 8 + slen then Error "stats payload length mismatch"
+          else begin
+            match Jsonu.parse (Bytes.sub_string buf (off + 8) slen) with
+            | Some stats -> Ok (Stats_reply { id; stats })
+            | None -> Error "stats payload is not valid JSON"
+          end
+        | Some op, 0 ->
+          Error (Printf.sprintf "bad %s payload length %d" (op_string op) plen)
+        | Some _, s -> Error (Printf.sprintf "unknown status %d" s))
+
+(* One JSON line: find the newline, bound the line length, parse. *)
+let json_line buf ~pos ~len k =
+  let limit = min len (max_frame + 1) in
+  let nl = ref (-1) in
+  (try
+     for i = 0 to limit - 1 do
+       if Bytes.get buf (pos + i) = '\n' then begin
+         nl := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !nl < 0 then
+    if len > max_frame then
+      Corrupt (Printf.sprintf "JSON line exceeds max %d bytes" max_frame)
+    else Need_more
+  else
+    let line = Bytes.sub_string buf pos !nl in
+    match Jsonu.parse line with
+    | None -> Corrupt "line is not valid JSON"
+    | Some j -> (
+      match k j with
+      | Ok v -> Frame (v, !nl + 1)
+      | Error msg -> Corrupt msg
+      | exception Jsonu.Malformed -> Corrupt "missing or mistyped field")
+
+let decode_request_json buf ~pos ~len =
+  json_line buf ~pos ~len (fun j ->
+      let f = Jsonu.obj j in
+      let id = Jsonu.int_ f "id" in
+      match op_of_string (Jsonu.str f "op") with
+      | Some Op_acquire -> Ok (Acquire { id; client = Jsonu.int_ f "client" })
+      | Some Op_release ->
+        Ok (Release { id; client = Jsonu.int_ f "client"; name = Jsonu.int_ f "name" })
+      | Some Op_stats -> Ok (Stats { id })
+      | Some Op_shutdown -> Ok (Shutdown { id })
+      | None -> Error (Printf.sprintf "unknown op %S" (Jsonu.str f "op")))
+
+let decode_response_json buf ~pos ~len =
+  json_line buf ~pos ~len (fun j ->
+      let f = Jsonu.obj j in
+      let id = Jsonu.int_ f "id" in
+      match (op_of_string (Jsonu.str f "op"), Jsonu.bool_ f "ok") with
+      | None, _ -> Error (Printf.sprintf "unknown op %S" (Jsonu.str f "op"))
+      | Some op, false ->
+        Ok (Error { id; op; code = Jsonu.int_ f "code"; msg = Jsonu.str f "error" })
+      | Some Op_acquire, true -> Ok (Acquired { id; name = Jsonu.int_ f "name" })
+      | Some Op_release, true -> Ok (Released { id })
+      | Some Op_shutdown, true -> Ok (Shutting_down { id })
+      | Some Op_stats, true -> (
+        match List.assoc_opt "stats" f with
+        | Some stats -> Ok (Stats_reply { id; stats })
+        | None -> Error "stats reply without stats field"))
+
+let decode_request mode buf ~pos ~len =
+  match mode with
+  | Binary -> decode_request_binary buf ~pos ~len
+  | Json -> decode_request_json buf ~pos ~len
+
+let decode_response mode buf ~pos ~len =
+  match mode with
+  | Binary -> decode_response_binary buf ~pos ~len
+  | Json -> decode_response_json buf ~pos ~len

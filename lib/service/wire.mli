@@ -1,0 +1,86 @@
+(** The renaming service's wire protocol.
+
+    Two self-framing encodings of the same request/response algebra:
+
+    - {b Binary}: a 4-byte big-endian payload length followed by the
+      payload (opcode, request id, operands as fixed-width big-endian
+      integers; strings are u16-length-prefixed).  This is the daemon's
+      native format: fixed cost to encode, zero parsing ambiguity.
+    - {b Json}: one {!Jsonu} object per line ([\n]-terminated) — the
+      debuggable fallback; [socat] is a usable client.
+
+    A connection picks its mode implicitly with its first byte: ['{']
+    opens a JSON session, anything else is read as binary (a binary
+    frame's first byte is the high byte of a length below
+    {!max_frame}, hence never ['{']).
+
+    Every request carries a client-chosen [id] echoed verbatim in the
+    response, so one connection can multiplex many in-flight operations
+    (acquires route to per-shard worker domains and complete out of
+    order).  Decoding is incremental: feed whatever bytes have arrived
+    and get back a frame, a request for more bytes, or a corruption
+    verdict — never an exception and never a partial value. *)
+
+type mode = Binary | Json
+
+type request =
+  | Acquire of { id : int; client : int }
+      (** obtain a name; [client] selects the shard *)
+  | Release of { id : int; client : int; name : int }
+      (** return [name]; must be held by this connection *)
+  | Stats of { id : int }  (** server + per-shard counters as JSON *)
+  | Shutdown of { id : int }  (** graceful drain, then exit *)
+
+type op = Op_acquire | Op_release | Op_stats | Op_shutdown
+
+type response =
+  | Acquired of { id : int; name : int }
+  | Released of { id : int }
+  | Stats_reply of { id : int; stats : Jsonu.t }
+  | Shutting_down of { id : int }  (** ack of {!Shutdown} *)
+  | Error of { id : int; op : op; code : int; msg : string }
+
+(** {1 Error codes} *)
+
+val err_proto : int
+(** malformed or inapplicable request *)
+
+val err_capacity : int
+(** shard namespace exhausted (overload) *)
+
+val err_not_held : int
+(** releasing a name this session does not hold *)
+
+val err_shutdown : int
+(** server is draining; no new acquires *)
+
+val max_frame : int
+(** Upper bound on a binary payload and on a JSON line (64 KiB).  A
+    length prefix above this is corruption by construction — the codec
+    rejects it instead of allocating attacker-controlled buffers. *)
+
+val request_id : request -> int
+val request_op : request -> op
+val response_id : response -> int
+val op_string : op -> string
+
+(** {1 Encoding} *)
+
+val encode_request : mode -> Buffer.t -> request -> unit
+val encode_response : mode -> Buffer.t -> response -> unit
+
+(** {1 Incremental decoding} *)
+
+type 'a step =
+  | Frame of 'a * int
+      (** a complete frame and how many bytes it consumed *)
+  | Need_more  (** no complete frame in the buffer yet *)
+  | Corrupt of string
+      (** unrecoverable framing damage; close the connection *)
+
+val decode_request : mode -> Bytes.t -> pos:int -> len:int -> request step
+(** [decode_request mode buf ~pos ~len] reads one frame from
+    [buf.[pos, pos+len)].  Any strict prefix of a valid frame yields
+    {!Need_more}, never {!Corrupt} — partial reads are normal. *)
+
+val decode_response : mode -> Bytes.t -> pos:int -> len:int -> response step

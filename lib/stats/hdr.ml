@@ -1,0 +1,108 @@
+(* Log-linear bucketing, HdrHistogram style: values in [2^k, 2^(k+1))
+   are split into 64 linear sub-buckets of width 2^(k-6), so the index
+   is O(1) bit twiddling and the representative (upper bound) of any
+   bucket overestimates a member by at most 1/64 of its value. *)
+
+let sub_bits = 6
+let sub = 1 lsl sub_bits (* 64 *)
+
+(* Largest exponent we distinguish; beyond this values saturate.  2^61
+   keeps every intermediate computation inside OCaml's 63-bit ints. *)
+let max_exp = 61
+
+let bucket_count = sub + ((max_exp - sub_bits + 1) * sub)
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  {
+    counts = Array.make bucket_count 0;
+    total = 0;
+    sum = 0.;
+    min_v = max_int;
+    max_v = 0;
+  }
+
+(* Position of the highest set bit of [v >= 1]. *)
+let msb v =
+  let k = ref 0 and v = ref v in
+  if !v >= 1 lsl 32 then begin k := !k + 32; v := !v lsr 32 end;
+  if !v >= 1 lsl 16 then begin k := !k + 16; v := !v lsr 16 end;
+  if !v >= 1 lsl 8 then begin k := !k + 8; v := !v lsr 8 end;
+  if !v >= 1 lsl 4 then begin k := !k + 4; v := !v lsr 4 end;
+  if !v >= 1 lsl 2 then begin k := !k + 2; v := !v lsr 2 end;
+  if !v >= 1 lsl 1 then k := !k + 1;
+  !k
+
+let index_of v =
+  if v < sub then v
+  else
+    let k = msb v in
+    let s = (v - (1 lsl k)) lsr (k - sub_bits) in
+    sub + ((k - sub_bits) * sub) + s
+
+(* Inclusive upper bound of bucket [i] — the quantile representative. *)
+let upper_of i =
+  if i < sub then i
+  else
+    let e = ((i - sub) / sub) + sub_bits in
+    let s = (i - sub) mod sub in
+    (1 lsl e) + ((s + 1) lsl (e - sub_bits)) - 1
+
+let record t v =
+  let v = if v < 0 then 0 else if v > 1 lsl max_exp then 1 lsl max_exp else v in
+  t.counts.(index_of v) <- t.counts.(index_of v) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. float_of_int v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.total
+let min_value t = if t.total = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.total = 0 then nan else t.sum /. float_of_int t.total
+
+let quantile t q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Hdr.quantile: q outside [0,1]";
+  if t.total = 0 then 0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int t.total)) in
+    if rank <= 0 then t.min_v
+    else begin
+      let cum = ref 0 and i = ref 0 and res = ref t.max_v in
+      (try
+         while !i < bucket_count do
+           cum := !cum + t.counts.(!i);
+           if !cum >= rank then begin
+             res := upper_of !i;
+             raise Exit
+           end;
+           incr i
+         done
+       with Exit -> ());
+      (* The bucket bound never needs to exceed the recorded extremes. *)
+      if !res > t.max_v then t.max_v else if !res < t.min_v then t.min_v else !res
+    end
+  end
+
+let merge ~into src =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.total <- into.total + src.total;
+  into.sum <- into.sum +. src.sum;
+  if src.total > 0 then begin
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v
+  end
+
+let to_alist t =
+  let out = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if t.counts.(i) > 0 then out := (upper_of i, t.counts.(i)) :: !out
+  done;
+  !out

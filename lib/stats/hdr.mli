@@ -1,0 +1,52 @@
+(** HDR-style log-linear latency histogram.
+
+    The serving layer needs tail quantiles (p50/p99/p999) over millions
+    of nanosecond-scale latency samples with O(1) recording and bounded
+    memory — exactly the trade-off of Gil Tene's HdrHistogram.  Values
+    land in power-of-two ranges split into 64 linear sub-buckets, so
+    every recorded value is represented with relative error at most
+    1/64 (~1.6%) while the whole structure is a flat int array of a few
+    thousand counters regardless of range.
+
+    Unlike {!Histogram} (exact counts over small integer values, used
+    for step counts), this module is for wide-range measurements where
+    exact per-value counts are pointless and quantiles are the product.
+    Values are plain non-negative ints; the serving layer records
+    nanoseconds. *)
+
+type t
+(** A mutable histogram.  Not thread-safe; create one per recording
+    domain and {!merge} afterwards. *)
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** [record t v] counts one occurrence of [v].  Negative values are
+    clamped to [0] (a backwards clock step must not crash a load run);
+    values above 2^62/2 saturate into the top bucket. *)
+
+val count : t -> int
+(** Total recorded samples. *)
+
+val min_value : t -> int
+(** Smallest recorded value, exactly as recorded; [0] if empty. *)
+
+val max_value : t -> int
+(** Largest recorded value, exactly as recorded; [0] if empty. *)
+
+val mean : t -> float
+(** Exact mean of recorded values ([nan] if empty) — tracked as a
+    running sum, not reconstructed from buckets. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [0, 1]: an upper bound on the value at
+    rank [ceil (q * count)], tight to one sub-bucket (relative error
+    <= 1/64).  [0] if the histogram is empty.
+    @raise Invalid_argument if [q] is outside [0, 1]. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] adds [src]'s counts into [into]. *)
+
+val to_alist : t -> (int * int) list
+(** [(bucket_upper_bound, count)] pairs in increasing value order, zero
+    counts omitted — the artifact/debug view. *)
