@@ -3,9 +3,12 @@
    A thin operator shell over Service.Server: parse flags, install
    signal handlers that trigger the graceful drain, run, and map the
    drain report onto the repository's exit-code convention (0 clean,
-   1 findings — here, leaked slots at exit — 2 usage/startup error). *)
+   1 findings — here, leaked slots at exit — 2 usage/startup error,
+   including "recovery required": a journal with live grants exists
+   and --recover was not given). *)
 
-let serve socket_path shards capacity seed backlog max_conns quiet =
+let serve socket_path shards capacity seed backlog max_conns lease_ttl journal
+    recover quiet =
   let log =
     if quiet then ignore
     else fun s -> Printf.eprintf "[renamed] %s\n%!" s
@@ -18,6 +21,9 @@ let serve socket_path shards capacity seed backlog max_conns quiet =
       seed;
       backlog;
       max_conns;
+      lease_ttl_s = lease_ttl;
+      journal_path = journal;
+      recover;
       log;
     }
   in
@@ -40,11 +46,13 @@ let serve socket_path shards capacity seed backlog max_conns quiet =
     log
       (Printf.sprintf
          "served %d conn(s), %d request(s): %d acquire(s), %d release(s), \
-          %d error(s), %d drained, %.1fs"
+          %d renew(s), %d error(s), %d drained, %d expired, %d recovered, \
+          %.1fs"
          r.Service.Server.conns_served r.Service.Server.requests
          r.Service.Server.acquires r.Service.Server.releases
-         r.Service.Server.errors r.Service.Server.drained_releases
-         r.Service.Server.wall_s);
+         r.Service.Server.renews r.Service.Server.errors
+         r.Service.Server.drained_releases r.Service.Server.expired_leases
+         r.Service.Server.recovered r.Service.Server.wall_s);
     if Service.Server.report_clean r then 0
     else begin
       Printf.eprintf "renamed: %d slot(s) leaked at exit\n%!"
@@ -58,7 +66,10 @@ let exits =
   [
     Cmd.Exit.info 0 ~doc:"clean shutdown: every slot returned (no leaks).";
     Cmd.Exit.info 1 ~doc:"shutdown with findings: slots leaked at exit.";
-    Cmd.Exit.info 2 ~doc:"usage or startup error (socket in use, bad flags).";
+    Cmd.Exit.info 2
+      ~doc:
+        "usage or startup error (socket in use, bad flags, damaged journal, \
+         or a journal holding live grants without $(b,--recover)).";
   ]
 
 let socket_t =
@@ -94,6 +105,36 @@ let max_conns_t =
     & info [ "max-conns" ] ~docv:"N"
         ~doc:"Refuse connections beyond this many concurrent clients.")
 
+let lease_ttl_t =
+  Arg.(
+    value & opt float 30.
+    & info [ "lease-ttl" ] ~docv:"SECONDS"
+        ~doc:
+          "Lease time-to-live: a grant not renewed (by heartbeat or any \
+           request on its connection) within this window is reclaimed by \
+           the expiry sweep.")
+
+let journal_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Append-only crash journal: every grant is journaled and fsynced \
+           before the client sees it, so a killed daemon can be restarted \
+           with $(b,--recover) without double-granting a live name.  Off by \
+           default (grants are then lost on crash).")
+
+let recover_t =
+  Arg.(
+    value & flag
+    & info [ "recover" ]
+        ~doc:
+          "Replay the journal at boot: re-occupy every live grant's slot, \
+           restore its lease (fresh TTL, original epoch), and compact the \
+           journal before accepting connections.  Without this flag a \
+           journal holding live grants refuses to start (exit 2).")
+
 let quiet_t =
   Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress operator log lines.")
 
@@ -109,6 +150,13 @@ let cmd =
          shard is a long-lived ReBatching instance on its own worker \
          domain over one shared atomic location space.";
       `P
+        "Every grant carries a lease ($(b,--lease-ttl)); a client that \
+         goes silent without disconnecting loses its names to the expiry \
+         sweep.  With $(b,--journal) the daemon is crash-safe: grants are \
+         journaled and fsynced before they are acknowledged, and \
+         $(b,--recover) replays the journal at boot so a SIGKILL-ed \
+         daemon never double-grants a name that was live.";
+      `P
         "SIGTERM and SIGINT drain gracefully: in-flight operations \
          complete, held names are auto-released, and the exit code \
          reports the slot-conservation audit.";
@@ -118,6 +166,6 @@ let cmd =
     (Cmd.info "renamed" ~version:"1.0.0" ~doc ~man ~exits)
     Term.(
       const serve $ socket_t $ shards_t $ capacity_t $ seed_t $ backlog_t
-      $ max_conns_t $ quiet_t)
+      $ max_conns_t $ lease_ttl_t $ journal_t $ recover_t $ quiet_t)
 
 let () = exit (Cmd.eval' cmd)

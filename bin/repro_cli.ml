@@ -644,6 +644,7 @@ let doctor dir =
     (* Service artifacts: a socket file with no daemon behind it is a
        crash leftover (a graceful drain unlinks it), and every recorded
        load artifact must parse and carry a clean audit. *)
+    let live_socket = ref false in
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f -> Filename.check_suffix f ".sock")
     |> List.sort compare
@@ -651,7 +652,9 @@ let doctor dir =
            let path = Filename.concat dir file in
            let probe = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
            (match Unix.connect probe (ADDR_UNIX path) with
-           | () -> note "%s: a live renamed daemon is serving" file
+           | () ->
+             live_socket := true;
+             note "%s: a live renamed daemon is serving" file
            | exception Unix.Unix_error (ECONNREFUSED, _, _) ->
              problem
                "%s: stale socket file — the daemon behind it crashed \
@@ -661,6 +664,46 @@ let doctor dir =
            | exception Unix.Unix_error (e, _, _) ->
              problem "%s: socket probe failed: %s" file (Unix.error_message e));
            try Unix.close probe with Unix.Unix_error _ -> ());
+    (* Crash journals: damage (a CRC failure on a complete record) makes
+       recovery refuse to boot, and live grants in a journal nobody is
+       serving are names some client may still believe it holds. *)
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".journal")
+    |> List.sort compare
+    |> List.iter (fun file ->
+           let path = Filename.concat dir file in
+           match Service.Journal.scan ~path with
+           | Error e -> problem "%s: unreadable journal: %s" file e
+           | Ok s ->
+             let live = Service.Journal.replay s.Service.Journal.records in
+             Printf.printf
+               "%s: %d record(s), %d live grant(s), next epoch %d\n" file
+               (List.length s.Service.Journal.records)
+               (List.length live.Service.Journal.grants)
+               live.Service.Journal.next_epoch;
+             if s.Service.Journal.damaged > 0 then
+               problem
+                 "%s: %d damaged record(s) (CRC/framing on a complete \
+                  record) — renamed --recover will refuse this journal"
+                 file s.Service.Journal.damaged;
+             if s.Service.Journal.torn_tail then
+               note
+                 "%s: torn tail record (crash artifact; --recover \
+                  tolerates and compacts it away)"
+                 file;
+             if live.Service.Journal.double_grants > 0 then
+               problem
+                 "%s: replay observed %d duplicate grant(s) of a live \
+                  name — the write-ahead discipline was violated"
+                 file live.Service.Journal.double_grants;
+             if live.Service.Journal.grants <> [] && not !live_socket then
+               note
+                 "%s: %d live grant(s) and no daemon serving in this \
+                  directory — orphaned journal; restart renamed with \
+                  --journal %s --recover"
+                 file
+                 (List.length live.Service.Journal.grants)
+                 file);
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f ->
            String.starts_with ~prefix:"BENCH_SERVICE_" f
@@ -669,9 +712,44 @@ let doctor dir =
     |> List.iter (fun file ->
            let path = Filename.concat dir file in
            match Service.Service_bench.load path with
-           | exception Jsonu.Malformed ->
-             problem "%s: not a bench-service JSON document (schema drift?)"
-               file
+           | exception Jsonu.Malformed -> (
+             (* The BENCH_SERVICE_<k> numbering is shared with the
+                kill/restart soak's bench-service-recovery artifacts. *)
+             match Service.Recovery_bench.load path with
+             | exception Jsonu.Malformed ->
+               problem
+                 "%s: neither a bench-service nor a bench-service-recovery \
+                  JSON document (schema drift?)"
+                 file
+             | exception Sys_error e -> problem "%s: unreadable: %s" file e
+             | a ->
+               Printf.printf
+                 "%s: recovery soak, %d cycle(s) x %.0f/s: p99 %.0f ms, \
+                  %d reconnect(s)\n"
+                 file a.Service.Recovery_bench.cycles
+                 a.Service.Recovery_bench.rate
+                 a.Service.Recovery_bench.recovery_p99_ms
+                 a.Service.Recovery_bench.reconnects;
+               if
+                 a.Service.Recovery_bench.duplicate_grants <> 0
+                 || a.Service.Recovery_bench.leaked_after_expiry <> 0
+                 || a.Service.Recovery_bench.violations <> 0
+                 || a.Service.Recovery_bench.errors <> 0
+                 || a.Service.Recovery_bench.timeouts <> 0
+                 || a.Service.Recovery_bench.journal_damaged <> 0
+                 || a.Service.Recovery_bench.daemon_exit <> 0
+               then
+                 problem
+                   "%s: recorded recovery-audit failures (%d duplicate \
+                    grant(s), %d leaked after expiry, %d violation(s), \
+                    %d error(s), %d timeout(s), %d damaged, exit %d)"
+                   file a.Service.Recovery_bench.duplicate_grants
+                   a.Service.Recovery_bench.leaked_after_expiry
+                   a.Service.Recovery_bench.violations
+                   a.Service.Recovery_bench.errors
+                   a.Service.Recovery_bench.timeouts
+                   a.Service.Recovery_bench.journal_damaged
+                   a.Service.Recovery_bench.daemon_exit)
            | exception Sys_error e -> problem "%s: unreadable: %s" file e
            | a ->
              Printf.printf
@@ -962,6 +1040,331 @@ let chaos_replay file out certify json =
       Option.iter (fun dir -> chaos_record ~dir o) out;
       chaos_print_outcome ~json o;
       chaos_outcome_exit o)
+
+(* ------------------------------------------------------------------ *)
+(* chaos service: SIGKILL/--recover soak of the real daemon under
+   open-loop load, optionally through the wire-fault proxy *)
+
+let status_describe = function
+  | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by %d" s
+
+(* Nearest-rank percentile over an ascending array. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let idx = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let chaos_service json cycles rate duration conns clients shards capacity
+    lease_ttl seed wire_faults daemon keep out check threshold =
+  (* The soak writes to sockets whose peer it is busy killing. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let log fmt =
+    Printf.ksprintf (fun s -> Printf.eprintf "[soak] %s\n%!" s) fmt
+  in
+  let daemon_path =
+    match daemon with
+    | Some p -> p
+    | None ->
+      (* repro_cli and renamed are built side by side. *)
+      Filename.concat (Filename.dirname Sys.executable_name) "renamed.exe"
+  in
+  if not (Sys.file_exists daemon_path) then begin
+    log "no renamed binary at %s (build bin/ or pass --daemon)" daemon_path;
+    2
+  end
+  else begin
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "renamed_soak_%d" (Unix.getpid ()))
+    in
+    Service.Service_bench.mkdir_p dir;
+    let real_sock = Filename.concat dir "renamed.sock" in
+    let proxy_sock = Filename.concat dir "proxy.sock" in
+    let journal = Filename.concat dir "renamed.journal" in
+    let spawn_daemon () =
+      Unix.create_process daemon_path
+        [|
+          daemon_path; "--socket"; real_sock;
+          "--shards"; string_of_int shards;
+          "--capacity"; string_of_int capacity;
+          "--lease-ttl"; Printf.sprintf "%g" lease_ttl;
+          "--journal"; journal; "--recover"; "--quiet";
+        |]
+        Unix.stdin Unix.stdout Unix.stderr
+    in
+    (* Accepting = a direct connect to the real socket succeeds; the
+       daemon binds only after recovery completes, so this observes the
+       full SIGKILL -> serving-again interval. *)
+    let wait_accepting ~pid ~deadline =
+      let rec go () =
+        if Unix.gettimeofday () > deadline then
+          Error "daemon did not accept within its startup deadline"
+        else begin
+          let probe = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+          match Unix.connect probe (ADDR_UNIX real_sock) with
+          | () ->
+            Unix.close probe;
+            Ok ()
+          | exception Unix.Unix_error _ -> (
+            (try Unix.close probe with Unix.Unix_error _ -> ());
+            match Unix.waitpid [ WNOHANG ] pid with
+            | 0, _ ->
+              Unix.sleepf 0.005;
+              go ()
+            | _, status ->
+              Error
+                (Printf.sprintf "daemon died during startup (%s)"
+                   (status_describe status)))
+        end
+      in
+      go ()
+    in
+    (* Journal audit, summed across compactions: each --recover boot
+       rewrites the file down to its live grants, so every dead window
+       (and the final drain) is scanned as its own segment. *)
+    let jrecords = ref 0 and jtorn = ref 0 and jdamaged = ref 0 in
+    let dups = ref 0 in
+    let scan_segment tag =
+      match Service.Journal.scan ~path:journal with
+      | Error e ->
+        log "%s: journal unreadable: %s" tag e;
+        incr jdamaged
+      | Ok s ->
+        let live = Service.Journal.replay s.Service.Journal.records in
+        jrecords := !jrecords + List.length s.Service.Journal.records;
+        if s.Service.Journal.torn_tail then incr jtorn;
+        jdamaged := !jdamaged + s.Service.Journal.damaged;
+        dups := !dups + live.Service.Journal.double_grants;
+        log "%s: %d record(s), %d live grant(s), %d duplicate(s)%s%s" tag
+          (List.length s.Service.Journal.records)
+          (List.length live.Service.Journal.grants)
+          live.Service.Journal.double_grants
+          (if s.Service.Journal.torn_tail then ", torn tail" else "")
+          (if s.Service.Journal.damaged > 0 then
+             Printf.sprintf ", %d DAMAGED" s.Service.Journal.damaged
+           else "")
+    in
+    let cleanup () =
+      if keep then log "keeping %s" dir
+      else begin
+        List.iter
+          (fun f -> try Sys.remove f with Sys_error _ -> ())
+          [ real_sock; proxy_sock; journal ];
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end
+    in
+    let pid = ref (spawn_daemon ()) in
+    match wait_accepting ~pid:!pid ~deadline:(Unix.gettimeofday () +. 10.) with
+    | Error e ->
+      log "initial boot: %s" e;
+      cleanup ();
+      2
+    | Ok () -> (
+      let proxy =
+        if not wire_faults then Ok None
+        else
+          let pcfg =
+            {
+              (Chaos.Wire_fault.default_config ~listen_path:proxy_sock
+                 ~upstream_path:real_sock)
+              with
+              seed;
+              log = (fun s -> Printf.eprintf "[proxy] %s\n%!" s);
+            }
+          in
+          Result.map Option.some (Chaos.Wire_fault.start pcfg)
+      in
+      match proxy with
+      | Error e ->
+        log "proxy: %s" e;
+        (try Unix.kill !pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] !pid);
+        cleanup ();
+        2
+      | Ok proxy ->
+        let load_cfg =
+          {
+            (Service.Load_gen.default_config
+               ~path:(if wire_faults then proxy_sock else real_sock))
+            with
+            conns;
+            clients;
+            rate;
+            duration_s = duration;
+            hold = Service.Load_gen.Exponential 0.02;
+            seed;
+            (* Generous: every daemon kill costs each slot a burst of
+               accept-then-reset retries against the proxy. *)
+            reconnect_attempts = 50;
+            reconnect_backoff = 0.02;
+            log = (fun s -> Printf.eprintf "[load] %s\n%!" s);
+          }
+        in
+        let load_res = ref (Error "load generator never ran") in
+        (* The kill/restart loop below must run while the load does. *)
+        let load_dom =
+          (* repro-lint: allow domain-spawn — joined soak-driver domain *)
+          Domain.spawn (fun () -> load_res := Service.Load_gen.run load_cfg)
+        in
+        let seg = duration /. float_of_int (cycles + 1) in
+        let recov = Array.make (max 1 cycles) 0. in
+        let failed = ref None in
+        for i = 0 to cycles - 1 do
+          if !failed = None then begin
+            Unix.sleepf seg;
+            let t0 = Unix.gettimeofday () in
+            log "cycle %d/%d: SIGKILL" (i + 1) cycles;
+            Unix.kill !pid Sys.sigkill;
+            ignore (Unix.waitpid [] !pid);
+            scan_segment (Printf.sprintf "cycle %d" (i + 1));
+            pid := spawn_daemon ();
+            match
+              wait_accepting ~pid:!pid
+                ~deadline:(Unix.gettimeofday () +. 10.)
+            with
+            | Ok () ->
+              recov.(i) <- (Unix.gettimeofday () -. t0) *. 1000.;
+              log "cycle %d/%d: recovered in %.0f ms" (i + 1) cycles recov.(i)
+            | Error e -> failed := Some e
+          end
+        done;
+        Domain.join load_dom;
+        (* Every name abandoned to a killed connection is protected only
+           by its lease: one TTL (plus sweep slack) later the server
+           must be empty. *)
+        let leaked =
+          match !failed with
+          | Some _ -> -1
+          | None -> (
+            Unix.sleepf (lease_ttl +. Float.max 0.5 (lease_ttl /. 5.));
+            match Service.Client.connect ~path:real_sock () with
+            | Error _ -> -1
+            | Ok c ->
+              let v =
+                match Service.Client.stats c with
+                | Ok j -> (
+                  try Jsonu.int_ (Jsonu.obj j) "taken"
+                  with Jsonu.Malformed -> -1)
+                | Error _ -> -1
+              in
+              Service.Client.close c;
+              v)
+        in
+        let daemon_exit =
+          match !failed with
+          | Some _ ->
+            (try Unix.kill !pid Sys.sigkill with Unix.Unix_error _ -> ());
+            (try ignore (Unix.waitpid [] !pid) with Unix.Unix_error _ -> ());
+            125
+          | None -> (
+            Unix.kill !pid Sys.sigterm;
+            match Unix.waitpid [] !pid with
+            | _, Unix.WEXITED c -> c
+            | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> 125)
+        in
+        scan_segment "final";
+        Option.iter Chaos.Wire_fault.stop proxy;
+        Option.iter
+          (fun p ->
+            let c = Chaos.Wire_fault.counters p in
+            log
+              "proxy: %d conn(s), %d refused, %d chop(s), %d stall(s), \
+               %d reset(s)"
+              c.Chaos.Wire_fault.conns c.Chaos.Wire_fault.refused
+              c.Chaos.Wire_fault.chops c.Chaos.Wire_fault.stalls
+              c.Chaos.Wire_fault.resets)
+          proxy;
+        cleanup ();
+        match (!failed, !load_res) with
+        | Some e, _ ->
+          log "soak failed: %s" e;
+          2
+        | None, Error e ->
+          log "load failed: %s" e;
+          2
+        | None, Ok r ->
+          let sorted = Array.sub recov 0 cycles in
+          Array.sort Float.compare sorted;
+          let art =
+            {
+              Service.Recovery_bench.cycles;
+              rate;
+              duration_s = duration;
+              seed;
+              shards;
+              capacity;
+              lease_ttl_s = lease_ttl;
+              wire_faults;
+              wall_s = r.Service.Load_gen.wall_s;
+              offered = r.Service.Load_gen.offered;
+              acquired = r.Service.Load_gen.acquired;
+              acquire_failures = r.Service.Load_gen.acquire_failures;
+              released = r.Service.Load_gen.released;
+              errors = r.Service.Load_gen.errors;
+              timeouts = r.Service.Load_gen.timeouts;
+              violations = r.Service.Load_gen.violations;
+              reconnects = r.Service.Load_gen.reconnects;
+              dropped = r.Service.Load_gen.dropped;
+              abandoned = r.Service.Load_gen.abandoned;
+              throughput = r.Service.Load_gen.throughput;
+              duplicate_grants = !dups;
+              leaked_after_expiry = leaked;
+              recovery_p50_ms = percentile sorted 50.;
+              recovery_p99_ms = percentile sorted 99.;
+              recovery_max_ms = percentile sorted 100.;
+              journal_records = !jrecords;
+              journal_torn_tails = !jtorn;
+              journal_damaged = !jdamaged;
+              daemon_exit;
+            }
+          in
+          if json then
+            print_endline
+              (Jsonu.to_string (Service.Recovery_bench.to_json art))
+          else print_endline (Service.Recovery_bench.render art);
+          let path = Service.Recovery_bench.save ~dir:out art in
+          log "wrote %s" path;
+          let audit_exit =
+            if
+              art.Service.Recovery_bench.duplicate_grants = 0
+              && art.Service.Recovery_bench.leaked_after_expiry = 0
+              && art.Service.Recovery_bench.violations = 0
+              && art.Service.Recovery_bench.errors = 0
+              && art.Service.Recovery_bench.timeouts = 0
+              && art.Service.Recovery_bench.journal_damaged = 0
+              && art.Service.Recovery_bench.daemon_exit = 0
+              && art.Service.Recovery_bench.acquired > 0
+            then 0
+            else 1
+          in
+          (match check with
+          | None -> audit_exit
+          | Some file -> (
+            match Service.Recovery_bench.load file with
+            | exception Sys_error msg ->
+              log "cannot read baseline: %s" msg;
+              2
+            | exception Jsonu.Malformed ->
+              log "baseline %s is not a bench-service-recovery document" file;
+              2
+            | baseline -> (
+              match
+                Service.Recovery_bench.check ~threshold ~baseline
+                  ~current:art
+              with
+              | [] ->
+                log "regression check passed against %s (threshold %g)" file
+                  threshold;
+                audit_exit
+              | findings ->
+                List.iter (fun f -> log "FAIL: %s" f) findings;
+                1))))
+  end
 
 open Cmdliner
 
@@ -1347,9 +1750,126 @@ let chaos_cmd =
     Cmd.v (Cmd.info "replay" ~doc ~exits:finding_exits)
       Term.(const chaos_replay $ file_t $ out_t $ certify_t $ json_t)
   in
+  let service_cmd =
+    let doc =
+      "Kill/restart soak of the real renamed daemon: SIGKILL + --recover \
+       cycles under open-loop load through the wire-fault proxy."
+    in
+    let man =
+      [
+        `S Manpage.s_description;
+        `P
+          "Boots renamed with a crash journal, drives Load_gen at it \
+           (through a seeded socket fault proxy injecting partial writes, \
+           stalls and resets, unless $(b,--wire-faults)=false), and \
+           SIGKILLs + restarts it with $(b,--recover) every \
+           duration/(cycles+1) seconds.  While the daemon is dead, each \
+           journal segment is scanned and replayed; duplicate grants are \
+           summed across compactions and must be zero.  After the load \
+           drains, one lease TTL later the server must hold zero slots — \
+           every name abandoned to a killed connection must have been \
+           reclaimed by expiry.  Recovery time (SIGKILL to accepting \
+           again) is reported as p50/p99/max.";
+        `P
+          "The outcome is recorded as the next free BENCH_SERVICE_<k>.json \
+           with kind bench-service-recovery; bench/BENCH_SERVICE_1.json is \
+           the committed baseline CI gates against with $(b,--check).";
+      ]
+    in
+    let cycles_t =
+      Arg.(
+        value & opt int 10
+        & info [ "cycles" ] ~docv:"N" ~doc:"SIGKILL + --recover rounds.")
+    in
+    let rate_t =
+      Arg.(
+        value & opt float 300.
+        & info [ "rate" ] ~docv:"OPS" ~doc:"Acquire arrivals per second.")
+    in
+    let duration_t =
+      Arg.(
+        value & opt float 30.
+        & info [ "duration" ] ~docv:"SECONDS"
+            ~doc:"Total load window across all cycles.")
+    in
+    let conns_t =
+      Arg.(
+        value & opt int 4
+        & info [ "conns" ] ~docv:"N" ~doc:"Load-generator connections.")
+    in
+    let clients_t =
+      Arg.(
+        value & opt int 64
+        & info [ "clients" ] ~docv:"N" ~doc:"Client-id space.")
+    in
+    let shards_t =
+      Arg.(
+        value & opt int 2
+        & info [ "shards" ] ~docv:"N" ~doc:"Daemon worker shards.")
+    in
+    let capacity_t =
+      Arg.(
+        value & opt int 1024
+        & info [ "capacity" ] ~docv:"N" ~doc:"Daemon per-shard capacity.")
+    in
+    let lease_ttl_t =
+      Arg.(
+        value & opt float 2.
+        & info [ "lease-ttl" ] ~docv:"SECONDS" ~doc:"Daemon lease TTL.")
+    in
+    let wire_faults_t =
+      Arg.(
+        value & opt bool true
+        & info [ "wire-faults" ] ~docv:"BOOL"
+            ~doc:"Route load through the seeded socket fault proxy.")
+    in
+    let daemon_t =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "daemon" ] ~docv:"PATH"
+            ~doc:
+              "renamed binary to soak (default: renamed.exe next to this \
+               executable).")
+    in
+    let keep_t =
+      Arg.(
+        value & flag
+        & info [ "keep" ]
+            ~doc:"Keep the scratch directory (sockets, journal) for autopsy.")
+    in
+    let sout_t =
+      Arg.(
+        value & opt string "bench"
+        & info [ "out" ] ~docv:"DIR"
+            ~doc:"Directory for BENCH_SERVICE_<k>.json files.")
+    in
+    let check_t =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "check" ] ~docv:"FILE"
+            ~doc:
+              "Baseline bench-service-recovery JSON to gate against; \
+               regressions exit 1.")
+    in
+    let threshold_t =
+      Arg.(
+        value & opt float 0.5
+        & info [ "threshold" ] ~docv:"T"
+            ~doc:
+              "Relative tolerance for the throughput and recovery-p99 \
+               gates of $(b,--check).")
+    in
+    Cmd.v (Cmd.info "service" ~doc ~man ~exits:finding_exits)
+      Term.(
+        const chaos_service $ json_t $ cycles_t $ rate_t $ duration_t
+        $ conns_t $ clients_t $ shards_t $ capacity_t $ lease_ttl_t $ seed_t
+        $ wire_faults_t $ daemon_t $ keep_t $ sout_t $ check_t $ threshold_t)
+  in
   Cmd.group
     (Cmd.info "chaos" ~doc ~man ~exits:finding_exits)
-    [ run_cmd; soak_cmd; replay_cmd ]
+    [ run_cmd; soak_cmd; replay_cmd; service_cmd ]
 
 let simulate_cmd =
   let doc = "Run one simulation with explicit parameters and print details." in
@@ -1485,6 +2005,9 @@ let bench_cmd =
 
 let load_daemon json socket mode conns clients rate duration hold_const
     hold_mean seed out check threshold =
+  (* A daemon crash mid-run must surface as reconnect accounting, not
+     kill the generator with SIGPIPE on its next buffered write. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let hold =
     match hold_const with
     | Some s -> Service.Load_gen.Const s
@@ -1510,7 +2033,7 @@ let load_daemon json socket mode conns clients rate duration hold_const
     | Ok c ->
       let g =
         match Service.Client.stats c with
-        | Error e -> Error e
+        | Error e -> Error (Service.Client.failure_message e)
         | Ok j -> (
           match
             (Jsonu.int_ (Jsonu.obj j) "shards", Jsonu.int_ (Jsonu.obj j) "capacity")

@@ -93,6 +93,26 @@ let all =
       allowed = [];
     };
     {
+      id = "journal-write";
+      doc =
+        "the crash journal's durability contract (CRC framing, one \
+         guarded write per record, fsync before acknowledge) lives in \
+         Service.Journal; raw Unix writes in the serving layer risk \
+         bypassing it on a journal fd — route durable bytes through \
+         Journal.append";
+      banned =
+        [
+          "Unix.write";
+          "Unix.single_write";
+          "Unix.write_substring";
+          "Unix.single_write_substring";
+        ];
+      applies_to = [ "lib/service/"; "bin/renamed.ml" ];
+      (* journal.ml is the sanctioned implementation; socket/self-pipe
+         writes elsewhere carry inline allow comments naming the fd. *)
+      allowed = [ "lib/service/journal.ml" ];
+    };
+    {
       id = "stdout-print";
       doc =
         "stdout is the CLI's result channel; library code printing to \

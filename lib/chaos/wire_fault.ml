@@ -1,0 +1,309 @@
+type config = {
+  listen_path : string;
+  upstream_path : string;
+  seed : int;
+  mean_fault_bytes : int;
+  max_stall_s : float;
+  chop_weight : int;
+  stall_weight : int;
+  reset_weight : int;
+  log : string -> unit;
+}
+
+let default_config ~listen_path ~upstream_path =
+  {
+    listen_path;
+    upstream_path;
+    seed = 1;
+    mean_fault_bytes = 4096;
+    max_stall_s = 0.05;
+    chop_weight = 3;
+    stall_weight = 3;
+    reset_weight = 1;
+    log = ignore;
+  }
+
+type counters = {
+  conns : int;
+  refused : int;
+  chops : int;
+  stalls : int;
+  resets : int;
+}
+
+(* One forwarding direction of a proxied connection. *)
+type dir = {
+  src : Unix.file_descr;
+  dst : Unix.file_descr;
+  mutable out : string;  (* bytes read from [src], not yet written to [dst] *)
+  mutable src_eof : bool;
+  mutable forwarded : int;  (* bytes delivered to [dst] *)
+  mutable next_fault : int;  (* [forwarded] mark of the next fault; -1 = none *)
+  mutable stalled_until : float;
+}
+
+type link = {
+  lid : int;
+  a2b : dir;  (* client -> daemon *)
+  b2a : dir;
+  rng : Prng.Splitmix.t;
+  mutable dead : bool;
+}
+
+type shared = {
+  cfg : config;
+  stopping : bool Atomic.t;
+  c_conns : int Atomic.t;
+  c_refused : int Atomic.t;
+  c_chops : int Atomic.t;
+  c_stalls : int Atomic.t;
+  c_resets : int Atomic.t;
+}
+
+type t = { sh : shared; dom : unit Domain.t; mutable stopped : bool }
+
+(* repro-lint: allow wall-clock — stall scheduling on real sockets *)
+let now () = Unix.gettimeofday ()
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Abortive close: linger 0 turns the close into a reset, so the peer's
+   next read/write fails instead of seeing a clean EOF. *)
+let reset_fd fd =
+  (try Unix.setsockopt_optint fd SO_LINGER (Some 0) with Unix.Unix_error _ -> ());
+  close_fd fd
+
+let fault_gap cfg rng =
+  if cfg.mean_fault_bytes <= 0 then -1
+  else
+    let mean = float_of_int cfg.mean_fault_bytes in
+    1 + int_of_float (Prng.Dist.exponential_sample rng ~rate:(1. /. mean))
+
+let mk_dir cfg rng ~src ~dst =
+  {
+    src;
+    dst;
+    out = "";
+    src_eof = false;
+    forwarded = 0;
+    next_fault = fault_gap cfg rng;
+    stalled_until = 0.;
+  }
+
+let kill_link ~abortive link =
+  if not link.dead then begin
+    link.dead <- true;
+    if abortive then begin
+      reset_fd link.a2b.src;
+      reset_fd link.b2a.src
+    end
+    else begin
+      close_fd link.a2b.src;
+      close_fd link.b2a.src
+    end
+  end
+
+(* Bounded buffering so a stalled direction applies backpressure
+   instead of absorbing the daemon's whole output. *)
+let max_buffered = 1 lsl 20
+
+let on_readable t link (d : dir) scratch =
+  match Unix.read d.src scratch 0 (Bytes.length scratch) with
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> kill_link ~abortive:true link
+  | 0 -> d.src_eof <- true
+  | n -> d.out <- d.out ^ Bytes.sub_string scratch 0 n;
+    ignore t
+
+let write_some link (d : dir) s =
+  let len = String.length s in
+  if len = 0 then 0
+  else
+    match Unix.write_substring d.dst s 0 len with
+    | n ->
+      d.out <- String.sub d.out n (String.length d.out - n);
+      d.forwarded <- d.forwarded + n;
+      n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> 0
+    | exception Unix.Unix_error _ ->
+      kill_link ~abortive:true link;
+      0
+
+let on_writable t link (d : dir) =
+  if (not link.dead) && now () >= d.stalled_until then begin
+    let budget =
+      if d.next_fault < 0 then String.length d.out
+      else min (String.length d.out) (d.next_fault - d.forwarded)
+    in
+    if budget > 0 then
+      ignore (write_some link d (String.sub d.out 0 budget))
+    else if String.length d.out > 0 then begin
+      (* The stream has reached a fault mark: pick the fault. *)
+      let cfg = t.cfg in
+      let total = cfg.chop_weight + cfg.stall_weight + cfg.reset_weight in
+      let pick = if total <= 0 then 0 else Prng.Splitmix.int link.rng total in
+      if pick < cfg.chop_weight then begin
+        (* Deliver a tiny prefix, delay the tail: a forced partial
+           write mid-frame. *)
+        Atomic.incr t.c_chops;
+        let k = 1 + Prng.Splitmix.int link.rng 16 in
+        let k = min k (String.length d.out) in
+        ignore (write_some link d (String.sub d.out 0 k));
+        d.stalled_until <- now () +. (cfg.max_stall_s /. 5.);
+        d.next_fault <- d.forwarded + fault_gap cfg link.rng
+      end
+      else if pick < cfg.chop_weight + cfg.stall_weight then begin
+        Atomic.incr t.c_stalls;
+        let frac =
+          float_of_int (1 + Prng.Splitmix.int link.rng 1000) /. 1000.
+        in
+        d.stalled_until <- now () +. (cfg.max_stall_s *. frac);
+        d.next_fault <- d.forwarded + fault_gap cfg link.rng
+      end
+      else begin
+        Atomic.incr t.c_resets;
+        kill_link ~abortive:true link
+      end
+    end
+  end
+
+let bind_listener cfg =
+  (try if Sys.file_exists cfg.listen_path then Unix.unlink cfg.listen_path
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  match
+    Unix.bind fd (ADDR_UNIX cfg.listen_path);
+    Unix.listen fd 64;
+    Unix.set_nonblock fd
+  with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+    close_fd fd;
+    Error
+      (Printf.sprintf "proxy bind %s: %s" cfg.listen_path
+        (Unix.error_message e))
+
+let serve t listen_fd =
+  let cfg = t.cfg in
+  let scratch = Bytes.create 65536 in
+  let links = ref [] in
+  let root = Prng.Splitmix.of_int cfg.seed in
+  let next_lid = ref 0 in
+  let accept_ready () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept ~cloexec:true listen_fd with
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        continue := false
+      | exception Unix.Unix_error _ -> continue := false
+      | client, _ -> (
+        let up = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+        match Unix.connect up (ADDR_UNIX cfg.upstream_path) with
+        | exception Unix.Unix_error _ ->
+          (* Upstream is down (e.g. between SIGKILL and --recover):
+             the client sees the outage directly. *)
+          close_fd up;
+          close_fd client;
+          Atomic.incr t.c_refused
+        | () ->
+          Unix.set_nonblock client;
+          Unix.set_nonblock up;
+          Atomic.incr t.c_conns;
+          let lid = !next_lid in
+          incr next_lid;
+          let rng = Prng.Splitmix.split_at root lid in
+          links :=
+            {
+              lid;
+              a2b = mk_dir cfg rng ~src:client ~dst:up;
+              b2a = mk_dir cfg rng ~src:up ~dst:client;
+              rng;
+              dead = false;
+            }
+            :: !links)
+    done
+  in
+  while not (Atomic.get t.stopping) do
+    let reads = ref [ listen_fd ] in
+    let writes = ref [] in
+    let t_now = now () in
+    List.iter
+      (fun l ->
+        if not l.dead then
+          List.iter
+            (fun d ->
+              if (not d.src_eof) && String.length d.out < max_buffered then
+                reads := d.src :: !reads;
+              if String.length d.out > 0 && t_now >= d.stalled_until then
+                writes := d.dst :: !writes)
+            [ l.a2b; l.b2a ])
+      !links;
+    (match Unix.select !reads !writes [] 0.02 with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error (EBADF, _, _) -> ()
+    | readable, writable, _ ->
+      if List.mem listen_fd readable then accept_ready ();
+      List.iter
+        (fun l ->
+          if not l.dead then
+            List.iter
+              (fun d ->
+                if List.mem d.src readable then on_readable t l d scratch;
+                if List.mem d.dst writable then on_writable t l d)
+              [ l.a2b; l.b2a ])
+        !links);
+    (* A direction whose source hit EOF closes once its tail is
+       delivered; a link with both directions done dies cleanly. *)
+    List.iter
+      (fun l ->
+        if
+          (not l.dead) && l.a2b.src_eof && l.b2a.src_eof
+          && String.length l.a2b.out = 0
+          && String.length l.b2a.out = 0
+        then kill_link ~abortive:false l)
+      !links;
+    links := List.filter (fun l -> not l.dead) !links
+  done;
+  List.iter (kill_link ~abortive:false) !links;
+  close_fd listen_fd;
+  (try Unix.unlink cfg.listen_path with Unix.Unix_error _ -> ());
+  cfg.log
+    (Printf.sprintf "proxy %s: %d conn(s), %d chop(s), %d stall(s), %d reset(s)"
+       cfg.listen_path (Atomic.get t.c_conns) (Atomic.get t.c_chops)
+       (Atomic.get t.c_stalls) (Atomic.get t.c_resets))
+
+let start cfg =
+  match bind_listener cfg with
+  | Error _ as e -> e
+  | Ok listen_fd ->
+    let sh =
+      {
+        cfg;
+        stopping = Atomic.make false;
+        c_conns = Atomic.make 0;
+        c_refused = Atomic.make 0;
+        c_chops = Atomic.make 0;
+        c_stalls = Atomic.make 0;
+        c_resets = Atomic.make 0;
+      }
+    in
+    (* The proxy is chaos infrastructure: one joined domain, like the
+       server's workers; it never touches the instrumented substrates.
+       repro-lint: allow domain-spawn — joined chaos-proxy domain *)
+    let dom = Domain.spawn (fun () -> serve sh listen_fd) in
+    Ok { sh; dom; stopped = false }
+
+let counters t =
+  {
+    conns = Atomic.get t.sh.c_conns;
+    refused = Atomic.get t.sh.c_refused;
+    chops = Atomic.get t.sh.c_chops;
+    stalls = Atomic.get t.sh.c_stalls;
+    resets = Atomic.get t.sh.c_resets;
+  }
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.sh.stopping true;
+    Domain.join t.dom
+  end

@@ -1,0 +1,62 @@
+(** Wire-level chaos: a seeded, replayable fault proxy for the
+    renaming daemon's Unix-domain socket.
+
+    The proxy listens on [listen_path] and forwards every accepted
+    connection to [upstream_path], injecting transport faults drawn
+    from a SplitMix stream — the same seed always injects the same
+    fault schedule at the same per-connection byte offsets, so a soak
+    that found a bug can be replayed:
+
+    - {b chop}: a write boundary is forced mid-frame and the tail is
+      delayed — downstream sees the partial reads the incremental
+      decoders claim to survive;
+    - {b stall}: forwarding pauses for a bounded interval — clients'
+      per-request deadlines and the daemon's lease sweep see real
+      silence;
+    - {b reset}: the connection is destroyed with an abortive close
+      (RST) in both directions — the reconnect/backoff path runs.
+
+    The proxy outlives the daemon: while the upstream socket is dead
+    (between SIGKILL and [--recover]), new client connections are
+    accepted and immediately closed, which clients observe as the
+    daemon being down.  It runs on its own domain and is torn down
+    with {!stop}. *)
+
+type config = {
+  listen_path : string;  (** socket the clients dial *)
+  upstream_path : string;  (** the real daemon's socket *)
+  seed : int;
+  mean_fault_bytes : int;
+      (** mean forwarded bytes between faults per direction
+          (exponential gaps); [<= 0] forwards faithfully *)
+  max_stall_s : float;  (** stall durations are uniform in (0, this] *)
+  chop_weight : int;
+  stall_weight : int;
+  reset_weight : int;  (** relative frequencies of the three kinds *)
+  log : string -> unit;
+}
+
+val default_config : listen_path:string -> upstream_path:string -> config
+(** seed 1, a fault every ~4 KiB, stalls up to 50 ms, weights
+    chop 3 / stall 3 / reset 1, silent log. *)
+
+type t
+
+type counters = {
+  conns : int;  (** connections accepted *)
+  refused : int;  (** accepted while upstream was down, closed at once *)
+  chops : int;
+  stalls : int;
+  resets : int;
+}
+
+val start : config -> (t, string) result
+(** Bind [listen_path] (reclaiming any stale file) and serve on a
+    fresh domain.  [Error] describes a bind failure. *)
+
+val counters : t -> counters
+(** Safe from any domain while the proxy runs. *)
+
+val stop : t -> unit
+(** Close every link and the listener, unlink [listen_path], join the
+    domain.  Idempotent. *)

@@ -9,6 +9,15 @@ type t = {
   scratch : Bytes.t;
 }
 
+type failure =
+  | Transport of string
+  | Remote of { op : Wire.op; code : int; msg : string }
+
+let failure_message = function
+  | Transport msg -> msg
+  | Remote { op; code; msg } ->
+    Printf.sprintf "%s failed: %s (code %d)" (Wire.op_string op) msg code
+
 let connect ?(mode = Wire.Binary) ~path () =
   let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
   match Unix.connect fd (ADDR_UNIX path) with
@@ -43,6 +52,7 @@ let try_flush t =
   let s = Buffer.contents t.out in
   let len = String.length s in
   if len > 0 then begin
+    (* repro-lint: allow journal-write — client socket, not a journal fd *)
     match Unix.write_substring t.fd s 0 len with
     | n ->
       Buffer.clear t.out;
@@ -52,7 +62,11 @@ let try_flush t =
 
 let post t req =
   Wire.encode_request t.mode t.out req;
-  try_flush t
+  (* Opportunistic only: a hard send error (EPIPE after a daemon crash,
+     ECONNRESET) leaves the bytes buffered and is surfaced as a typed
+     failure by the next [flush]/[recv], which meets the same broken
+     socket — never as a raw exception past the retry machinery. *)
+  try try_flush t with Unix.Unix_error _ -> ()
 
 let pending_out t = Buffer.length t.out > 0
 
@@ -135,49 +149,168 @@ let recv t ~timeout =
 (* ------------------------------------------------------------------ *)
 (* Synchronous calls: one request in flight, its response is the next
    frame (stats/shutdown answer inline; acquire/release per shard stay
-   ordered for a single id). *)
+   ordered for a single id).  Every call takes a per-request deadline;
+   an unanswered deadline is a [Transport] failure, because from the
+   caller's seat a silent server and a dead wire are the same event. *)
 
-let roundtrip t req =
+let roundtrip ?(timeout = 30.) t req =
   post t req;
   match flush t with
-  | Error _ as e -> e
+  | Error e -> Error (Transport e)
   | Ok () -> (
     let rec await () =
-      match recv t ~timeout:30. with
-      | Error _ as e -> e
-      | Ok None -> Error "timed out waiting for response"
+      match recv t ~timeout with
+      | Error e -> Error (Transport e)
+      | Ok None -> Error (Transport "timed out waiting for response")
       | Ok (Some r) ->
         if Wire.response_id r = Wire.request_id req then Ok r else await ()
     in
     await ())
 
-let err_of ~op code msg =
-  Printf.sprintf "%s failed: %s (code %d)" (Wire.op_string op) msg code
+let remote ~op ~code ~msg = Error (Remote { op; code; msg })
 
-let acquire t ~client =
-  match roundtrip t (Wire.Acquire { id = fresh_id t; client }) with
+let acquire ?timeout ?(token = 0) t ~client =
+  match roundtrip ?timeout t (Wire.Acquire { id = fresh_id t; client; token }) with
   | Error _ as e -> e
   | Ok (Wire.Acquired { name; _ }) -> Ok name
-  | Ok (Wire.Error { op; code; msg; _ }) -> Error (err_of ~op code msg)
-  | Ok _ -> Error "unexpected response to acquire"
+  | Ok (Wire.Error { op; code; msg; _ }) -> remote ~op ~code ~msg
+  | Ok _ -> Error (Transport "unexpected response to acquire")
 
-let release t ~client ~name =
-  match roundtrip t (Wire.Release { id = fresh_id t; client; name }) with
+let release ?timeout t ~client ~name =
+  match roundtrip ?timeout t (Wire.Release { id = fresh_id t; client; name }) with
   | Error _ as e -> e
   | Ok (Wire.Released _) -> Ok ()
-  | Ok (Wire.Error { op; code; msg; _ }) -> Error (err_of ~op code msg)
-  | Ok _ -> Error "unexpected response to release"
+  | Ok (Wire.Error { op; code; msg; _ }) -> remote ~op ~code ~msg
+  | Ok _ -> Error (Transport "unexpected response to release")
 
-let stats t =
-  match roundtrip t (Wire.Stats { id = fresh_id t }) with
+let renew ?timeout t ~client =
+  match roundtrip ?timeout t (Wire.Renew { id = fresh_id t; client }) with
+  | Error _ as e -> e
+  | Ok (Wire.Renewed { count; _ }) -> Ok count
+  | Ok (Wire.Error { op; code; msg; _ }) -> remote ~op ~code ~msg
+  | Ok _ -> Error (Transport "unexpected response to renew")
+
+let stats ?timeout t =
+  match roundtrip ?timeout t (Wire.Stats { id = fresh_id t }) with
   | Error _ as e -> e
   | Ok (Wire.Stats_reply { stats; _ }) -> Ok stats
-  | Ok (Wire.Error { op; code; msg; _ }) -> Error (err_of ~op code msg)
-  | Ok _ -> Error "unexpected response to stats"
+  | Ok (Wire.Error { op; code; msg; _ }) -> remote ~op ~code ~msg
+  | Ok _ -> Error (Transport "unexpected response to stats")
 
-let shutdown t =
-  match roundtrip t (Wire.Shutdown { id = fresh_id t }) with
+let shutdown ?timeout t =
+  match roundtrip ?timeout t (Wire.Shutdown { id = fresh_id t }) with
   | Error _ as e -> e
   | Ok (Wire.Shutting_down _) -> Ok ()
-  | Ok (Wire.Error { op; code; msg; _ }) -> Error (err_of ~op code msg)
-  | Ok _ -> Error "unexpected response to shutdown"
+  | Ok (Wire.Error { op; code; msg; _ }) -> remote ~op ~code ~msg
+  | Ok _ -> Error (Transport "unexpected response to shutdown")
+
+(* ------------------------------------------------------------------ *)
+(* Durable connections: reconnect + retry under transport failure. *)
+
+module Durable = struct
+  type conn = {
+    path : string;
+    mode : Wire.mode;
+    attempts : int;
+    base : float;
+    cap : float;
+    timeout : float;
+    rng : Prng.Splitmix.t;
+    mutable link : t option;
+    mutable reconnects : int;
+  }
+
+  let create ?(mode = Wire.Binary) ?(attempts = 8) ?(backoff_base = 0.02)
+      ?(backoff_cap = 1.0) ?(timeout = 30.) ~path ~seed () =
+    {
+      path;
+      mode;
+      attempts = max 1 attempts;
+      base = backoff_base;
+      cap = backoff_cap;
+      timeout;
+      rng = Prng.Splitmix.of_int seed;
+      link = None;
+      reconnects = 0;
+    }
+
+  let reconnects c = c.reconnects
+
+  let drop c =
+    match c.link with
+    | Some t ->
+      close t;
+      c.link <- None
+    | None -> ()
+
+  let close = drop
+
+  (* Capped exponential backoff with multiplicative jitter in
+     [0.5, 1.0]: after a daemon restart every client retries, and the
+     jitter keeps the herd from arriving as one burst. *)
+  let backoff c k =
+    let d = Float.min c.cap (c.base *. (2. ** float_of_int k)) in
+    let j = 0.5 +. (float_of_int (Prng.Splitmix.int c.rng 1000) /. 2000.) in
+    Unix.sleepf (d *. j)
+
+  let link c =
+    match c.link with
+    | Some t -> Ok t
+    | None -> (
+      match connect ~mode:c.mode ~path:c.path () with
+      | Ok t ->
+        c.link <- Some t;
+        Ok t
+      | Error e -> Error (Transport e))
+
+  (* Run [f] against a live link, reconnecting and retrying on
+     [Transport] failures.  [Remote] failures are the server's verdict
+     and never retried.  [f] sees the attempt index so idempotence
+     policy (e.g. release's not-held-after-retry) can depend on whether
+     the first try may already have landed. *)
+  let with_retry c f =
+    let rec go k =
+      let again e =
+        if k + 1 >= c.attempts then Error e
+        else begin
+          drop c;
+          c.reconnects <- c.reconnects + 1;
+          backoff c k;
+          go (k + 1)
+        end
+      in
+      match link c with
+      | Error e -> again e
+      | Ok t -> (
+        match f t ~attempt:k with
+        | Ok _ as r -> r
+        | Error (Remote _) as r -> r
+        | Error (Transport _ as e) -> again e)
+    in
+    go 0
+
+  let acquire c ~client =
+    (* One token per logical acquire, reused verbatim across retries:
+       if the grant landed but its reply died with the connection, the
+       server's lease table still binds the token and re-delivers the
+       same name instead of burning a second slot. *)
+    let token = 1 + Prng.Splitmix.int c.rng 0xfffffffe in
+    with_retry c (fun t ~attempt:_ ->
+        acquire ~timeout:c.timeout ~token t ~client)
+
+  let release c ~client ~name =
+    with_retry c (fun t ~attempt ->
+        match release ~timeout:c.timeout t ~client ~name with
+        | Error (Remote { code; _ })
+          when code = Wire.err_not_held && attempt > 0 ->
+          (* Ambiguous retry: the first attempt may have released the
+             name before its reply was lost.  Not-held after a
+             reconnect is success, not failure. *)
+          Ok ()
+        | r -> r)
+
+  let renew c ~client =
+    with_retry c (fun t ~attempt:_ -> renew ~timeout:c.timeout t ~client)
+
+  let stats c = with_retry c (fun t ~attempt:_ -> stats ~timeout:c.timeout t)
+end

@@ -9,6 +9,8 @@ type config = {
   duration_s : float;
   hold : hold;
   seed : int;
+  reconnect_attempts : int;
+  reconnect_backoff : float;
   log : string -> unit;
 }
 
@@ -22,6 +24,8 @@ let default_config ~path =
     duration_s = 5.;
     hold = Exponential 0.001;
     seed = 1;
+    reconnect_attempts = 8;
+    reconnect_backoff = 0.05;
     log = ignore;
   }
 
@@ -35,6 +39,9 @@ type result = {
   timeouts : int;
   violations : int;
   leaked : int;
+  reconnects : int;
+  dropped : int;
+  abandoned : int;
   throughput : float;
   latency : Stats.Hdr.t;
 }
@@ -44,10 +51,10 @@ let ok r =
 
 (* Scheduled releases, ordered by due time. *)
 module Heap = struct
-  type entry = { at : float; name : int; client : int; conn : int }
+  type entry = { at : float; name : int; client : int; conn : int; gen : int }
   type t = { mutable a : entry array; mutable len : int }
 
-  let dummy = { at = 0.; name = 0; client = 0; conn = 0 }
+  let dummy = { at = 0.; name = 0; client = 0; conn = 0; gen = 0 }
   let create () = { a = Array.make 64 dummy; len = 0 }
   let is_empty h = h.len = 0
   let peek h = h.a.(0)
@@ -96,14 +103,20 @@ module Heap = struct
     top
 end
 
-type pending = Await_acquire of { sent : float; client : int } | Await_release of { name : int }
+type pending =
+  | Await_acquire of { sent : float; client : int }
+  | Await_release of { name : int }
 
 type st = {
   cfg : config;
-  conns : Client.t array;
+  conns : Client.t option array;  (* [None] = slot down, reconnecting *)
+  gen : int array;  (* bumped at each slot death: stale heap entries miss *)
+  fails : int array;  (* consecutive failed reconnect attempts *)
+  retry_at : float array;
+  backlog : float Queue.t;  (* scheduled arrivals owed while all slots down *)
   rng : Prng.Splitmix.t;
   pending : (int * int, pending) Hashtbl.t;  (* (conn, id) -> op *)
-  held : (int, int) Hashtbl.t;  (* name -> conn that holds it *)
+  held : (int, int * int) Hashtbl.t;  (* name -> (conn, gen) that holds it *)
   releasing : (int, int) Hashtbl.t;  (* name -> releases in flight *)
   heap : Heap.t;
   latency : Stats.Hdr.t;
@@ -114,9 +127,14 @@ type st = {
   mutable released : int;
   mutable errors : int;
   mutable violations : int;
+  mutable reconnects : int;
+  mutable dropped : int;
+  mutable abandoned : int;
+  mutable failed : string option;
 }
 
 let now () = Unix.gettimeofday ()
+let fail st e = if st.failed = None then st.failed <- Some e
 
 let hold_sample st =
   match st.cfg.hold with
@@ -125,31 +143,129 @@ let hold_sample st =
     if mean <= 0. then 0.
     else Prng.Dist.exponential_sample st.rng ~rate:(1. /. mean)
 
+let retry_delay st slot =
+  let d =
+    Float.min 1.0
+      (st.cfg.reconnect_backoff *. (2. ** float_of_int st.fails.(slot)))
+  in
+  let jitter = 0.5 +. (float_of_int (Prng.Splitmix.int st.rng 1000) /. 2000.) in
+  d *. jitter
+
+(* A slot's connection died (reset, close, corrupt stream).  Survive
+   it: its in-flight operations are gone (counted [dropped], not
+   errors — their fate belongs to the daemon's journal, not to us),
+   its held names are forgotten (counted [abandoned]; the server side
+   reclaims them by disconnect-drain or lease expiry), and the slot
+   goes into backed-off reconnect. *)
+let kill_conn st slot reason =
+  match st.conns.(slot) with
+  | None -> ()
+  | Some c ->
+    Client.close c;
+    st.conns.(slot) <- None;
+    st.gen.(slot) <- st.gen.(slot) + 1;
+    st.reconnects <- st.reconnects + 1;
+    st.fails.(slot) <- 0;
+    st.retry_at.(slot) <- now () +. retry_delay st slot;
+    let stale =
+      Hashtbl.to_seq st.pending
+      |> Seq.filter (fun ((s, _), _) -> s = slot)
+      |> List.of_seq
+    in
+    List.iter
+      (fun (key, op) ->
+        Hashtbl.remove st.pending key;
+        st.dropped <- st.dropped + 1;
+        match op with
+        | Await_release { name } -> (
+          match Hashtbl.find_opt st.releasing name with
+          | Some n when n > 1 -> Hashtbl.replace st.releasing name (n - 1)
+          | Some _ -> Hashtbl.remove st.releasing name
+          | None -> ())
+        | Await_acquire _ -> ())
+      stale;
+    let mine =
+      Hashtbl.to_seq st.held
+      |> Seq.filter_map (fun (name, (s, _)) ->
+             if s = slot then Some name else None)
+      |> List.of_seq
+    in
+    List.iter (fun name -> Hashtbl.remove st.held name) mine;
+    st.abandoned <- st.abandoned + List.length mine;
+    st.cfg.log
+      (Printf.sprintf
+         "conn %d lost (%s): %d op(s) dropped, %d held name(s) abandoned"
+         slot reason (List.length stale) (List.length mine))
+
+let try_reconnects st =
+  let t = now () in
+  Array.iteri
+    (fun slot c ->
+      match c with
+      | Some _ -> ()
+      | None ->
+        if t >= st.retry_at.(slot) then (
+          match Client.connect ~mode:st.cfg.mode ~path:st.cfg.path () with
+          | Ok link ->
+            st.conns.(slot) <- Some link;
+            st.fails.(slot) <- 0;
+            st.cfg.log (Printf.sprintf "conn %d reconnected" slot)
+          | Error e ->
+            st.fails.(slot) <- st.fails.(slot) + 1;
+            if st.fails.(slot) >= st.cfg.reconnect_attempts then
+              fail st
+                (Printf.sprintf "conn %d: gave up after %d reconnect attempts (%s)"
+                   slot st.fails.(slot) e)
+            else st.retry_at.(slot) <- t +. retry_delay st slot))
+    st.conns
+
 (* [at] is the scheduled arrival, not the post instant: latency is
-   measured from when the operation {e should} have started, so catch-up
-   bursts cannot hide queueing delay (no coordinated omission). *)
-let post_acquire st ~at =
-  let conn = st.rr mod Array.length st.conns in
-  let client = st.rr mod st.cfg.clients in
-  st.rr <- st.rr + 1;
-  let c = st.conns.(conn) in
-  let id = Client.fresh_id c in
-  Hashtbl.replace st.pending (conn, id) (Await_acquire { sent = at; client });
-  Client.post c (Wire.Acquire { id; client });
-  st.offered <- st.offered + 1
+   measured from when the operation {e should} have started, so
+   catch-up bursts — including the burst after an outage — cannot hide
+   queueing delay (no coordinated omission).  False when no slot is
+   up; the arrival goes to the backlog keeping its schedule. *)
+let try_post_acquire st ~at =
+  let n = Array.length st.conns in
+  let rec pick k =
+    if k = n then None
+    else
+      let slot = (st.rr + k) mod n in
+      match st.conns.(slot) with Some c -> Some (slot, c) | None -> pick (k + 1)
+  in
+  match pick 0 with
+  | None -> false
+  | Some (slot, c) ->
+    let client = st.rr mod st.cfg.clients in
+    st.rr <- st.rr + 1;
+    let id = Client.fresh_id c in
+    Hashtbl.replace st.pending (slot, id) (Await_acquire { sent = at; client });
+    Client.post c (Wire.Acquire { id; client; token = 0 });
+    st.offered <- st.offered + 1;
+    true
+
+let flush_backlog st =
+  let continue = ref true in
+  while !continue && not (Queue.is_empty st.backlog) do
+    if try_post_acquire st ~at:(Queue.peek st.backlog) then
+      ignore (Queue.pop st.backlog)
+    else continue := false
+  done
 
 let post_release st (e : Heap.entry) =
-  if Hashtbl.mem st.held e.name then begin
-    Hashtbl.remove st.held e.name;
-    let inflight =
-      Option.value (Hashtbl.find_opt st.releasing e.name) ~default:0
-    in
-    Hashtbl.replace st.releasing e.name (inflight + 1);
-    let c = st.conns.(e.conn) in
-    let id = Client.fresh_id c in
-    Hashtbl.replace st.pending (e.conn, id) (Await_release { name = e.name });
-    Client.post c (Wire.Release { id; client = e.client; name = e.name })
-  end
+  match Hashtbl.find_opt st.held e.name with
+  | Some (slot, g) when slot = e.conn && g = e.gen -> (
+    match st.conns.(slot) with
+    | Some c when st.gen.(slot) = g ->
+      Hashtbl.remove st.held e.name;
+      let inflight =
+        Option.value (Hashtbl.find_opt st.releasing e.name) ~default:0
+      in
+      Hashtbl.replace st.releasing e.name (inflight + 1);
+      let id = Client.fresh_id c in
+      Hashtbl.replace st.pending (slot, id) (Await_release { name = e.name });
+      Client.post c (Wire.Release { id; client = e.client; name = e.name })
+    | _ -> ())
+  | _ -> ()  (* abandoned with its connection, or already released *)
 
 let release_done st name =
   match Hashtbl.find_opt st.releasing name with
@@ -174,9 +290,15 @@ let on_response st ~conn ~at r =
         (* Held and no release in flight: two live grants of one name. *)
         st.violations <- st.violations + 1
       else begin
-        Hashtbl.replace st.held name conn;
+        Hashtbl.replace st.held name (conn, st.gen.(conn));
         Heap.push st.heap
-          { at = at +. hold_sample st; name; client; conn }
+          {
+            at = at +. hold_sample st;
+            name;
+            client;
+            conn;
+            gen = st.gen.(conn);
+          }
       end
     | Await_acquire _, Wire.Error { code; _ } ->
       if code = Wire.err_capacity then
@@ -190,19 +312,23 @@ let on_response st ~conn ~at r =
       release_done st name
     | _ -> st.errors <- st.errors + 1)
 
-(* Drain every decoded response on every connection; [Error] is
-   connection loss or stream corruption. *)
+(* Drain every decoded response on every live connection; a recv error
+   kills that slot, never the run. *)
 let pump st =
   let n = Array.length st.conns in
   let rec one i =
-    if i >= n then Ok ()
-    else
-      match Client.recv st.conns.(i) ~timeout:0. with
-      | Error _ as e -> e
-      | Ok None -> one (i + 1)
-      | Ok (Some r) ->
-        on_response st ~conn:i ~at:(now ()) r;
-        one i
+    if i < n then
+      match st.conns.(i) with
+      | None -> one (i + 1)
+      | Some c -> (
+        match Client.recv c ~timeout:0. with
+        | Error e ->
+          kill_conn st i e;
+          one (i + 1)
+        | Ok None -> one (i + 1)
+        | Ok (Some r) ->
+          on_response st ~conn:i ~at:(now ()) r;
+          one i)
   in
   one 0
 
@@ -231,7 +357,11 @@ let run (cfg : config) =
     let st =
       {
         cfg;
-        conns = Array.of_list (List.rev !connected);
+        conns = Array.of_list (List.rev_map Option.some !connected);
+        gen = Array.make cfg.conns 0;
+        fails = Array.make cfg.conns 0;
+        retry_at = Array.make cfg.conns 0.;
+        backlog = Queue.create ();
         rng = Prng.Splitmix.of_int cfg.seed;
         pending = Hashtbl.create 1024;
         held = Hashtbl.create 1024;
@@ -245,25 +375,34 @@ let run (cfg : config) =
         released = 0;
         errors = 0;
         violations = 0;
+        reconnects = 0;
+        dropped = 0;
+        abandoned = 0;
+        failed = None;
       }
     in
-    let fds = Array.to_list (Array.map Client.fd st.conns) in
+    let live_fds () =
+      Array.to_list st.conns
+      |> List.filter_map (Option.map Client.fd)
+    in
     let t_start = now () in
     let t_end = t_start +. cfg.duration_s in
     let drain_deadline = t_end +. 10. in
     let next_arrival =
       ref (t_start +. Prng.Dist.exponential_sample st.rng ~rate:cfg.rate)
     in
-    let failure = ref None in
-    let fail e = if !failure = None then failure := Some e in
     let finished = ref false in
-    while (not !finished) && !failure = None do
+    while (not !finished) && st.failed = None do
       let t = now () in
       let draining = t >= t_end in
+      try_reconnects st;
       (* Post every arrival that has come due (open loop: the schedule,
-         not completions, decides). *)
+         not completions, decides); owed arrivals from an outage first,
+         keeping their original schedule. *)
+      flush_backlog st;
       while !next_arrival <= now () && not draining do
-        post_acquire st ~at:!next_arrival;
+        if not (try_post_acquire st ~at:!next_arrival) then
+          Queue.push !next_arrival st.backlog;
         next_arrival :=
           !next_arrival +. Prng.Dist.exponential_sample st.rng ~rate:cfg.rate
       done;
@@ -274,18 +413,26 @@ let run (cfg : config) =
       do
         post_release st (Heap.pop st.heap)
       done;
-      (match pump st with Error e -> fail e | Ok () -> ());
+      pump st;
       if draining then begin
-        if Hashtbl.length st.pending = 0 && Heap.is_empty st.heap then
-          finished := true
+        if
+          Hashtbl.length st.pending = 0
+          && Heap.is_empty st.heap
+          && Queue.is_empty st.backlog
+        then finished := true
         else if now () > drain_deadline then begin
           cfg.log
-            (Printf.sprintf "drain timed out with %d operation(s) unanswered"
-               (Hashtbl.length st.pending));
+            (Printf.sprintf
+               "drain timed out with %d operation(s) unanswered, %d never \
+                posted"
+               (Hashtbl.length st.pending)
+               (Queue.length st.backlog));
+          st.dropped <- st.dropped + Queue.length st.backlog;
+          Queue.clear st.backlog;
           finished := true
         end
       end;
-      if (not !finished) && !failure = None then begin
+      if (not !finished) && st.failed = None then begin
         let t = now () in
         let until_arrival = if draining then 0.05 else !next_arrival -. t in
         let until_release =
@@ -294,29 +441,48 @@ let run (cfg : config) =
         let timeout =
           Float.max 0. (Float.min 0.05 (Float.min until_arrival until_release))
         in
-        match Unix.select fds [] [] timeout with
+        match Unix.select (live_fds ()) [] [] timeout with
         | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | exception Unix.Unix_error (EBADF, _, _) -> ()
         | _ -> ()
       end
     done;
     let timeouts = Hashtbl.length st.pending in
     let res =
-      match !failure with
+      match st.failed with
       | Some e -> Error e
       | None ->
-        (* Everything we held has been released; the server's taken
-           count is now pure leak. *)
+        (* Everything we still held has been released; the server's
+           taken count is leak plus whatever orphan leases a recovered
+           daemon has not yet expired. *)
         let leaked =
           if timeouts > 0 then -1
           else
-            match Client.stats st.conns.(0) with
-            | Error e ->
-              cfg.log (Printf.sprintf "final stats failed: %s" e);
-              -1
-            | Ok j -> (
-              match Jsonu.int_ (Jsonu.obj j) "taken" with
-              | v -> v
-              | exception Jsonu.Malformed -> -1)
+            let probe c =
+              match Client.stats c with
+              | Error e ->
+                cfg.log
+                  (Printf.sprintf "final stats failed: %s"
+                     (Client.failure_message e));
+                -1
+              | Ok j -> (
+                match Jsonu.int_ (Jsonu.obj j) "taken" with
+                | v -> v
+                | exception Jsonu.Malformed -> -1)
+            in
+            match
+              Array.to_list st.conns |> List.filter_map Fun.id
+            with
+            | c :: _ -> probe c
+            | [] -> (
+              match Client.connect ~mode:cfg.mode ~path:cfg.path () with
+              | Ok c ->
+                let v = probe c in
+                Client.close c;
+                v
+              | Error e ->
+                cfg.log (Printf.sprintf "final stats failed: %s" e);
+                -1)
         in
         let wall_s = now () -. t_start in
         Ok
@@ -330,11 +496,14 @@ let run (cfg : config) =
             timeouts;
             violations = st.violations;
             leaked;
+            reconnects = st.reconnects;
+            dropped = st.dropped;
+            abandoned = st.abandoned;
             throughput =
               float_of_int (st.acquired + st.released)
               /. Float.max 1e-9 wall_s;
             latency = st.latency;
           }
     in
-    Array.iter Client.close st.conns;
+    Array.iter (function Some c -> Client.close c | None -> ()) st.conns;
     res

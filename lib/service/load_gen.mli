@@ -17,6 +17,15 @@
     - {b conservation}: after the final drain releases everything, the
       server's [taken] count must be zero ([leaked] in the result).
 
+    {b Connection loss is survived, not fatal}: a reset mid-run kills
+    one slot, whose in-flight operations are counted [dropped] and
+    whose held names are counted [abandoned] (the server reclaims them
+    by disconnect-drain or lease expiry); the slot reconnects with
+    capped exponential backoff.  Arrivals falling due while every slot
+    is down are owed, and posted after reconnect {e with their original
+    scheduled time} — the outage shows up as latency, never as a hole
+    in the offered load.
+
     Acquire latency (scheduled arrival → [Acquired], so a generator
     that falls behind cannot hide queueing delay) is recorded in a
     {!Stats.Hdr} histogram in nanoseconds. *)
@@ -34,12 +43,19 @@ type config = {
   duration_s : float;
   hold : hold;
   seed : int;
+  reconnect_attempts : int;
+      (** consecutive failed reconnects on one slot before the run
+          aborts *)
+  reconnect_backoff : float;
+      (** base reconnect delay (seconds), doubled per consecutive
+          failure, capped at 1 s, jittered *)
   log : string -> unit;
 }
 
 val default_config : path:string -> config
 (** Binary mode, 4 conns, 64 clients, 1000/s for 5 s, Exponential 1 ms
-    holds, seed 1, silent log. *)
+    holds, seed 1, 8 reconnect attempts with 50 ms base backoff,
+    silent log. *)
 
 type result = {
   wall_s : float;  (** measured run wall time, arrivals through drain *)
@@ -51,13 +67,18 @@ type result = {
   timeouts : int;  (** operations never answered before the drain gave up *)
   violations : int;  (** uniqueness violations observed *)
   leaked : int;  (** server [taken] after the final drain; -1 if unknown *)
+  reconnects : int;  (** connection losses survived *)
+  dropped : int;  (** in-flight (or never-postable) operations lost *)
+  abandoned : int;  (** held names forgotten with their dead connection *)
   throughput : float;  (** (acquired + released) / wall_s *)
   latency : Stats.Hdr.t;  (** acquire latency, nanoseconds *)
 }
 
 val ok : result -> bool
-(** No violations, no leaks, no errors, no timeouts. *)
+(** No violations, no leaks, no errors, no timeouts.  Reconnects,
+    drops and abandonments are survivable events, reported but not
+    failures. *)
 
 val run : config -> (result, string) Stdlib.result
 (** Drive the load and return the audit.  [Error] covers setup failures
-    (cannot connect) and mid-run connection loss. *)
+    (cannot connect) and a slot exhausting its reconnect budget. *)

@@ -1,0 +1,65 @@
+(** The kill/restart soak artifact and its regression gate.
+
+    [repro_cli chaos service] drives {!Load_gen} through N
+    [SIGKILL]+[--recover] cycles of a real [renamed] daemon (optionally
+    through the {!Chaos.Wire_fault} proxy) and records the outcome in
+    the [BENCH_SERVICE_<k>.json] sequence with kind
+    ["bench-service-recovery"].  The committed baseline is
+    [bench/BENCH_SERVICE_1.json].
+
+    {!check} gates the soak's safety claims absolutely — zero duplicate
+    grants across every journal segment, zero slots still taken after
+    the last lease TTL passed, zero uniqueness violations / errors /
+    timeouts / damaged journal records, a clean final drain — and
+    recovery p99 relatively against the baseline (with a 1 s absolute
+    floor, since process restart time is machine noise). *)
+
+type t = {
+  (* configuration *)
+  cycles : int;  (** SIGKILL + --recover rounds *)
+  rate : float;
+  duration_s : float;  (** total load window across all cycles *)
+  seed : int;
+  shards : int;
+  capacity : int;
+  lease_ttl_s : float;
+  wire_faults : bool;  (** load ran through the fault proxy *)
+  (* load-side audit *)
+  wall_s : float;
+  offered : int;
+  acquired : int;
+  acquire_failures : int;
+  released : int;
+  errors : int;
+  timeouts : int;
+  violations : int;
+  reconnects : int;  (** connection losses survived *)
+  dropped : int;  (** in-flight operations lost to connection death *)
+  abandoned : int;  (** held names forgotten on connection death *)
+  throughput : float;
+  (* recovery-side audit *)
+  duplicate_grants : int;  (** journal replay: grants of live names *)
+  leaked_after_expiry : int;
+      (** slots still taken one TTL after the load drained; -1 unknown *)
+  recovery_p50_ms : float;  (** SIGKILL observed -> daemon accepting again *)
+  recovery_p99_ms : float;
+  recovery_max_ms : float;
+  journal_records : int;  (** intact records across all segments *)
+  journal_torn_tails : int;  (** crash artifacts (expected under SIGKILL) *)
+  journal_damaged : int;  (** CRC/framing damage — must be zero *)
+  daemon_exit : int;  (** final graceful drain's exit code *)
+}
+
+val to_json : t -> Jsonu.t
+val of_json : Jsonu.t -> t
+(** @raise Jsonu.Malformed on kind/schema mismatch. *)
+
+val load : string -> t
+(** @raise Jsonu.Malformed / [Sys_error]. *)
+
+val save : dir:string -> t -> string
+(** Next free [BENCH_SERVICE_<k>.json] in [dir] (numbering shared with
+    {!Service_bench}). *)
+
+val render : t -> string
+val check : threshold:float -> baseline:t -> current:t -> string list

@@ -1,5 +1,5 @@
-(* Wall-clock here is operator telemetry (uptime, flush deadlines) and
-   never enters experiment records. *)
+(* Wall-clock here is operator telemetry (uptime, flush deadlines,
+   lease TTLs) and never enters experiment records. *)
 
 type config = {
   socket_path : string;
@@ -8,6 +8,9 @@ type config = {
   seed : int;
   backlog : int;
   max_conns : int;
+  lease_ttl_s : float;
+  journal_path : string option;
+  recover : bool;
   log : string -> unit;
 }
 
@@ -19,6 +22,9 @@ let default_config ~socket_path =
     seed = 1;
     backlog = 64;
     max_conns = 1024;
+    lease_ttl_s = 30.;
+    journal_path = None;
+    recover = false;
     log = ignore;
   }
 
@@ -29,16 +35,28 @@ type report = {
   releases : int;
   errors : int;
   drained_releases : int;
+  renews : int;
+  expired_leases : int;
+  dedup_hits : int;
+  recovered : int;
   taken_at_exit : int;
   wall_s : float;
 }
 
 let report_clean r = r.taken_at_exit = 0
 
+let recovery_required_prefix = "recovery required:"
+
+let recovery_refused e =
+  String.length e >= String.length recovery_required_prefix
+  && String.sub e 0 (String.length recovery_required_prefix)
+     = recovery_required_prefix
+
 type handle = { flag : bool Atomic.t; wake : Unix.file_descr option Atomic.t }
 
 let create_handle () = { flag = Atomic.make false; wake = Atomic.make None }
 
+(* repro-lint: allow journal-write — self-pipe wake byte, not a journal fd *)
 let poke fd = try ignore (Unix.write fd (Bytes.make 1 '!') 0 1) with _ -> ()
 
 let stop h =
@@ -81,12 +99,18 @@ module Q = struct
 end
 
 type job =
-  | Acquire_job of { conn : int; id : int; client : int }
+  | Acquire_job of { conn : int; id : int; client : int; token : int }
   | Release_job of { conn : int; id : int; name : int; drain : bool }
   | Quit
 
 type done_op =
-  | Did_acquire of { conn : int; id : int; name : int option }
+  | Did_acquire of {
+      conn : int;
+      id : int;
+      client : int;
+      token : int;
+      name : int option;
+    }
   | Did_release of { conn : int; id : int; name : int; drain : bool }
 
 (* ------------------------------------------------------------------ *)
@@ -110,6 +134,9 @@ type phase = Serving | Draining_jobs | Draining_ledgers | Flushing
 type state = {
   cfg : config;
   pool : Shard.t;
+  leases : Lease.t;
+  journal : Journal.t option;
+  recovered : int;  (* grants re-occupied from the journal at boot *)
   handle : handle;
   workers : job Q.t array;
   outbox : done_op Q.t;
@@ -122,17 +149,22 @@ type state = {
   mutable phase : phase;
   mutable next_cid : int;
   mutable inflight_total : int;
+  mutable next_sweep : float;
   mutable conns_served : int;
   mutable requests : int;
   mutable acquires : int;
   mutable releases : int;
   mutable errors : int;
   mutable drained_releases : int;
+  mutable renews : int;
+  mutable expired_leases : int;
+  mutable dedup_hits : int;
   mutable flush_deadline : float;
 }
 
 let now () = Unix.gettimeofday ()
 let conn_list st = Hashtbl.to_seq_values st.conns |> List.of_seq
+let sweep_period st = Float.max 0.01 (Lease.ttl_s st.leases /. 10.)
 
 (* ------------------------------------------------------------------ *)
 (* Worker domains: each owns one shard and loops on its queue. *)
@@ -143,7 +175,7 @@ let worker_loop st i =
   while !continue do
     match Q.pop_blocking q with
     | Quit -> continue := false
-    | Acquire_job { conn; id; client } ->
+    | Acquire_job { conn; id; client; token } ->
       let name =
         try Shard.acquire st.pool ~shard:i ~client
         with e ->
@@ -152,7 +184,7 @@ let worker_loop st i =
                (Printexc.to_string e));
           None
       in
-      Q.push st.outbox (Did_acquire { conn; id; name });
+      Q.push st.outbox (Did_acquire { conn; id; client; token; name });
       poke st.wake_w
     | Release_job { conn; id; name; drain } ->
       (try Shard.release st.pool ~name
@@ -180,14 +212,52 @@ let enqueue_job st ~shard job =
   st.inflight_total <- st.inflight_total + 1;
   Q.push st.workers.(shard) job
 
-(* Auto-release a name that no live session will ever release (granted
-   to a dead connection, or left on a ledger at shutdown). *)
-let enqueue_drain_release st name =
+(* Return a cell to the pool through its owner worker without a client
+   reply (lease expiry, rollback, drain). *)
+let enqueue_auto_release st name =
   match Shard.shard_of_name st.pool name with
   | None -> st.cfg.log (Printf.sprintf "drain: name %d outside namespace" name)
   | Some shard ->
-    st.drained_releases <- st.drained_releases + 1;
     enqueue_job st ~shard (Release_job { conn = -1; id = 0; name; drain = true })
+
+(* Auto-release a name that no live session will ever release (granted
+   to a dead connection, or left on a ledger at shutdown). *)
+let enqueue_drain_release st name =
+  st.drained_releases <- st.drained_releases + 1;
+  enqueue_auto_release st name
+
+(* ------------------------------------------------------------------ *)
+(* Journal + lease plumbing (I/O domain only) *)
+
+let journal_append st r =
+  match st.journal with
+  | None -> Ok ()
+  | Some j -> (
+    try
+      Journal.append j r;
+      Ok ()
+    with
+    | Engine.Io_fault.Injected m -> Error m
+    | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | Sys_error m -> Error m)
+
+(* Remove [name]'s lease and journal the release.  A failed release
+   append is tolerated: after recovery the grant comes back as an
+   orphan lease and expires one TTL later — a delay, never a
+   double-grant. *)
+let release_lease st name =
+  match Lease.epoch_of st.leases ~name with
+  | None -> ()
+  | Some epoch -> (
+    ignore (Lease.release st.leases ~name ~epoch);
+    match journal_append st (Journal.Release { name; epoch }) with
+    | Ok () -> ()
+    | Error m ->
+      st.cfg.log
+        (Printf.sprintf
+           "journal: release of %d not recorded (%s); lease expiry reclaims \
+            it after recovery"
+           name m))
 
 let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -202,10 +272,33 @@ let disconnect st c =
     List.iter
       (fun name ->
         Session.note_released c.session name;
+        release_lease st name;
         enqueue_drain_release st name)
       (Session.held c.session);
     if c.inflight = 0 then Hashtbl.remove st.conns c.cid
   end
+
+(* The expiry sweep: the only thing that kills a lease on time grounds.
+   A reclaimed name leaves its holder's ledger too, so a late release
+   from that client is answered [err_not_held] instead of freeing a
+   cell somebody else may have re-won. *)
+let sweep st tnow =
+  List.iter
+    (fun (name, epoch, holder, _token) ->
+      st.expired_leases <- st.expired_leases + 1;
+      (match holder with
+      | Some cid -> (
+        match Hashtbl.find_opt st.conns cid with
+        | Some c when not c.dead -> Session.note_released c.session name
+        | _ -> ())
+      | None -> ());
+      (match journal_append st (Journal.Expire { name; epoch }) with
+      | Ok () -> ()
+      | Error m ->
+        st.cfg.log
+          (Printf.sprintf "journal: expiry of %d not recorded (%s)" name m));
+      enqueue_auto_release st name)
+    (Lease.expire_due st.leases ~now:tnow)
 
 (* ------------------------------------------------------------------ *)
 (* Request handling (I/O domain only) *)
@@ -222,6 +315,13 @@ let stats_json st =
     @ pool_fields
     @ [
         ("held_by_sessions", Jsonu.Int held);
+        ("leases", Jsonu.Int (Lease.held st.leases));
+        ("lease_ttl_ms", Jsonu.Int (Lease.ttl_ms st.leases));
+        ("renews", Jsonu.Int st.renews);
+        ("expired_leases", Jsonu.Int st.expired_leases);
+        ("dedup_hits", Jsonu.Int st.dedup_hits);
+        ("recovered", Jsonu.Int st.recovered);
+        ("journal", Jsonu.Bool (Option.is_some st.journal));
         ("conns", Jsonu.Int (Hashtbl.length st.conns));
         ("conns_served", Jsonu.Int st.conns_served);
         ("requests", Jsonu.Int st.requests);
@@ -237,17 +337,49 @@ let handle_request st c (r : Wire.request) =
       (Wire.Error { id; op; code = Wire.err_shutdown; msg = "shutting down" })
   else
     match r with
-    | Wire.Acquire { id; client } ->
-      c.inflight <- c.inflight + 1;
-      enqueue_job st
-        ~shard:(Shard.shard_of_client st.pool client)
-        (Acquire_job { conn = c.cid; id; client })
+    | Wire.Acquire { id; client; token } -> (
+      (* Idempotent retry: a nonzero token still bound to a live lease
+         re-delivers the original grant — but only when that lease is
+         unclaimed (an orphan from recovery or a reply lost in flight to
+         a dead connection) or already ours.  A token colliding with
+         another live connection's lease is a fresh acquire. *)
+      let dedup =
+        match Lease.find_token st.leases ~token with
+        | None -> None
+        | Some (name, epoch) ->
+          let ours =
+            match Lease.holder_of st.leases ~name with
+            | Some None -> true
+            | Some (Some h) -> (
+              h = c.cid
+              || match Hashtbl.find_opt st.conns h with
+                 | Some holder -> holder.dead
+                 | None -> true)
+            | None -> false
+          in
+          if ours && Lease.rebind st.leases ~now:(now ()) ~name ~epoch ~holder:c.cid
+          then Some name
+          else None
+      in
+      match dedup with
+      | Some name ->
+        st.dedup_hits <- st.dedup_hits + 1;
+        Session.note_acquired c.session name;
+        send_response st c
+          (Wire.Acquired { id; name; lease_ms = Lease.ttl_ms st.leases })
+      | None ->
+        c.inflight <- c.inflight + 1;
+        enqueue_job st
+          ~shard:(Shard.shard_of_client st.pool client)
+          (Acquire_job { conn = c.cid; id; client; token }))
     | Wire.Release { id; client = _; name } ->
       if Session.holds c.session name then begin
         (* The ledger entry goes now, not at completion: a second
            release of the same name racing the first must already see
-           it gone, or it would free a re-acquired cell. *)
+           it gone, or it would free a re-acquired cell.  The lease and
+           its journal record go with it. *)
         Session.note_released c.session name;
+        release_lease st name;
         c.inflight <- c.inflight + 1;
         match Shard.shard_of_name st.pool name with
         | Some shard ->
@@ -259,6 +391,10 @@ let handle_request st c (r : Wire.request) =
         send_response st c
           (Wire.Error
              { id; op; code = Wire.err_not_held; msg = "name not held here" })
+    | Wire.Renew { id; client = _ } ->
+      st.renews <- st.renews + 1;
+      let count = Lease.renew st.leases ~now:(now ()) ~holder:c.cid in
+      send_response st c (Wire.Renewed { id; count })
     | Wire.Stats { id } ->
       send_response st c (Wire.Stats_reply { id; stats = stats_json st })
     | Wire.Shutdown { id } ->
@@ -276,15 +412,38 @@ let handle_done st op =
       if c.dead && c.inflight = 0 then Hashtbl.remove st.conns c.cid
   in
   match op with
-  | Did_acquire { conn; id; name } -> (
+  | Did_acquire { conn; id; client; token; name } -> (
     (match (find conn, name) with
-    | Some c, Some name when not c.dead ->
-      st.acquires <- st.acquires + 1;
-      Session.note_acquired c.session name;
-      send_response st c (Wire.Acquired { id; name })
+    | Some c, Some name when not c.dead -> (
+      (* Write-ahead: the grant is journaled before the client can ever
+         see [Acquired], so an acknowledged name is always recovered.
+         If the append fails the grant never happened — roll the lease
+         back, return the slot, tell the client the truth. *)
+      let epoch =
+        Lease.grant st.leases ~now:(now ()) ~name ~holder:(Some c.cid) ~token
+      in
+      match journal_append st (Journal.Grant { name; epoch; client; token }) with
+      | Ok () ->
+        st.acquires <- st.acquires + 1;
+        Session.note_acquired c.session name;
+        send_response st c
+          (Wire.Acquired { id; name; lease_ms = Lease.ttl_ms st.leases })
+      | Error m ->
+        ignore (Lease.release st.leases ~name ~epoch);
+        enqueue_auto_release st name;
+        st.cfg.log (Printf.sprintf "journal: grant of %d aborted (%s)" name m);
+        send_response st c
+          (Wire.Error
+             {
+               id;
+               op = Wire.Op_acquire;
+               code = Wire.err_internal;
+               msg = "journal append failed";
+             }))
     | _, Some name ->
       (* Granted to a connection that died while the job was in
-         flight: nobody will release it, so the server must. *)
+         flight: never journaled, never leased — nobody will release
+         it, so the server must. *)
       st.acquires <- st.acquires + 1;
       enqueue_drain_release st name
     | Some c, None when not c.dead ->
@@ -330,6 +489,7 @@ let on_writable st c =
     while !continue && not (Queue.is_empty c.out) do
       let head = Queue.peek c.out in
       let len = String.length head - c.out_off in
+      (* repro-lint: allow journal-write — client socket, not a journal fd *)
       let n = Unix.write_substring c.fd head c.out_off len in
       if n = len then begin
         ignore (Queue.pop c.out);
@@ -424,6 +584,80 @@ let bind_socket cfg =
       Error (Printf.sprintf "bind %s: %s" path (Unix.error_message e)))
 
 (* ------------------------------------------------------------------ *)
+(* Journal recovery (before the socket exists: a daemon that will
+   refuse to serve should never accept a connection). *)
+
+let recover_journal cfg ~pool ~leases =
+  match cfg.journal_path with
+  | None -> Ok (None, 0)
+  | Some path ->
+    if not (Sys.file_exists path) then (
+      match Journal.open_append ~path with
+      | Ok j -> Ok (Some j, 0)
+      | Error e -> Error e)
+    else (
+      match Journal.scan ~path with
+      | Error e -> Error e
+      | Ok s ->
+        if s.Journal.damaged > 0 then
+          Error
+            (Printf.sprintf
+               "journal %s: %d damaged record(s); refusing to serve from a \
+                corrupt ledger (repro_cli doctor shows the damage)"
+               path s.Journal.damaged)
+        else begin
+          if s.Journal.torn_tail then
+            cfg.log
+              (Printf.sprintf "journal %s: torn tail dropped (crash artifact)"
+                 path);
+          let live = Journal.replay s.Journal.records in
+          let n = List.length live.Journal.grants in
+          if n > 0 && not cfg.recover then
+            Error
+              (Printf.sprintf
+                 "%s journal %s replays %d live grant(s); restart with \
+                  --recover to re-occupy them"
+                 recovery_required_prefix path n)
+          else begin
+            let restored = ref 0 in
+            List.iter
+              (fun (name, (epoch, _client, token)) ->
+                match Shard.retake pool ~name with
+                | `Taken ->
+                  Lease.restore leases ~now:(now ()) ~name ~epoch ~token;
+                  incr restored
+                | `Already ->
+                  cfg.log
+                    (Printf.sprintf
+                       "recovery: name %d doubly granted in the journal" name)
+                | `Outside ->
+                  cfg.log
+                    (Printf.sprintf
+                       "recovery: name %d outside the pool geometry \
+                        (shards/capacity changed?)"
+                       name))
+              live.Journal.grants;
+            Lease.set_next_epoch leases live.Journal.next_epoch;
+            if live.Journal.double_grants > 0 then
+              cfg.log
+                (Printf.sprintf "recovery: replay counted %d double grant(s)"
+                   live.Journal.double_grants);
+            match Journal.rewrite ~path live.Journal.grants with
+            | Error e -> Error e
+            | Ok () -> (
+              match Journal.open_append ~path with
+              | Error e -> Error e
+              | Ok j ->
+                if !restored > 0 || s.Journal.torn_tail then
+                  cfg.log
+                    (Printf.sprintf
+                       "recovered %d live grant(s) from %s (journal compacted)"
+                       !restored path);
+                Ok (Some j, !restored))
+          end
+        end)
+
+(* ------------------------------------------------------------------ *)
 (* The serving loop *)
 
 let select_step st =
@@ -448,147 +682,201 @@ let run ?handle cfg =
   if cfg.shards < 1 then invalid_arg "Server.run: shards < 1";
   if cfg.capacity < 1 then invalid_arg "Server.run: capacity < 1";
   let handle = match handle with Some h -> h | None -> create_handle () in
-  match bind_socket cfg with
+  let pool =
+    Shard.create ~shards:cfg.shards ~capacity:cfg.capacity ~seed:cfg.seed ()
+  in
+  let leases = Lease.create ~ttl_s:cfg.lease_ttl_s () in
+  match recover_journal cfg ~pool ~leases with
   | Error _ as e -> e
-  | Ok listen_fd ->
-    let wake_r, wake_w = Unix.pipe ~cloexec:true () in
-    Unix.set_nonblock wake_r;
-    Unix.set_nonblock wake_w;
-    Atomic.set handle.wake (Some wake_w);
-    let pool =
-      Shard.create ~shards:cfg.shards ~capacity:cfg.capacity ~seed:cfg.seed ()
+  | Ok (journal, recovered) -> (
+    let close_journal () =
+      match journal with Some j -> Journal.close j | None -> ()
     in
-    let st =
-      {
-        cfg;
-        pool;
-        handle;
-        workers = Array.init cfg.shards (fun _ -> Q.create ());
-        outbox = Q.create ();
-        wake_r;
-        wake_w;
-        conns = Hashtbl.create 64;
-        started = now ();
-        scratch = Bytes.create 65536;
-        listen_fd = Some listen_fd;
-        phase = Serving;
-        next_cid = 0;
-        inflight_total = 0;
-        conns_served = 0;
-        requests = 0;
-        acquires = 0;
-        releases = 0;
-        errors = 0;
-        drained_releases = 0;
-        flush_deadline = 0.;
-      }
-    in
-    (* The only Domain.spawn outside lib/shm and the engine pool: the
-       serving substrate owns its shard workers the same way the runner
-       owns its domains.  They are joined on every exit path below. *)
-    let domains =
-      Array.init cfg.shards (fun i -> Domain.spawn (fun () -> worker_loop st i))
-    in
-    cfg.log
-      (Printf.sprintf "serving on %s: %d shard(s), capacity %d, namespace %d"
-         cfg.socket_path cfg.shards cfg.capacity (Shard.namespace pool));
-    let fd_conn fd =
-      List.find_opt (fun c -> (not c.dead) && c.fd = fd) (conn_list st)
-    in
-    let close_listener () =
-      match st.listen_fd with
-      | None -> ()
-      | Some fd ->
-        st.listen_fd <- None;
-        close_fd fd;
-        (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())
-    in
-    let running = ref true in
-    while !running do
-      let readable, writable = select_step st in
-      (* Wake bytes carry no data; drain and discard. *)
-      if List.mem st.wake_r readable then (
-        try
-          while Unix.read st.wake_r st.scratch 0 512 > 0 do
-            ()
-          done
-        with Unix.Unix_error _ -> ());
-      List.iter (handle_done st) (Q.drain st.outbox);
-      (match st.listen_fd with
-      | Some fd when List.mem fd readable -> accept_ready st fd
-      | _ -> ());
-      List.iter
-        (fun fd ->
-          if fd <> st.wake_r && Some fd <> st.listen_fd then
-            match fd_conn fd with Some c -> on_readable st c | None -> ())
-        readable;
-      List.iter
-        (fun fd -> match fd_conn fd with Some c -> on_writable st c | None -> ())
-        writable;
-      (* Connections asked to close (protocol corruption): flush, drop. *)
-      List.iter
-        (fun c ->
-          if c.closing && (not c.dead) && (not (out_pending c)) && c.inflight = 0
-          then disconnect st c)
-        (conn_list st);
-      (* Phase transitions *)
-      (match st.phase with
-      | Serving when stop_requested handle ->
-        cfg.log "stop requested: draining in-flight jobs";
-        close_listener ();
-        st.phase <- Draining_jobs
-      | Serving -> ()
-      | Draining_jobs when st.inflight_total = 0 ->
-        let drained = ref 0 in
+    match bind_socket cfg with
+    | Error _ as e ->
+      close_journal ();
+      e
+    | Ok listen_fd ->
+      let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock wake_r;
+      Unix.set_nonblock wake_w;
+      Atomic.set handle.wake (Some wake_w);
+      let st =
+        {
+          cfg;
+          pool;
+          leases;
+          journal;
+          recovered;
+          handle;
+          workers = Array.init cfg.shards (fun _ -> Q.create ());
+          outbox = Q.create ();
+          wake_r;
+          wake_w;
+          conns = Hashtbl.create 64;
+          started = now ();
+          scratch = Bytes.create 65536;
+          listen_fd = Some listen_fd;
+          phase = Serving;
+          next_cid = 0;
+          inflight_total = 0;
+          next_sweep = 0.;
+          conns_served = 0;
+          requests = 0;
+          acquires = 0;
+          releases = 0;
+          errors = 0;
+          drained_releases = 0;
+          renews = 0;
+          expired_leases = 0;
+          dedup_hits = 0;
+          flush_deadline = 0.;
+        }
+      in
+      (* The only Domain.spawn outside lib/shm and the engine pool: the
+         serving substrate owns its shard workers the same way the runner
+         owns its domains.  They are joined on every exit path below. *)
+      let domains =
+        Array.init cfg.shards (fun i ->
+            Domain.spawn (fun () -> worker_loop st i))
+      in
+      cfg.log
+        (Printf.sprintf
+           "serving on %s: %d shard(s), capacity %d, namespace %d, lease TTL \
+            %.3fs%s"
+           cfg.socket_path cfg.shards cfg.capacity (Shard.namespace pool)
+           (Lease.ttl_s leases)
+           (match cfg.journal_path with
+           | Some p -> Printf.sprintf ", journal %s" p
+           | None -> ""));
+      let fd_conn fd =
+        List.find_opt (fun c -> (not c.dead) && c.fd = fd) (conn_list st)
+      in
+      let close_listener () =
+        match st.listen_fd with
+        | None -> ()
+        | Some fd ->
+          st.listen_fd <- None;
+          close_fd fd;
+          (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())
+      in
+      let running = ref true in
+      while !running do
+        let readable, writable = select_step st in
+        (* Wake bytes carry no data; drain and discard. *)
+        if List.mem st.wake_r readable then (
+          try
+            while Unix.read st.wake_r st.scratch 0 512 > 0 do
+              ()
+            done
+          with Unix.Unix_error _ -> ());
+        List.iter (handle_done st) (Q.drain st.outbox);
+        (match st.listen_fd with
+        | Some fd when List.mem fd readable -> accept_ready st fd
+        | _ -> ());
+        List.iter
+          (fun fd ->
+            if fd <> st.wake_r && Some fd <> st.listen_fd then
+              match fd_conn fd with Some c -> on_readable st c | None -> ())
+          readable;
+        List.iter
+          (fun fd ->
+            match fd_conn fd with Some c -> on_writable st c | None -> ())
+          writable;
+        (* Connections asked to close (protocol corruption): flush, drop. *)
         List.iter
           (fun c ->
-            List.iter
-              (fun name ->
-                Session.note_released c.session name;
-                enqueue_drain_release st name;
-                incr drained)
-              (Session.held c.session))
+            if
+              c.closing && (not c.dead)
+              && (not (out_pending c))
+              && c.inflight = 0
+            then disconnect st c)
           (conn_list st);
+        (* Lease expiry sweep *)
+        (if st.phase = Serving then
+           let t = now () in
+           if t >= st.next_sweep then begin
+             sweep st t;
+             st.next_sweep <- t +. sweep_period st
+           end);
+        (* Phase transitions *)
+        (match st.phase with
+        | Serving when stop_requested handle ->
+          cfg.log "stop requested: draining in-flight jobs";
+          close_listener ();
+          st.phase <- Draining_jobs
+        | Serving -> ()
+        | Draining_jobs when st.inflight_total = 0 ->
+          let drained = ref 0 in
+          List.iter
+            (fun c ->
+              List.iter
+                (fun name ->
+                  Session.note_released c.session name;
+                  release_lease st name;
+                  enqueue_drain_release st name;
+                  incr drained)
+                (Session.held c.session))
+            (conn_list st);
+          (* Orphan leases (recovered grants nobody reclaimed) hold
+             real cells but sit on no session ledger; release them too
+             or the conservation check would call them a leak. *)
+          List.iter
+            (fun (name, epoch, _holder, _token) ->
+              (match journal_append st (Journal.Release { name; epoch }) with
+              | Ok () -> ()
+              | Error m ->
+                st.cfg.log
+                  (Printf.sprintf
+                     "journal: drain release of %d not recorded (%s)" name m));
+              enqueue_drain_release st name;
+              incr drained)
+            (Lease.expire_due st.leases ~now:infinity);
+          cfg.log
+            (Printf.sprintf "drained jobs; auto-releasing %d held name(s)"
+               !drained);
+          st.phase <- Draining_ledgers
+        | Draining_jobs -> ()
+        | Draining_ledgers when st.inflight_total = 0 ->
+          st.phase <- Flushing;
+          st.flush_deadline <- now () +. 5.
+        | Draining_ledgers -> ()
+        | Flushing ->
+          let unflushed =
+            List.exists (fun c -> (not c.dead) && out_pending c) (conn_list st)
+          in
+          if (not unflushed) || now () > st.flush_deadline then running := false);
+        ()
+      done;
+      (* Teardown: close clients, stop workers, check slot conservation. *)
+      List.iter (fun c -> if not c.dead then close_fd c.fd) (conn_list st);
+      Hashtbl.reset st.conns;
+      Array.iter (fun q -> Q.push q Quit) st.workers;
+      Array.iter Domain.join domains;
+      close_listener ();
+      close_journal ();
+      Atomic.set handle.wake None;
+      close_fd wake_r;
+      close_fd wake_w;
+      let taken_at_exit = Shard.taken_count pool in
+      if taken_at_exit <> 0 then
         cfg.log
-          (Printf.sprintf "drained jobs; auto-releasing %d held name(s)"
-             !drained);
-        st.phase <- Draining_ledgers
-      | Draining_jobs -> ()
-      | Draining_ledgers when st.inflight_total = 0 ->
-        st.phase <- Flushing;
-        st.flush_deadline <- now () +. 5.
-      | Draining_ledgers -> ()
-      | Flushing ->
-        let unflushed =
-          List.exists (fun c -> (not c.dead) && out_pending c) (conn_list st)
-        in
-        if (not unflushed) || now () > st.flush_deadline then running := false);
-      ()
-    done;
-    (* Teardown: close clients, stop workers, check slot conservation. *)
-    List.iter (fun c -> if not c.dead then close_fd c.fd) (conn_list st);
-    Hashtbl.reset st.conns;
-    Array.iter (fun q -> Q.push q Quit) st.workers;
-    Array.iter Domain.join domains;
-    close_listener ();
-    Atomic.set handle.wake None;
-    close_fd wake_r;
-    close_fd wake_w;
-    let taken_at_exit = Shard.taken_count pool in
-    if taken_at_exit <> 0 then
-      cfg.log
-        (Printf.sprintf "LEAK: %d cell(s) still taken at exit" taken_at_exit);
-    Ok
-      {
-        conns_served = st.conns_served;
-        requests = st.requests;
-        acquires = st.acquires;
-        releases = st.releases;
-        errors = st.errors;
-        drained_releases = st.drained_releases;
-        taken_at_exit;
-        wall_s = now () -. st.started;
-      }
+          (Printf.sprintf "LEAK: %d cell(s) still taken at exit" taken_at_exit);
+      Ok
+        {
+          conns_served = st.conns_served;
+          requests = st.requests;
+          acquires = st.acquires;
+          releases = st.releases;
+          errors = st.errors;
+          drained_releases = st.drained_releases;
+          renews = st.renews;
+          expired_leases = st.expired_leases;
+          dedup_hits = st.dedup_hits;
+          recovered = st.recovered;
+          taken_at_exit;
+          wall_s = now () -. st.started;
+        })
 
 (* ------------------------------------------------------------------ *)
 (* Embedding *)

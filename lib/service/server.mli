@@ -6,8 +6,8 @@
     - {b One I/O domain} runs a [select] event loop over the
       Unix-domain listening socket, every client connection and a
       self-pipe.  It owns all sessions (framing + held-name ledgers),
-      performs all reads and writes, and handles [stats]/[shutdown]
-      inline.
+      the lease table and the journal, and handles [stats]/[renew]/
+      [shutdown] inline.
     - {b One worker domain per shard} owns that shard's
       {!Renaming.Long_lived} instance and executes acquires/releases
       against the shared {!Shm.Atomic_space} — the genuinely parallel
@@ -18,13 +18,34 @@
     Responses therefore complete out of order across shards; the wire
     protocol's request ids make that safe.
 
+    {b Leases.}  Every grant carries a TTL ([lease_ttl_s]).  Clients
+    keep their names with the [renew] heartbeat; the expiry sweep
+    (at most every [max 10ms (ttl/10)]) reclaims names whose holders
+    went silent while still connected, removing them from the holder's
+    ledger so a late release is answered [err_not_held] instead of
+    freeing a reissued cell.  Renew-vs-expiry races are settled by a
+    monotonic lease epoch ({!Lease}).
+
+    {b Journal.}  With [journal_path] set, every grant is appended to a
+    crash-safe journal {e before} the client sees [Acquired]
+    (write-ahead; a failed append aborts the grant with
+    [err_internal]), and every release/expiry is appended as it
+    happens.  On restart the journal is replayed: live grants are
+    re-occupied in the shard pool and restored as orphan leases keeping
+    their epochs, so a [SIGKILL]-ed daemon never double-grants a name a
+    client still holds.  Restarting over live grants without [recover]
+    is refused (see {!recovery_refused}); a damaged journal (CRC/framing
+    failure before the tail) is always refused.  Journaling costs one
+    [fsync] per grant and is off by default.
+
     {b Graceful shutdown} ([SIGTERM]/[SIGINT] via {!stop}, or a client
     [shutdown] request): the loop stops accepting connections and new
     work (late requests get {!Wire.err_shutdown}), drains every
-    in-flight job, auto-releases every name still on a session ledger,
-    flushes and closes, joins the workers, and finally checks the
-    slot-conservation law: a clean exit has [taken_at_exit = 0] —
-    the same leak accounting the chaos invariant monitor enforces. *)
+    in-flight job, auto-releases every name still on a session ledger
+    or lease table (journaling the releases), flushes and closes, joins
+    the workers, and finally checks the slot-conservation law: a clean
+    exit has [taken_at_exit = 0] — the same leak accounting the chaos
+    invariant monitor enforces. *)
 
 type config = {
   socket_path : string;
@@ -33,12 +54,15 @@ type config = {
   seed : int;
   backlog : int;  (** listen backlog *)
   max_conns : int;  (** accepted connections beyond this are refused *)
+  lease_ttl_s : float;  (** grant TTL; renew or lose the name *)
+  journal_path : string option;  (** crash-safe grant journal (off = None) *)
+  recover : bool;  (** replay live journal grants instead of refusing *)
   log : string -> unit;  (** operator log lines (renamed sends to stderr) *)
 }
 
 val default_config : socket_path:string -> config
 (** 2 shards, capacity 4096, seed 1, backlog 64, max_conns 1024,
-    silent log. *)
+    lease TTL 30 s, no journal, no recover, silent log. *)
 
 type report = {
   conns_served : int;
@@ -46,13 +70,23 @@ type report = {
   acquires : int;
   releases : int;
   errors : int;  (** error responses sent *)
-  drained_releases : int;  (** ledger names auto-released at shutdown *)
+  drained_releases : int;
+      (** names auto-released for dead connections and at shutdown *)
+  renews : int;  (** renew requests served *)
+  expired_leases : int;  (** names reclaimed by the expiry sweep *)
+  dedup_hits : int;  (** acquires answered from a token's live lease *)
+  recovered : int;  (** grants re-occupied from the journal at boot *)
   taken_at_exit : int;  (** slot-conservation residue; 0 on a clean exit *)
   wall_s : float;
 }
 
 val report_clean : report -> bool
 (** [taken_at_exit = 0] — the daemon's exit-0 condition. *)
+
+val recovery_refused : string -> bool
+(** True of {!run}'s [Error] when a journal holds live grants and
+    [recover] was false — the operator must rerun with [--recover]
+    (renamed exits 2 on this, 1 on other startup failures). *)
 
 type handle
 (** Out-of-band stop control, safe to trigger from a signal handler
@@ -65,10 +99,10 @@ val stop_requested : handle -> bool
 val run : ?handle:handle -> config -> (report, string) result
 (** Bind, serve until {!stop} or a [shutdown] request, drain, and
     report.  [Error] covers startup failures only (socket in use by a
-    live daemon, bind permission); once serving, [run] always returns
-    [Ok] with the drain report.  A stale socket file (no listener
-    behind it) is reclaimed with a log note — the failure mode
-    [repro_cli doctor] audits. *)
+    live daemon, bind permission, journal damage, refused recovery);
+    once serving, [run] always returns [Ok] with the drain report.  A
+    stale socket file (no listener behind it) is reclaimed with a log
+    note — the failure mode [repro_cli doctor] audits. *)
 
 (** {1 Embedding} *)
 

@@ -15,6 +15,7 @@ type t = {
   timeouts : int;
   violations : int;
   leaked : int;
+  reconnects : int;
   throughput : float;
   lat_p50 : int;
   lat_p99 : int;
@@ -42,6 +43,7 @@ let of_run ~shards ~capacity ~cfg (r : Load_gen.result) =
     timeouts = r.timeouts;
     violations = r.violations;
     leaked = r.leaked;
+    reconnects = r.reconnects;
     throughput = r.throughput;
     lat_p50 = q 0.5;
     lat_p99 = q 0.99;
@@ -73,6 +75,7 @@ let to_json t =
       ("timeouts", Jsonu.Int t.timeouts);
       ("violations", Jsonu.Int t.violations);
       ("leaked", Jsonu.Int t.leaked);
+      ("reconnects", Jsonu.Int t.reconnects);
       ("throughput", Jsonu.Num t.throughput);
       ("lat_p50_ns", Jsonu.Int t.lat_p50);
       ("lat_p99_ns", Jsonu.Int t.lat_p99);
@@ -102,6 +105,8 @@ let of_json j =
     timeouts = Jsonu.int_ f "timeouts";
     violations = Jsonu.int_ f "violations";
     leaked = Jsonu.int_ f "leaked";
+    (* pre-survivability artifacts (the committed baseline) lack it *)
+    reconnects = Jsonu.int_opt f "reconnects" ~default:0;
     throughput = Jsonu.num f "throughput";
     lat_p50 = Jsonu.int_ f "lat_p50_ns";
     lat_p99 = Jsonu.int_ f "lat_p99_ns";
@@ -129,8 +134,9 @@ let render t =
         "ops: %d offered, %d acquired (%d capacity-failed), %d released"
         t.offered t.acquired t.acquire_failures t.released;
       Printf.sprintf
-        "audit: %d violation(s), %d leaked, %d error(s), %d timeout(s)"
-        t.violations t.leaked t.errors t.timeouts;
+        "audit: %d violation(s), %d leaked, %d error(s), %d timeout(s), \
+         %d reconnect(s)"
+        t.violations t.leaked t.errors t.timeouts t.reconnects;
       Printf.sprintf "throughput: %.0f op/s" t.throughput;
       Printf.sprintf
         "acquire latency: p50 %.1fus  p99 %.1fus  p999 %.1fus  mean %.1fus  max %.1fus"

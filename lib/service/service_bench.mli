@@ -29,6 +29,9 @@ type t = {
   timeouts : int;
   violations : int;
   leaked : int;
+  reconnects : int;
+      (** mid-run connection resets survived by reconnecting (absent in
+          pre-survivability artifacts, read as 0) *)
   throughput : float;
   (* latency, nanoseconds *)
   lat_p50 : int;
@@ -58,3 +61,10 @@ val check : threshold:float -> baseline:t -> current:t -> string list
 (** Findings, empty when the run passes.  Invariant findings fire on
     the current run alone; throughput fires when it falls below
     [(1 - threshold) x baseline]. *)
+
+val next_index : string -> int
+(** Next free [BENCH_SERVICE_<k>.json] index in a directory — shared
+    with {!Recovery_bench} so both artifact kinds accumulate in one
+    numbered sequence. *)
+
+val mkdir_p : string -> unit

@@ -80,6 +80,15 @@ let acquire t ~shard ~client:_ =
     Atomic.incr s.failures;
     None
 
+(* Recovery: re-occupy a journaled grant's cell directly.  The probe
+   machinery is bypassed on purpose — the name was already won once;
+   recovery only restores the occupancy bit so post-restart probes
+   walk around it. *)
+let retake t ~name =
+  match shard_of_name t name with
+  | None -> `Outside
+  | Some _ -> if Shm.Atomic_space.tas t.space name then `Taken else `Already
+
 let release t ~name =
   match shard_of_name t name with
   | None -> invalid_arg "Shard.release: name outside the pool's namespace"

@@ -54,6 +54,14 @@ val acquire : t -> shard:int -> client:int -> int option
     [None] when the shard's namespace is exhausted (overload) — the
     caller maps this to {!Wire.err_capacity}.  Owner-domain only. *)
 
+val retake : t -> name:int -> [ `Taken | `Already | `Outside ]
+(** Recovery path: re-occupy [name]'s cell directly (one TAS), bypassing
+    the probe machinery — the name was already won once; replaying its
+    journaled grant only needs the occupancy bit back so post-restart
+    probes walk around it.  [`Already] means the cell was somehow taken
+    (double-grant evidence for the caller to count), [`Outside] that the
+    name does not fit this pool's geometry. *)
+
 val release : t -> name:int -> unit
 (** Return [name]'s cell to the pool (one atomic reset).  The caller
     (the server loop) must have validated ownership against the

@@ -1,16 +1,18 @@
 type mode = Binary | Json
 
 type request =
-  | Acquire of { id : int; client : int }
+  | Acquire of { id : int; client : int; token : int }
   | Release of { id : int; client : int; name : int }
+  | Renew of { id : int; client : int }
   | Stats of { id : int }
   | Shutdown of { id : int }
 
-type op = Op_acquire | Op_release | Op_stats | Op_shutdown
+type op = Op_acquire | Op_release | Op_renew | Op_stats | Op_shutdown
 
 type response =
-  | Acquired of { id : int; name : int }
+  | Acquired of { id : int; name : int; lease_ms : int }
   | Released of { id : int }
+  | Renewed of { id : int; count : int }
   | Stats_reply of { id : int; stats : Jsonu.t }
   | Shutting_down of { id : int }
   | Error of { id : int; op : op; code : int; msg : string }
@@ -19,20 +21,28 @@ let err_proto = 1
 let err_capacity = 2
 let err_not_held = 3
 let err_shutdown = 4
+let err_internal = 5
 let max_frame = 65536
 
 let request_id = function
-  | Acquire { id; _ } | Release { id; _ } | Stats { id } | Shutdown { id } -> id
+  | Acquire { id; _ }
+  | Release { id; _ }
+  | Renew { id; _ }
+  | Stats { id }
+  | Shutdown { id } ->
+    id
 
 let request_op = function
   | Acquire _ -> Op_acquire
   | Release _ -> Op_release
+  | Renew _ -> Op_renew
   | Stats _ -> Op_stats
   | Shutdown _ -> Op_shutdown
 
 let response_id = function
   | Acquired { id; _ }
   | Released { id }
+  | Renewed { id; _ }
   | Stats_reply { id; _ }
   | Shutting_down { id }
   | Error { id; _ } ->
@@ -41,12 +51,14 @@ let response_id = function
 let op_string = function
   | Op_acquire -> "acquire"
   | Op_release -> "release"
+  | Op_renew -> "renew"
   | Op_stats -> "stats"
   | Op_shutdown -> "shutdown"
 
 let op_of_string = function
   | "acquire" -> Some Op_acquire
   | "release" -> Some Op_release
+  | "renew" -> Some Op_renew
   | "stats" -> Some Op_stats
   | "shutdown" -> Some Op_shutdown
   | _ -> None
@@ -56,12 +68,14 @@ let op_code = function
   | Op_release -> 2
   | Op_stats -> 3
   | Op_shutdown -> 4
+  | Op_renew -> 5
 
 let op_of_code = function
   | 1 -> Some Op_acquire
   | 2 -> Some Op_release
   | 3 -> Some Op_stats
   | 4 -> Some Op_shutdown
+  | 5 -> Some Op_renew
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -114,14 +128,19 @@ let encode_request_binary out r =
       check_u32 "id" (request_id r);
       add_u32 b (request_id r);
       match r with
-      | Acquire { client; _ } ->
+      | Acquire { client; token; _ } ->
         check_u32 "client" client;
-        add_u32 b client
+        check_u32 "token" token;
+        add_u32 b client;
+        add_u32 b token
       | Release { client; name; _ } ->
         check_u32 "client" client;
         check_u32 "name" name;
         add_u32 b client;
         add_u32 b name
+      | Renew { client; _ } ->
+        check_u32 "client" client;
+        add_u32 b client
       | Stats _ | Shutdown _ -> ())
 
 let request_to_json r =
@@ -129,9 +148,11 @@ let request_to_json r =
                ("op", Jsonu.Str (op_string (request_op r))) ] in
   let rest =
     match r with
-    | Acquire { client; _ } -> [ ("client", Jsonu.Int client) ]
+    | Acquire { client; token; _ } ->
+      [ ("client", Jsonu.Int client); ("token", Jsonu.Int token) ]
     | Release { client; name; _ } ->
       [ ("client", Jsonu.Int client); ("name", Jsonu.Int name) ]
+    | Renew { client; _ } -> [ ("client", Jsonu.Int client) ]
     | Stats _ | Shutdown _ -> []
   in
   Jsonu.Obj (base @ rest)
@@ -149,6 +170,7 @@ let encode_request mode out r =
 let response_op = function
   | Acquired _ -> Op_acquire
   | Released _ -> Op_release
+  | Renewed _ -> Op_renew
   | Stats_reply _ -> Op_stats
   | Shutting_down _ -> Op_shutdown
   | Error { op; _ } -> op
@@ -161,9 +183,14 @@ let encode_response_binary out r =
       check_u32 "id" (response_id r);
       add_u32 b (response_id r);
       match r with
-      | Acquired { name; _ } ->
+      | Acquired { name; lease_ms; _ } ->
         check_u32 "name" name;
-        add_u32 b name
+        check_u32 "lease_ms" lease_ms;
+        add_u32 b name;
+        add_u32 b lease_ms
+      | Renewed { count; _ } ->
+        check_u32 "count" count;
+        add_u32 b count
       | Released _ | Shutting_down _ -> ()
       | Stats_reply { stats; _ } ->
         let s = Jsonu.to_string stats in
@@ -185,7 +212,10 @@ let response_to_json r =
       ("ok", Jsonu.Bool ok) ]
   in
   match r with
-  | Acquired { name; _ } -> Jsonu.Obj (base true @ [ ("name", Jsonu.Int name) ])
+  | Acquired { name; lease_ms; _ } ->
+    Jsonu.Obj
+      (base true @ [ ("name", Jsonu.Int name); ("lease_ms", Jsonu.Int lease_ms) ])
+  | Renewed { count; _ } -> Jsonu.Obj (base true @ [ ("count", Jsonu.Int count) ])
   | Released _ | Shutting_down _ -> Jsonu.Obj (base true)
   | Stats_reply { stats; _ } -> Jsonu.Obj (base true @ [ ("stats", stats) ])
   | Error { code; msg; _ } ->
@@ -225,11 +255,15 @@ let decode_request_binary buf ~pos ~len =
       else
         let id = get_u32 buf (off + 1) in
         match (op_of_code (get_u8 buf off), plen) with
-        | Some Op_acquire, 9 -> Ok (Acquire { id; client = get_u32 buf (off + 5) })
+        | Some Op_acquire, 13 ->
+          Ok
+            (Acquire
+               { id; client = get_u32 buf (off + 5); token = get_u32 buf (off + 9) })
         | Some Op_release, 13 ->
           Ok
             (Release
                { id; client = get_u32 buf (off + 5); name = get_u32 buf (off + 9) })
+        | Some Op_renew, 9 -> Ok (Renew { id; client = get_u32 buf (off + 5) })
         | Some Op_stats, 5 -> Ok (Stats { id })
         | Some Op_shutdown, 5 -> Ok (Shutdown { id })
         | Some op, _ ->
@@ -254,9 +288,13 @@ let decode_response_binary buf ~pos ~len =
               Ok
                 (Error
                    { id; op; code; msg = Bytes.sub_string buf (off + 9) mlen })
-        | Some Op_acquire, 0 when plen = 10 ->
-          Ok (Acquired { id; name = get_u32 buf (off + 6) })
+        | Some Op_acquire, 0 when plen = 14 ->
+          Ok
+            (Acquired
+               { id; name = get_u32 buf (off + 6); lease_ms = get_u32 buf (off + 10) })
         | Some Op_release, 0 when plen = 6 -> Ok (Released { id })
+        | Some Op_renew, 0 when plen = 10 ->
+          Ok (Renewed { id; count = get_u32 buf (off + 6) })
         | Some Op_shutdown, 0 when plen = 6 -> Ok (Shutting_down { id })
         | Some Op_stats, 0 when plen >= 8 ->
           let slen = get_u16 buf (off + 6) in
@@ -301,9 +339,19 @@ let decode_request_json buf ~pos ~len =
       let f = Jsonu.obj j in
       let id = Jsonu.int_ f "id" in
       match op_of_string (Jsonu.str f "op") with
-      | Some Op_acquire -> Ok (Acquire { id; client = Jsonu.int_ f "client" })
+      | Some Op_acquire ->
+        (* token omitted = 0 = no idempotency: hand-rolled JSON clients
+           (socat) keep working unchanged *)
+        Ok
+          (Acquire
+             {
+               id;
+               client = Jsonu.int_ f "client";
+               token = Jsonu.int_opt f "token" ~default:0;
+             })
       | Some Op_release ->
         Ok (Release { id; client = Jsonu.int_ f "client"; name = Jsonu.int_ f "name" })
+      | Some Op_renew -> Ok (Renew { id; client = Jsonu.int_ f "client" })
       | Some Op_stats -> Ok (Stats { id })
       | Some Op_shutdown -> Ok (Shutdown { id })
       | None -> Error (Printf.sprintf "unknown op %S" (Jsonu.str f "op")))
@@ -316,8 +364,16 @@ let decode_response_json buf ~pos ~len =
       | None, _ -> Error (Printf.sprintf "unknown op %S" (Jsonu.str f "op"))
       | Some op, false ->
         Ok (Error { id; op; code = Jsonu.int_ f "code"; msg = Jsonu.str f "error" })
-      | Some Op_acquire, true -> Ok (Acquired { id; name = Jsonu.int_ f "name" })
+      | Some Op_acquire, true ->
+        Ok
+          (Acquired
+             {
+               id;
+               name = Jsonu.int_ f "name";
+               lease_ms = Jsonu.int_opt f "lease_ms" ~default:0;
+             })
       | Some Op_release, true -> Ok (Released { id })
+      | Some Op_renew, true -> Ok (Renewed { id; count = Jsonu.int_ f "count" })
       | Some Op_shutdown, true -> Ok (Shutting_down { id })
       | Some Op_stats, true -> (
         match List.assoc_opt "stats" f with

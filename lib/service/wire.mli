@@ -24,18 +24,28 @@
 type mode = Binary | Json
 
 type request =
-  | Acquire of { id : int; client : int }
-      (** obtain a name; [client] selects the shard *)
+  | Acquire of { id : int; client : int; token : int }
+      (** obtain a name; [client] selects the shard.  [token <> 0] is a
+          client-chosen idempotency token: retrying the same logical
+          acquire with the same token after an ambiguous failure
+          re-delivers the original grant instead of taking a second
+          slot (the server dedups through its lease table + journal) *)
   | Release of { id : int; client : int; name : int }
       (** return [name]; must be held by this connection *)
+  | Renew of { id : int; client : int }
+      (** heartbeat: extend the lease TTL of every name this
+          connection holds *)
   | Stats of { id : int }  (** server + per-shard counters as JSON *)
   | Shutdown of { id : int }  (** graceful drain, then exit *)
 
-type op = Op_acquire | Op_release | Op_stats | Op_shutdown
+type op = Op_acquire | Op_release | Op_renew | Op_stats | Op_shutdown
 
 type response =
-  | Acquired of { id : int; name : int }
+  | Acquired of { id : int; name : int; lease_ms : int }
+      (** [lease_ms] is the grant's TTL: renew (or release) within it
+          or the expiry sweep reclaims the name *)
   | Released of { id : int }
+  | Renewed of { id : int; count : int }  (** leases extended *)
   | Stats_reply of { id : int; stats : Jsonu.t }
   | Shutting_down of { id : int }  (** ack of {!Shutdown} *)
   | Error of { id : int; op : op; code : int; msg : string }
@@ -54,6 +64,10 @@ val err_not_held : int
 val err_shutdown : int
 (** server is draining; no new acquires *)
 
+val err_internal : int
+(** the server could not make the operation durable (journal append
+    failed); the grant was rolled back and the slot returned *)
+
 val max_frame : int
 (** Upper bound on a binary payload and on a JSON line (64 KiB).  A
     length prefix above this is corruption by construction — the codec
@@ -63,6 +77,18 @@ val request_id : request -> int
 val request_op : request -> op
 val response_id : response -> int
 val op_string : op -> string
+
+(** {1 Binary primitives}
+
+    Big-endian fixed-width fields, shared with the journal codec
+    ({!Service.Journal}) so both formats frame bytes identically. *)
+
+val add_u8 : Buffer.t -> int -> unit
+val add_u16 : Buffer.t -> int -> unit
+val add_u32 : Buffer.t -> int -> unit
+val get_u8 : Bytes.t -> int -> int
+val get_u16 : Bytes.t -> int -> int
+val get_u32 : Bytes.t -> int -> int
 
 (** {1 Encoding} *)
 

@@ -7,4 +7,5 @@ let () =
    @ Test_longlived.suite @ Test_shm.suite @ Test_harness.suite
    @ Test_schedules.suite @ Test_verification.suite @ Test_gof.suite
    @ Test_rwtas.suite @ Test_engine.suite @ Test_fault.suite
-   @ Test_analysis.suite @ Test_chaos.suite @ Test_fast_core.suite @ Test_service.suite)
+   @ Test_analysis.suite @ Test_chaos.suite @ Test_fast_core.suite
+   @ Test_service.suite @ Test_survive.suite)

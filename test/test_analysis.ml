@@ -56,6 +56,21 @@ let test_lint_poly_compare () =
   check_rules "Float.compare is fine" []
     (lint ~path:"lib/stats/x.ml" "let f a b = Float.compare a b\n")
 
+let test_lint_journal_write () =
+  let source = "let f fd b = Unix.write fd b 0 8\n" in
+  check_rules "flagged in lib/service" [ "journal-write" ]
+    (lint ~path:"lib/service/session.ml" source);
+  check_rules "flagged in bin/renamed.ml" [ "journal-write" ]
+    (lint ~path:"bin/renamed.ml" source);
+  check_rules "allowed in the journal itself" []
+    (lint ~path:"lib/service/journal.ml" source);
+  (* the rule scopes to the serving layer, not the whole tree *)
+  check_rules "out of scope elsewhere" []
+    (lint ~path:"lib/engine/x.ml" source);
+  check_rules "write_substring flagged too" [ "journal-write" ]
+    (lint ~path:"lib/service/session.ml"
+       "let f fd s = Unix.write_substring fd s 0 8\n")
+
 let test_lint_stdout_print () =
   let source = "let f () = print_endline \"x\"\n" in
   check_rules "flagged in lib/sim" [ "stdout-print" ]
@@ -432,6 +447,7 @@ let suite =
         Alcotest.test_case "hashtbl-iteration rule" `Quick
           test_lint_hashtbl_iteration;
         Alcotest.test_case "poly-compare rule" `Quick test_lint_poly_compare;
+        Alcotest.test_case "journal-write rule" `Quick test_lint_journal_write;
         Alcotest.test_case "stdout-print rule" `Quick test_lint_stdout_print;
         Alcotest.test_case "Stdlib. prefix stripped" `Quick
           test_lint_stdlib_prefix_stripped;

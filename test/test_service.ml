@@ -25,15 +25,19 @@ let decode_resp mode s =
   Wire.decode_response mode (Bytes.of_string s) ~pos:0 ~len:(String.length s)
 
 let show_req = function
-  | Wire.Acquire { id; client } -> Printf.sprintf "Acquire{id=%d;client=%d}" id client
+  | Wire.Acquire { id; client; token } ->
+    Printf.sprintf "Acquire{id=%d;client=%d;token=%d}" id client token
   | Wire.Release { id; client; name } ->
     Printf.sprintf "Release{id=%d;client=%d;name=%d}" id client name
+  | Wire.Renew { id; client } -> Printf.sprintf "Renew{id=%d;client=%d}" id client
   | Wire.Stats { id } -> Printf.sprintf "Stats{id=%d}" id
   | Wire.Shutdown { id } -> Printf.sprintf "Shutdown{id=%d}" id
 
 let show_resp = function
-  | Wire.Acquired { id; name } -> Printf.sprintf "Acquired{id=%d;name=%d}" id name
+  | Wire.Acquired { id; name; lease_ms } ->
+    Printf.sprintf "Acquired{id=%d;name=%d;lease_ms=%d}" id name lease_ms
   | Wire.Released { id } -> Printf.sprintf "Released{id=%d}" id
+  | Wire.Renewed { id; count } -> Printf.sprintf "Renewed{id=%d;count=%d}" id count
   | Wire.Stats_reply { id; stats } ->
     Printf.sprintf "Stats_reply{id=%d;stats=%s}" id (Jsonu.to_string stats)
   | Wire.Shutting_down { id } -> Printf.sprintf "Shutting_down{id=%d}" id
@@ -47,10 +51,13 @@ let req_gen =
   let open QCheck.Gen in
   oneof
     [
-      map2 (fun id client -> Wire.Acquire { id; client }) u32_gen u32_gen;
+      map3
+        (fun id client token -> Wire.Acquire { id; client; token })
+        u32_gen u32_gen u32_gen;
       map3
         (fun id client name -> Wire.Release { id; client; name })
         u32_gen u32_gen u32_gen;
+      map2 (fun id client -> Wire.Renew { id; client }) u32_gen u32_gen;
       map (fun id -> Wire.Stats { id }) u32_gen;
       map (fun id -> Wire.Shutdown { id }) u32_gen;
     ]
@@ -60,14 +67,20 @@ let msg_gen =
 
 let op_gen =
   QCheck.Gen.oneofl
-    [ Wire.Op_acquire; Wire.Op_release; Wire.Op_stats; Wire.Op_shutdown ]
+    [
+      Wire.Op_acquire; Wire.Op_release; Wire.Op_renew; Wire.Op_stats;
+      Wire.Op_shutdown;
+    ]
 
 let resp_gen =
   let open QCheck.Gen in
   oneof
     [
-      map2 (fun id name -> Wire.Acquired { id; name }) u32_gen u32_gen;
+      map3
+        (fun id name lease_ms -> Wire.Acquired { id; name; lease_ms })
+        u32_gen u32_gen u32_gen;
       map (fun id -> Wire.Released { id }) u32_gen;
+      map2 (fun id count -> Wire.Renewed { id; count }) u32_gen u32_gen;
       map2
         (fun id taken ->
           Wire.Stats_reply
@@ -197,10 +210,11 @@ let reqs_equal = Alcotest.(check (list string))
 let test_session_byte_at_a_time mode () =
   let reqs =
     [
-      Wire.Acquire { id = 1; client = 7 };
+      Wire.Acquire { id = 1; client = 7; token = 0 };
       Wire.Release { id = 2; client = 7; name = 42 };
-      Wire.Stats { id = 3 };
-      Wire.Shutdown { id = 4 };
+      Wire.Renew { id = 3; client = 7 };
+      Wire.Stats { id = 4 };
+      Wire.Shutdown { id = 5 };
     ]
   in
   let stream = String.concat "" (List.map (encode_req mode) reqs) in
@@ -218,7 +232,9 @@ let test_session_byte_at_a_time mode () =
   Alcotest.(check int) "no residue buffered" 0 (Session.buffered sess)
 
 let test_session_many_per_feed () =
-  let reqs = List.init 50 (fun i -> Wire.Acquire { id = i; client = i }) in
+  let reqs =
+    List.init 50 (fun i -> Wire.Acquire { id = i; client = i; token = 0 })
+  in
   let stream = String.concat "" (List.map (encode_req Wire.Binary) reqs) in
   let sess = Session.create () in
   match feed_string sess stream with
@@ -399,6 +415,7 @@ let sample_artifact () =
     timeouts = 0;
     violations = 0;
     leaked = 0;
+    reconnects = 0;
     throughput = 1960.;
     lat_p50 = 120_000;
     lat_p99 = 900_000;
@@ -487,6 +504,10 @@ let stop_server s =
 
 let get cl = function Ok v -> v | Error e -> Alcotest.failf "%s: %s" cl e
 
+let getf cl = function
+  | Ok v -> v
+  | Error f -> Alcotest.failf "%s: %s" cl (Client.failure_message f)
+
 let test_e2e_sync_ops () =
   let path = fresh_socket_path () in
   let pid = start_server path in
@@ -495,24 +516,26 @@ let test_e2e_sync_ops () =
     (fun () ->
       let c = get "connect" (Client.connect ~path ()) in
       let names =
-        List.init 10 (fun i -> get "acquire" (Client.acquire c ~client:i))
+        List.init 10 (fun i -> getf "acquire" (Client.acquire c ~client:i))
       in
       let distinct = List.sort_uniq Int.compare names in
       Alcotest.(check int) "10 distinct names" 10 (List.length distinct);
-      let stats = Jsonu.obj (get "stats" (Client.stats c)) in
+      let stats = Jsonu.obj (getf "stats" (Client.stats c)) in
       Alcotest.(check int) "server sees 10 taken" 10 (Jsonu.int_ stats "taken");
       Alcotest.(check int) "ledger sees 10 held" 10
         (Jsonu.int_ stats "held_by_sessions");
       List.iter
-        (fun name -> get "release" (Client.release c ~client:0 ~name))
+        (fun name -> getf "release" (Client.release c ~client:0 ~name))
         names;
-      let stats = Jsonu.obj (get "stats" (Client.stats c)) in
+      let stats = Jsonu.obj (getf "stats" (Client.stats c)) in
       Alcotest.(check int) "all returned" 0 (Jsonu.int_ stats "taken");
-      (* Releasing a name we do not hold is refused, not crashed. *)
+      (* Releasing a name we do not hold is refused, not crashed — and
+         surfaces as a typed server error, not a transport failure. *)
       (match Client.release c ~client:0 ~name:3 with
-      | Error e ->
-        Alcotest.(check bool) "err_not_held surfaces" true
-          (String.length e > 0)
+      | Error (Client.Remote { code; _ }) ->
+        Alcotest.(check int) "err_not_held surfaces" Wire.err_not_held code
+      | Error (Client.Transport e) ->
+        Alcotest.failf "transport failure instead of err_not_held: %s" e
       | Ok () -> Alcotest.fail "release of unheld name succeeded");
       Client.close c);
   ()
@@ -524,9 +547,9 @@ let test_e2e_json_mode () =
     ~finally:(fun () -> try ignore (stop_server pid) with _ -> ())
     (fun () ->
       let c = get "connect" (Client.connect ~mode:Wire.Json ~path ()) in
-      let name = get "acquire" (Client.acquire c ~client:5) in
-      get "release" (Client.release c ~client:5 ~name);
-      let stats = Jsonu.obj (get "stats" (Client.stats c)) in
+      let name = getf "acquire" (Client.acquire c ~client:5) in
+      getf "release" (Client.release c ~client:5 ~name);
+      let stats = Jsonu.obj (getf "stats" (Client.stats c)) in
       Alcotest.(check int) "json session, zero taken" 0
         (Jsonu.int_ stats "taken");
       Client.close c)
@@ -535,8 +558,8 @@ let test_e2e_shutdown_request () =
   let path = fresh_socket_path () in
   let pid = start_server path in
   let c = get "connect" (Client.connect ~path ()) in
-  ignore (get "acquire" (Client.acquire c ~client:1));
-  get "shutdown" (Client.shutdown c);
+  ignore (getf "acquire" (Client.acquire c ~client:1));
+  getf "shutdown" (Client.shutdown c);
   Client.close c;
   (* The held name is auto-released in the drain: exit must be clean. *)
   Alcotest.(check int) "clean exit after shutdown request" 0 (wait_exit pid);
@@ -558,7 +581,7 @@ let test_e2e_sigterm_drains () =
       (* Hold 20 names and never release: the drain must return every
          slot and exit clean (leak accounting = 0). *)
       let names =
-        List.init 20 (fun i -> get "acquire" (Client.acquire c ~client:i))
+        List.init 20 (fun i -> getf "acquire" (Client.acquire c ~client:i))
       in
       Alcotest.(check int) "20 distinct held" 20
         (List.length (List.sort_uniq Int.compare names));
@@ -591,14 +614,14 @@ let test_e2e_dead_client_cleanup () =
     ~finally:(fun () -> try ignore (stop_server pid) with _ -> ())
     (fun () ->
       let c = get "connect" (Client.connect ~path ()) in
-      ignore (get "acquire" (Client.acquire c ~client:1));
-      ignore (get "acquire" (Client.acquire c ~client:2));
+      ignore (getf "acquire" (Client.acquire c ~client:1));
+      ignore (getf "acquire" (Client.acquire c ~client:2));
       (* Die without releasing: the server must reclaim our slots. *)
       Client.close c;
       let c2 = get "connect" (Client.connect ~path ()) in
       let deadline = Unix.gettimeofday () +. 5. in
       let rec wait () =
-        let stats = Jsonu.obj (get "stats" (Client.stats c2)) in
+        let stats = Jsonu.obj (getf "stats" (Client.stats c2)) in
         if Jsonu.int_ stats "taken" = 0 then ()
         else if Unix.gettimeofday () > deadline then
           Alcotest.failf "slots not reclaimed: %d still taken"
@@ -634,7 +657,7 @@ let test_e2e_protocol_corruption () =
       Client.close c;
       (* The daemon is still alive for new clients. *)
       let c2 = get "connect" (Client.connect ~path ()) in
-      ignore (get "stats" (Client.stats c2));
+      ignore (getf "stats" (Client.stats c2));
       Client.close c2)
 
 let test_e2e_stale_socket_reclaim () =
@@ -648,7 +671,7 @@ let test_e2e_stale_socket_reclaim () =
     ~finally:(fun () -> try ignore (stop_server pid) with _ -> ())
     (fun () ->
       let c = get "connect over reclaimed socket" (Client.connect ~path ()) in
-      ignore (get "stats" (Client.stats c));
+      ignore (getf "stats" (Client.stats c));
       Client.close c)
 
 let test_e2e_load_gen () =
