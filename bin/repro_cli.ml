@@ -641,6 +641,30 @@ let doctor dir =
             problem "%s: recorded invariant violation(s): %s" file
               (String.concat ", " s.Chaos.Chaos_runner.violations))
       (chaos_files "chaos_verdict_");
+    (* Model-check counterexamples: a *.cex.json must carry the current
+       schema, re-encode to the same bytes (the replay contract), and
+       strict-replay to its recorded violation.  One that names a model
+       or mutation this binary no longer knows is orphaned; one with NO
+       mutation is a captured violation of the real system and stays a
+       problem until someone fixes it. *)
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".cex.json")
+    |> List.sort compare
+    |> List.iter (fun file ->
+           let path = Filename.concat dir file in
+           match Mcheck.Worlds.audit_fixture_replay (read_text path) with
+           | Error e -> problem "%s: model-check counterexample: %s" file e
+           | Ok fx ->
+             Printf.printf
+               "%s: cex model=%s mutation=%s, %d-step schedule replays\n" file
+               fx.Analysis.Explore.fx_model
+               (Option.value fx.Analysis.Explore.fx_mutation ~default:"none")
+               (List.length fx.Analysis.Explore.fx_schedule);
+             if fx.Analysis.Explore.fx_mutation = None then
+               problem
+                 "%s: counterexample against the unmutated model — a real \
+                  captured bug: %s"
+                 file fx.Analysis.Explore.fx_violation);
     (* Service artifacts: a socket file with no daemon behind it is a
        crash leftover (a graceful drain unlinks it), and every recorded
        load artifact must parse and carry a clean audit. *)
@@ -1366,6 +1390,251 @@ let chaos_service json cycles rate duration conns clients shards capacity
                 1))))
   end
 
+(* ------------------------------------------------------------------ *)
+(* modelcheck: exhaustive DPOR exploration of small configurations *)
+
+module Explore = Analysis.Explore
+
+type mc_run = {
+  mc_label : string;
+  mc_stats : Explore.stats;
+  mc_violation : Explore.violation option;
+  mc_fixture : Explore.fixture option;
+  mc_wall_s : float;
+}
+
+(* Explore one world; on a violation, shrink it and build its fixture. *)
+let mc_run ~label ~sleep ~max_transitions world fixture_of =
+  let t0 = Unix.gettimeofday () in
+  let outcome = Explore.explore ~sleep_sets:sleep ~max_transitions world in
+  let wall = Unix.gettimeofday () -. t0 in
+  let violation, fixture =
+    match outcome.Explore.violation with
+    | None -> (None, None)
+    | Some v ->
+      let mv = Explore.minimize world v in
+      (Some mv, Some (fixture_of mv))
+  in
+  {
+    mc_label = label;
+    mc_stats = outcome.Explore.stats;
+    mc_violation = violation;
+    mc_fixture = fixture;
+    mc_wall_s = wall;
+  }
+
+let mc_print_run r =
+  Printf.printf "%s: %d schedule(s), %d transition(s), depth %d, %d pruned%s, %.2fs\n"
+    r.mc_label r.mc_stats.Explore.schedules r.mc_stats.Explore.transitions
+    r.mc_stats.Explore.max_depth r.mc_stats.Explore.sleep_pruned
+    (if r.mc_stats.Explore.complete then "" else " [INCOMPLETE: budget hit]")
+    r.mc_wall_s;
+  match r.mc_violation with
+  | None -> ()
+  | Some v ->
+    Printf.printf "VIOLATION  %s\n" v.Explore.message;
+    Printf.printf "  minimized schedule (%d step(s)):\n" (List.length v.Explore.schedule);
+    List.iter
+      (fun (a : Explore.action) -> Printf.printf "    p%d %s\n" a.Explore.pid a.Explore.label)
+      v.Explore.schedule
+
+let mc_run_json r =
+  let base =
+    [
+      ("label", Jsonu.Str r.mc_label);
+      ("schedules", Jsonu.Int r.mc_stats.Explore.schedules);
+      ("transitions", Jsonu.Int r.mc_stats.Explore.transitions);
+      ("max_depth", Jsonu.Int r.mc_stats.Explore.max_depth);
+      ("sleep_pruned", Jsonu.Int r.mc_stats.Explore.sleep_pruned);
+      ("complete", Jsonu.Bool r.mc_stats.Explore.complete);
+      ("wall_s", Jsonu.Num r.mc_wall_s);
+    ]
+  in
+  match r.mc_fixture with
+  | None -> Jsonu.Obj base
+  | Some fx ->
+    Jsonu.Obj (base @ [ ("counterexample", Explore.fixture_to_json fx) ])
+
+let mc_fixture_file (fx : Explore.fixture) =
+  let sane s = String.map (fun c -> if c = '-' then '_' else c) s in
+  match fx.Explore.fx_mutation with
+  | Some m -> Printf.sprintf "modelcheck_%s_%s.cex.json" (sane fx.Explore.fx_model) (sane m)
+  | None -> Printf.sprintf "modelcheck_%s.cex.json" (sane fx.Explore.fx_model)
+
+(* Replay a committed counterexample fixture: exit 1 when the recorded
+   violation reproduces (the fixture still convicts), 0 when the
+   schedule now runs clean (the bug is gone — delete the fixture), 2
+   when the fixture is unreadable or no longer replayable. *)
+let mc_replay file =
+  match read_text file with
+  | exception Sys_error e ->
+    Printf.eprintf "modelcheck: %s\n" e;
+    2
+  | source -> (
+    match Explore.audit_fixture source with
+    | Error e ->
+      Printf.eprintf "modelcheck: %s: %s\n" file e;
+      2
+    | Ok fx -> (
+      match Mcheck.Worlds.world_of_fixture fx with
+      | Error e ->
+        Printf.eprintf "modelcheck: %s: orphaned fixture: %s\n" file e;
+        2
+      | Ok w -> (
+        let keys = List.map (fun (pid, tag, _) -> (pid, tag)) fx.Explore.fx_schedule in
+        match Explore.replay w keys with
+        | Error e ->
+          Printf.eprintf "modelcheck: %s: %s\n" file e;
+          2
+        | Ok None ->
+          Printf.printf
+            "%s: schedule replays clean — the recorded violation is gone\n"
+            file;
+          0
+        | Ok (Some v) ->
+          Printf.printf "%s: violation reproduced in %d step(s): %s\n" file
+            (List.length v.Explore.schedule) v.Explore.message;
+          1)))
+
+let modelcheck model procs seed seeds t0 crashes rounds step_budget clients
+    names acquires ticks mutation no_sleep quick max_transitions out replay
+    json =
+  match replay with
+  | Some file -> mc_replay file
+  | None -> (
+    let sleep = not no_sleep in
+    let renaming_cfg ?(rounds = rounds) ~seed () =
+      {
+        Explore.algo = "rebatching";
+        procs;
+        seed;
+        t0;
+        crashes;
+        rounds;
+        step_budget;
+        mutation;
+      }
+    in
+    let lease_cfg =
+      { Service.Lease_model.clients; names; acquires; ticks; mutation }
+    in
+    let renaming_runs ~model ~procs ~rounds ~nseeds =
+      List.init nseeds (fun i ->
+          let cfg = { (renaming_cfg ~seed:(seed + i) ()) with procs; rounds } in
+          fun () ->
+            match Explore.renaming_world cfg with
+            | Error e -> Error e
+            | Ok w ->
+              Ok
+                (mc_run
+                   ~label:
+                     (Printf.sprintf "%s n=%d seed=%d rounds=%d crashes<=%d"
+                        model procs cfg.Explore.seed rounds crashes)
+                   ~sleep ~max_transitions w
+                   (Explore.renaming_fixture cfg)))
+    in
+    let lease_runs =
+      [
+        (fun () ->
+          match Mcheck.Worlds.lease_world lease_cfg with
+          | w ->
+            Ok
+              (mc_run
+                 ~label:
+                   (Printf.sprintf "lease clients=%d names=%d acquires=%d ticks=%d"
+                      clients names acquires ticks)
+                 ~sleep ~max_transitions w
+                 (Mcheck.Worlds.lease_fixture lease_cfg))
+          | exception Invalid_argument e -> Error e);
+      ]
+    in
+    let jobs =
+      match model with
+      | None ->
+        (* the default battery: the acceptance configuration (ReBatching
+           n=3 with crash points) swept over seeds, a long-lived
+           configuration with the linearizability check, and the lease
+           protocol model — what the CI smoke job runs *)
+        let n3 = if quick then 5 else max 1 seeds in
+        let ll = if quick then 2 else 5 in
+        renaming_runs ~model:"rebatching" ~procs:3 ~rounds:1 ~nseeds:n3
+        @ renaming_runs ~model:"longlived" ~procs:2 ~rounds:2 ~nseeds:ll
+        @ lease_runs
+      | Some "rebatching" ->
+        renaming_runs ~model:"rebatching" ~procs ~rounds:1
+          ~nseeds:(max 1 seeds)
+      | Some "longlived" ->
+        renaming_runs ~model:"longlived" ~procs ~rounds:(max 2 rounds)
+          ~nseeds:(max 1 seeds)
+      | Some "lease" -> lease_runs
+      | Some m ->
+        [
+          (fun () ->
+            Error
+              (Printf.sprintf "unknown model %S; one of: %s" m
+                 (String.concat ", " Mcheck.Worlds.models)));
+        ]
+    in
+    let wall0 = Unix.gettimeofday () in
+    let runs = ref [] in
+    let errors = ref [] in
+    List.iter
+      (fun job ->
+        (* keep exploring after a violation: the battery reports every
+           config's verdict, and exit codes summarize at the end *)
+        match job () with
+        | Ok r ->
+          if not json then mc_print_run r;
+          runs := r :: !runs
+        | Error e ->
+          Printf.eprintf "modelcheck: %s\n" e;
+          errors := e :: !errors)
+      jobs;
+    let runs = List.rev !runs in
+    let wall = Unix.gettimeofday () -. wall0 in
+    let violations =
+      List.filter (fun r -> r.mc_violation <> None) runs |> List.length
+    in
+    let incomplete =
+      List.exists (fun r -> not r.mc_stats.Explore.complete) runs
+    in
+    let total_schedules =
+      List.fold_left (fun acc r -> acc + r.mc_stats.Explore.schedules) 0 runs
+    in
+    (match out with
+    | None -> ()
+    | Some dir ->
+      List.iter
+        (fun r ->
+          match r.mc_fixture with
+          | None -> ()
+          | Some fx ->
+            let file = Filename.concat dir (mc_fixture_file fx) in
+            save_text ~file (Explore.fixture_to_string fx);
+            Printf.printf "counterexample written to %s\n" file)
+        runs);
+    if json then
+      print_string
+        (Jsonu.to_string
+           (Jsonu.Obj
+              [
+                ("schema", Jsonu.Str "modelcheck/1");
+                ("runs", Jsonu.Arr (List.map mc_run_json runs));
+                ("violations", Jsonu.Int violations);
+                ("schedules", Jsonu.Int total_schedules);
+                ("complete", Jsonu.Bool (not incomplete));
+                ("wall_s", Jsonu.Num wall);
+              ])
+           ^ "\n")
+    else
+      Printf.printf
+        "modelcheck: %d run(s), %d schedule(s) explored, %d violation(s), %.2fs\n"
+        (List.length runs) total_schedules violations wall;
+    if !errors <> [] then 2
+    else if violations > 0 then 1
+    else if incomplete then 2
+    else 0)
+
 open Cmdliner
 
 (* Shared exit-code convention for the analysis/audit commands; also
@@ -1540,13 +1809,21 @@ let lint_cmd =
          lib/prng, wall-clock reads outside the timing layers, raw \
          Domain.spawn outside the runner/pool, Hashtbl iteration in \
          result-producing code, polymorphic compare in lib/stats, and \
-         stray stdout prints.  Silence a justified use with a \
+         stray stdout prints.  One structural rule, atomic-get-set, flags \
+         an Atomic.get followed by Atomic.set of the same atomic inside \
+         one function in the concurrent layers (lib/service, lib/shm) — \
+         a lost-update window.  Silence a justified use with a \
          `repro-lint: allow <rule-id>' comment on the flagged line or the \
          line above.";
     ]
   in
   let json_t =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as a JSON array.")
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit a versioned JSON report: {\"schema\":\"repro-lint/1\", \
+             \"findings\":[...]}.")
   in
   let root_t =
     Arg.(
@@ -1620,6 +1897,166 @@ let racecheck_cmd =
     (Cmd.info "racecheck" ~doc ~man ~exits:finding_exits)
     Term.(
       const racecheck $ algo_t $ procs_t $ domains_t $ seed_t $ runs_t $ racy_t)
+
+let modelcheck_cmd =
+  let doc =
+    "Exhaustively model-check the renaming and lease protocols over all \
+     interleavings of small configurations."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Drives the Fast_algo state machines step-granularly through \
+         Sim.Fast_core (and a pure model of Service.Lease) under a \
+         snapshot/restore DFS pruned with sleep sets, enumerating every \
+         schedule — crash points included — of configurations up to ~4 \
+         processes.  Checked at every transition and terminal state: name \
+         uniqueness, the $(b,(1+eps)n) namespace bound, lock-freedom, \
+         completion, linearizability of long-lived acquire/release \
+         histories (Wing-Gong), and the lease-protocol safety battery \
+         (epoch monotonicity, stale-release rejection, zombie isolation, \
+         dead-token hygiene).";
+      `P
+        "With no $(b,--model), runs the default battery: a seed sweep of \
+         one-shot ReBatching at n=3 with crash points, a long-lived \
+         2-process configuration, and the lease model.  $(b,--mutation) \
+         seeds a known bug to convict; violations are minimized and, with \
+         $(b,--out), written as canonical replayable fixtures that \
+         $(b,--replay) re-convicts and $(b,doctor) audits.";
+      `P
+        "Exit 1 under $(b,--replay) means the fixture still reproduces \
+         its recorded violation (the expected state for a committed \
+         regression fixture); 0 means the schedule now replays clean.";
+    ]
+  in
+  let model_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Check one model only: $(b,rebatching), $(b,longlived) or \
+             $(b,lease).  Default: the whole battery.")
+  in
+  let procs_t =
+    Arg.(
+      value & opt int 3
+      & info [ "procs" ] ~docv:"N" ~doc:"Processes (renaming models; 1-6).")
+  in
+  let seeds_t =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"K"
+          ~doc:"Sweep coin seeds SEED..SEED+K-1 (renaming models).")
+  in
+  let t0_t =
+    Arg.(
+      value & opt int 3
+      & info [ "t0" ] ~docv:"T" ~doc:"ReBatching test-and-set batch size t(0).")
+  in
+  let crashes_t =
+    Arg.(
+      value & opt int 1
+      & info [ "crashes" ] ~docv:"C"
+          ~doc:
+            "Crash-point budget: total crashes (before-op and after-win \
+             leaks) injected across each schedule.")
+  in
+  let rounds_t =
+    Arg.(
+      value & opt int 2
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:"Acquire/release rounds per process (longlived model).")
+  in
+  let step_budget_t =
+    Arg.(
+      value & opt int 64
+      & info [ "step-budget" ] ~docv:"S"
+          ~doc:"Per-process per-round step bound enforcing lock-freedom.")
+  in
+  let clients_t =
+    Arg.(
+      value & opt int 2
+      & info [ "clients" ] ~docv:"N" ~doc:"Client processes (lease model).")
+  in
+  let names_t =
+    Arg.(
+      value & opt int 1
+      & info [ "names" ] ~docv:"M" ~doc:"Name-space size (lease model).")
+  in
+  let acquires_t =
+    Arg.(
+      value & opt int 2
+      & info [ "acquires" ] ~docv:"A"
+          ~doc:"Acquire budget per client (lease model).")
+  in
+  let ticks_t =
+    Arg.(
+      value & opt int 2
+      & info [ "ticks" ] ~docv:"T" ~doc:"Clock-advance budget (lease model).")
+  in
+  let mutation_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutation" ] ~docv:"BUG"
+          ~doc:
+            "Seed a known bug and demand a conviction.  Renaming: \
+             $(b,claim-on-lose), $(b,probe-out-of-range), $(b,spin).  \
+             Lease: $(b,stale-release), $(b,restore-expired).")
+  in
+  let no_sleep_t =
+    Arg.(
+      value & flag
+      & info [ "no-sleep" ]
+          ~doc:
+            "Disable sleep-set pruning (full DFS) — slower, for \
+             cross-checking the reduction.")
+  in
+  let quick_t =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Smaller default battery for pre-PR checks (~seconds).")
+  in
+  let max_transitions_t =
+    Arg.(
+      value & opt int 50_000_000
+      & info [ "max-transitions" ] ~docv:"N"
+          ~doc:
+            "Transition budget per configuration; hitting it marks the \
+             run INCOMPLETE and exits 2.")
+  in
+  let mc_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write minimized counterexample fixtures into $(docv).")
+  in
+  let replay_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a counterexample fixture instead of exploring: exit 1 \
+             if the recorded violation reproduces, 0 if the schedule now \
+             runs clean, 2 if the fixture is malformed or orphaned.")
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable report on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "modelcheck" ~doc ~man ~exits:finding_exits)
+    Term.(
+      const modelcheck $ model_t $ procs_t $ seed_t $ seeds_t $ t0_t
+      $ crashes_t $ rounds_t $ step_budget_t $ clients_t $ names_t
+      $ acquires_t $ ticks_t $ mutation_t $ no_sleep_t $ quick_t
+      $ max_transitions_t $ mc_out_t $ replay_t $ json_t)
 
 let chaos_cmd =
   let doc =
@@ -2212,6 +2649,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "repro_cli" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; all_cmd; simulate_cmd; verify_cmd; bench_cmd;
-      load_cmd; report_cmd; doctor_cmd; lint_cmd; racecheck_cmd; chaos_cmd ]
+      load_cmd; report_cmd; doctor_cmd; lint_cmd; racecheck_cmd;
+      modelcheck_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -73,6 +73,29 @@ let allowed_by_comment ~lines ~line rule_id =
   has line || has (line - 1)
 
 (* ------------------------------------------------------------------ *)
+(* Structural rule: atomic-get-set *)
+
+(* No single identifier to ban here: the hazard is an [Atomic.get a]
+   preceding an [Atomic.set a _] on the {e same} atomic within one
+   function body (innermost [fun] scope) — a read-modify-write window
+   that loses concurrent updates.  Atomics are keyed by the printed AST
+   of the argument expression, so [t.flag] matches [t.flag] while
+   [cells.(i)] and [cells.(j)] stay distinct; a get captured in an inner
+   closure does not pair with a set in the enclosing function. *)
+
+let atomic_get_set_id = "atomic-get-set"
+
+let atomic_op = function
+  | Parsetree.Pexp_apply
+      ( { Parsetree.pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ },
+        (Asttypes.Nolabel, arg) :: _ ) -> (
+    match normalize_ident txt with
+    | Some (("Atomic.get" | "Atomic.set") as op) ->
+      Some (op, Format.asprintf "%a" Pprintast.expression arg)
+    | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
 (* Single-source lint *)
 
 let lint_source ~path ~source =
@@ -119,6 +142,64 @@ let lint_source ~path ~source =
             end)
           Lint_rules.all
     in
+    (* atomic-get-set scope machinery: a stack of per-function entry
+       lists; [analyze] runs when a scope closes *)
+    let ags_rule =
+      match Lint_rules.find atomic_get_set_id with
+      | Some r when Lint_rules.applies r ~path -> Some r
+      | _ -> None
+    in
+    let ags_scopes : (string * string * Location.t) list ref list ref =
+      ref [ ref [] ]
+    in
+    let ags_note op key loc =
+      match !ags_scopes with
+      | scope :: _ -> scope := (op, key, loc) :: !scope
+      | [] -> ()
+    in
+    let ags_analyze entries =
+      match ags_rule with
+      | None -> ()
+      | Some rule ->
+        let first_get = Hashtbl.create 4 in
+        List.iter
+          (fun (op, key, (loc : Location.t)) ->
+            if op = "Atomic.get" then
+              let pos = loc.Location.loc_start.Lexing.pos_cnum in
+              match Hashtbl.find_opt first_get key with
+              | Some p when p <= pos -> ()
+              | _ -> Hashtbl.replace first_get key pos)
+          entries;
+        List.iter
+          (fun (op, key, (loc : Location.t)) ->
+            if op = "Atomic.set" then
+              (* the set's apply node spans the whole call, so a get
+                 nested in its argument — the classic
+                 [Atomic.set a (f (Atomic.get a))] — starts before the
+                 set's end; a get that only follows the set does not *)
+              match Hashtbl.find_opt first_get key with
+              | Some gpos when gpos < loc.Location.loc_end.Lexing.pos_cnum
+                ->
+                let line = loc.Location.loc_start.Lexing.pos_lnum in
+                let col =
+                  loc.Location.loc_start.Lexing.pos_cnum
+                  - loc.Location.loc_start.Lexing.pos_bol
+                in
+                if not (allowed_by_comment ~lines ~line rule.Lint_rules.id)
+                then
+                  findings :=
+                    {
+                      file = path;
+                      line;
+                      col;
+                      rule = rule.Lint_rules.id;
+                      ident = "Atomic.set " ^ key;
+                      doc = rule.Lint_rules.doc;
+                    }
+                    :: !findings
+              | _ -> ())
+          entries
+    in
     let open Ast_iterator in
     let iterator =
       {
@@ -128,10 +209,26 @@ let lint_source ~path ~source =
             (match e.Parsetree.pexp_desc with
             | Parsetree.Pexp_ident { txt; loc } -> check_ident txt loc
             | _ -> ());
-            default_iterator.expr self e);
+            (if ags_rule <> None then
+               match atomic_op e.Parsetree.pexp_desc with
+               | Some (op, key) -> ags_note op key e.Parsetree.pexp_loc
+               | None -> ());
+            match e.Parsetree.pexp_desc with
+            | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ ->
+              ags_scopes := ref [] :: !ags_scopes;
+              default_iterator.expr self e;
+              (match !ags_scopes with
+              | scope :: rest ->
+                ags_scopes := rest;
+                ags_analyze (List.rev !scope)
+              | [] -> ())
+            | _ -> default_iterator.expr self e);
       }
     in
     iterator.structure iterator ast;
+    (match !ags_scopes with
+    | [ root ] -> ags_analyze (List.rev !root)
+    | _ -> ());
     Ok (List.sort compare_findings !findings)
 
 (* ------------------------------------------------------------------ *)
@@ -207,9 +304,13 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Version tag for the --json report, so downstream consumers can detect
+   format changes; bump on any incompatible reshape. *)
+let json_schema = "repro-lint/1"
+
 let findings_to_json findings =
   let b = Buffer.create 256 in
-  Buffer.add_string b "[";
+  Buffer.add_string b (Printf.sprintf "{\"schema\":\"%s\",\n \"findings\":[" json_schema);
   List.iteri
     (fun i f ->
       if i > 0 then Buffer.add_string b ",";
@@ -220,8 +321,8 @@ let findings_to_json findings =
            (json_escape f.file) f.line f.col (json_escape f.rule)
            (json_escape f.ident) (json_escape f.doc)))
     findings;
-  if findings <> [] then Buffer.add_string b "\n";
-  Buffer.add_string b "]\n";
+  if findings <> [] then Buffer.add_string b "\n ";
+  Buffer.add_string b "]}\n";
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)

@@ -6,6 +6,13 @@
     the parse tree, string literals and comments can never produce false
     positives, and locations are exact.
 
+    One rule is structural rather than identifier-based:
+    [atomic-get-set] flags an [Atomic.set a _] preceded, in the same
+    function body, by an [Atomic.get a] on the same atomic expression
+    (keyed by printed AST) — a read-modify-write window that loses
+    updates under concurrency.  The finding sits on the [Atomic.set];
+    the usual inline allow comment on that line exempts it.
+
     The lint is syntactic: module aliases ([module R = Random]) and
     [open]-ed bare names are not resolved.  It exists to make the
     accidental violation loud, not to be a type-aware escape analysis. *)
@@ -44,8 +51,11 @@ val default_roots : string list
 val finding_to_string : finding -> string
 (** [file:line:col: [rule] ident — rationale]. *)
 
+val json_schema : string
+(** Version tag embedded in the [--json] report (["repro-lint/1"]). *)
+
 val findings_to_json : finding list -> string
-(** A JSON array of finding objects (for [--json]). *)
+(** The [--json] report: [{"schema": ..., "findings": [...]}]. *)
 
 val run :
   ?json:bool -> root:string -> paths:string list -> out:(string -> unit) ->

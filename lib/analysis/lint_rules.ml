@@ -113,6 +113,20 @@ let all =
       allowed = [ "lib/service/journal.ml" ];
     };
     {
+      id = "atomic-get-set";
+      doc =
+        "an Atomic.get followed by Atomic.set of the same atomic inside \
+         one function is a read-modify-write window that loses updates \
+         under concurrency; use Atomic.compare_and_set or \
+         Atomic.fetch_and_add, or mark genuinely single-writer code \
+         with an inline allow comment naming the writer";
+      (* structural rule: matched by the get->set pass in Lint, not by
+         identifier; [banned] stays empty so the ident pass skips it *)
+      banned = [];
+      applies_to = [ "lib/service/"; "lib/shm/" ];
+      allowed = [];
+    };
+    {
       id = "stdout-print";
       doc =
         "stdout is the CLI's result channel; library code printing to \

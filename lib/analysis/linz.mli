@@ -1,0 +1,43 @@
+(** Wing–Gong linearizability checker for acquire/release histories.
+
+    Decides whether a concurrent history of long-lived loose-renaming
+    operations is linearizable against the sequential specification:
+    acquire returns a name in [[0, bound)] that no process currently
+    holds, release frees a name held by its caller.  The search
+    linearizes minimal operations (all real-time predecessors already
+    placed) with backtracking, memoized on the linearized-set bitmask —
+    sound because the spec state is a function of the linearized set
+    alone.
+
+    Histories are expected from [Explore]'s long-lived worlds: completed
+    operations only.  Incomplete (crashed) acquires may be dropped by
+    the caller without weakening the verdict — a pending acquire only
+    removes names from the free pool, so it can never be needed to
+    legalize another operation of this object. *)
+
+type kind = Acquire | Release
+
+type op = {
+  pid : int;
+  kind : kind;
+  name : int;
+  inv : int;  (** invocation timestamp (monotonic event counter) *)
+  resp : int;  (** response timestamp, [> inv] *)
+}
+
+type verdict = {
+  linearization : int list option;
+      (** indices into the input list, in linearization order, if one
+          exists *)
+  states_explored : int;
+}
+
+val max_ops : int
+(** History-length cap (bitmask width), 62. *)
+
+val check : bound:int -> op list -> (verdict, string) result
+(** [Error _] only when the history exceeds {!max_ops}. *)
+
+val explain : bound:int -> op list -> string option
+(** [None] — linearizable; [Some msg] — a violation message carrying the
+    full history, suitable for counterexample reports. *)

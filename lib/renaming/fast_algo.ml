@@ -17,11 +17,16 @@
    [a = -1] is "finished, no name"; [a <= -2] is "finished with name
    [-2 - a]". *)
 
+type rand = { draw : int -> int -> int }
+
+let flat_rand bank = { draw = (fun pid bound -> Prng.Flat.int bank pid bound) }
+let fixed_rand f = { draw = f }
+
 type t = {
   label : string;
   slots : int;
-  init : int array -> int -> Prng.Flat.t -> int -> int;
-  resume : int array -> int -> Prng.Flat.t -> int -> int -> bool -> int;
+  init : int array -> int -> rand -> int -> int;
+  resume : int array -> int -> rand -> int -> int -> bool -> int;
 }
 
 let finished_none = -1
@@ -52,7 +57,7 @@ let rebatching ?(backup = true) ?on_backup (r : Rebatching.t) =
   let enter_batch st off rng pid i =
     st.(off) <- i;
     st.(off + 1) <- 1;
-    offsets.(i) + Prng.Flat.int rng pid sizes.(i)
+    offsets.(i) + rng.draw pid sizes.(i)
   in
   let next_batch st off rng pid i =
     if i <= kappa then enter_batch st off rng pid i
@@ -72,7 +77,7 @@ let rebatching ?(backup = true) ?on_backup (r : Rebatching.t) =
         let j = st.(off + 1) + 1 in
         if j <= probes.(i) then begin
           st.(off + 1) <- j;
-          offsets.(i) + Prng.Flat.int rng pid sizes.(i)
+          offsets.(i) + rng.draw pid sizes.(i)
         end
         else next_batch st off rng pid (i + 1)
       end
@@ -131,7 +136,7 @@ let adaptive (space : Object_space.t) =
     st.(off + 5) <- d;
     st.(off + 6) <- 0;
     st.(off + 7) <- 1;
-    g.ooffsets.(d).(0) + Prng.Flat.int rng pid g.osizes.(d).(0)
+    g.ooffsets.(d).(0) + rng.draw pid g.osizes.(d).(0)
   in
   let init st off rng pid =
     st.(off) <- 0;
@@ -172,12 +177,12 @@ let adaptive (space : Object_space.t) =
       let j = st.(off + 7) + 1 in
       if j <= g.oprobes.(d).(i) then begin
         st.(off + 7) <- j;
-        g.ooffsets.(d).(i) + Prng.Flat.int rng pid g.osizes.(d).(i)
+        g.ooffsets.(d).(i) + rng.draw pid g.osizes.(d).(i)
       end
       else if i + 1 <= g.okappa.(d) then begin
         st.(off + 6) <- i + 1;
         st.(off + 7) <- 1;
-        g.ooffsets.(d).(i + 1) + Prng.Flat.int rng pid g.osizes.(d).(i + 1)
+        g.ooffsets.(d).(i + 1) + rng.draw pid g.osizes.(d).(i + 1)
       end
       else if st.(off) = 0 then begin
         (* race: R_{2^l} failed, try the next level *)
@@ -220,7 +225,7 @@ let fast_adaptive (space : Object_space.t) =
    end);
   let draw st off rng pid a t =
     st.(off + 6) <- 1;
-    g.ooffsets.(a).(t) + Prng.Flat.int rng pid g.osizes.(a).(t)
+    g.ooffsets.(a).(t) + rng.draw pid g.osizes.(a).(t)
   in
   (* Mutual recursion over pure control transfers; every path ends in a
      draw or a finish, and the depth is bounded by the explicit stack. *)
@@ -274,7 +279,7 @@ let fast_adaptive (space : Object_space.t) =
         let j = st.(off + 6) + 1 in
         if j <= g.oprobes.(idx).(0) then begin
           st.(off + 6) <- j;
-          g.ooffsets.(idx).(0) + Prng.Flat.int rng pid g.osizes.(idx).(0)
+          g.ooffsets.(idx).(0) + rng.draw pid g.osizes.(idx).(0)
         end
         else begin
           let l = l + 1 in
@@ -295,7 +300,7 @@ let fast_adaptive (space : Object_space.t) =
         let j = st.(off + 6) + 1 in
         if j <= g.oprobes.(a).(t) then begin
           st.(off + 6) <- j;
-          g.ooffsets.(a).(t) + Prng.Flat.int rng pid g.osizes.(a).(t)
+          g.ooffsets.(a).(t) + rng.draw pid g.osizes.(a).(t)
         end
         else begin
           let d = (a + b + 1) / 2 in
@@ -334,7 +339,7 @@ let uniform ~m ~max_steps =
   if max_steps < 1 then invalid_arg "Fast_algo.uniform: max_steps must be >= 1";
   let init st off rng pid =
     st.(off) <- 1;
-    Prng.Flat.int rng pid m
+    rng.draw pid m
   in
   let resume st off rng pid loc won =
     if won then finished loc
@@ -343,7 +348,7 @@ let uniform ~m ~max_steps =
       if s > max_steps then finished_none
       else begin
         st.(off) <- s;
-        Prng.Flat.int rng pid m
+        rng.draw pid m
       end
     end
   in
@@ -360,7 +365,7 @@ let linear_scan ~m =
 let cyclic_scan ~m =
   if m < 1 then invalid_arg "Fast_algo.cyclic_scan: m must be >= 1";
   let init st off rng pid =
-    let start = Prng.Flat.int rng pid m in
+    let start = rng.draw pid m in
     st.(off) <- start;
     st.(off + 1) <- 0;
     start
@@ -383,7 +388,7 @@ let adaptive_doubling ?(probes_per_level = 4) (space : Object_space.t) =
     invalid_arg "Fast_algo.adaptive_doubling: probes_per_level must be >= 1";
   let g = geometry_of space in
   let draw rng pid i =
-    g.nm_lo.(i) + Prng.Flat.int rng pid (g.nm_hi.(i) - g.nm_lo.(i))
+    g.nm_lo.(i) + rng.draw pid (g.nm_hi.(i) - g.nm_lo.(i))
   in
   let init st off rng pid =
     st.(off) <- 1;

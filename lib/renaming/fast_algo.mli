@@ -23,19 +23,45 @@
     name; [a <= -2] — finished with name [-2 - a] (see
     {!name_of_action}). *)
 
+type rand = { draw : int -> int -> int }
+(** The machines' only source of randomness: [draw pid bound] is uniform
+    on [0, bound).  Keeping the draw behind a record makes every coin an
+    injectable input: the fast core supplies {!flat_rand} (the
+    allocation-free SplitMix64 bank), while the systematic-exploration
+    engine ([Analysis.Explore]) can substitute recorded, swept or even
+    adversarially chosen draw sequences — the per-decision enumeration
+    hook the model checker needs. *)
+
+val flat_rand : Prng.Flat.t -> rand
+(** [flat_rand bank] draws from stream [pid] of [bank] — bit-identical
+    to the [Prng.Flat.int] calls the machines made before the draws were
+    made injectable, so the cross-substrate equivalence contract is
+    unchanged. *)
+
+val fixed_rand : (int -> int -> int) -> rand
+(** Wrap an arbitrary draw function (tests, draw enumeration).  The
+    function receives [pid] and [bound] and must return a value in
+    [0, bound). *)
+
 type t = {
   label : string;
   slots : int;  (** ints of per-process state the driver must provide *)
-  init : int array -> int -> Prng.Flat.t -> int -> int;
+  init : int array -> int -> rand -> int -> int;
       (** [init st off rng pid]: first action; state in
           [st.(off .. off+slots-1)] *)
-  resume : int array -> int -> Prng.Flat.t -> int -> int -> bool -> int;
+  resume : int array -> int -> rand -> int -> int -> bool -> int;
       (** [resume st off rng pid loc won]: next action after the TAS on
           [loc] returned [won] *)
 }
 
 val label : t -> string
 val slots : t -> int
+
+val finished_none : int
+(** The "finished without a name" action ([-1]). *)
+
+val finished : int -> int
+(** [finished u] — the "finished with name [u]" action ([-2 - u]). *)
 
 val pending : int -> bool
 (** [pending a] — the action requests a TAS (is [>= 0]). *)

@@ -118,3 +118,32 @@ let names_of_holder t ~holder =
   |> Seq.filter_map (fun (name, e) ->
          if e.holder = Some holder then Some name else None)
   |> List.of_seq |> List.sort Int.compare
+
+(* Deep-copy snapshots for the model checker, which explores the table's
+   transition graph by DFS and must rewind it exactly. *)
+
+type snapshot = {
+  snap_entries : (int * int * int option * float * int) list;
+      (* name, epoch, holder, expires, token — sorted by name *)
+  snap_next_epoch : int;
+}
+
+let snapshot t =
+  {
+    snap_entries =
+      Hashtbl.to_seq t.table
+      |> Seq.map (fun (name, e) -> (name, e.epoch, e.holder, e.expires, e.token))
+      |> List.of_seq
+      |> List.sort (fun (a, _, _, _, _) (b, _, _, _, _) -> Int.compare a b);
+    snap_next_epoch = t.next_epoch;
+  }
+
+let restore_snapshot t s =
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.tokens;
+  List.iter
+    (fun (name, epoch, holder, expires, token) ->
+      Hashtbl.replace t.table name { holder; epoch; expires; token };
+      if token <> 0 then Hashtbl.replace t.tokens token name)
+    s.snap_entries;
+  t.next_epoch <- s.snap_next_epoch

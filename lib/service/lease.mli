@@ -86,3 +86,14 @@ val held : t -> int
 
 val names_of_holder : t -> holder:int -> int list
 (** sorted *)
+
+(** {1 Snapshots}
+
+    Deep-copy save/restore so the model checker ({!Lease_model} driven
+    by [Analysis.Explore]) can rewind the table around DFS branches.
+    O(live leases); the TTL is part of the handle, not the snapshot. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore_snapshot : t -> snapshot -> unit

@@ -1,0 +1,349 @@
+(* A pure, finite model of the lease protocol for exhaustive checking.
+
+   The model drives the *shipped* [Lease] table — not a re-implementation
+   — through every interleaving of a small closed system: [clients]
+   clients that acquire, renew and release leases on [names] names, plus
+   one logical clock process whose Tick advances model time past the TTL
+   and whose Sweep runs the expiry pass.  Time is explicit (integer ticks
+   scaled onto the [now] floats the table expects), so the whole system
+   is a deterministic function of the chosen schedule, which is what lets
+   [Analysis.Explore] enumerate it.
+
+   Each client keeps a local *claim* — its belief about the lease it was
+   granted.  When the sweep reclaims an un-renewed lease the claim turns
+   into a zombie: the client does not know yet that its lease died.  The
+   invariants checked after every transition are exactly the PR-7
+   guarantees:
+
+   - epochs are strictly monotonic across grants;
+   - a zombie's release is rejected ([`Stale]/[`Unknown]) and never
+     destroys a reissued lease another client holds;
+   - a zombie's renew extends nothing;
+   - a live (non-zombie) claim's lease stays in the table with its epoch
+     and holder until the client itself releases it;
+   - token bindings die with their leases (an expired idempotency token
+     can never match again).
+
+   Seeded mutations re-introduce the bugs the protocol exists to
+   prevent, so the model checker can demonstrate it would catch them. *)
+
+type config = {
+  clients : int;
+  names : int;
+  acquires : int;  (* acquire budget per client *)
+  ticks : int;  (* clock-advance budget *)
+  mutation : string option;
+}
+
+let mutations = [ "stale-release"; "restore-expired" ]
+
+let default =
+  { clients = 2; names = 1; acquires = 2; ticks = 2; mutation = None }
+
+type action = { pid : int; tag : int; label : string }
+
+let tag_acquire = 0
+let tag_renew = 1
+let tag_release = 2
+let tag_tick = 3
+let tag_sweep = 4
+
+type claim = {
+  name : int;
+  epoch : int;
+  token : int;
+  mutable zombie : bool;
+  mutable renews : int;
+}
+
+type t = {
+  cfg : config;
+  lease : Lease.t;
+  init_snap : Lease.snapshot;
+  claims : claim option array;  (* per client *)
+  acquired : int array;  (* acquires performed per client *)
+  mutable now : float;
+  mutable ticks_done : int;
+  mutable last_epoch : int;
+  mutable next_token : int;
+}
+
+let ttl = 1.0
+let tick_delta = 2.0 (* > ttl: one tick makes every standing lease due *)
+
+let create cfg =
+  if cfg.clients < 1 then invalid_arg "Lease_model.create: clients >= 1";
+  if cfg.names < 1 then invalid_arg "Lease_model.create: names >= 1";
+  (match cfg.mutation with
+  | Some m when not (List.mem m mutations) ->
+    invalid_arg ("Lease_model.create: unknown mutation " ^ m)
+  | _ -> ());
+  let lease = Lease.create ~ttl_s:ttl () in
+  {
+    cfg;
+    lease;
+    init_snap = Lease.snapshot lease;
+    claims = Array.make cfg.clients None;
+    acquired = Array.make cfg.clients 0;
+    now = 0.;
+    ticks_done = 0;
+    last_epoch = 0;
+    next_token = 1;
+  }
+
+let config t = t.cfg
+let nprocs t = t.cfg.clients + 1
+
+let reset t =
+  Lease.restore_snapshot t.lease t.init_snap;
+  Array.fill t.claims 0 t.cfg.clients None;
+  Array.fill t.acquired 0 t.cfg.clients 0;
+  t.now <- 0.;
+  t.ticks_done <- 0;
+  t.last_epoch <- 0;
+  t.next_token <- 1
+
+(* ------------------------------------------------------------------ *)
+(* Invariant monitor *)
+
+let check_claims t =
+  let viol = ref None in
+  let set m = if !viol = None then viol := Some m in
+  Array.iteri
+    (fun c claim ->
+      match claim with
+      | None -> ()
+      | Some cl when cl.zombie ->
+        (* the lease died; its token must never match again *)
+        (match Lease.find_token t.lease ~token:cl.token with
+        | Some _ ->
+          set
+            (Printf.sprintf
+               "dead token still bound: client %d's expired token %d matches \
+                a live lease"
+               c cl.token)
+        | None -> ())
+      | Some cl -> (
+        match Lease.epoch_of t.lease ~name:cl.name with
+        | None ->
+          set
+            (Printf.sprintf
+               "live lease destroyed: client %d holds (name %d, epoch %d) \
+                but the table has no lease on it"
+               c cl.name cl.epoch)
+        | Some e when e <> cl.epoch ->
+          set
+            (Printf.sprintf
+               "live lease reissued: client %d holds (name %d, epoch %d) but \
+                the table shows epoch %d"
+               c cl.name cl.epoch e)
+        | Some _ -> ()))
+    t.claims;
+  (* two clients believing they hold the same name is the uniqueness
+     violation the epochs exist to prevent *)
+  Array.iteri
+    (fun c claim ->
+      match claim with
+      | Some cl when not cl.zombie ->
+        Array.iteri
+          (fun d claim' ->
+            match claim' with
+            | Some cl' when d > c && (not cl'.zombie) && cl'.name = cl.name ->
+              set
+                (Printf.sprintf
+                   "dual holder: clients %d and %d both hold live claims on \
+                    name %d"
+                   c d cl.name)
+            | _ -> ())
+          t.claims
+      | _ -> ())
+    t.claims;
+  !viol
+
+(* ------------------------------------------------------------------ *)
+(* Enabled actions, in deterministic (pid, tag) order *)
+
+let free_name t =
+  let rec go i =
+    if i >= t.cfg.names then None
+    else
+      match Lease.epoch_of t.lease ~name:i with
+      | None -> Some i
+      | Some _ -> go (i + 1)
+  in
+  go 0
+
+let has_due t =
+  let rec go i =
+    i < t.cfg.names
+    && (match Lease.expires_of t.lease ~name:i with
+       | Some e when e <= t.now -> true
+       | _ -> go (i + 1))
+  in
+  go 0
+
+let enabled t =
+  let acts = ref [] in
+  let clock = t.cfg.clients in
+  if has_due t then
+    acts := { pid = clock; tag = tag_sweep; label = "sweep" } :: !acts;
+  if t.ticks_done < t.cfg.ticks then
+    acts := { pid = clock; tag = tag_tick; label = "tick" } :: !acts;
+  for c = t.cfg.clients - 1 downto 0 do
+    match t.claims.(c) with
+    | Some cl ->
+      acts := { pid = c; tag = tag_release; label = "release" } :: !acts;
+      if cl.renews < 1 then
+        acts := { pid = c; tag = tag_renew; label = "renew" } :: !acts
+    | None ->
+      if t.acquired.(c) < t.cfg.acquires && free_name t <> None then
+        acts := { pid = c; tag = tag_acquire; label = "acquire" } :: !acts
+  done;
+  !acts
+
+(* ------------------------------------------------------------------ *)
+(* Transitions.  Each returns [Some violation] on an invariant breach. *)
+
+let mutated t m = t.cfg.mutation = Some m
+
+let apply_acquire t c =
+  match free_name t with
+  | None -> Some "acquire applied with no free name"
+  | Some name ->
+    let token = t.next_token in
+    t.next_token <- token + 1;
+    let epoch =
+      Lease.grant t.lease ~now:t.now ~name ~holder:(Some c) ~token
+    in
+    t.acquired.(c) <- t.acquired.(c) + 1;
+    t.claims.(c) <- Some { name; epoch; token; zombie = false; renews = 0 };
+    if epoch <= t.last_epoch then
+      Some
+        (Printf.sprintf
+           "epoch not monotonic: grant to client %d returned epoch %d after \
+            epoch %d"
+           c epoch t.last_epoch)
+    else begin
+      t.last_epoch <- epoch;
+      check_claims t
+    end
+
+let apply_renew t c =
+  match t.claims.(c) with
+  | None -> Some "renew applied without a claim"
+  | Some cl ->
+    cl.renews <- cl.renews + 1;
+    let k = Lease.renew t.lease ~now:t.now ~holder:c in
+    if cl.zombie && k > 0 then
+      Some
+        (Printf.sprintf
+           "zombie renew: client %d's claim expired yet renew extended %d \
+            lease(s)"
+           c k)
+    else if (not cl.zombie) && k = 0 then
+      Some
+        (Printf.sprintf
+           "live lease vanished: renew by client %d extended nothing" c)
+    else check_claims t
+
+let apply_release t c =
+  match t.claims.(c) with
+  | None -> Some "release applied without a claim"
+  | Some cl ->
+    t.claims.(c) <- None;
+    let outcome =
+      if mutated t "stale-release" then
+        (* the seeded bug: skip the epoch comparison and release whatever
+           lease currently stands on the name *)
+        match Lease.epoch_of t.lease ~name:cl.name with
+        | Some cur -> Lease.release t.lease ~name:cl.name ~epoch:cur
+        | None -> `Unknown
+      else Lease.release t.lease ~name:cl.name ~epoch:cl.epoch
+    in
+    (match (outcome, cl.zombie) with
+    | `Released, true ->
+      Some
+        (Printf.sprintf
+           "stale release accepted: client %d's dead claim on name %d freed \
+            the current lease"
+           c cl.name)
+    | `Stale, false ->
+      Some
+        (Printf.sprintf
+           "live release rejected as stale: client %d, name %d, epoch %d" c
+           cl.name cl.epoch)
+    | `Unknown, false ->
+      Some
+        (Printf.sprintf
+           "live lease missing at release: client %d, name %d" c cl.name)
+    | _ -> check_claims t)
+
+let apply_tick t =
+  t.now <- t.now +. tick_delta;
+  t.ticks_done <- t.ticks_done + 1;
+  check_claims t
+
+let apply_sweep t =
+  let due = Lease.expire_due t.lease ~now:t.now in
+  let viol = ref None in
+  List.iter
+    (fun (name, epoch, holder, token) ->
+      (match holder with
+      | Some c -> (
+        match t.claims.(c) with
+        | Some cl when cl.name = name && cl.epoch = epoch ->
+          cl.zombie <- true
+        | _ -> ())
+      | None -> ());
+      if !viol = None && Lease.find_token t.lease ~token <> None then
+        viol :=
+          Some
+            (Printf.sprintf
+               "expired token still bound: token %d survived the sweep of \
+                name %d"
+               token name))
+    due;
+  (if mutated t "restore-expired" && !viol = None then
+     (* the seeded bug: a recovery path resurrecting a swept lease with
+        its dead epoch and token *)
+     match due with
+     | (name, epoch, _, token) :: _ ->
+       Lease.restore t.lease ~now:t.now ~name ~epoch ~token
+     | [] -> ());
+  match !viol with None -> check_claims t | v -> v
+
+let apply t (a : action) =
+  if a.tag = tag_acquire then apply_acquire t a.pid
+  else if a.tag = tag_renew then apply_renew t a.pid
+  else if a.tag = tag_release then apply_release t a.pid
+  else if a.tag = tag_tick then apply_tick t
+  else if a.tag = tag_sweep then apply_sweep t
+  else Some (Printf.sprintf "unknown action tag %d" a.tag)
+
+let at_end t = check_claims t
+
+let save t =
+  let lease_snap = Lease.snapshot t.lease in
+  let claims =
+    Array.map
+      (Option.map (fun cl -> { cl with name = cl.name (* copy *) }))
+      t.claims
+  in
+  let acquired = Array.copy t.acquired in
+  let now = t.now in
+  let ticks_done = t.ticks_done in
+  let last_epoch = t.last_epoch in
+  let next_token = t.next_token in
+  fun () ->
+    Lease.restore_snapshot t.lease lease_snap;
+    (* copy the claim records again on every restore: a snapshot may be
+       restored more than once, and the records are mutable *)
+    Array.iteri
+      (fun i c ->
+        t.claims.(i) <- Option.map (fun cl -> { cl with name = cl.name }) c)
+      claims;
+    Array.blit acquired 0 t.acquired 0 (Array.length acquired);
+    t.now <- now;
+    t.ticks_done <- ticks_done;
+    t.last_epoch <- last_epoch;
+    t.next_token <- next_token

@@ -1,0 +1,67 @@
+(** A pure, finite model of the lease protocol for exhaustive checking.
+
+    Wraps the {e shipped} {!Lease} table in a closed system — [clients]
+    clients acquiring/renewing/releasing leases on [names] names, plus a
+    logical clock process (pid [clients]) whose [tick] advances explicit
+    model time past the TTL and whose [sweep] runs the expiry pass — so
+    [Analysis.Explore] can enumerate every interleaving and certify the
+    PR-7 guarantees on all of them: epoch monotonicity, stale-epoch
+    release/token rejection, zombie renew extends nothing, and live
+    claims survive untouched until their holder releases them.
+
+    All budgets ([acquires] per client, [ticks], one renew per claim)
+    are finite and sweeps fire only when a lease is actually due, so
+    the transition graph is finite and exploration terminates.
+
+    The interface is deliberately analysis-agnostic (plain actions,
+    [apply] returning a violation message, closure-based [save]) so this
+    library does not depend on [analysis]; [Analysis.Explore.lease_world]
+    adapts a handle into an explorable world. *)
+
+type config = {
+  clients : int;  (** client processes (>= 1) *)
+  names : int;  (** namespace size (>= 1); small forces reuse *)
+  acquires : int;  (** acquire budget per client *)
+  ticks : int;  (** clock-advance budget *)
+  mutation : string option;  (** seeded bug from {!mutations}, if any *)
+}
+
+val default : config
+(** 2 clients contending for 1 name, 2 acquires each, 2 ticks — the
+    smallest configuration that exercises expiry, reissue and stale
+    release. *)
+
+val mutations : string list
+(** Seeded bugs: ["stale-release"] (release skips the epoch comparison —
+    the exact bug the epochs exist to reject) and ["restore-expired"]
+    (a recovery path resurrects a swept lease with its dead epoch and
+    token). *)
+
+type action = { pid : int; tag : int; label : string }
+(** Client pids offer [acquire]/[renew]/[release]; the clock pid
+    ([clients]) offers [tick]/[sweep]. *)
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument on empty configs or unknown mutations. *)
+
+val config : t -> config
+
+val nprocs : t -> int
+(** [clients + 1] (the clock is a process). *)
+
+val reset : t -> unit
+val enabled : t -> action list
+(** Currently enabled actions in deterministic (pid, tag) order. *)
+
+val apply : t -> action -> string option
+(** Perform one action; [Some msg] reports an invariant violation. *)
+
+val at_end : t -> string option
+(** Terminal-state check (same invariants). *)
+
+val save : t -> unit -> unit
+(** [save t] captures the full model state (lease table deep copy,
+    claims, clock) and returns the closure that restores it; restorable
+    any number of times. *)

@@ -26,6 +26,7 @@ type t = {
   n : int;
   space : Location_space.t;
   rng : Prng.Flat.t;  (* streams 0..n-1 = processes, n = scheduler *)
+  rand : Renaming.Fast_algo.rand;  (* the machines' view of [rng] *)
   st : int array;  (* n * slots machine state *)
   pending : int array;  (* per pid: location of the pending TAS *)
   ready : int array;  (* Fisher-Yates swap array of waiting pids *)
@@ -46,11 +47,13 @@ type t = {
 
 let create ~algo ~n () =
   if n < 1 then invalid_arg "Fast_core.create: n must be >= 1";
+  let rng = Prng.Flat.create (n + 1) in
   {
     algo;
     n;
     space = Location_space.create ();
-    rng = Prng.Flat.create (n + 1);
+    rng;
+    rand = Renaming.Fast_algo.flat_rand rng;
     st = Array.make (n * Renaming.Fast_algo.slots algo) 0;
     pending = Array.make n (-1);
     ready = Array.make n 0;
@@ -112,7 +115,7 @@ let start_all t =
   let init = t.algo.Renaming.Fast_algo.init in
   t.size <- 0;
   for pid = 0 to t.n - 1 do
-    let a = init t.st (pid * slots) t.rng pid in
+    let a = init t.st (pid * slots) t.rand pid in
     if a >= 0 then begin
       t.pending.(pid) <- a;
       t.ready.(t.size) <- pid;
@@ -171,7 +174,7 @@ let run ?(max_total_steps = 10_000_000) t =
         t.ready.(idx) <- t.ready.(t.size)
       end
       else begin
-        let a = resume t.st (pid * slots) t.rng pid loc won in
+        let a = resume t.st (pid * slots) t.rand pid loc won in
         if a >= 0 then t.pending.(pid) <- a
         else begin
           if a <= -2 then t.names.(pid) <- -2 - a;
@@ -203,12 +206,12 @@ let run_sequential ?(shuffled = true) t =
   for k = 0 to t.n - 1 do
     let pid = t.order.(k) in
     let off = pid * slots in
-    let a = ref (init t.st off t.rng pid) in
+    let a = ref (init t.st off t.rand pid) in
     while !a >= 0 do
       t.steps.(pid) <- t.steps.(pid) + 1;
       t.total_steps <- t.total_steps + 1;
       let won = Location_space.tas t.space !a in
-      a := resume t.st off t.rng pid !a won
+      a := resume t.st off t.rand pid !a won
     done;
     if !a <= -2 then t.names.(pid) <- -2 - !a
   done;
@@ -249,3 +252,156 @@ let run_sequential_once ?shuffled ~seed ~n ~algo () =
   reset t ~seed;
   run_sequential ?shuffled t;
   result t
+
+(* ------------------------------------------------------------------ *)
+(* Step-granular control for the systematic explorer.
+
+   [Analysis.Explore] owns the schedule: instead of drawing scheduler
+   coins it names the pid to advance at each point, and saves/restores
+   the whole core around every DFS branch.  The per-step transition code
+   below is the same as the corresponding arms of [run], so an explored
+   trace is exactly a trace the sampling scheduler could have produced
+   for the same per-pid coin streams. *)
+
+let start t = start_all t
+let live_count t = t.size
+let live_pid t i = t.ready.(i)
+let pending_loc t ~pid = t.pending.(pid)
+let steps_of t ~pid = t.steps.(pid)
+let is_crashed t ~pid = Bytes.get t.crashed pid = '\001'
+
+let name_of t ~pid =
+  let u = t.names.(pid) in
+  if u < 0 then None else Some u
+
+let ready_index t pid =
+  let rec go i =
+    if i >= t.size then
+      invalid_arg "Fast_core: pid has no pending operation"
+    else if t.ready.(i) = pid then i
+    else go (i + 1)
+  in
+  go 0
+
+let[@inline] remove_ready t idx =
+  t.size <- t.size - 1;
+  t.ready.(idx) <- t.ready.(t.size)
+
+let step_pid t ~pid =
+  let idx = ready_index t pid in
+  let loc = t.pending.(pid) in
+  t.steps.(pid) <- t.steps.(pid) + 1;
+  t.total_steps <- t.total_steps + 1;
+  activate t pid;
+  let won = Location_space.tas t.space loc in
+  let slots = Renaming.Fast_algo.slots t.algo in
+  let a = t.algo.Renaming.Fast_algo.resume t.st (pid * slots) t.rand pid loc won in
+  if a >= 0 then t.pending.(pid) <- a
+  else begin
+    if a <= -2 then t.names.(pid) <- -2 - a;
+    retire t pid;
+    remove_ready t idx
+  end
+
+let crash_pid t ~pid =
+  let idx = ready_index t pid in
+  Bytes.set t.crashed pid '\001';
+  t.crash_count <- t.crash_count + 1;
+  retire t pid;
+  remove_ready t idx
+
+let crash_pid_after_win t ~pid =
+  let idx = ready_index t pid in
+  let loc = t.pending.(pid) in
+  t.steps.(pid) <- t.steps.(pid) + 1;
+  t.total_steps <- t.total_steps + 1;
+  activate t pid;
+  let won = Location_space.tas t.space loc in
+  if not won then
+    invalid_arg "Fast_core.crash_pid_after_win: the pending TAS would lose";
+  Bytes.set t.crashed pid '\001';
+  t.crash_count <- t.crash_count + 1;
+  retire t pid;
+  remove_ready t idx
+
+let restart_pid t ~pid =
+  if pid < 0 || pid >= t.n then invalid_arg "Fast_core.restart_pid: bad pid";
+  if is_crashed t ~pid then
+    invalid_arg "Fast_core.restart_pid: pid crashed";
+  (let rec live i = i < t.size && (t.ready.(i) = pid || live (i + 1)) in
+   if live 0 then invalid_arg "Fast_core.restart_pid: pid still running");
+  t.names.(pid) <- -1;
+  let slots = Renaming.Fast_algo.slots t.algo in
+  let a = t.algo.Renaming.Fast_algo.init t.st (pid * slots) t.rand pid in
+  if a >= 0 then begin
+    t.pending.(pid) <- a;
+    t.ready.(t.size) <- pid;
+    t.size <- t.size + 1
+  end
+  else begin
+    match Renaming.Fast_algo.name_of_action a with
+    | Some u -> t.names.(pid) <- u
+    | None -> ()
+  end
+
+type snap = {
+  s_st : int array;
+  s_pending : int array;
+  s_ready : int array;
+  s_names : int array;
+  s_steps : int array;
+  s_crash_op : int array;
+  s_crashed : Bytes.t;
+  s_active : Bytes.t;
+  s_caw : Bytes.t;
+  s_size : int;
+  s_total : int;
+  s_crash_count : int;
+  s_active_count : int;
+  s_max_active : int;
+  s_pc : int;
+  s_streams : int64 array;  (* all n+1 Flat stream states *)
+  s_space : Location_space.snap;
+}
+
+let snapshot t =
+  {
+    s_st = Array.copy t.st;
+    s_pending = Array.copy t.pending;
+    s_ready = Array.copy t.ready;
+    s_names = Array.copy t.names;
+    s_steps = Array.copy t.steps;
+    s_crash_op = Array.copy t.crash_op;
+    s_crashed = Bytes.copy t.crashed;
+    s_active = Bytes.copy t.active;
+    s_caw = Bytes.copy t.crash_after_win;
+    s_size = t.size;
+    s_total = t.total_steps;
+    s_crash_count = t.crash_count;
+    s_active_count = t.active_count;
+    s_max_active = t.max_active;
+    s_pc = t.point_contention;
+    s_streams = Array.init (t.n + 1) (Prng.Flat.get_state t.rng);
+    s_space = Location_space.save t.space;
+  }
+
+let restore t s =
+  Array.blit s.s_st 0 t.st 0 (Array.length t.st);
+  Array.blit s.s_pending 0 t.pending 0 t.n;
+  Array.blit s.s_ready 0 t.ready 0 t.n;
+  Array.blit s.s_names 0 t.names 0 t.n;
+  Array.blit s.s_steps 0 t.steps 0 t.n;
+  Array.blit s.s_crash_op 0 t.crash_op 0 t.n;
+  Bytes.blit s.s_crashed 0 t.crashed 0 t.n;
+  Bytes.blit s.s_active 0 t.active 0 t.n;
+  Bytes.blit s.s_caw 0 t.crash_after_win 0 t.n;
+  t.size <- s.s_size;
+  t.total_steps <- s.s_total;
+  t.crash_count <- s.s_crash_count;
+  t.active_count <- s.s_active_count;
+  t.max_active <- s.s_max_active;
+  t.point_contention <- s.s_pc;
+  for i = 0 to t.n do
+    Prng.Flat.set_state t.rng i s.s_streams.(i)
+  done;
+  Location_space.restore t.space s.s_space

@@ -75,3 +75,66 @@ val run_sequential_once :
   algo:Renaming.Fast_algo.t ->
   unit ->
   Runner.result
+
+(** {1 Step-granular control}
+
+    The hooks the systematic explorer ([Analysis.Explore]) drives: the
+    caller owns the schedule, naming which pid advances at each choice
+    point, and can snapshot/restore the whole core around DFS branches.
+    A step performed through {!step_pid} executes exactly the transition
+    the sampling scheduler in {!run} would have performed had its coin
+    picked that pid, so every explored trace is a genuine trace of the
+    simulated system for the same per-pid coin streams.
+
+    Usage: [reset ~seed] then {!start}, then interleave {!step_pid} /
+    {!crash_pid} / {!crash_pid_after_win} / {!restart_pid} on live pids
+    (those with a pending operation, enumerated by {!live_count} and
+    {!live_pid}); {!result} works as usual once no pid is live. *)
+
+val start : t -> unit
+(** Run every machine up to its first pending operation (the step-wise
+    counterpart of the prologue of {!run}).  Call after [reset]. *)
+
+val live_count : t -> int
+(** Number of pids with a pending operation. *)
+
+val live_pid : t -> int -> int
+(** [live_pid t i] — the [i]-th live pid, [0 <= i < live_count t].  The
+    order is internal (Fisher-Yates swap array); enumerate, don't rely
+    on it. *)
+
+val pending_loc : t -> pid:int -> int
+(** Location of [pid]'s pending TAS.  Meaningful only for live pids. *)
+
+val steps_of : t -> pid:int -> int
+val is_crashed : t -> pid:int -> bool
+
+val name_of : t -> pid:int -> int option
+(** The name [pid] currently holds, if any. *)
+
+val step_pid : t -> pid:int -> unit
+(** Execute [pid]'s pending TAS and advance its machine.
+    @raise Invalid_argument if [pid] is not live. *)
+
+val crash_pid : t -> pid:int -> unit
+(** Fail-stop [pid] before its pending operation executes. *)
+
+val crash_pid_after_win : t -> pid:int -> unit
+(** Execute [pid]'s pending TAS — which must win — and fail-stop the
+    process before it records the name: the §2 after-win slot leak.
+    @raise Invalid_argument if [pid] is not live or the TAS would lose
+    (callers should offer this choice point only on free locations). *)
+
+val restart_pid : t -> pid:int -> unit
+(** Re-initialise a settled, non-crashed [pid] for another acquisition
+    round (long-lived renaming): clears its name and runs [init] again
+    on the continuation of its coin stream.
+    @raise Invalid_argument if [pid] is live or crashed. *)
+
+type snap
+(** A full structural snapshot of a handle: machine states, pending
+    operations, ready set, names, step counts, crash bookkeeping, all
+    SplitMix64 stream positions and the location space (O(n + hwm)). *)
+
+val snapshot : t -> snap
+val restore : t -> snap -> unit

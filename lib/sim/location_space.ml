@@ -89,3 +89,49 @@ let clear t =
 let probe_count t = t.probes
 let win_count t = t.wins
 let high_water_mark t = t.hwm
+
+(* Snapshots copy only the occupied prefix of each allocated chunk (up
+   to the high-water mark), so for the tiny spaces the systematic
+   explorer drives (hwm of a few dozen cells) a save is a handful of
+   bytes, not a 64 KiB memcpy per DFS transition. *)
+
+type snap = {
+  s_probes : int;
+  s_wins : int;
+  s_hwm : int;
+  s_prefix : (int * Bytes.t) list;  (* chunk index, occupied prefix *)
+}
+
+let save t =
+  let pre = ref [] in
+  Array.iteri
+    (fun ci c ->
+      match c with
+      | None -> ()
+      | Some c ->
+        let lo = ci lsl chunk_bits in
+        if lo < t.hwm then
+          pre := (ci, Bytes.sub c 0 (min chunk_size (t.hwm - lo))) :: !pre)
+    t.chunks;
+  { s_probes = t.probes; s_wins = t.wins; s_hwm = t.hwm; s_prefix = !pre }
+
+let restore t s =
+  (* Zero every cell that may have been touched since (or before) the
+     snapshot, then blit the saved prefixes back. *)
+  let top = max t.hwm s.s_hwm in
+  Array.iteri
+    (fun ci c ->
+      match c with
+      | None -> ()
+      | Some c ->
+        let lo = ci lsl chunk_bits in
+        if lo < top then Bytes.fill c 0 (min chunk_size (top - lo)) '\000')
+    t.chunks;
+  List.iter
+    (fun (ci, pre) ->
+      let c = chunk_for t (ci lsl chunk_bits) in
+      Bytes.blit pre 0 c 0 (Bytes.length pre))
+    s.s_prefix;
+  t.probes <- s.s_probes;
+  t.wins <- s.s_wins;
+  t.hwm <- s.s_hwm

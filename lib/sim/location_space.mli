@@ -46,3 +46,20 @@ val win_count : t -> int
 
 val high_water_mark : t -> int
 (** 1 + the largest location ever probed; the space actually used. *)
+
+(** {1 Snapshots}
+
+    O(high-water-mark) structural snapshots, sized for the systematic
+    explorer ([Analysis.Explore]) which saves and restores the space on
+    every DFS branch: only the occupied prefix of each allocated chunk
+    is copied, so tiny configurations snapshot in a few dozen bytes. *)
+
+type snap
+
+val save : t -> snap
+(** Capture the taken/free state of every location below the high-water
+    mark, plus the counters. *)
+
+val restore : t -> snap -> unit
+(** Return the space to exactly the captured state (locations, probes,
+    wins, high-water mark). *)

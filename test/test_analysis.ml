@@ -129,16 +129,60 @@ let test_lint_parse_error () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected a parse error"
 
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
 let test_lint_json () =
   let findings = lint ~path:"lib/sim/x.ml" "let f () = Random.int 5\n" in
   let json = Analysis.Lint.findings_to_json findings in
-  Alcotest.(check bool) "is an array" true (String.length json > 0 && json.[0] = '[');
-  let contains hay needle =
-    let n = String.length needle and h = String.length hay in
-    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
-    go 0
-  in
-  Alcotest.(check bool) "mentions the rule" true (contains json "stdlib-random")
+  Alcotest.(check bool) "is an object" true (String.length json > 0 && json.[0] = '{');
+  Alcotest.(check bool)
+    "carries the schema version" true
+    (contains json (Printf.sprintf "\"schema\":%S" Analysis.Lint.json_schema));
+  Alcotest.(check bool) "mentions the rule" true (contains json "stdlib-random");
+  (* empty reports keep the envelope *)
+  let empty = Analysis.Lint.findings_to_json [] in
+  Alcotest.(check bool)
+    "empty report keeps schema" true
+    (contains empty "\"findings\":[]")
+
+(* ------------------------------------------------------------------ *)
+(* Lint: the structural atomic-get-set rule *)
+
+let test_lint_atomic_get_set () =
+  let rmw = "let bump c = Atomic.set c (Atomic.get c + 1)\n" in
+  check_rules "read-modify-write flagged in lib/service" [ "atomic-get-set" ]
+    (lint ~path:"lib/service/x.ml" rmw);
+  check_rules "flagged in lib/shm" [ "atomic-get-set" ]
+    (lint ~path:"lib/shm/x.ml" rmw);
+  check_rules "out of scope elsewhere" [] (lint ~path:"lib/sim/x.ml" rmw);
+  (* the get-before-set form is the same window *)
+  check_rules "get bound then set flagged" [ "atomic-get-set" ]
+    (lint ~path:"lib/service/x.ml"
+       "let bump c = let v = Atomic.get c in Atomic.set c (v + 1)\n");
+  (* distinct atomics are not a window *)
+  check_rules "distinct atomics fine" []
+    (lint ~path:"lib/service/x.ml"
+       "let move a b = Atomic.set b (Atomic.get a + 1)\n");
+  (* a set followed only later by a get reads the new value — no window *)
+  check_rules "set then get fine" []
+    (lint ~path:"lib/service/x.ml"
+       "let f c = Atomic.set c 1; Atomic.get c\n");
+  (* a get captured in an inner closure pairs with sets in that closure,
+     not with the enclosing function's set *)
+  check_rules "closure scoping" []
+    (lint ~path:"lib/service/x.ml"
+       "let f c = let g () = Atomic.get c in Atomic.set c 0; g\n");
+  (* sanctioned escape: compare_and_set *)
+  check_rules "compare_and_set fine" []
+    (lint ~path:"lib/service/x.ml"
+       "let f c = Atomic.compare_and_set c 0 1\n");
+  check_rules "inline allow suppresses" []
+    (lint ~path:"lib/service/x.ml"
+       "(* repro-lint: allow atomic-get-set — single-writer counter *)\n\
+        let bump c = Atomic.set c (Atomic.get c + 1)\n")
 
 (* ------------------------------------------------------------------ *)
 (* Lint: file walk and CLI driver exit codes *)
@@ -449,6 +493,8 @@ let suite =
         Alcotest.test_case "poly-compare rule" `Quick test_lint_poly_compare;
         Alcotest.test_case "journal-write rule" `Quick test_lint_journal_write;
         Alcotest.test_case "stdout-print rule" `Quick test_lint_stdout_print;
+        Alcotest.test_case "atomic-get-set rule" `Quick
+          test_lint_atomic_get_set;
         Alcotest.test_case "Stdlib. prefix stripped" `Quick
           test_lint_stdlib_prefix_stripped;
         Alcotest.test_case "allow comment on the line" `Quick
