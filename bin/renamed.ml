@@ -8,7 +8,7 @@
    and --recover was not given). *)
 
 let serve socket_path shards capacity seed backlog max_conns lease_ttl journal
-    recover quiet =
+    recover max_queue max_out_kb stall_timeout quiet =
   let log =
     if quiet then ignore
     else fun s -> Printf.eprintf "[renamed] %s\n%!" s
@@ -24,6 +24,9 @@ let serve socket_path shards capacity seed backlog max_conns lease_ttl journal
       lease_ttl_s = lease_ttl;
       journal_path = journal;
       recover;
+      max_queue;
+      max_out_bytes = max_out_kb * 1024;
+      stall_s = stall_timeout;
       log;
     }
   in
@@ -46,13 +49,15 @@ let serve socket_path shards capacity seed backlog max_conns lease_ttl journal
     log
       (Printf.sprintf
          "served %d conn(s), %d request(s): %d acquire(s), %d release(s), \
-          %d renew(s), %d error(s), %d drained, %d expired, %d recovered, \
-          %.1fs"
+          %d renew(s), %d error(s), %d shed busy, %d shed expired, %d \
+          stalled conn(s), %d drained, %d expired, %d recovered, %.1fs"
          r.Service.Server.conns_served r.Service.Server.requests
          r.Service.Server.acquires r.Service.Server.releases
          r.Service.Server.renews r.Service.Server.errors
-         r.Service.Server.drained_releases r.Service.Server.expired_leases
-         r.Service.Server.recovered r.Service.Server.wall_s);
+         r.Service.Server.shed_busy r.Service.Server.shed_expired
+         r.Service.Server.stalled_conns r.Service.Server.drained_releases
+         r.Service.Server.expired_leases r.Service.Server.recovered
+         r.Service.Server.wall_s);
     if Service.Server.report_clean r then 0
     else begin
       Printf.eprintf "renamed: %d slot(s) leaked at exit\n%!"
@@ -135,6 +140,32 @@ let recover_t =
            journal before accepting connections.  Without this flag a \
            journal holding live grants refuses to start (exit 2).")
 
+let max_queue_t =
+  Arg.(
+    value & opt int 1024
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Admission bound per shard queue: acquires arriving beyond this \
+           depth are refused with a busy response carrying a retry-after \
+           hint instead of queueing without limit.")
+
+let max_out_kb_t =
+  Arg.(
+    value & opt int 256
+    & info [ "max-out-kb" ] ~docv:"KB"
+        ~doc:
+          "Outbound buffer bound per connection (kilobytes): past it the \
+           daemon stops reading from that client until it drains.")
+
+let stall_timeout_t =
+  Arg.(
+    value & opt float 5.
+    & info [ "stall-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Disconnect a client whose outbound buffer stays over its bound \
+           with no write progress for this long (its names are \
+           auto-released by the disconnect drain).")
+
 let quiet_t =
   Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress operator log lines.")
 
@@ -157,6 +188,14 @@ let cmd =
          $(b,--recover) replays the journal at boot so a SIGKILL-ed \
          daemon never double-grants a name that was live.";
       `P
+        "Overload is survived, not absorbed: shard queues are bounded \
+         ($(b,--max-queue)) and excess acquires are refused with a \
+         retry-after hint, requests carrying a deadline are shed once it \
+         passes instead of being served late, and clients that stop \
+         reading are first paused ($(b,--max-out-kb)) then disconnected \
+         ($(b,--stall-timeout)).  The $(b,stats) operation reports the \
+         overload level (healthy/degraded/shedding).";
+      `P
         "SIGTERM and SIGINT drain gracefully: in-flight operations \
          complete, held names are auto-released, and the exit code \
          reports the slot-conservation audit.";
@@ -166,6 +205,7 @@ let cmd =
     (Cmd.info "renamed" ~version:"1.0.0" ~doc ~man ~exits)
     Term.(
       const serve $ socket_t $ shards_t $ capacity_t $ seed_t $ backlog_t
-      $ max_conns_t $ lease_ttl_t $ journal_t $ recover_t $ quiet_t)
+      $ max_conns_t $ lease_ttl_t $ journal_t $ recover_t $ max_queue_t
+      $ max_out_kb_t $ stall_timeout_t $ quiet_t)
 
 let () = exit (Cmd.eval' cmd)

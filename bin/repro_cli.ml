@@ -678,7 +678,42 @@ let doctor dir =
            (match Unix.connect probe (ADDR_UNIX path) with
            | () ->
              live_socket := true;
-             note "%s: a live renamed daemon is serving" file
+             note "%s: a live renamed daemon is serving" file;
+             (* Overload telemetry: a queue peak past the admission
+                bound means the bound is not enforced — the daemon's
+                queues are growing without limit. *)
+             (match Service.Client.connect ~path () with
+             | Error _ -> ()
+             | Ok c ->
+               (match Service.Client.stats c with
+               | Error _ -> ()
+               | Ok j -> (
+                 let f = Jsonu.obj j in
+                 match List.assoc_opt "overload" f with
+                 | None -> ()
+                 | Some o ->
+                   let ov = Jsonu.obj o in
+                   let peak =
+                     try Jsonu.int_ f "queue_peak"
+                     with Jsonu.Malformed -> 0
+                   in
+                   let bound =
+                     try Jsonu.int_ ov "queue_bound"
+                     with Jsonu.Malformed -> max_int
+                   in
+                   let level =
+                     try Jsonu.str ov "level"
+                     with Jsonu.Malformed -> "healthy"
+                   in
+                   if peak > bound then
+                     problem
+                       "%s: daemon reports queue peak %d past its %d \
+                        admission bound — queues are growing without bound"
+                       file peak bound;
+                   if level <> "healthy" then
+                     note "%s: daemon is %s (deepest queue seen %d/%d)"
+                       file level peak bound));
+               Service.Client.close c)
            | exception Unix.Unix_error (ECONNREFUSED, _, _) ->
              problem
                "%s: stale socket file — the daemon behind it crashed \
@@ -738,13 +773,53 @@ let doctor dir =
            match Service.Service_bench.load path with
            | exception Jsonu.Malformed -> (
              (* The BENCH_SERVICE_<k> numbering is shared with the
-                kill/restart soak's bench-service-recovery artifacts. *)
+                kill/restart soak's bench-service-recovery artifacts
+                and the overload soak's bench-service-overload ones. *)
              match Service.Recovery_bench.load path with
-             | exception Jsonu.Malformed ->
-               problem
-                 "%s: neither a bench-service nor a bench-service-recovery \
-                  JSON document (schema drift?)"
-                 file
+             | exception Jsonu.Malformed -> (
+               match Service.Overload_bench.load path with
+               | exception Jsonu.Malformed ->
+                 problem
+                   "%s: not a bench-service, bench-service-recovery or \
+                    bench-service-overload JSON document (schema drift?)"
+                   file
+               | exception Sys_error e -> problem "%s: unreadable: %s" file e
+               | a ->
+                 Printf.printf
+                   "%s: overload soak, %.1fx capacity %.0f/s: goodput \
+                    %.0f/s, %d shed, %d expired, level %s\n"
+                   file a.Service.Overload_bench.overdrive
+                   a.Service.Overload_bench.capacity_ops
+                   a.Service.Overload_bench.goodput_daemon
+                   a.Service.Overload_bench.shed
+                   a.Service.Overload_bench.expired
+                   a.Service.Overload_bench.level;
+                 if
+                   a.Service.Overload_bench.violations <> 0
+                   || a.Service.Overload_bench.leaked > 0
+                   || a.Service.Overload_bench.errors <> 0
+                   || a.Service.Overload_bench.timeouts <> 0
+                   || not a.Service.Overload_bench.drain_complete
+                 then
+                   problem
+                     "%s: recorded audit failures (%d violation(s), %d \
+                      leaked, %d error(s), %d timeout(s), drain %s)"
+                     file a.Service.Overload_bench.violations
+                     a.Service.Overload_bench.leaked
+                     a.Service.Overload_bench.errors
+                     a.Service.Overload_bench.timeouts
+                     (if a.Service.Overload_bench.drain_complete then
+                        "complete"
+                      else "cut short");
+                 if
+                   a.Service.Overload_bench.queue_peak
+                   > a.Service.Overload_bench.queue_bound
+                 then
+                   problem
+                     "%s: recorded queue peak %d past the %d admission \
+                      bound — queues grew without limit during the soak"
+                     file a.Service.Overload_bench.queue_peak
+                     a.Service.Overload_bench.queue_bound)
              | exception Sys_error e -> problem "%s: unreadable: %s" file e
              | a ->
                Printf.printf
@@ -1082,6 +1157,52 @@ let percentile sorted p =
     let idx = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) - 1 in
     sorted.(max 0 (min (n - 1) idx))
 
+(* Accepting = a direct connect to the daemon socket succeeds; the
+   daemon binds only after recovery completes, so this observes the
+   full boot (or SIGKILL -> serving-again) interval. *)
+let wait_accepting ~sock ~pid ~deadline =
+  let rec go () =
+    if Unix.gettimeofday () > deadline then
+      Error "daemon did not accept within its startup deadline"
+    else begin
+      let probe = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+      match Unix.connect probe (ADDR_UNIX sock) with
+      | () ->
+        Unix.close probe;
+        Ok ()
+      | exception Unix.Unix_error _ -> (
+        (try Unix.close probe with Unix.Unix_error _ -> ());
+        match Unix.waitpid [ WNOHANG ] pid with
+        | 0, _ ->
+          Unix.sleepf 0.005;
+          go ()
+        | _, status ->
+          Error
+            (Printf.sprintf "daemon died during startup (%s)"
+               (status_describe status)))
+    end
+  in
+  go ()
+
+(* Resident set of a live process, from /proc (kB); -1 if unreadable. *)
+let proc_rss_kb pid =
+  match open_in (Printf.sprintf "/proc/%d/statm" pid) with
+  | exception Sys_error _ -> -1
+  | ic ->
+    let r =
+      match input_line ic with
+      | exception End_of_file -> -1
+      | line -> (
+        match String.split_on_char ' ' line with
+        | _ :: resident :: _ -> (
+          match int_of_string_opt resident with
+          | Some pages -> pages * 4 (* 4 KiB pages *)
+          | None -> -1)
+        | _ -> -1)
+    in
+    close_in ic;
+    r
+
 let chaos_service json cycles rate duration conns clients shards capacity
     lease_ttl seed wire_faults daemon keep out check threshold =
   (* The soak writes to sockets whose peer it is busy killing. *)
@@ -1121,33 +1242,7 @@ let chaos_service json cycles rate duration conns clients shards capacity
         |]
         Unix.stdin Unix.stdout Unix.stderr
     in
-    (* Accepting = a direct connect to the real socket succeeds; the
-       daemon binds only after recovery completes, so this observes the
-       full SIGKILL -> serving-again interval. *)
-    let wait_accepting ~pid ~deadline =
-      let rec go () =
-        if Unix.gettimeofday () > deadline then
-          Error "daemon did not accept within its startup deadline"
-        else begin
-          let probe = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
-          match Unix.connect probe (ADDR_UNIX real_sock) with
-          | () ->
-            Unix.close probe;
-            Ok ()
-          | exception Unix.Unix_error _ -> (
-            (try Unix.close probe with Unix.Unix_error _ -> ());
-            match Unix.waitpid [ WNOHANG ] pid with
-            | 0, _ ->
-              Unix.sleepf 0.005;
-              go ()
-            | _, status ->
-              Error
-                (Printf.sprintf "daemon died during startup (%s)"
-                   (status_describe status)))
-        end
-      in
-      go ()
-    in
+    let wait_accepting = wait_accepting ~sock:real_sock in
     (* Journal audit, summed across compactions: each --recover boot
        rewrites the file down to its live grants, so every dead window
        (and the final drain) is scanned as its own segment. *)
@@ -1388,6 +1483,305 @@ let chaos_service json cycles rate duration conns clients shards capacity
               | findings ->
                 List.iter (fun f -> log "FAIL: %s" f) findings;
                 1))))
+  end
+
+(* chaos overload: drive the daemon far past capacity and check that it
+   degrades instead of collapsing *)
+
+let chaos_overload json overdrive calibrate_rate calibrate_duration duration
+    conns clients shards capacity max_queue deadline_ms drain_timeout seed
+    daemon keep out check threshold =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let log fmt =
+    Printf.ksprintf (fun s -> Printf.eprintf "[overload] %s\n%!" s) fmt
+  in
+  let daemon_path =
+    match daemon with
+    | Some p -> p
+    | None ->
+      Filename.concat (Filename.dirname Sys.executable_name) "renamed.exe"
+  in
+  if not (Sys.file_exists daemon_path) then begin
+    log "no renamed binary at %s (build bin/ or pass --daemon)" daemon_path;
+    2
+  end
+  else if overdrive < 1. then begin
+    log "--overdrive must be >= 1";
+    2
+  end
+  else begin
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "renamed_overload_%d" (Unix.getpid ()))
+    in
+    Service.Service_bench.mkdir_p dir;
+    let sock = Filename.concat dir "renamed.sock" in
+    let cleanup () =
+      if keep then log "keeping %s" dir
+      else begin
+        (try Sys.remove sock with Sys_error _ -> ());
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end
+    in
+    (* The generator and daemon timeshare this machine, so at heavy
+       overdrive the generator itself read-starves into looking like a
+       slow client; the default 5 s stall deadline would then sever the
+       measurement connections mid-soak (the disconnect path has its
+       own e2e test).  A long stall timeout keeps the daemon's
+       read-pausing backpressure — the behavior under test — while the
+       harness stays connected. *)
+    let pid =
+      Unix.create_process daemon_path
+        [|
+          daemon_path; "--socket"; sock;
+          "--shards"; string_of_int shards;
+          "--capacity"; string_of_int capacity;
+          "--max-queue"; string_of_int max_queue;
+          "--stall-timeout"; "60";
+          "--quiet";
+        |]
+        Unix.stdin Unix.stdout Unix.stderr
+    in
+    let kill_daemon () =
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+    in
+    let run_load ~tag ~rate ~duration_s =
+      Service.Load_gen.run
+        {
+          (Service.Load_gen.default_config ~path:sock) with
+          conns;
+          clients;
+          rate;
+          duration_s;
+          seed;
+          deadline_ms;
+          drain_timeout_s = drain_timeout;
+          log = (fun s -> Printf.eprintf "[%s] %s\n%!" tag s);
+        }
+    in
+    (* The daemon's cumulative served-acquire counter, from a stats
+       round-trip on a throwaway connection; -1 when unreadable. *)
+    let sample_acquires () =
+      match Service.Client.connect ~path:sock () with
+      | Error _ -> -1
+      | Ok c ->
+        let v =
+          match Service.Client.stats c with
+          | Error _ -> -1
+          | Ok j -> (
+            match Jsonu.int_ (Jsonu.obj j) "acquires" with
+            | v -> v
+            | exception Jsonu.Malformed -> -1)
+        in
+        Service.Client.close c;
+        v
+    in
+    (* Goodput measured where it is not distorted: the generator and
+       daemon timeshare the machine, so under heavy overdrive the
+       generator read-starves and grants land after the arrival window
+       — the client-side count then reports the generator's collapse,
+       not the daemon's.  Sample the daemon's own served counter at
+       both edges of the window instead; the client-side number rides
+       along in the artifact for comparison. *)
+    let timed_load ~tag ~rate ~duration_s =
+      let a0 = sample_acquires () in
+      let sampler =
+        (* repro-lint: allow domain-spawn — end-of-window stats sampler *)
+        Domain.spawn (fun () ->
+            Unix.sleepf duration_s;
+            sample_acquires ())
+      in
+      let r = run_load ~tag ~rate ~duration_s in
+      let a1 = Domain.join sampler in
+      match r with
+      | Error _ as e -> e
+      | Ok r ->
+        let daemon_goodput =
+          if a0 >= 0 && a1 >= a0 then
+            float_of_int (a1 - a0) /. Float.max 1e-9 duration_s
+          else r.Service.Load_gen.goodput
+        in
+        Ok (r, daemon_goodput)
+    in
+    match wait_accepting ~sock ~pid ~deadline:(Unix.gettimeofday () +. 10.) with
+    | Error e ->
+      log "boot: %s" e;
+      kill_daemon ();
+      cleanup ();
+      2
+    | Ok () -> (
+      (* Capacity is whatever the daemon actually serves when offered
+         more than it can take: calibration keeps doubling the offered
+         rate until goodput falls measurably short of it, and that
+         saturated goodput — generator and daemon bottlenecks included
+         — is the service rate the soak then overdrives.  Stopping at
+         the first unsaturated rate would report the offered rate, not
+         a capacity. *)
+      (* The generator and daemon share this machine, so the daemon's
+         service rate depends on how hard the generator is pushing:
+         capacity measured under a lazy generator would be a bar the
+         soak — whose generator runs flat out — could never meet.  The
+         saturated run is the one whose CPU split matches the soak's,
+         so {e its} daemon-side goodput is the capacity the plateau is
+         judged against. *)
+      let rec calibrate rate tries =
+        log "calibrating at %.0f/s for %.1fs" rate calibrate_duration;
+        match
+          timed_load ~tag:"calibrate" ~rate ~duration_s:calibrate_duration
+        with
+        | Error _ as e -> e
+        | Ok (_, g) ->
+          if g <= 0. then Error "calibration served nothing (goodput 0)"
+          else if g >= 0.9 *. rate && tries > 0 then begin
+            log "kept up at %.0f/s (goodput %.0f/s): not saturated, doubling"
+              rate g;
+            calibrate (2. *. rate) (tries - 1)
+          end
+          else Ok (rate, g)
+      in
+      match calibrate calibrate_rate 6 with
+      | Error e ->
+        log "calibration failed: %s" e;
+        kill_daemon ();
+        cleanup ();
+        2
+      | Ok (calibrated_rate, capacity_ops) -> (
+        let rate = overdrive *. capacity_ops in
+        let rss_start = proc_rss_kb pid in
+        log "capacity %.0f/s; soaking at %.1fx = %.0f/s for %.1fs"
+          capacity_ops overdrive rate duration;
+        match timed_load ~tag:"soak" ~rate ~duration_s:duration with
+        | Error e ->
+          log "soak failed: %s" e;
+          kill_daemon ();
+          cleanup ();
+          2
+        | Ok (r, goodput_daemon) ->
+          let rss_end = proc_rss_kb pid in
+          (* Final daemon-side snapshot: deepest queue seen and the
+             overload level the state machine ended at. *)
+          let queue_peak, level =
+            match Service.Client.connect ~path:sock () with
+            | Error _ -> (-1, "unreachable")
+            | Ok c ->
+              let snap =
+                match Service.Client.stats c with
+                | Error _ -> (-1, "unreachable")
+                | Ok j -> (
+                  let f = Jsonu.obj j in
+                  let peak =
+                    match Jsonu.int_ f "queue_peak" with
+                    | v -> v
+                    | exception Jsonu.Malformed -> -1
+                  in
+                  let level =
+                    match List.assoc_opt "overload" f with
+                    | Some o -> (
+                      match Jsonu.str (Jsonu.obj o) "level" with
+                      | s -> s
+                      | exception Jsonu.Malformed -> "unknown")
+                    | None -> "unknown"
+                  in
+                  (peak, level))
+              in
+              Service.Client.close c;
+              snap
+          in
+          let daemon_exit =
+            Unix.kill pid Sys.sigterm;
+            match Unix.waitpid [] pid with
+            | _, Unix.WEXITED c -> c
+            | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> 125
+          in
+          cleanup ();
+          if daemon_exit <> 0 then
+            log "daemon exited %d (leak audit at shutdown)" daemon_exit;
+          let q = Stats.Hdr.quantile r.Service.Load_gen.latency in
+          let art =
+            {
+              Service.Overload_bench.shards;
+              capacity;
+              conns;
+              clients;
+              calibrate_rate = calibrated_rate;
+              capacity_ops;
+              overdrive;
+              rate;
+              duration_s = duration;
+              seed;
+              max_queue;
+              deadline_ms;
+              wall_s = r.Service.Load_gen.wall_s;
+              offered = r.Service.Load_gen.offered;
+              acquired = r.Service.Load_gen.acquired;
+              shed = r.Service.Load_gen.shed;
+              expired = r.Service.Load_gen.expired;
+              acquire_failures = r.Service.Load_gen.acquire_failures;
+              released = r.Service.Load_gen.released;
+              errors = r.Service.Load_gen.errors;
+              timeouts = r.Service.Load_gen.timeouts;
+              violations = r.Service.Load_gen.violations;
+              leaked = r.Service.Load_gen.leaked;
+              goodput = r.Service.Load_gen.goodput;
+              goodput_daemon;
+              lat_p50 = q 0.5;
+              lat_p99 = q 0.99;
+              lat_max = Stats.Hdr.max_value r.Service.Load_gen.latency;
+              rss_start_kb = rss_start;
+              rss_end_kb = rss_end;
+              queue_peak;
+              queue_bound = max_queue;
+              level;
+              drain_complete = r.Service.Load_gen.drain_complete;
+            }
+          in
+          if json then
+            print_endline (Jsonu.to_string (Service.Overload_bench.to_json art))
+          else print_endline (Service.Overload_bench.render art);
+          let path = Service.Overload_bench.save ~dir:out art in
+          log "wrote %s" path;
+          let audit_exit =
+            if
+              art.Service.Overload_bench.violations = 0
+              && art.Service.Overload_bench.leaked = 0
+              && art.Service.Overload_bench.errors = 0
+              && art.Service.Overload_bench.timeouts = 0
+              && art.Service.Overload_bench.acquired > 0
+              && art.Service.Overload_bench.shed
+                 + art.Service.Overload_bench.expired
+                 > 0
+              && art.Service.Overload_bench.queue_peak
+                 <= art.Service.Overload_bench.queue_bound
+              && art.Service.Overload_bench.goodput_daemon
+                 >= 0.8 *. capacity_ops
+              && art.Service.Overload_bench.drain_complete
+              && daemon_exit = 0
+            then 0
+            else 1
+          in
+          (match check with
+          | None -> audit_exit
+          | Some file -> (
+            match Service.Overload_bench.load file with
+            | exception Sys_error msg ->
+              log "cannot read baseline: %s" msg;
+              2
+            | exception Jsonu.Malformed ->
+              log "baseline %s is not a bench-service-overload document" file;
+              2
+            | baseline -> (
+              match
+                Service.Overload_bench.check ~threshold ~baseline ~current:art
+              with
+              | [] ->
+                log "regression check passed against %s (threshold %g)" file
+                  threshold;
+                audit_exit
+              | findings ->
+                List.iter (fun f -> log "FAIL: %s" f) findings;
+                1)))))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -2304,9 +2698,147 @@ let chaos_cmd =
         $ conns_t $ clients_t $ shards_t $ capacity_t $ lease_ttl_t $ seed_t
         $ wire_faults_t $ daemon_t $ keep_t $ sout_t $ check_t $ threshold_t)
   in
+  let overload_cmd =
+    let doc =
+      "Overload soak of the real renamed daemon: measure its capacity, \
+       then drive several times that and check for graceful degradation."
+    in
+    let man =
+      [
+        `S Manpage.s_description;
+        `P
+          "Boots renamed with a bounded admission queue, measures its \
+           service capacity (calibration doubles the offered rate from \
+           $(b,--calibrate-rate) until the daemon-side goodput — the \
+           daemon's own served counter sampled at the window edges — \
+           falls short of it; the saturated run's goodput is the \
+           capacity, generator and daemon bottlenecks included), then \
+           soaks it at $(b,--overdrive) times that rate with \
+           per-request deadlines.  \
+           Survival means goodput stays within 20% of capacity (no \
+           congestion collapse), the excess is refused (busy, with a \
+           retry-after hint) or shed at deadline expiry rather than \
+           queued without bound, accepted-request latency stays bounded, \
+           daemon RSS stays flat, and the drain still conserves every \
+           slot.";
+        `P
+          "The outcome is recorded as the next free BENCH_SERVICE_<k>.json \
+           with kind bench-service-overload; bench/BENCH_SERVICE_2.json is \
+           the committed baseline CI gates against with $(b,--check).";
+      ]
+    in
+    let overdrive_t =
+      Arg.(
+        value & opt float 5.
+        & info [ "overdrive" ] ~docv:"X"
+            ~doc:"Soak rate as a multiple of measured capacity.")
+    in
+    let calibrate_rate_t =
+      Arg.(
+        value & opt float 40000.
+        & info [ "calibrate-rate" ] ~docv:"OPS"
+            ~doc:
+              "Offered rate of the calibration run; set well above the \
+               daemon's expected capacity.")
+    in
+    let calibrate_duration_t =
+      Arg.(
+        value & opt float 3.
+        & info [ "calibrate-duration" ] ~docv:"SECONDS"
+            ~doc:"Calibration load window.")
+    in
+    let duration_t =
+      Arg.(
+        value & opt float 10.
+        & info [ "duration" ] ~docv:"SECONDS" ~doc:"Soak load window.")
+    in
+    let conns_t =
+      Arg.(
+        value & opt int 4
+        & info [ "conns" ] ~docv:"N" ~doc:"Load-generator connections.")
+    in
+    let clients_t =
+      Arg.(
+        value & opt int 64
+        & info [ "clients" ] ~docv:"N" ~doc:"Client-id space.")
+    in
+    let shards_t =
+      Arg.(
+        value & opt int 2
+        & info [ "shards" ] ~docv:"N" ~doc:"Daemon worker shards.")
+    in
+    let capacity_t =
+      Arg.(
+        value & opt int 4096
+        & info [ "capacity" ] ~docv:"N" ~doc:"Daemon per-shard capacity.")
+    in
+    let max_queue_t =
+      Arg.(
+        value & opt int 512
+        & info [ "max-queue" ] ~docv:"N"
+            ~doc:"Daemon per-shard admission bound.")
+    in
+    let deadline_t =
+      Arg.(
+        value & opt int 250
+        & info [ "deadline" ] ~docv:"MS"
+            ~doc:
+              "Per-request budget stamped by the generator (0 = none); \
+               the daemon sheds work whose budget is spent.")
+    in
+    let drain_timeout_t =
+      Arg.(
+        value & opt float 10.
+        & info [ "drain-timeout" ] ~docv:"SECONDS"
+            ~doc:"How long the final drain may run before being cut short.")
+    in
+    let daemon_t =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "daemon" ] ~docv:"PATH"
+            ~doc:
+              "renamed binary to soak (default: renamed.exe next to this \
+               executable).")
+    in
+    let keep_t =
+      Arg.(
+        value & flag
+        & info [ "keep" ] ~doc:"Keep the scratch directory for autopsy.")
+    in
+    let sout_t =
+      Arg.(
+        value & opt string "bench"
+        & info [ "out" ] ~docv:"DIR"
+            ~doc:"Directory for BENCH_SERVICE_<k>.json files.")
+    in
+    let check_t =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "check" ] ~docv:"FILE"
+            ~doc:
+              "Baseline bench-service-overload JSON to gate against; \
+               regressions exit 1.")
+    in
+    let threshold_t =
+      Arg.(
+        value & opt float 0.5
+        & info [ "threshold" ] ~docv:"T"
+            ~doc:
+              "Relative tolerance for the goodput and p99 gates of \
+               $(b,--check).")
+    in
+    Cmd.v (Cmd.info "overload" ~doc ~man ~exits:finding_exits)
+      Term.(
+        const chaos_overload $ json_t $ overdrive_t $ calibrate_rate_t
+        $ calibrate_duration_t $ duration_t $ conns_t $ clients_t $ shards_t
+        $ capacity_t $ max_queue_t $ deadline_t $ drain_timeout_t $ seed_t
+        $ daemon_t $ keep_t $ sout_t $ check_t $ threshold_t)
+  in
   Cmd.group
     (Cmd.info "chaos" ~doc ~man ~exits:finding_exits)
-    [ run_cmd; soak_cmd; replay_cmd; service_cmd ]
+    [ run_cmd; soak_cmd; replay_cmd; service_cmd; overload_cmd ]
 
 let simulate_cmd =
   let doc = "Run one simulation with explicit parameters and print details." in
@@ -2441,7 +2973,7 @@ let bench_cmd =
 (* load: open-loop Poisson load against a running renamed daemon *)
 
 let load_daemon json socket mode conns clients rate duration hold_const
-    hold_mean seed out check threshold =
+    hold_mean deadline drain_timeout seed out check threshold =
   (* A daemon crash mid-run must surface as reconnect accounting, not
      kill the generator with SIGPIPE on its next buffered write. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -2460,6 +2992,8 @@ let load_daemon json socket mode conns clients rate duration hold_const
       duration_s = duration;
       hold;
       seed;
+      deadline_ms = deadline;
+      drain_timeout_s = drain_timeout;
       log = (fun s -> Printf.eprintf "[load] %s\n%!" s);
     }
   in
@@ -2602,6 +3136,22 @@ let load_cmd =
       & info [ "hold-mean" ] ~docv:"SECONDS"
           ~doc:"Mean of the exponential hold-time distribution.")
   in
+  let deadline_t =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Per-request budget stamped on each acquire (0 = none); the \
+             daemon sheds rather than serves work whose budget is spent.")
+  in
+  let drain_timeout_t =
+    Arg.(
+      value & opt float 10.
+      & info [ "drain-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "How long past the load window the final drain may run before \
+             being cut short (reported in the artifact).")
+  in
   let out_t =
     Arg.(
       value & opt string "bench"
@@ -2626,8 +3176,8 @@ let load_cmd =
   Cmd.v (Cmd.info "load" ~doc ~man ~exits:finding_exits)
     Term.(
       const load_daemon $ json_t $ socket_t $ mode_t $ conns_t $ clients_t
-      $ rate_t $ duration_t $ hold_const_t $ hold_mean_t $ seed_t $ out_t
-      $ check_t $ threshold_t)
+      $ rate_t $ duration_t $ hold_const_t $ hold_mean_t $ deadline_t
+      $ drain_timeout_t $ seed_t $ out_t $ check_t $ threshold_t)
 
 let report_cmd =
   let doc = "Run every experiment and write a self-contained markdown report." in

@@ -12,16 +12,28 @@ type t = {
 type failure =
   | Transport of string
   | Remote of { op : Wire.op; code : int; msg : string }
+  | Busy of { op : Wire.op; retry_after_ms : int }
 
 let failure_message = function
   | Transport msg -> msg
   | Remote { op; code; msg } ->
     Printf.sprintf "%s failed: %s (code %d)" (Wire.op_string op) msg code
+  | Busy { op; retry_after_ms } ->
+    Printf.sprintf "%s refused: server busy, retry after %dms"
+      (Wire.op_string op) retry_after_ms
 
 let connect ?(mode = Wire.Binary) ~path () =
   let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
   match Unix.connect fd (ADDR_UNIX path) with
   | () ->
+    (* Non-blocking, or the daemon's read-pausing backpressure deadlocks
+       a busy client: the daemon stops reading until the client drains
+       responses, the socket send buffer fills, and a blocking [post]
+       would then wedge the client so it never reads again — each side
+       waiting out the other until the stall watchdog cuts the line.
+       Every send/recv path here already selects before it writes or
+       reads, so EAGAIN is handled, never surfaced. *)
+    Unix.set_nonblock fd;
     Ok
       {
         fd;
@@ -70,6 +82,12 @@ let post t req =
 
 let pending_out t = Buffer.length t.out > 0
 
+(* One non-blocking flush attempt.  [post] already flushes
+   opportunistically, but a send queue that met EAGAIN stays populated
+   until the {e next} post — a loop that stops posting (drain) must be
+   able to keep pushing residue out without blocking its read side. *)
+let flush_nb t = try try_flush t with Unix.Unix_error _ -> ()
+
 let flush t =
   try
     while pending_out t do
@@ -116,15 +134,17 @@ let decode_one t =
   | Wire.Corrupt msg -> Error (Printf.sprintf "corrupt response stream: %s" msg)
 
 (* [timeout = 0.] still performs one poll-and-read round, so callers
-   can drain a readable fd with repeated zero-timeout calls. *)
+   can drain a readable fd with repeated zero-timeout calls.  The
+   deadline is monotonic: a wall-clock step must neither fire every
+   in-flight timeout at once nor park one forever. *)
 let recv t ~timeout =
-  let deadline = Unix.gettimeofday () +. timeout in
+  let deadline = Mono.now () +. timeout in
   let rec go ~first =
     match decode_one t with
     | Ok (Some _) as r -> r
     | Error _ as e -> e
     | Ok None -> (
-      let left = deadline -. Unix.gettimeofday () in
+      let left = deadline -. Mono.now () in
       let left = if first then Float.max left 0. else left in
       if left < 0. then Ok None
       else
@@ -168,11 +188,16 @@ let roundtrip ?(timeout = 30.) t req =
     await ())
 
 let remote ~op ~code ~msg = Error (Remote { op; code; msg })
+let busy ~op ~retry_after_ms = Error (Busy { op; retry_after_ms })
 
-let acquire ?timeout ?(token = 0) t ~client =
-  match roundtrip ?timeout t (Wire.Acquire { id = fresh_id t; client; token }) with
+let acquire ?timeout ?(token = 0) ?(deadline_ms = 0) t ~client =
+  match
+    roundtrip ?timeout t
+      (Wire.Acquire { id = fresh_id t; client; token; deadline_ms })
+  with
   | Error _ as e -> e
   | Ok (Wire.Acquired { name; _ }) -> Ok name
+  | Ok (Wire.Busy { op; retry_after_ms; _ }) -> busy ~op ~retry_after_ms
   | Ok (Wire.Error { op; code; msg; _ }) -> remote ~op ~code ~msg
   | Ok _ -> Error (Transport "unexpected response to acquire")
 
@@ -180,6 +205,7 @@ let release ?timeout t ~client ~name =
   match roundtrip ?timeout t (Wire.Release { id = fresh_id t; client; name }) with
   | Error _ as e -> e
   | Ok (Wire.Released _) -> Ok ()
+  | Ok (Wire.Busy { op; retry_after_ms; _ }) -> busy ~op ~retry_after_ms
   | Ok (Wire.Error { op; code; msg; _ }) -> remote ~op ~code ~msg
   | Ok _ -> Error (Transport "unexpected response to release")
 
@@ -187,6 +213,7 @@ let renew ?timeout t ~client =
   match roundtrip ?timeout t (Wire.Renew { id = fresh_id t; client }) with
   | Error _ as e -> e
   | Ok (Wire.Renewed { count; _ }) -> Ok count
+  | Ok (Wire.Busy { op; retry_after_ms; _ }) -> busy ~op ~retry_after_ms
   | Ok (Wire.Error { op; code; msg; _ }) -> remote ~op ~code ~msg
   | Ok _ -> Error (Transport "unexpected response to renew")
 
@@ -194,6 +221,7 @@ let stats ?timeout t =
   match roundtrip ?timeout t (Wire.Stats { id = fresh_id t }) with
   | Error _ as e -> e
   | Ok (Wire.Stats_reply { stats; _ }) -> Ok stats
+  | Ok (Wire.Busy { op; retry_after_ms; _ }) -> busy ~op ~retry_after_ms
   | Ok (Wire.Error { op; code; msg; _ }) -> remote ~op ~code ~msg
   | Ok _ -> Error (Transport "unexpected response to stats")
 
@@ -201,6 +229,7 @@ let shutdown ?timeout t =
   match roundtrip ?timeout t (Wire.Shutdown { id = fresh_id t }) with
   | Error _ as e -> e
   | Ok (Wire.Shutting_down _) -> Ok ()
+  | Ok (Wire.Busy { op; retry_after_ms; _ }) -> busy ~op ~retry_after_ms
   | Ok (Wire.Error { op; code; msg; _ }) -> remote ~op ~code ~msg
   | Ok _ -> Error (Transport "unexpected response to shutdown")
 
@@ -253,6 +282,20 @@ module Durable = struct
     let j = 0.5 +. (float_of_int (Prng.Splitmix.int c.rng 1000) /. 2000.) in
     Unix.sleepf (d *. j)
 
+  (* Server-directed backoff for [Busy]: the [retry_after_ms] hint is
+     the floor, the capped exponential is the growth schedule across
+     repeated refusals, and the same jitter keeps the refused herd from
+     returning in phase. *)
+  let backoff_busy c k ~retry_after_ms =
+    let d =
+      Float.min c.cap
+        (Float.max
+           (float_of_int retry_after_ms /. 1000.)
+           (c.base *. (2. ** float_of_int k)))
+    in
+    let j = 0.5 +. (float_of_int (Prng.Splitmix.int c.rng 1000) /. 2000.) in
+    Unix.sleepf (d *. j)
+
   let link c =
     match c.link with
     | Some t -> Ok t
@@ -285,18 +328,49 @@ module Durable = struct
         match f t ~attempt:k with
         | Ok _ as r -> r
         | Error (Remote _) as r -> r
+        | Error (Busy { retry_after_ms; _ } as e) ->
+          (* The wire is healthy — the server refused admission.  Honor
+             the retry-after contract on the same link: no drop, no
+             reconnect counted. *)
+          if k + 1 >= c.attempts then Error e
+          else begin
+            backoff_busy c k ~retry_after_ms;
+            go (k + 1)
+          end
         | Error (Transport _ as e) -> again e)
     in
     go 0
 
-  let acquire c ~client =
+  let acquire ?deadline_ms c ~client =
     (* One token per logical acquire, reused verbatim across retries:
        if the grant landed but its reply died with the connection, the
        server's lease table still binds the token and re-delivers the
        same name instead of burning a second slot. *)
     let token = 1 + Prng.Splitmix.int c.rng 0xfffffffe in
-    with_retry c (fun t ~attempt:_ ->
-        acquire ~timeout:c.timeout ~token t ~client)
+    (* The whole logical acquire — every retry, every backoff sleep —
+       spends one budget, and each attempt stamps what is left of it on
+       the wire so the server can shed work we have already abandoned. *)
+    let budget_s =
+      match deadline_ms with
+      | Some ms when ms > 0 -> float_of_int ms /. 1000.
+      | _ -> c.timeout
+    in
+    let overall = Mono.now () +. budget_s in
+    let exception Budget_exhausted in
+    match
+      with_retry c (fun t ~attempt:_ ->
+          let left = overall -. Mono.now () in
+          if left <= 0. then raise Budget_exhausted
+          else
+            acquire
+              ~timeout:(Float.min c.timeout left)
+              ~token
+              ~deadline_ms:(max 1 (int_of_float (left *. 1000.)))
+              t ~client)
+    with
+    | r -> r
+    | exception Budget_exhausted ->
+      Error (Transport "acquire budget exhausted before completion")
 
   let release c ~client ~name =
     with_retry c (fun t ~attempt ->

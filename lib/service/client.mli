@@ -28,6 +28,10 @@ type failure =
   | Remote of { op : Wire.op; code : int; msg : string }
       (** the server answered with an error — retrying verbatim cannot
           help *)
+  | Busy of { op : Wire.op; retry_after_ms : int }
+      (** the server refused admission under overload; the request was
+          never executed.  Retry after [retry_after_ms] (plus jitter) —
+          {!Durable} does so automatically *)
 
 val failure_message : failure -> string
 
@@ -45,13 +49,22 @@ val fresh_id : t -> int
 
 (** {1 Synchronous operations}
 
-    [timeout] (seconds, default 30) bounds the wait for the response;
-    expiry is a {!Transport} failure. *)
+    [timeout] (seconds, default 30) bounds the wait for the response on
+    the {e monotonic} clock (wall-clock steps cannot fire or stall
+    deadlines); expiry is a {!Transport} failure. *)
 
-val acquire : ?timeout:float -> ?token:int -> t -> client:int -> (int, failure) result
+val acquire :
+  ?timeout:float ->
+  ?token:int ->
+  ?deadline_ms:int ->
+  t ->
+  client:int ->
+  (int, failure) result
 (** [token <> 0] makes the acquire idempotent: the server binds it to
     the grant's lease, and a retry carrying the same token re-delivers
-    the original name (see {!Wire.request}). *)
+    the original name (see {!Wire.request}).  [deadline_ms > 0] is the
+    remaining budget stamped on the wire: the server sheds the request
+    ([err_expired]) instead of serving it late.  Default [0] = none. *)
 
 val release : ?timeout:float -> t -> client:int -> name:int -> (unit, failure) result
 val renew : ?timeout:float -> t -> client:int -> (int, failure) result
@@ -69,6 +82,12 @@ val post : t -> Wire.request -> unit
 
 val flush : t -> (unit, string) result
 (** Block until the send queue is empty. *)
+
+val flush_nb : t -> unit
+(** One non-blocking flush attempt; transient failure (EAGAIN, or a
+    hard error the next [recv] will surface as typed) is swallowed.
+    Event loops that may stop posting — the load generator's drain —
+    call this each tick so EAGAIN residue still leaves. *)
 
 val pending_out : t -> bool
 (** Unsent bytes remain (the fd should be watched for writability). *)
@@ -99,12 +118,18 @@ module Durable : sig
       [backoff_cap], default 1 s) with multiplicative jitter drawn from
       a SplitMix stream seeded by [seed] — deterministic per client,
       decorrelated across clients.  {!Remote} failures are returned
-      immediately, never retried. *)
+      immediately, never retried.  {!Busy} refusals are retried on the
+      same link, sleeping at least the server's [retry_after_ms] hint
+      (jittered, capped) — the client half of the overload contract. *)
 
-  val acquire : conn -> client:int -> (int, failure) result
+  val acquire : ?deadline_ms:int -> conn -> client:int -> (int, failure) result
   (** Idempotent: one fresh nonzero token per call, reused across its
       retries, so an acquire whose reply was lost re-delivers the same
-      name instead of taking a second slot. *)
+      name instead of taking a second slot.  The whole logical acquire
+      (retries and backoff included) spends one budget — [deadline_ms]
+      if given, else the connection timeout — and each attempt stamps
+      the remaining budget on the wire, so the server can shed work
+      this client has already abandoned. *)
 
   val release : conn -> client:int -> name:int -> (unit, failure) result
   (** [err_not_held] on a retry attempt counts as success: the lost

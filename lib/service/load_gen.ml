@@ -11,6 +11,8 @@ type config = {
   seed : int;
   reconnect_attempts : int;
   reconnect_backoff : float;
+  deadline_ms : int;
+  drain_timeout_s : float;
   log : string -> unit;
 }
 
@@ -26,6 +28,8 @@ let default_config ~path =
     seed = 1;
     reconnect_attempts = 8;
     reconnect_backoff = 0.05;
+    deadline_ms = 0;
+    drain_timeout_s = 10.;
     log = ignore;
   }
 
@@ -33,6 +37,8 @@ type result = {
   wall_s : float;
   offered : int;
   acquired : int;
+  shed : int;
+  expired : int;
   acquire_failures : int;
   released : int;
   errors : int;
@@ -43,6 +49,8 @@ type result = {
   dropped : int;
   abandoned : int;
   throughput : float;
+  goodput : float;
+  drain_complete : bool;
   latency : Stats.Hdr.t;
 }
 
@@ -121,8 +129,12 @@ type st = {
   heap : Heap.t;
   latency : Stats.Hdr.t;
   mutable rr : int;  (* round-robin cursor: conns and client ids *)
+  mutable win_end : float;  (* end of the offered window (monotonic) *)
   mutable offered : int;
   mutable acquired : int;
+  mutable acquired_win : int;  (* grants received inside the window *)
+  mutable shed : int;  (* [Wire.Busy] admission refusals *)
+  mutable expired : int;  (* deadline passed: locally or [err_expired] *)
   mutable acquire_failures : int;
   mutable released : int;
   mutable errors : int;
@@ -133,7 +145,9 @@ type st = {
   mutable failed : string option;
 }
 
-let now () = Unix.gettimeofday ()
+(* Monotonic throughout: arrival schedules, latency, and stamped
+   deadlines must not move when the wall clock steps. *)
+let now () = Mono.now ()
 let fail st e = if st.failed = None then st.failed <- Some e
 
 let hold_sample st =
@@ -235,12 +249,30 @@ let try_post_acquire st ~at =
   match pick 0 with
   | None -> false
   | Some (slot, c) ->
-    let client = st.rr mod st.cfg.clients in
-    st.rr <- st.rr + 1;
-    let id = Client.fresh_id c in
-    Hashtbl.replace st.pending (slot, id) (Await_acquire { sent = at; client });
-    Client.post c (Wire.Acquire { id; client; token = 0 });
-    st.offered <- st.offered + 1;
+    (* The budget runs from the scheduled arrival: a request that sat
+       in the backlog through an outage has already spent part (or
+       all) of it.  Spent budgets are shed here — posting work the
+       client has given up on would only deepen the overload. *)
+    let deadline_ms =
+      if st.cfg.deadline_ms <= 0 then Some 0
+      else
+        let left =
+          st.cfg.deadline_ms - int_of_float ((now () -. at) *. 1000.)
+        in
+        if left <= 0 then None else Some (max 1 left)
+    in
+    (match deadline_ms with
+    | None ->
+      st.offered <- st.offered + 1;
+      st.expired <- st.expired + 1
+    | Some deadline_ms ->
+      let client = st.rr mod st.cfg.clients in
+      st.rr <- st.rr + 1;
+      let id = Client.fresh_id c in
+      Hashtbl.replace st.pending (slot, id)
+        (Await_acquire { sent = at; client });
+      Client.post c (Wire.Acquire { id; client; token = 0; deadline_ms });
+      st.offered <- st.offered + 1);
     true
 
 let flush_backlog st =
@@ -284,6 +316,7 @@ let on_response st ~conn ~at r =
     match (entry, r) with
     | Await_acquire { sent; client }, Wire.Acquired { name; _ } ->
       st.acquired <- st.acquired + 1;
+      if at <= st.win_end then st.acquired_win <- st.acquired_win + 1;
       Stats.Hdr.record st.latency
         (int_of_float (Float.max 0. ((at -. sent) *. 1e9)));
       if Hashtbl.mem st.held name then
@@ -300,9 +333,13 @@ let on_response st ~conn ~at r =
             gen = st.gen.(conn);
           }
       end
+    | Await_acquire _, Wire.Busy _ ->
+      (* Admission refused: shed load, not a failure of either side. *)
+      st.shed <- st.shed + 1
     | Await_acquire _, Wire.Error { code; _ } ->
       if code = Wire.err_capacity then
         st.acquire_failures <- st.acquire_failures + 1
+      else if code = Wire.err_expired then st.expired <- st.expired + 1
       else st.errors <- st.errors + 1
     | Await_release { name }, Wire.Released _ ->
       st.released <- st.released + 1;
@@ -369,8 +406,12 @@ let run (cfg : config) =
         heap = Heap.create ();
         latency = Stats.Hdr.create ();
         rr = 0;
+        win_end = infinity;
         offered = 0;
         acquired = 0;
+        acquired_win = 0;
+        shed = 0;
+        expired = 0;
         acquire_failures = 0;
         released = 0;
         errors = 0;
@@ -387,7 +428,9 @@ let run (cfg : config) =
     in
     let t_start = now () in
     let t_end = t_start +. cfg.duration_s in
-    let drain_deadline = t_end +. 10. in
+    st.win_end <- t_end;
+    let drain_deadline = t_end +. Float.max 0. cfg.drain_timeout_s in
+    let drain_cut = ref false in
     let next_arrival =
       ref (t_start +. Prng.Dist.exponential_sample st.rng ~rate:cfg.rate)
     in
@@ -398,9 +441,16 @@ let run (cfg : config) =
       try_reconnects st;
       (* Post every arrival that has come due (open loop: the schedule,
          not completions, decides); owed arrivals from an outage first,
-         keeping their original schedule. *)
+         keeping their original schedule.  The schedule ends at [t_end]
+         — owed arrivals from before it are still offered afterwards
+         (their budgets ran from the scheduled time, so stale ones shed
+         locally) — and the catch-up is chunked: at a rate beyond what
+         this loop can post, [now ()] outruns the schedule forever and
+         an unbounded catch-up would never break to pump responses. *)
       flush_backlog st;
-      while !next_arrival <= now () && not draining do
+      let burst = ref 0 in
+      while !next_arrival <= now () && !next_arrival < t_end && !burst < 4096 do
+        incr burst;
         if not (try_post_acquire st ~at:!next_arrival) then
           Queue.push !next_arrival st.backlog;
         next_arrival :=
@@ -413,22 +463,31 @@ let run (cfg : config) =
       do
         post_release st (Heap.pop st.heap)
       done;
+      (* Requests whose flush met EAGAIN are parked in the client send
+         queues; push them every tick or a quiet drain never completes
+         them. *)
+      Array.iter
+        (function Some c -> Client.flush_nb c | None -> ())
+        st.conns;
       pump st;
       if draining then begin
         if
-          Hashtbl.length st.pending = 0
+          !next_arrival >= t_end
+          && Hashtbl.length st.pending = 0
           && Heap.is_empty st.heap
           && Queue.is_empty st.backlog
         then finished := true
         else if now () > drain_deadline then begin
           cfg.log
             (Printf.sprintf
-               "drain timed out with %d operation(s) unanswered, %d never \
-                posted"
+               "drain cut short at %.1fs with %d operation(s) unanswered, \
+                %d never posted"
+               cfg.drain_timeout_s
                (Hashtbl.length st.pending)
                (Queue.length st.backlog));
           st.dropped <- st.dropped + Queue.length st.backlog;
           Queue.clear st.backlog;
+          drain_cut := true;
           finished := true
         end
       end;
@@ -490,6 +549,8 @@ let run (cfg : config) =
             wall_s;
             offered = st.offered;
             acquired = st.acquired;
+            shed = st.shed;
+            expired = st.expired;
             acquire_failures = st.acquire_failures;
             released = st.released;
             errors = st.errors;
@@ -502,6 +563,15 @@ let run (cfg : config) =
             throughput =
               float_of_int (st.acquired + st.released)
               /. Float.max 1e-9 wall_s;
+            (* Steady-state service rate: grants received inside the
+               offered window, over the window.  Drain-served grants
+               are excluded from the numerator — the drain runs with no
+               arrival load competing, so counting it would let short
+               runs overstate capacity — and wall (which includes the
+               drain) would understate it as the denominator. *)
+            goodput =
+              float_of_int st.acquired_win /. Float.max 1e-9 cfg.duration_s;
+            drain_complete = not !drain_cut;
             latency = st.latency;
           }
     in

@@ -49,21 +49,33 @@ type config = {
   reconnect_backoff : float;
       (** base reconnect delay (seconds), doubled per consecutive
           failure, capped at 1 s, jittered *)
+  deadline_ms : int;
+      (** per-request budget stamped on the wire, measured from the
+          {e scheduled} arrival (so time spent owed in the backlog
+          counts against it); arrivals whose budget is spent before
+          posting are counted [expired] locally.  [0] = no deadline *)
+  drain_timeout_s : float;
+      (** how long past [duration_s] the final drain may run before
+          being cut short ([drain_complete = false] in the result) *)
   log : string -> unit;
 }
 
 val default_config : path:string -> config
 (** Binary mode, 4 conns, 64 clients, 1000/s for 5 s, Exponential 1 ms
-    holds, seed 1, 8 reconnect attempts with 50 ms base backoff,
-    silent log. *)
+    holds, seed 1, 8 reconnect attempts with 50 ms base backoff, no
+    deadline, 10 s drain timeout, silent log. *)
 
 type result = {
   wall_s : float;  (** measured run wall time, arrivals through drain *)
-  offered : int;  (** acquires posted *)
+  offered : int;  (** acquires posted (or locally expired before post) *)
   acquired : int;
+  shed : int;  (** {!Wire.Busy} admission refusals *)
+  expired : int;
+      (** deadline-spent requests: shed by the server ([err_expired])
+          or dropped locally before posting *)
   acquire_failures : int;  (** [err_capacity] responses *)
   released : int;
-  errors : int;  (** error responses other than capacity *)
+  errors : int;  (** error responses other than capacity/expired *)
   timeouts : int;  (** operations never answered before the drain gave up *)
   violations : int;  (** uniqueness violations observed *)
   leaked : int;  (** server [taken] after the final drain; -1 if unknown *)
@@ -71,13 +83,18 @@ type result = {
   dropped : int;  (** in-flight (or never-postable) operations lost *)
   abandoned : int;  (** held names forgotten with their dead connection *)
   throughput : float;  (** (acquired + released) / wall_s *)
+  goodput : float;
+      (** acquired / wall_s — {e served} work only; shed and expired
+          requests cost the client a refusal, not a wait, so they are
+          excluded (coordinated-omission-free) *)
+  drain_complete : bool;  (** the final drain finished within its timeout *)
   latency : Stats.Hdr.t;  (** acquire latency, nanoseconds *)
 }
 
 val ok : result -> bool
 (** No violations, no leaks, no errors, no timeouts.  Reconnects,
-    drops and abandonments are survivable events, reported but not
-    failures. *)
+    drops, abandonments, sheds and expiries are survivable events,
+    reported but not failures. *)
 
 val run : config -> (result, string) Stdlib.result
 (** Drive the load and return the audit.  [Error] covers setup failures

@@ -1,0 +1,10 @@
+(** Monotonic time for deadline arithmetic.
+
+    Seconds since an arbitrary epoch, strictly unaffected by wall-clock
+    steps ([CLOCK_MONOTONIC] via a C stub — the vendored Unix library
+    predates [clock_gettime]).  Every timeout, deadline and latency
+    measurement in the serving layer is computed on this clock;
+    {!Unix.gettimeofday} remains only where a human reads the value
+    (operator telemetry such as uptime). *)
+
+val now : unit -> float

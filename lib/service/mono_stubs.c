@@ -1,0 +1,19 @@
+/* CLOCK_MONOTONIC for the serving layer's deadline arithmetic.
+ *
+ * The Unix library shipped with this compiler exposes gettimeofday but
+ * not clock_gettime, and deadlines computed from the wall clock break
+ * whenever the clock steps (NTP slew, manual set): every in-flight
+ * timeout fires early or never.  One tiny stub fixes the class of bug.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value repro_mono_now(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

@@ -1,0 +1,161 @@
+type level = Healthy | Degraded | Shedding
+
+let level_string = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Shedding -> "shedding"
+
+let level_of_string = function
+  | "healthy" -> Some Healthy
+  | "degraded" -> Some Degraded
+  | "shedding" -> Some Shedding
+  | _ -> None
+
+type config = {
+  queue_hi : int;
+  queue_lo : int;
+  latency_hi_ms : float;
+  latency_lo_ms : float;
+  dwell_s : float;
+  ema_alpha : float;
+  retry_floor_ms : int;
+  retry_cap_ms : int;
+}
+
+let default_config ~queue_bound =
+  {
+    queue_hi = max 1 (queue_bound * 3 / 4);
+    queue_lo = queue_bound / 4;
+    latency_hi_ms = 100.;
+    latency_lo_ms = 20.;
+    dwell_s = 1.;
+    ema_alpha = 0.2;
+    retry_floor_ms = 5;
+    retry_cap_ms = 2000;
+  }
+
+type t = {
+  cfg : config;
+  mutable level : level;
+  mutable ema_ms : float;
+  mutable last_obs : float option;  (* previous observe time, for decay *)
+  mutable hot_since : float option;  (* pressure continuously high since *)
+  mutable calm_since : float option;  (* pressure continuously low since *)
+  mutable transitions : int;
+}
+
+let create ?config ~queue_bound () =
+  let cfg =
+    match config with Some c -> c | None -> default_config ~queue_bound
+  in
+  if cfg.queue_lo > cfg.queue_hi then
+    invalid_arg "Overload.create: queue_lo > queue_hi";
+  if cfg.latency_lo_ms > cfg.latency_hi_ms then
+    invalid_arg "Overload.create: latency_lo_ms > latency_hi_ms";
+  {
+    cfg;
+    level = Healthy;
+    ema_ms = 0.;
+    last_obs = None;
+    hot_since = None;
+    calm_since = None;
+    transitions = 0;
+  }
+
+let level t = t.level
+let ema_ms t = t.ema_ms
+let transitions t = t.transitions
+
+let note_latency t ms =
+  let a = t.cfg.ema_alpha in
+  t.ema_ms <- if t.ema_ms = 0. then ms else ((1. -. a) *. t.ema_ms) +. (a *. ms)
+
+(* One step at a time with dwell requirements on both slopes:
+
+   - Healthy -> Degraded fires on the first hot observation (reacting
+     late to overload is how queues explode), but Degraded -> Shedding
+     needs the pressure to {e stay} hot for [dwell_s].
+   - Stepping down needs [dwell_s] of continuous calm per level, so
+     Shedding -> Healthy costs two full dwells.
+
+   Between the hi and lo thresholds neither timer runs: the level
+   freezes, which is the hysteresis band that keeps a load sitting
+   exactly on a threshold from flapping the machine. *)
+let observe t ~now ~queue_depth =
+  (* The EMA only receives samples from acquires that flow; while
+     Shedding blocks every admission no sample ever arrives, and a
+     frozen-high EMA would hold the machine in Shedding forever.  A
+     queue at calm depth is live evidence that the next admission will
+     not wait, so congestion evidence goes stale on a clock: decay the
+     EMA toward zero (half-life about a third of the dwell) whenever
+     the queue is at or below the low-water mark.  Samples from real
+     traffic keep outweighing the decay — only silence lets it win. *)
+  (match t.last_obs with
+  | Some prev when now > prev && queue_depth <= t.cfg.queue_lo ->
+    let tau = Float.max 0.001 (t.cfg.dwell_s /. 2.) in
+    t.ema_ms <- t.ema_ms *. exp (-.(now -. prev) /. tau)
+  | _ -> ());
+  t.last_obs <- Some now;
+  let hot =
+    queue_depth >= t.cfg.queue_hi || t.ema_ms >= t.cfg.latency_hi_ms
+  in
+  let calm =
+    queue_depth <= t.cfg.queue_lo && t.ema_ms <= t.cfg.latency_lo_ms
+  in
+  if hot then begin
+    t.calm_since <- None;
+    (match (t.level, t.hot_since) with
+    | Healthy, _ ->
+      t.level <- Degraded;
+      t.transitions <- t.transitions + 1;
+      t.hot_since <- Some now
+    | Degraded, Some since when now -. since >= t.cfg.dwell_s ->
+      t.level <- Shedding;
+      t.transitions <- t.transitions + 1;
+      t.hot_since <- Some now
+    | (Degraded | Shedding), Some _ -> ()
+    | (Degraded | Shedding), None -> t.hot_since <- Some now)
+  end
+  else if calm then begin
+    t.hot_since <- None;
+    match t.calm_since with
+    | None -> t.calm_since <- Some now
+    | Some since when now -. since >= t.cfg.dwell_s ->
+      (match t.level with
+      | Healthy -> ()
+      | Degraded ->
+        t.level <- Healthy;
+        t.transitions <- t.transitions + 1
+      | Shedding ->
+        t.level <- Degraded;
+        t.transitions <- t.transitions + 1);
+      t.calm_since <- Some now
+    | Some _ -> ()
+  end
+  else begin
+    t.hot_since <- None;
+    t.calm_since <- None
+  end;
+  t.level
+
+(* How long a refused client should wait: roughly the time for the
+   backlog ahead of it to drain at the observed service rate, floored
+   (a zero hint is a retry storm) and capped (a huge hint parks clients
+   past the recovery). *)
+let retry_after_ms t ~queue_depth =
+  let per = Float.max 1. t.ema_ms in
+  let hint =
+    t.cfg.retry_floor_ms + int_of_float (float_of_int queue_depth *. per)
+  in
+  min t.cfg.retry_cap_ms (max t.cfg.retry_floor_ms hint)
+
+let to_json t ~queue_depth ~queue_bound =
+  Jsonu.Obj
+    [
+      ("level", Jsonu.Str (level_string t.level));
+      ("queue_depth", Jsonu.Int queue_depth);
+      ("queue_bound", Jsonu.Int queue_bound);
+      ("admission_ema_ms", Jsonu.Num t.ema_ms);
+      ("transitions", Jsonu.Int t.transitions);
+      ("retry_after_ms", Jsonu.Int (retry_after_ms t ~queue_depth));
+    ]

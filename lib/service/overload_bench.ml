@@ -1,0 +1,231 @@
+type t = {
+  shards : int;
+  capacity : int;
+  conns : int;
+  clients : int;
+  calibrate_rate : float;
+  capacity_ops : float;
+  overdrive : float;
+  rate : float;
+  duration_s : float;
+  seed : int;
+  max_queue : int;
+  deadline_ms : int;
+  wall_s : float;
+  offered : int;
+  acquired : int;
+  shed : int;
+  expired : int;
+  acquire_failures : int;
+  released : int;
+  errors : int;
+  timeouts : int;
+  violations : int;
+  leaked : int;
+  goodput : float;
+  goodput_daemon : float;
+  lat_p50 : int;
+  lat_p99 : int;
+  lat_max : int;
+  rss_start_kb : int;
+  rss_end_kb : int;
+  queue_peak : int;
+  queue_bound : int;
+  level : string;
+  drain_complete : bool;
+}
+
+let kind = "bench-service-overload"
+
+let to_json t =
+  Jsonu.Obj
+    [
+      ("kind", Jsonu.Str kind);
+      ("schema", Jsonu.Int 1);
+      ("shards", Jsonu.Int t.shards);
+      ("capacity", Jsonu.Int t.capacity);
+      ("conns", Jsonu.Int t.conns);
+      ("clients", Jsonu.Int t.clients);
+      ("calibrate_rate", Jsonu.Num t.calibrate_rate);
+      ("capacity_ops", Jsonu.Num t.capacity_ops);
+      ("overdrive", Jsonu.Num t.overdrive);
+      ("rate", Jsonu.Num t.rate);
+      ("duration_s", Jsonu.Num t.duration_s);
+      ("seed", Jsonu.Int t.seed);
+      ("max_queue", Jsonu.Int t.max_queue);
+      ("deadline_ms", Jsonu.Int t.deadline_ms);
+      ("wall_s", Jsonu.Num t.wall_s);
+      ("offered", Jsonu.Int t.offered);
+      ("acquired", Jsonu.Int t.acquired);
+      ("shed", Jsonu.Int t.shed);
+      ("expired", Jsonu.Int t.expired);
+      ("acquire_failures", Jsonu.Int t.acquire_failures);
+      ("released", Jsonu.Int t.released);
+      ("errors", Jsonu.Int t.errors);
+      ("timeouts", Jsonu.Int t.timeouts);
+      ("violations", Jsonu.Int t.violations);
+      ("leaked", Jsonu.Int t.leaked);
+      ("goodput", Jsonu.Num t.goodput);
+      ("goodput_daemon", Jsonu.Num t.goodput_daemon);
+      ("lat_p50_ns", Jsonu.Int t.lat_p50);
+      ("lat_p99_ns", Jsonu.Int t.lat_p99);
+      ("lat_max_ns", Jsonu.Int t.lat_max);
+      ("rss_start_kb", Jsonu.Int t.rss_start_kb);
+      ("rss_end_kb", Jsonu.Int t.rss_end_kb);
+      ("queue_peak", Jsonu.Int t.queue_peak);
+      ("queue_bound", Jsonu.Int t.queue_bound);
+      ("level", Jsonu.Str t.level);
+      ("drain_complete", Jsonu.Bool t.drain_complete);
+    ]
+
+let of_json j =
+  let f = Jsonu.obj j in
+  if Jsonu.str f "kind" <> kind then raise Jsonu.Malformed;
+  if Jsonu.int_ f "schema" <> 1 then raise Jsonu.Malformed;
+  {
+    shards = Jsonu.int_ f "shards";
+    capacity = Jsonu.int_ f "capacity";
+    conns = Jsonu.int_ f "conns";
+    clients = Jsonu.int_ f "clients";
+    calibrate_rate = Jsonu.num f "calibrate_rate";
+    capacity_ops = Jsonu.num f "capacity_ops";
+    overdrive = Jsonu.num f "overdrive";
+    rate = Jsonu.num f "rate";
+    duration_s = Jsonu.num f "duration_s";
+    seed = Jsonu.int_ f "seed";
+    max_queue = Jsonu.int_ f "max_queue";
+    deadline_ms = Jsonu.int_ f "deadline_ms";
+    wall_s = Jsonu.num f "wall_s";
+    offered = Jsonu.int_ f "offered";
+    acquired = Jsonu.int_ f "acquired";
+    shed = Jsonu.int_ f "shed";
+    expired = Jsonu.int_ f "expired";
+    acquire_failures = Jsonu.int_ f "acquire_failures";
+    released = Jsonu.int_ f "released";
+    errors = Jsonu.int_ f "errors";
+    timeouts = Jsonu.int_ f "timeouts";
+    violations = Jsonu.int_ f "violations";
+    leaked = Jsonu.int_ f "leaked";
+    goodput = Jsonu.num f "goodput";
+    goodput_daemon = Jsonu.num f "goodput_daemon";
+    lat_p50 = Jsonu.int_ f "lat_p50_ns";
+    lat_p99 = Jsonu.int_ f "lat_p99_ns";
+    lat_max = Jsonu.int_ f "lat_max_ns";
+    rss_start_kb = Jsonu.int_ f "rss_start_kb";
+    rss_end_kb = Jsonu.int_ f "rss_end_kb";
+    queue_peak = Jsonu.int_ f "queue_peak";
+    queue_bound = Jsonu.int_ f "queue_bound";
+    level = Jsonu.str f "level";
+    drain_complete = Jsonu.bool_ f "drain_complete";
+  }
+
+let load path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Jsonu.parse (String.trim contents) with
+  | Some j -> of_json j
+  | None -> raise Jsonu.Malformed
+
+let save ~dir t =
+  Service_bench.mkdir_p dir;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "BENCH_SERVICE_%d.json" (Service_bench.next_index dir))
+  in
+  let oc = open_out_bin path in
+  output_string oc (Jsonu.to_string (to_json t));
+  output_char oc '\n';
+  close_out oc;
+  path
+
+let render t =
+  String.concat "\n"
+    [
+      Printf.sprintf
+        "overload soak: %d shard(s) x capacity %d, %d conn(s), queue bound \
+         %d, deadline %dms"
+        t.shards t.capacity t.conns t.queue_bound t.deadline_ms;
+      Printf.sprintf
+        "capacity %.0f/s measured at %.0f/s; soaked at %.1fx = %.0f/s for \
+         %.1fs (seed %d)"
+        t.capacity_ops t.calibrate_rate t.overdrive t.rate t.duration_s t.seed;
+      Printf.sprintf
+        "ops: %d offered, %d served, %d shed (busy), %d expired, %d \
+         capacity-failed, %d released"
+        t.offered t.acquired t.shed t.expired t.acquire_failures t.released;
+      Printf.sprintf
+        "goodput %.0f/s daemon-side (%.0f%% of capacity; client in-window \
+         %.0f/s); accepted latency p50 %.1fms p99 %.1fms max %.1fms"
+        t.goodput_daemon
+        (100. *. t.goodput_daemon /. Float.max 1e-9 t.capacity_ops)
+        t.goodput
+        (float_of_int t.lat_p50 /. 1e6)
+        (float_of_int t.lat_p99 /. 1e6)
+        (float_of_int t.lat_max /. 1e6);
+      Printf.sprintf
+        "daemon: RSS %d -> %d kB, queue peak %d/%d, level %s at end"
+        t.rss_start_kb t.rss_end_kb t.queue_peak t.queue_bound t.level;
+      Printf.sprintf
+        "audit: %d violation(s), %d leaked, %d error(s), %d timeout(s), \
+         drain %s"
+        t.violations t.leaked t.errors t.timeouts
+        (if t.drain_complete then "complete" else "CUT SHORT");
+    ]
+
+(* Absolute properties first (they define overload survival), then the
+   baseline-relative regression gate. *)
+let check ~threshold ~baseline ~current =
+  let findings = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> findings := s :: !findings) fmt in
+  if current.violations <> 0 then
+    add "%d uniqueness violation(s) under overload" current.violations;
+  if current.leaked < 0 then add "leak count unknown (final stats probe failed)"
+  else if current.leaked > 0 then
+    add "%d leaked slot(s) after drain" current.leaked;
+  if current.errors <> 0 then add "%d protocol error(s)" current.errors;
+  if current.acquired = 0 then add "no successful acquires";
+  if current.shed + current.expired = 0 then
+    add
+      "nothing shed at %.1fx overdrive — admission control never engaged"
+      current.overdrive;
+  if current.queue_peak > current.queue_bound then
+    add "queue peak %d exceeded the %d bound — queues are not bounded"
+      current.queue_peak current.queue_bound;
+  (* The plateau criterion: goodput under overdrive within 20%% of the
+     same run's measured capacity.  Collapse (goodput falling with
+     offered load) is exactly what this catches.  Daemon-side (served
+     grants counted by the daemon over the arrival window) — the
+     client-side number also folds in generator read-starvation, which
+     on small machines is the generator's collapse, not the daemon's. *)
+  let plateau_floor = 0.8 *. current.capacity_ops in
+  if current.goodput_daemon < plateau_floor then
+    add "goodput %.0f/s collapsed below %.0f/s (80%% of capacity %.0f/s)"
+      current.goodput_daemon plateau_floor current.capacity_ops;
+  (* RSS flat: generous absolute+relative allowance — CI heaps differ,
+     unbounded growth does not hide inside it over a soak. *)
+  let rss_allowed =
+    max
+      (current.rss_start_kb + (current.rss_start_kb / 2))
+      (current.rss_start_kb + 32768)
+  in
+  if current.rss_end_kb > rss_allowed then
+    add "daemon RSS grew %d -> %d kB (allowed %d)" current.rss_start_kb
+      current.rss_end_kb rss_allowed;
+  if not current.drain_complete then add "final drain was cut short";
+  (* Regression vs the committed baseline. *)
+  let floor = (1. -. threshold) *. baseline.goodput_daemon in
+  if current.goodput_daemon < floor then
+    add "goodput fell to %.0f/s (baseline %.0f, floor %.0f)"
+      current.goodput_daemon baseline.goodput_daemon floor;
+  let p99_allowed =
+    Float.max
+      ((1. +. threshold) *. float_of_int baseline.lat_p99)
+      5e8 (* 500 ms absolute floor: queue-bound delay is legitimate *)
+  in
+  if float_of_int current.lat_p99 > p99_allowed then
+    add "accepted p99 %.1fms exceeds allowed %.1fms (baseline %.1fms)"
+      (float_of_int current.lat_p99 /. 1e6)
+      (p99_allowed /. 1e6)
+      (float_of_int baseline.lat_p99 /. 1e6);
+  List.rev !findings

@@ -1,5 +1,6 @@
-(* Wall-clock here is operator telemetry (uptime, flush deadlines,
-   lease TTLs) and never enters experiment records. *)
+(* Every deadline, lease TTL and latency measurement here runs on the
+   monotonic clock (Mono.now): a wall-clock step must never fire or
+   stall a timeout.  Wall-clock never enters experiment records. *)
 
 type config = {
   socket_path : string;
@@ -11,6 +12,10 @@ type config = {
   lease_ttl_s : float;
   journal_path : string option;
   recover : bool;
+  max_queue : int;
+  max_out_bytes : int;
+  stall_s : float;
+  overload : Overload.config option;
   log : string -> unit;
 }
 
@@ -25,6 +30,10 @@ let default_config ~socket_path =
     lease_ttl_s = 30.;
     journal_path = None;
     recover = false;
+    max_queue = 1024;
+    max_out_bytes = 262144;
+    stall_s = 5.;
+    overload = None;
     log = ignore;
   }
 
@@ -39,6 +48,10 @@ type report = {
   expired_leases : int;
   dedup_hits : int;
   recovered : int;
+  shed_busy : int;
+  shed_expired : int;
+  stalled_conns : int;
+  queue_peak : int;
   taken_at_exit : int;
   wall_s : float;
 }
@@ -96,10 +109,32 @@ module Q = struct
     Queue.clear t.q;
     Mutex.unlock t.mu;
     out
+
+  (* Pull out every queued element satisfying [p], oldest first,
+     keeping the rest in order.  The admission purge uses this to shed
+     already-expired acquires without disturbing live work. *)
+  let remove_if t p =
+    Mutex.lock t.mu;
+    let all = List.of_seq (Queue.to_seq t.q) in
+    Queue.clear t.q;
+    let removed =
+      List.filter
+        (fun x -> if p x then true else (Queue.push x t.q; false))
+        all
+    in
+    Mutex.unlock t.mu;
+    removed
 end
 
 type job =
-  | Acquire_job of { conn : int; id : int; client : int; token : int }
+  | Acquire_job of {
+      conn : int;
+      id : int;
+      client : int;
+      token : int;
+      deadline : float;  (* absolute monotonic; infinity = none *)
+      admitted : float;  (* monotonic enqueue time, for queue latency *)
+    }
   | Release_job of { conn : int; id : int; name : int; drain : bool }
   | Quit
 
@@ -110,6 +145,8 @@ type done_op =
       client : int;
       token : int;
       name : int option;
+      expired : bool;  (* deadline passed in queue; allocator untouched *)
+      waited_ms : float;  (* enqueue -> worker pickup *)
     }
   | Did_release of { conn : int; id : int; name : int; drain : bool }
 
@@ -120,14 +157,14 @@ type conn = {
   fd : Unix.file_descr;
   cid : int;
   session : Session.t;
-  out : string Queue.t;  (* encoded responses awaiting write *)
-  mutable out_off : int;  (* offset into the head of [out] *)
   mutable inflight : int;
   mutable closing : bool;  (* close once flushed and drained *)
   mutable dead : bool;  (* fd closed; record kept for in-flight jobs *)
+  mutable last_progress : float;
+      (* monotonic time the peer last drained bytes; the stall clock *)
 }
 
-let out_pending c = not (Queue.is_empty c.out)
+let out_pending c = Session.out_pending c.session
 
 type phase = Serving | Draining_jobs | Draining_ledgers | Flushing
 
@@ -145,6 +182,7 @@ type state = {
   conns : (int, conn) Hashtbl.t;
   started : float;
   scratch : Bytes.t;
+  overload : Overload.t;
   mutable listen_fd : Unix.file_descr option;
   mutable phase : phase;
   mutable next_cid : int;
@@ -159,10 +197,21 @@ type state = {
   mutable renews : int;
   mutable expired_leases : int;
   mutable dedup_hits : int;
+  mutable shed_busy : int;
+  mutable shed_expired : int;
+  mutable stalled_conns : int;
+  mutable queue_peak : int;
   mutable flush_deadline : float;
+  acq_depth : int Atomic.t array;
+      (* queued (not yet picked) acquires per shard: the class the
+         admission bound governs.  Releases share the worker queues but
+         are never refused — they relieve pressure — so depth, peak and
+         the overload machine all track acquires alone.  Incremented by
+         the I/O domain at admission, decremented by the owning worker
+         at pick (or by the admission purge). *)
 }
 
-let now () = Unix.gettimeofday ()
+let now () = Mono.now ()
 let conn_list st = Hashtbl.to_seq_values st.conns |> List.of_seq
 let sweep_period st = Float.max 0.01 (Lease.ttl_s st.leases /. 10.)
 
@@ -175,17 +224,33 @@ let worker_loop st i =
   while !continue do
     match Q.pop_blocking q with
     | Quit -> continue := false
-    | Acquire_job { conn; id; client; token } ->
-      let name =
-        try Shard.acquire st.pool ~shard:i ~client
-        with e ->
-          st.cfg.log
-            (Printf.sprintf "worker %d: acquire raised %s" i
-               (Printexc.to_string e));
-          None
-      in
-      Q.push st.outbox (Did_acquire { conn; id; client; token; name });
-      poke st.wake_w
+    | Acquire_job { conn; id; client; token; deadline; admitted } ->
+      Atomic.decr st.acq_depth.(i);
+      let picked = now () in
+      let waited_ms = Float.max 0. ((picked -. admitted) *. 1000.) in
+      (* Deadline check before the allocator: work the client has
+         already timed out on is shed, not served — executing it would
+         burn a slot nobody will release promptly. *)
+      if picked > deadline then begin
+        Q.push st.outbox
+          (Did_acquire
+             { conn; id; client; token; name = None; expired = true; waited_ms });
+        poke st.wake_w
+      end
+      else begin
+        let name =
+          try Shard.acquire st.pool ~shard:i ~client
+          with e ->
+            st.cfg.log
+              (Printf.sprintf "worker %d: acquire raised %s" i
+                 (Printexc.to_string e));
+            None
+        in
+        Q.push st.outbox
+          (Did_acquire
+             { conn; id; client; token; name; expired = false; waited_ms });
+        poke st.wake_w
+      end
     | Release_job { conn; id; name; drain } ->
       (try Shard.release st.pool ~name
        with e ->
@@ -204,12 +269,15 @@ let send_response st c r =
     let b = Buffer.create 64 in
     let mode = Option.value (Session.mode c.session) ~default:Wire.Binary in
     Wire.encode_response mode b r;
-    Queue.push (Buffer.contents b) c.out;
+    Session.queue_out c.session (Buffer.contents b);
     (match r with Wire.Error _ -> st.errors <- st.errors + 1 | _ -> ())
   end
 
 let enqueue_job st ~shard job =
   st.inflight_total <- st.inflight_total + 1;
+  (match job with
+  | Acquire_job _ -> Atomic.incr st.acq_depth.(shard)
+  | Release_job _ | Quit -> ());
   Q.push st.workers.(shard) job
 
 (* Return a cell to the pool through its owner worker without a client
@@ -225,6 +293,53 @@ let enqueue_auto_release st name =
 let enqueue_drain_release st name =
   st.drained_releases <- st.drained_releases + 1;
   enqueue_auto_release st name
+
+(* ------------------------------------------------------------------ *)
+(* Admission control *)
+
+let settle_conn st cid =
+  match Hashtbl.find_opt st.conns cid with
+  | None -> ()
+  | Some c ->
+    c.inflight <- c.inflight - 1;
+    if c.dead && c.inflight = 0 then Hashtbl.remove st.conns c.cid
+
+let max_queue_depth st =
+  Array.fold_left (fun m d -> max m (Atomic.get d)) 0 st.acq_depth
+
+(* Oldest-expired-first shed: a full shard queue is relieved of every
+   queued acquire whose deadline has already passed (the queue keeps
+   arrival order, so expired entries come out oldest first).  They are
+   answered [err_expired] — work nobody is waiting for anymore never
+   reaches the allocator. *)
+let purge_expired st ~shard =
+  let t = now () in
+  let purged =
+    Q.remove_if st.workers.(shard) (function
+      | Acquire_job { deadline; _ } -> t > deadline
+      | Release_job _ | Quit -> false)
+  in
+  List.iter
+    (function
+      | Acquire_job { conn; id; _ } ->
+        Atomic.decr st.acq_depth.(shard);
+        st.inflight_total <- st.inflight_total - 1;
+        st.shed_expired <- st.shed_expired + 1;
+        (match Hashtbl.find_opt st.conns conn with
+        | Some c when not c.dead ->
+          send_response st c
+            (Wire.Error
+               {
+                 id;
+                 op = Wire.Op_acquire;
+                 code = Wire.err_expired;
+                 msg = "deadline expired in queue";
+               })
+        | _ -> ());
+        settle_conn st conn
+      | Release_job _ | Quit -> ())
+    purged;
+  List.length purged
 
 (* ------------------------------------------------------------------ *)
 (* Journal + lease plumbing (I/O domain only) *)
@@ -267,8 +382,7 @@ let disconnect st c =
   if not c.dead then begin
     c.dead <- true;
     close_fd c.fd;
-    Queue.clear c.out;
-    c.out_off <- 0;
+    Session.clear_out c.session;
     List.iter
       (fun name ->
         Session.note_released c.session name;
@@ -325,6 +439,13 @@ let stats_json st =
         ("conns", Jsonu.Int (Hashtbl.length st.conns));
         ("conns_served", Jsonu.Int st.conns_served);
         ("requests", Jsonu.Int st.requests);
+        ("shed_busy", Jsonu.Int st.shed_busy);
+        ("shed_expired", Jsonu.Int st.shed_expired);
+        ("stalled_conns", Jsonu.Int st.stalled_conns);
+        ("queue_peak", Jsonu.Int st.queue_peak);
+        ( "overload",
+          Overload.to_json st.overload ~queue_depth:(max_queue_depth st)
+            ~queue_bound:st.cfg.max_queue );
         ("uptime_s", Jsonu.Num (now () -. st.started));
       ])
 
@@ -337,7 +458,7 @@ let handle_request st c (r : Wire.request) =
       (Wire.Error { id; op; code = Wire.err_shutdown; msg = "shutting down" })
   else
     match r with
-    | Wire.Acquire { id; client; token } -> (
+    | Wire.Acquire { id; client; token; deadline_ms } -> (
       (* Idempotent retry: a nonzero token still bound to a live lease
          re-delivers the original grant — but only when that lease is
          unclaimed (an orphan from recovery or a reply lost in flight to
@@ -368,10 +489,47 @@ let handle_request st c (r : Wire.request) =
         send_response st c
           (Wire.Acquired { id; name; lease_ms = Lease.ttl_ms st.leases })
       | None ->
-        c.inflight <- c.inflight + 1;
-        enqueue_job st
-          ~shard:(Shard.shard_of_client st.pool client)
-          (Acquire_job { conn = c.cid; id; client; token }))
+        let shard = Shard.shard_of_client st.pool client in
+        let depth = Atomic.get st.acq_depth.(shard) in
+        st.queue_peak <- max st.queue_peak depth;
+        let busy depth =
+          st.shed_busy <- st.shed_busy + 1;
+          send_response st c
+            (Wire.Busy
+               {
+                 id;
+                 op = Wire.Op_acquire;
+                 retry_after_ms =
+                   Overload.retry_after_ms st.overload ~queue_depth:depth;
+               })
+        in
+        if Overload.level st.overload = Overload.Shedding then
+          (* Graceful degradation: while shedding, no new acquire is
+             admitted at all, but releases/renews/stats below still
+             execute — held names keep draining, which is the path
+             back to health. *)
+          busy depth
+        else begin
+          let depth =
+            if depth >= st.cfg.max_queue then begin
+              ignore (purge_expired st ~shard);
+              Atomic.get st.acq_depth.(shard)
+            end
+            else depth
+          in
+          if depth >= st.cfg.max_queue then busy depth
+          else begin
+            let t = now () in
+            let deadline =
+              if deadline_ms > 0 then t +. (float_of_int deadline_ms /. 1000.)
+              else infinity
+            in
+            c.inflight <- c.inflight + 1;
+            enqueue_job st ~shard
+              (Acquire_job
+                 { conn = c.cid; id; client; token; deadline; admitted = t })
+          end
+        end)
     | Wire.Release { id; client = _; name } ->
       if Session.holds c.session name then begin
         (* The ledger entry goes now, not at completion: a second
@@ -404,15 +562,25 @@ let handle_request st c (r : Wire.request) =
 let handle_done st op =
   st.inflight_total <- st.inflight_total - 1;
   let find cid = Hashtbl.find_opt st.conns cid in
-  let settle cid =
-    match find cid with
-    | None -> ()
-    | Some c ->
-      c.inflight <- c.inflight - 1;
-      if c.dead && c.inflight = 0 then Hashtbl.remove st.conns c.cid
-  in
+  let settle cid = settle_conn st cid in
   match op with
-  | Did_acquire { conn; id; client; token; name } -> (
+  | Did_acquire { conn; id; client; token; name; expired; waited_ms } -> (
+    Overload.note_latency st.overload waited_ms;
+    if expired then begin
+      st.shed_expired <- st.shed_expired + 1;
+      (match find conn with
+      | Some c when not c.dead ->
+        send_response st c
+          (Wire.Error
+             {
+               id;
+               op = Wire.Op_acquire;
+               code = Wire.err_expired;
+               msg = "deadline expired before execution";
+             })
+      | _ -> ())
+    end
+    else
     (match (find conn, name) with
     | Some c, Some name when not c.dead -> (
       (* Write-ahead: the grant is journaled before the client can ever
@@ -486,19 +654,16 @@ let on_readable st c =
 let on_writable st c =
   try
     let continue = ref true in
-    while !continue && not (Queue.is_empty c.out) do
-      let head = Queue.peek c.out in
-      let len = String.length head - c.out_off in
-      (* repro-lint: allow journal-write — client socket, not a journal fd *)
-      let n = Unix.write_substring c.fd head c.out_off len in
-      if n = len then begin
-        ignore (Queue.pop c.out);
-        c.out_off <- 0
-      end
-      else begin
-        c.out_off <- c.out_off + n;
-        continue := false
-      end
+    while !continue do
+      match Session.peek_out c.session with
+      | None -> continue := false
+      | Some (head, off) ->
+        let len = String.length head - off in
+        (* repro-lint: allow journal-write — client socket, not a journal fd *)
+        let n = Unix.write_substring c.fd head off len in
+        Session.advance_out c.session n;
+        if n > 0 then c.last_progress <- now ();
+        if n < len then continue := false
     done
   with
   | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
@@ -528,11 +693,10 @@ let accept_ready st listen_fd =
             fd;
             cid;
             session = Session.create ();
-            out = Queue.create ();
-            out_off = 0;
             inflight = 0;
             closing = false;
             dead = false;
+            last_progress = now ();
           }
       end
   done
@@ -670,7 +834,13 @@ let select_step st =
   List.iter
     (fun c ->
       if not c.dead then begin
-        if st.phase = Serving && not c.closing then reads := c.fd :: !reads;
+        (* Read-pausing backpressure: a peer whose outbound backlog is
+           over the bound stops being read — it cannot submit more work
+           until it drains what it already owes us. *)
+        if
+          st.phase = Serving && (not c.closing)
+          && Session.out_bytes c.session <= st.cfg.max_out_bytes
+        then reads := c.fd :: !reads;
         if out_pending c then writes := c.fd :: !writes
       end)
     (conn_list st);
@@ -681,6 +851,8 @@ let select_step st =
 let run ?handle cfg =
   if cfg.shards < 1 then invalid_arg "Server.run: shards < 1";
   if cfg.capacity < 1 then invalid_arg "Server.run: capacity < 1";
+  if cfg.max_queue < 1 then invalid_arg "Server.run: max_queue < 1";
+  if cfg.max_out_bytes < 1 then invalid_arg "Server.run: max_out_bytes < 1";
   let handle = match handle with Some h -> h | None -> create_handle () in
   let pool =
     Shard.create ~shards:cfg.shards ~capacity:cfg.capacity ~seed:cfg.seed ()
@@ -716,6 +888,8 @@ let run ?handle cfg =
           conns = Hashtbl.create 64;
           started = now ();
           scratch = Bytes.create 65536;
+          overload =
+            Overload.create ?config:cfg.overload ~queue_bound:cfg.max_queue ();
           listen_fd = Some listen_fd;
           phase = Serving;
           next_cid = 0;
@@ -730,7 +904,12 @@ let run ?handle cfg =
           renews = 0;
           expired_leases = 0;
           dedup_hits = 0;
+          shed_busy = 0;
+          shed_expired = 0;
+          stalled_conns = 0;
+          queue_peak = 0;
           flush_deadline = 0.;
+          acq_depth = Array.init cfg.shards (fun _ -> Atomic.make 0);
         }
       in
       (* The only Domain.spawn outside lib/shm and the engine pool: the
@@ -792,9 +971,34 @@ let run ?handle cfg =
               && c.inflight = 0
             then disconnect st c)
           (conn_list st);
-        (* Lease expiry sweep *)
+        (* Slow-reader stall: over the outbound bound AND no byte has
+           drained for stall_s — the peer is gone or wedged, so cut it
+           loose (its ledger auto-releases through the drain path). *)
+        (let t = now () in
+         List.iter
+           (fun c ->
+             if
+               (not c.dead)
+               && Session.out_bytes c.session > st.cfg.max_out_bytes
+               && t -. c.last_progress > st.cfg.stall_s
+             then begin
+               st.stalled_conns <- st.stalled_conns + 1;
+               st.cfg.log
+                 (Printf.sprintf
+                    "conn %d stalled: %d unsent byte(s), no progress for \
+                     %.1fs; disconnecting"
+                    c.cid
+                    (Session.out_bytes c.session)
+                    (t -. c.last_progress));
+               disconnect st c
+             end)
+           (conn_list st));
+        (* Lease expiry sweep + overload machine tick *)
         (if st.phase = Serving then
            let t = now () in
+           let depth = max_queue_depth st in
+           st.queue_peak <- max st.queue_peak depth;
+           ignore (Overload.observe st.overload ~now:t ~queue_depth:depth);
            if t >= st.next_sweep then begin
              sweep st t;
              st.next_sweep <- t +. sweep_period st
@@ -874,6 +1078,10 @@ let run ?handle cfg =
           expired_leases = st.expired_leases;
           dedup_hits = st.dedup_hits;
           recovered = st.recovered;
+          shed_busy = st.shed_busy;
+          shed_expired = st.shed_expired;
+          stalled_conns = st.stalled_conns;
+          queue_peak = st.queue_peak;
           taken_at_exit;
           wall_s = now () -. st.started;
         })

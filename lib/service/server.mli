@@ -38,6 +38,19 @@
     failure before the tail) is always refused.  Journaling costs one
     [fsync] per grant and is off by default.
 
+    {b Overload.}  Admission is bounded end to end: each shard queue
+    holds at most [max_queue] jobs (a full queue purges its
+    already-expired acquires oldest-first, then refuses with
+    {!Wire.Busy} + a [retry_after_ms] hint), workers drop
+    deadline-expired work before touching the allocator
+    ([err_expired]), slow readers are paused past [max_out_bytes] of
+    unsent responses and disconnected after [stall_s] without
+    progress, and an {!Overload} state machine (healthy -> degraded ->
+    shedding, with hysteresis) short-circuits every new acquire to
+    {!Wire.Busy} while shedding — releases, renews and stats always
+    execute, so the system drains itself back to health.  All deadline
+    arithmetic runs on the monotonic clock ({!Mono}).
+
     {b Graceful shutdown} ([SIGTERM]/[SIGINT] via {!stop}, or a client
     [shutdown] request): the loop stops accepting connections and new
     work (late requests get {!Wire.err_shutdown}), drains every
@@ -57,12 +70,27 @@ type config = {
   lease_ttl_s : float;  (** grant TTL; renew or lose the name *)
   journal_path : string option;  (** crash-safe grant journal (off = None) *)
   recover : bool;  (** replay live journal grants instead of refusing *)
+  max_queue : int;
+      (** per-shard admission-queue bound: an acquire arriving at a
+          full queue is first relieved by purging already-expired
+          entries, then refused with {!Wire.Busy} *)
+  max_out_bytes : int;
+      (** per-connection outbound buffer bound: above it the peer's
+          reads pause (backpressure) and the stall clock runs *)
+  stall_s : float;
+      (** a peer over the outbound bound that drains nothing for this
+          long is disconnected; its ledger auto-releases *)
+  overload : Overload.config option;
+      (** overload state-machine thresholds
+          ([None] = {!Overload.default_config} over [max_queue]) *)
   log : string -> unit;  (** operator log lines (renamed sends to stderr) *)
 }
 
 val default_config : socket_path:string -> config
 (** 2 shards, capacity 4096, seed 1, backlog 64, max_conns 1024,
-    lease TTL 30 s, no journal, no recover, silent log. *)
+    lease TTL 30 s, no journal, no recover, max_queue 1024,
+    max_out_bytes 256 KiB, stall 5 s, default overload thresholds,
+    silent log. *)
 
 type report = {
   conns_served : int;
@@ -76,6 +104,13 @@ type report = {
   expired_leases : int;  (** names reclaimed by the expiry sweep *)
   dedup_hits : int;  (** acquires answered from a token's live lease *)
   recovered : int;  (** grants re-occupied from the journal at boot *)
+  shed_busy : int;  (** acquires refused with {!Wire.Busy} at admission *)
+  shed_expired : int;
+      (** acquires dropped because their deadline passed before a
+          worker reached them (purged from a full queue or checked at
+          pickup); never executed *)
+  stalled_conns : int;  (** slow readers disconnected past [stall_s] *)
+  queue_peak : int;  (** deepest shard queue observed *)
   taken_at_exit : int;  (** slot-conservation residue; 0 on a clean exit *)
   wall_s : float;
 }

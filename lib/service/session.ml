@@ -5,6 +5,9 @@ type t = {
   mutable fill : int;  (* one past the last valid byte *)
   mutable corrupt : string option;
   held : (int, unit) Hashtbl.t;
+  out : string Queue.t;  (* encoded responses awaiting write *)
+  mutable out_off : int;  (* offset into the head of [out] *)
+  mutable out_bytes : int;  (* unsent bytes across the whole queue *)
 }
 
 let create () =
@@ -15,6 +18,9 @@ let create () =
     fill = 0;
     corrupt = None;
     held = Hashtbl.create 16;
+    out = Queue.create ();
+    out_off = 0;
+    out_bytes = 0;
   }
 
 let mode t = t.mode
@@ -82,6 +88,41 @@ let feed t ~buf ~len =
         t.fill <- 0
       end;
       Result.Ok (List.rev !out))
+
+(* Outbound buffering lives with the session so the server can account
+   for a slow reader's backlog in one place: [out_bytes] is the number
+   the backpressure policy compares against its bound. *)
+
+let queue_out t s =
+  if String.length s > 0 then begin
+    Queue.push s t.out;
+    t.out_bytes <- t.out_bytes + String.length s
+  end
+
+let out_pending t = not (Queue.is_empty t.out)
+let out_bytes t = t.out_bytes
+
+let peek_out t =
+  if Queue.is_empty t.out then None else Some (Queue.peek t.out, t.out_off)
+
+let advance_out t n =
+  if n < 0 then invalid_arg "Session.advance_out: negative";
+  if n > 0 then begin
+    let head = Queue.peek t.out in
+    let left = String.length head - t.out_off in
+    if n > left then invalid_arg "Session.advance_out: past the head chunk";
+    t.out_bytes <- t.out_bytes - n;
+    if n = left then begin
+      ignore (Queue.pop t.out);
+      t.out_off <- 0
+    end
+    else t.out_off <- t.out_off + n
+  end
+
+let clear_out t =
+  Queue.clear t.out;
+  t.out_off <- 0;
+  t.out_bytes <- 0
 
 let note_acquired t name = Hashtbl.replace t.held name ()
 let note_released t name = Hashtbl.remove t.held name

@@ -29,6 +29,29 @@ val feed : t -> buf:Bytes.t -> len:int -> (Wire.request list, string) result
 val buffered : t -> int
 (** Bytes waiting for the rest of their frame (tests/diagnostics). *)
 
+(** {1 Outbound buffer}
+
+    Encoded responses waiting for the peer to drain them.  The queue
+    itself is unbounded — the {e server} enforces the bound by reading
+    {!out_bytes} and pausing reads / disconnecting past its limits
+    (backpressure policy is the server's job; byte accounting is the
+    session's). *)
+
+val queue_out : t -> string -> unit
+val out_pending : t -> bool
+val out_bytes : t -> int
+(** Unsent bytes across the whole queue — the backpressure signal. *)
+
+val peek_out : t -> (string * int) option
+(** The head chunk and the offset already written from it. *)
+
+val advance_out : t -> int -> unit
+(** Consume [n] bytes from the head chunk ([n] from {!peek_out}'s
+    remaining length); pops the chunk when it completes. *)
+
+val clear_out : t -> unit
+(** Drop everything unsent (connection teardown). *)
+
 (** {1 Held-name ledger} *)
 
 val note_acquired : t -> int -> unit

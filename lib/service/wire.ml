@@ -1,7 +1,7 @@
 type mode = Binary | Json
 
 type request =
-  | Acquire of { id : int; client : int; token : int }
+  | Acquire of { id : int; client : int; token : int; deadline_ms : int }
   | Release of { id : int; client : int; name : int }
   | Renew of { id : int; client : int }
   | Stats of { id : int }
@@ -15,6 +15,7 @@ type response =
   | Renewed of { id : int; count : int }
   | Stats_reply of { id : int; stats : Jsonu.t }
   | Shutting_down of { id : int }
+  | Busy of { id : int; op : op; retry_after_ms : int }
   | Error of { id : int; op : op; code : int; msg : string }
 
 let err_proto = 1
@@ -22,6 +23,8 @@ let err_capacity = 2
 let err_not_held = 3
 let err_shutdown = 4
 let err_internal = 5
+let err_busy = 6
+let err_expired = 7
 let max_frame = 65536
 
 let request_id = function
@@ -45,6 +48,7 @@ let response_id = function
   | Renewed { id; _ }
   | Stats_reply { id; _ }
   | Shutting_down { id }
+  | Busy { id; _ }
   | Error { id; _ } ->
     id
 
@@ -128,11 +132,13 @@ let encode_request_binary out r =
       check_u32 "id" (request_id r);
       add_u32 b (request_id r);
       match r with
-      | Acquire { client; token; _ } ->
+      | Acquire { client; token; deadline_ms; _ } ->
         check_u32 "client" client;
         check_u32 "token" token;
+        check_u32 "deadline_ms" deadline_ms;
         add_u32 b client;
-        add_u32 b token
+        add_u32 b token;
+        add_u32 b deadline_ms
       | Release { client; name; _ } ->
         check_u32 "client" client;
         check_u32 "name" name;
@@ -148,8 +154,9 @@ let request_to_json r =
                ("op", Jsonu.Str (op_string (request_op r))) ] in
   let rest =
     match r with
-    | Acquire { client; token; _ } ->
-      [ ("client", Jsonu.Int client); ("token", Jsonu.Int token) ]
+    | Acquire { client; token; deadline_ms; _ } ->
+      [ ("client", Jsonu.Int client); ("token", Jsonu.Int token);
+        ("deadline_ms", Jsonu.Int deadline_ms) ]
     | Release { client; name; _ } ->
       [ ("client", Jsonu.Int client); ("name", Jsonu.Int name) ]
     | Renew { client; _ } -> [ ("client", Jsonu.Int client) ]
@@ -173,11 +180,12 @@ let response_op = function
   | Renewed _ -> Op_renew
   | Stats_reply _ -> Op_stats
   | Shutting_down _ -> Op_shutdown
+  | Busy { op; _ } -> op
   | Error { op; _ } -> op
 
 let encode_response_binary out r =
   with_frame out (fun b ->
-      let status = match r with Error _ -> 1 | _ -> 0 in
+      let status = match r with Error _ -> 1 | Busy _ -> 2 | _ -> 0 in
       add_u8 b status;
       add_u8 b (op_code (response_op r));
       check_u32 "id" (response_id r);
@@ -191,6 +199,9 @@ let encode_response_binary out r =
       | Renewed { count; _ } ->
         check_u32 "count" count;
         add_u32 b count
+      | Busy { retry_after_ms; _ } ->
+        check_u32 "retry_after_ms" retry_after_ms;
+        add_u32 b retry_after_ms
       | Released _ | Shutting_down _ -> ()
       | Stats_reply { stats; _ } ->
         let s = Jsonu.to_string stats in
@@ -218,6 +229,13 @@ let response_to_json r =
   | Renewed { count; _ } -> Jsonu.Obj (base true @ [ ("count", Jsonu.Int count) ])
   | Released _ | Shutting_down _ -> Jsonu.Obj (base true)
   | Stats_reply { stats; _ } -> Jsonu.Obj (base true @ [ ("stats", stats) ])
+  | Busy { retry_after_ms; _ } ->
+    (* ok=false so naive JSON clients treat it as a failure; the
+       [retry_after_ms] field is what distinguishes it from [Error]. *)
+    Jsonu.Obj
+      (base false
+      @ [ ("code", Jsonu.Int err_busy);
+          ("retry_after_ms", Jsonu.Int retry_after_ms) ])
   | Error { code; msg; _ } ->
     Jsonu.Obj (base false @ [ ("code", Jsonu.Int code); ("error", Jsonu.Str msg) ])
 
@@ -255,10 +273,26 @@ let decode_request_binary buf ~pos ~len =
       else
         let id = get_u32 buf (off + 1) in
         match (op_of_code (get_u8 buf off), plen) with
+        (* 13-byte form predates deadline propagation; absent = no
+           deadline, so pre-overload clients keep working unchanged. *)
         | Some Op_acquire, 13 ->
           Ok
             (Acquire
-               { id; client = get_u32 buf (off + 5); token = get_u32 buf (off + 9) })
+               {
+                 id;
+                 client = get_u32 buf (off + 5);
+                 token = get_u32 buf (off + 9);
+                 deadline_ms = 0;
+               })
+        | Some Op_acquire, 17 ->
+          Ok
+            (Acquire
+               {
+                 id;
+                 client = get_u32 buf (off + 5);
+                 token = get_u32 buf (off + 9);
+                 deadline_ms = get_u32 buf (off + 13);
+               })
         | Some Op_release, 13 ->
           Ok
             (Release
@@ -288,6 +322,9 @@ let decode_response_binary buf ~pos ~len =
               Ok
                 (Error
                    { id; op; code; msg = Bytes.sub_string buf (off + 9) mlen })
+        | Some op, 2 ->
+          if plen <> 10 then Error "busy payload length mismatch"
+          else Ok (Busy { id; op; retry_after_ms = get_u32 buf (off + 6) })
         | Some Op_acquire, 0 when plen = 14 ->
           Ok
             (Acquired
@@ -348,6 +385,7 @@ let decode_request_json buf ~pos ~len =
                id;
                client = Jsonu.int_ f "client";
                token = Jsonu.int_opt f "token" ~default:0;
+               deadline_ms = Jsonu.int_opt f "deadline_ms" ~default:0;
              })
       | Some Op_release ->
         Ok (Release { id; client = Jsonu.int_ f "client"; name = Jsonu.int_ f "name" })
@@ -362,8 +400,14 @@ let decode_response_json buf ~pos ~len =
       let id = Jsonu.int_ f "id" in
       match (op_of_string (Jsonu.str f "op"), Jsonu.bool_ f "ok") with
       | None, _ -> Error (Printf.sprintf "unknown op %S" (Jsonu.str f "op"))
-      | Some op, false ->
-        Ok (Error { id; op; code = Jsonu.int_ f "code"; msg = Jsonu.str f "error" })
+      | Some op, false -> (
+        match List.assoc_opt "retry_after_ms" f with
+        | Some _ ->
+          Ok (Busy { id; op; retry_after_ms = Jsonu.int_ f "retry_after_ms" })
+        | None ->
+          Ok
+            (Error
+               { id; op; code = Jsonu.int_ f "code"; msg = Jsonu.str f "error" }))
       | Some Op_acquire, true ->
         Ok
           (Acquired

@@ -24,12 +24,18 @@
 type mode = Binary | Json
 
 type request =
-  | Acquire of { id : int; client : int; token : int }
+  | Acquire of { id : int; client : int; token : int; deadline_ms : int }
       (** obtain a name; [client] selects the shard.  [token <> 0] is a
           client-chosen idempotency token: retrying the same logical
           acquire with the same token after an ambiguous failure
           re-delivers the original grant instead of taking a second
-          slot (the server dedups through its lease table + journal) *)
+          slot (the server dedups through its lease table + journal).
+          [deadline_ms > 0] is the client's remaining budget: the
+          server sheds the request ([err_expired]) instead of executing
+          it once that many milliseconds have passed since admission —
+          work the client has already given up on is dropped before it
+          touches the allocator.  [0] = no deadline (and the legacy
+          13-byte binary form, which omits the field, decodes as 0) *)
   | Release of { id : int; client : int; name : int }
       (** return [name]; must be held by this connection *)
   | Renew of { id : int; client : int }
@@ -48,6 +54,12 @@ type response =
   | Renewed of { id : int; count : int }  (** leases extended *)
   | Stats_reply of { id : int; stats : Jsonu.t }
   | Shutting_down of { id : int }  (** ack of {!Shutdown} *)
+  | Busy of { id : int; op : op; retry_after_ms : int }
+      (** admission refused under overload: the request was {e not}
+          executed and retrying after [retry_after_ms] (plus jitter) is
+          the contract — {!Client.Durable} does this automatically.  On
+          the wire this is binary status 2, or JSON [ok=false] with a
+          [retry_after_ms] field (code {!err_busy}) *)
   | Error of { id : int; op : op; code : int; msg : string }
 
 (** {1 Error codes} *)
@@ -67,6 +79,14 @@ val err_shutdown : int
 val err_internal : int
 (** the server could not make the operation durable (journal append
     failed); the grant was rolled back and the slot returned *)
+
+val err_busy : int
+(** admission refused under overload — the code carried by {!Busy}
+    frames in JSON mode *)
+
+val err_expired : int
+(** the request's [deadline_ms] budget ran out before a worker reached
+    it; shed, never executed *)
 
 val max_frame : int
 (** Upper bound on a binary payload and on a JSON line (64 KiB).  A

@@ -8,4 +8,5 @@ let () =
    @ Test_schedules.suite @ Test_verification.suite @ Test_gof.suite
    @ Test_rwtas.suite @ Test_engine.suite @ Test_fault.suite
    @ Test_analysis.suite @ Test_chaos.suite @ Test_fast_core.suite
-   @ Test_modelcheck.suite @ Test_service.suite @ Test_survive.suite)
+   @ Test_modelcheck.suite @ Test_service.suite @ Test_survive.suite
+   @ Test_overload.suite)

@@ -25,8 +25,9 @@ let decode_resp mode s =
   Wire.decode_response mode (Bytes.of_string s) ~pos:0 ~len:(String.length s)
 
 let show_req = function
-  | Wire.Acquire { id; client; token } ->
-    Printf.sprintf "Acquire{id=%d;client=%d;token=%d}" id client token
+  | Wire.Acquire { id; client; token; deadline_ms } ->
+    Printf.sprintf "Acquire{id=%d;client=%d;token=%d;deadline_ms=%d}" id
+      client token deadline_ms
   | Wire.Release { id; client; name } ->
     Printf.sprintf "Release{id=%d;client=%d;name=%d}" id client name
   | Wire.Renew { id; client } -> Printf.sprintf "Renew{id=%d;client=%d}" id client
@@ -44,6 +45,9 @@ let show_resp = function
   | Wire.Error { id; op; code; msg } ->
     Printf.sprintf "Error{id=%d;op=%s;code=%d;msg=%S}" id (Wire.op_string op)
       code msg
+  | Wire.Busy { id; op; retry_after_ms } ->
+    Printf.sprintf "Busy{id=%d;op=%s;retry_after_ms=%d}" id
+      (Wire.op_string op) retry_after_ms
 
 let u32_gen = QCheck.Gen.int_range 0 ((1 lsl 32) - 1)
 
@@ -51,9 +55,10 @@ let req_gen =
   let open QCheck.Gen in
   oneof
     [
-      map3
-        (fun id client token -> Wire.Acquire { id; client; token })
-        u32_gen u32_gen u32_gen;
+      map
+        (fun ((id, client), (token, deadline_ms)) ->
+          Wire.Acquire { id; client; token; deadline_ms })
+        (pair (pair u32_gen u32_gen) (pair u32_gen u32_gen));
       map3
         (fun id client name -> Wire.Release { id; client; name })
         u32_gen u32_gen u32_gen;
@@ -89,6 +94,10 @@ let resp_gen =
       map (fun id -> Wire.Shutting_down { id }) u32_gen;
       map (fun ((id, op), (code, msg)) -> Wire.Error { id; op; code; msg })
         (pair (pair u32_gen op_gen) (pair (int_range 0 255) msg_gen));
+      map
+        (fun ((id, op), retry_after_ms) ->
+          Wire.Busy { id; op; retry_after_ms })
+        (pair (pair u32_gen op_gen) u32_gen);
     ]
 
 let req_arb = QCheck.make ~print:show_req req_gen
@@ -210,7 +219,7 @@ let reqs_equal = Alcotest.(check (list string))
 let test_session_byte_at_a_time mode () =
   let reqs =
     [
-      Wire.Acquire { id = 1; client = 7; token = 0 };
+      Wire.Acquire { id = 1; client = 7; token = 0; deadline_ms = 0 };
       Wire.Release { id = 2; client = 7; name = 42 };
       Wire.Renew { id = 3; client = 7 };
       Wire.Stats { id = 4 };
@@ -233,7 +242,8 @@ let test_session_byte_at_a_time mode () =
 
 let test_session_many_per_feed () =
   let reqs =
-    List.init 50 (fun i -> Wire.Acquire { id = i; client = i; token = 0 })
+    List.init 50 (fun i ->
+        Wire.Acquire { id = i; client = i; token = 0; deadline_ms = 0 })
   in
   let stream = String.concat "" (List.map (encode_req Wire.Binary) reqs) in
   let sess = Session.create () in
@@ -536,6 +546,7 @@ let test_e2e_sync_ops () =
         Alcotest.(check int) "err_not_held surfaces" Wire.err_not_held code
       | Error (Client.Transport e) ->
         Alcotest.failf "transport failure instead of err_not_held: %s" e
+      | Error (Client.Busy _) -> Alcotest.fail "release refused as busy"
       | Ok () -> Alcotest.fail "release of unheld name succeeded");
       Client.close c);
   ()

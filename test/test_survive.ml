@@ -390,6 +390,7 @@ let test_e2e_lease_expiry () =
       | Error (Client.Remote { code; _ }) ->
         Alcotest.(check int) "stale release refused" Wire.err_not_held code
       | Error (Client.Transport e) -> Alcotest.failf "transport: %s" e
+      | Error (Client.Busy _) -> Alcotest.fail "release refused as busy"
       | Ok () -> Alcotest.fail "stale release succeeded");
       Client.close c)
 
@@ -451,6 +452,7 @@ let test_e2e_journal_write_ahead () =
         Alcotest.(check int) "unjournaled grant is err_internal"
           Wire.err_internal code
       | Error (Client.Transport e) -> Alcotest.failf "transport: %s" e
+      | Error (Client.Busy _) -> Alcotest.fail "acquire refused as busy"
       | Ok n -> Alcotest.failf "grant %d acknowledged without a journal" n);
       Engine.Io_fault.disarm ();
       (* The rollback release runs on the shard worker, so it can land
