@@ -164,24 +164,35 @@ let tests =
   ]
 
 let run_bechamel () =
-  print_endline "\n=== Part 2: Bechamel micro-benchmarks (monotonic clock) ===";
+  print_endline
+    "\n=== Part 2: Bechamel micro-benchmarks (monotonic clock + minor words) ===";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let instances = Instance.[ monotonic_clock ] in
+  (* The allocation instance rides along on the same raw measurements:
+     minor words per run exposes a box sneaking into a kernel loop long
+     before it moves the wall-clock column. *)
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
   let grouped = Test.make_grouped ~name:"loose-renaming" tests in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  let alloc_results = Analyze.all ols Instance.minor_allocated raw in
+  let estimate_of ols =
+    match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+  in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-  Printf.printf "%-52s %16s %10s\n" "benchmark" "ns/run" "R^2";
-  print_endline (String.make 80 '-');
+  Printf.printf "%-52s %16s %14s %10s\n" "benchmark" "ns/run" "words/run" "R^2";
+  print_endline (String.make 96 '-');
   List.iter
     (fun (name, ols) ->
-      let estimate =
-        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+      let estimate = estimate_of ols in
+      let words =
+        match Hashtbl.find_opt alloc_results name with
+        | Some a -> estimate_of a
+        | None -> nan
       in
       let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
-      Printf.printf "%-52s %16.0f %10.4f\n" name estimate r2)
+      Printf.printf "%-52s %16.0f %14.0f %10.4f\n" name estimate words r2)
     rows
 
 (* ------------------------------------------------------------------ *)

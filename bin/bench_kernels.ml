@@ -211,15 +211,38 @@ let load path =
    headline claim for the rebatching kernel. *)
 let speedup_floor = 5.0
 
+(* The kernels whose hot loop is claimed allocation-free outright: the
+   fast-substrate sides of the headline pairs and the flat PRNG bank.
+   These are gated absolutely (words/op under [zero_alloc_budget]), not
+   merely relative to the baseline — a baseline recorded with a box in
+   the loop must not grandfather the box in. *)
+let zero_alloc_kernels =
+  [ "rebatching/fast"; "fast-adaptive/fast"; "prng/flat-int" ]
+
+(* A single box costs >= 1 word/op; the Gc.minor_words metering itself
+   amortizes to orders of magnitude less over millions of ops. *)
+let zero_alloc_budget = 0.01
+
 (* Allocation regressions fail on words/op exceeding the baseline by
    max(0.25, threshold x baseline): the additive floor keeps a 0-alloc
    baseline from turning measurement jitter into failures while still
-   catching a real box sneaking into the loop.  Speedups pass at
-   [speedup_floor] or within threshold of baseline; ns/op is never
-   checked (absolute timing is machine noise). *)
+   catching a real box sneaking into the loop.  The [zero_alloc_kernels]
+   are additionally held to the absolute [zero_alloc_budget].  Speedups
+   pass at [speedup_floor] or within threshold of baseline; ns/op is
+   never checked (absolute timing is machine noise). *)
 let check ~threshold ~baseline ~current =
   let findings = ref [] in
   let add fmt = Printf.ksprintf (fun s -> findings := s :: !findings) fmt in
+  List.iter
+    (fun name ->
+      match List.find_opt (fun k -> k.name = name) current.kernels with
+      | None -> add "zero-allocation kernel %s missing from this run" name
+      | Some c ->
+        if c.words_per_op > zero_alloc_budget then
+          add "%s allocates %.3f words/op; it is claimed allocation-free \
+               (budget %.2f)"
+            c.name c.words_per_op zero_alloc_budget)
+    zero_alloc_kernels;
   List.iter
     (fun b ->
       match List.find_opt (fun k -> k.name = b.name) current.kernels with

@@ -870,6 +870,63 @@ let doctor dir =
                  file a.Service.Service_bench.violations
                  a.Service.Service_bench.leaked a.Service.Service_bench.errors
                  a.Service.Service_bench.timeouts);
+    (* Kernel / large-n benchmark artifacts: BENCH_<k>.json numbering is
+       shared between the kind="bench" microbench suites and the
+       kind="bench-large" decade sweeps; dispatch on the kind field. *)
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           Scanf.sscanf_opt f "BENCH_%d.json%!" (fun i -> i) <> None)
+    |> List.sort compare
+    |> List.iter (fun file ->
+           let path = Filename.concat dir file in
+           match Engine.Sweep.load path with
+           | Some a ->
+             let series =
+               List.sort_uniq compare
+                 (List.map
+                    (fun r -> (r.Engine.Sweep.experiment, r.Engine.Sweep.series))
+                    a.Engine.Sweep.rows)
+             in
+             Printf.printf
+               "%s: bench-large sweep, seed=%d, %d row(s) across %d series\n"
+               file a.Engine.Sweep.seed
+               (List.length a.Engine.Sweep.rows)
+               (List.length series);
+             List.iter (fun p -> problem "%s: %s" file p)
+               (Engine.Sweep.audit a)
+           | None -> (
+             match Bench_kernels.load path with
+             | exception Jsonu.Malformed ->
+               problem
+                 "%s: neither a bench nor a bench-large JSON document \
+                  (schema drift?)"
+                 file
+             | exception Sys_error e -> problem "%s: unreadable: %s" file e
+             | s ->
+               Printf.printf "%s: kernel bench, seed=%d, %d kernel(s)\n" file
+                 s.Bench_kernels.seed
+                 (List.length s.Bench_kernels.kernels);
+               if s.Bench_kernels.kernels = [] then
+                 problem "%s: bench artifact has no kernels" file;
+               List.iter
+                 (fun (k : Bench_kernels.kernel) ->
+                   if
+                     not
+                       (Float.is_finite k.Bench_kernels.ns_per_op
+                       && Float.is_finite k.Bench_kernels.words_per_op)
+                   then
+                     problem "%s: kernel %s has non-finite measurements" file
+                       k.Bench_kernels.name;
+                   if
+                     List.mem k.Bench_kernels.name Bench_kernels.zero_alloc_kernels
+                     && k.Bench_kernels.words_per_op
+                        > Bench_kernels.zero_alloc_budget
+                   then
+                     problem
+                       "%s: fast kernel %s records %.3f words/op (budget %.2f)"
+                       file k.Bench_kernels.name k.Bench_kernels.words_per_op
+                       Bench_kernels.zero_alloc_budget)
+                 s.Bench_kernels.kernels));
     Printf.printf "doctor: %d problem(s), %d note(s)\n" !problems !notes;
     if !problems = 0 then 0 else 1
   end
@@ -2893,7 +2950,7 @@ let verify_cmd =
 
 (* Informational chatter goes to stderr so `--json` leaves stdout a
    single parseable document. *)
-let bench json seed scale out check threshold =
+let bench_kernel_suite json seed scale out check threshold =
   let suite = Bench_kernels.run_suite ~seed ~scale in
   if json then
     print_endline (Jsonu.to_string (Bench_kernels.to_json suite))
@@ -2908,8 +2965,11 @@ let bench json seed scale out check threshold =
       Printf.eprintf "[bench] cannot read baseline: %s\n%!" msg;
       2
     | exception Jsonu.Malformed ->
-      Printf.eprintf "[bench] baseline %s is not a bench JSON document\n%!"
-        file;
+      Printf.eprintf "[bench] baseline %s is not a bench JSON document%s\n%!"
+        file
+        (if Engine.Sweep.load file <> None then
+           " (it is a bench-large sweep; use --large)"
+         else "");
       2
     | baseline -> (
       match Bench_kernels.check ~threshold ~baseline ~current:suite with
@@ -2922,10 +2982,99 @@ let bench json seed scale out check threshold =
         List.iter (Printf.eprintf "[bench] FAIL: %s\n%!") findings;
         1))
 
+(* The large-n decade sweep: t1/t5 shapes on the streaming fast core, fanned
+   across domains by Engine.Sweep with checkpoint/resume, aggregated into a
+   kind="bench-large" BENCH_<k>.json. *)
+let bench_large json seed trials out check threshold jobs store resume max_n
+    max_k =
+  if max_n < Harness.Exp_large.grid_lo || max_k < Harness.Exp_large.grid_lo
+  then begin
+    Printf.eprintf "[bench] --max-n and --max-k must be at least %d\n%!"
+      Harness.Exp_large.grid_lo;
+    2
+  end
+  else begin
+    let ctx scale =
+      Harness.Experiment.default_ctx ~seed ~trials ~scale
+        ~substrate:Harness.Substrate.Fast ()
+    in
+    (* scale maps --max-n/--max-k onto the experiments' full-grid tops, so
+       the produced decades are a subset of the committed full-scale
+       baseline and --check stays meaningful on smoke runs. *)
+    let plans =
+      [
+        (Harness.Exp_large.t1l, ctx (float_of_int max_n /. 1e8));
+        (Harness.Exp_large.t5l, ctx (float_of_int max_k /. 1e7));
+      ]
+    in
+    install_signal_handlers ();
+    let should_stop () = Atomic.get interrupt_requested in
+    let run =
+      try
+        Engine.Sweep.execute ?workers:jobs ~resume ~should_stop
+          ~store_dir:store ~plans ()
+      with Failure msg ->
+        Printf.eprintf "[bench] %s\n%!" msg;
+        exit 2
+    in
+    if run.Engine.Sweep.interrupted then begin
+      Printf.eprintf
+        "[bench] interrupted; store finalized, resume with:\n\
+        \  repro_cli bench --large --seed %d --trials %d --max-n %d --max-k \
+         %d --store %s --resume\n\
+         %!"
+        seed trials max_n max_k store;
+      130
+    end
+    else if run.Engine.Sweep.quarantined > 0 then begin
+      Printf.eprintf
+        "[bench] %d job(s) quarantined; audit with `repro_cli doctor %s'\n%!"
+        run.Engine.Sweep.quarantined store;
+      1
+    end
+    else begin
+      let art = Engine.Sweep.aggregate ~store_dir:store ~plans in
+      if json then print_string (Engine.Sweep.to_json art)
+      else print_endline (Engine.Sweep.render art);
+      let path = Engine.Sweep.save ~dir:out art in
+      Printf.eprintf "[bench] wrote %s\n%!" path;
+      match check with
+      | None -> 0
+      | Some file -> (
+        match Engine.Sweep.load file with
+        | None ->
+          Printf.eprintf
+            "[bench] baseline %s is not a bench-large JSON document%s\n%!"
+            file
+            (match Bench_kernels.load file with
+            | _ -> " (it is a kernel bench; drop --large)"
+            | exception _ -> "");
+          2
+        | Some baseline -> (
+          match Engine.Sweep.check ~threshold ~baseline ~current:art with
+          | [] ->
+            Printf.eprintf
+              "[bench] regression check passed against %s (threshold %g)\n%!"
+              file threshold;
+            0
+          | findings ->
+            List.iter (Printf.eprintf "[bench] FAIL: %s\n%!") findings;
+            1))
+    end
+  end
+
+let bench json seed scale out check threshold large trials jobs store resume
+    max_n max_k =
+  if large then
+    bench_large json seed trials out check threshold jobs store resume max_n
+      max_k
+  else bench_kernel_suite json seed scale out check threshold
+
 let bench_cmd =
   let doc =
-    "Time the fast-core and PRNG kernels, record BENCH_<k>.json, and \
-     optionally fail on regressions against a committed baseline."
+    "Time the fast-core and PRNG kernels (or, with --large, sweep three \
+     more decades of n), record BENCH_<k>.json, and optionally fail on \
+     regressions against a committed baseline."
   in
   let man =
     [
@@ -2937,9 +3086,22 @@ let bench_cmd =
          BENCH_<k>.json under $(b,--out); BENCH_0.json is the committed \
          baseline CI diffs against.  With $(b,--check), allocation counts \
          must stay within max(0.25, threshold x baseline) words/op of the \
-         baseline and each speedup must reach 5x or (1 - threshold) of \
+         baseline, the allocation-free kernels must record ~0 words/op \
+         outright, and each speedup must reach 5x or (1 - threshold) of \
          its baseline; absolute ns/op is reported but never checked, \
          since it only measures the host machine.";
+      `P
+        "$(b,--large) instead runs the t1l/t5l decade sweeps (step \
+         complexity up to n = 10^8 and adaptive contention up to k = \
+         10^7) on the streaming fast core: trial jobs fan out across \
+         $(b,--jobs) worker domains into a crash-safe $(b,--store) \
+         (resume with $(b,--resume)), and the aggregate becomes a \
+         kind=bench-large BENCH_<k>.json — the committed BENCH_1.json \
+         baseline.  $(b,--max-n)/$(b,--max-k) shrink the grids to a \
+         decade subset of the full baseline, so a CI smoke run checks \
+         against the same committed file.  The words/op gate is \
+         absolute; steps and space check against the baseline; timing \
+         is informational.";
     ]
   in
   let json_t =
@@ -2965,9 +3127,47 @@ let bench_cmd =
       & info [ "threshold" ] ~docv:"T"
           ~doc:"Relative regression tolerance for $(b,--check).")
   in
+  let large_t =
+    Arg.(
+      value & flag
+      & info [ "large" ]
+          ~doc:
+            "Run the large-n decade sweeps (t1l/t5l) through the parallel \
+             engine instead of the kernel microbenches.")
+  in
+  let bench_trials_t =
+    Arg.(
+      value & opt int 3
+      & info [ "trials" ] ~docv:"N"
+          ~doc:
+            "Trials per decade for $(b,--large) (attenuated \
+             deterministically on the top decades).")
+  in
+  let store_t =
+    Arg.(
+      value & opt string "_bench_large"
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "JSONL trial store for $(b,--large) (crash-safe; resumable \
+             with $(b,--resume)).")
+  in
+  let max_n_t =
+    Arg.(
+      value & opt int 100_000_000
+      & info [ "max-n" ] ~docv:"N"
+          ~doc:"Top decade of the t1l grid for $(b,--large).")
+  in
+  let max_k_t =
+    Arg.(
+      value & opt int 10_000_000
+      & info [ "max-k" ] ~docv:"K"
+          ~doc:"Top decade of the t5l contention grid for $(b,--large).")
+  in
   Cmd.v (Cmd.info "bench" ~doc ~man ~exits:finding_exits)
     Term.(
-      const bench $ json_t $ seed_t $ scale_t $ out_t $ check_t $ threshold_t)
+      const bench $ json_t $ seed_t $ scale_t $ out_t $ check_t $ threshold_t
+      $ large_t $ bench_trials_t $ jobs_t $ store_t $ resume_t $ max_n_t
+      $ max_k_t)
 
 (* ------------------------------------------------------------------ *)
 (* load: open-loop Poisson load against a running renamed daemon *)

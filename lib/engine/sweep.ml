@@ -1,0 +1,450 @@
+(* The large-n batch driver: fan (series, n, trial) jobs across domains
+   through [Plan.execute] (hence [Pool], the seed tree, the JSONL store
+   and resume), then fold the stores into a committed BENCH artifact.
+
+   Everything the artifact contains except the timing fields is a pure
+   function of (seed, grid): jobs are seeded per (sweep_point, trial)
+   coordinate by [Seed_tree], records are deduplicated by key and
+   aggregated in sorted order, so one domain or eight produce the same
+   rows — the domain-count-independence property test_sweep pins.
+
+   Artifact kind is "bench-large" (schema 1), sharing the BENCH_<k>.json
+   numbering of bin/bench_kernels (kind "bench") in the same directory;
+   `repro_cli bench --check` and `doctor` dispatch on the kind field. *)
+
+open Harness
+
+let kind = "bench-large"
+let schema_version = 1
+
+type row = {
+  experiment : string;
+  series : string;
+  n : int;
+  trials : int;
+  mean_max_steps : float;
+  min_max_steps : float;
+  max_max_steps : float;
+  mean_total_steps : float;
+  mean_space_used : float;
+  mean_max_name : float;
+  words_per_op : float;  (* worst trial — the 0-alloc gate *)
+  ns_per_op : float;  (* mean wall per step; informational, never gated *)
+  wall_s : float;  (* total wall across trials *)
+}
+
+type artifact = { schema : int; seed : int; rows : row list }
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+type run = {
+  outcomes : Plan.outcome list;
+  interrupted : bool;
+  quarantined : int;
+}
+
+let execute ?workers ?(resume = false) ?(progress = true) ?(retries = 0)
+    ?(should_stop = fun () -> false)
+    ?(log = fun msg -> Printf.eprintf "%s\n%!" msg) ~store_dir
+    ~(plans : (Experiment.t * Experiment.ctx) list) () =
+  let ids = List.map (fun (e, _) -> e.Experiment.id) plans in
+  let workers = Option.value ~default:(Pool.default_workers ()) workers in
+  (match (plans, resume) with
+  | (_, ctx) :: _, true -> (
+    match Sink.read_manifest ~dir:store_dir with
+    | None -> ()
+    | Some manifest -> (
+      match
+        Checkpoint.validate_manifest ~manifest ~ids ~seed:ctx.Experiment.seed
+          ~trials:ctx.Experiment.trials ~scale:ctx.Experiment.scale
+      with
+      | Ok () -> ()
+      | Error msg -> failwith msg))
+  | _ -> ());
+  let manifest status =
+    match plans with
+    | (_, ctx) :: _ ->
+      Plan.write_manifest ~out_dir:store_dir ~ids ~workers ~resume ~status
+        ~retries ~job_timeout:None ~ctx
+    | [] -> ()
+  in
+  manifest "running";
+  let rec go acc stopped = function
+    | [] -> (List.rev acc, stopped)
+    | (exp, ctx) :: rest ->
+      if stopped then (List.rev acc, true)
+      else begin
+        match
+          Plan.execute ~workers ~resume ~progress ~retries ~should_stop ~log
+            ~out_dir:store_dir ~ctx exp
+        with
+        | None ->
+          failwith
+            (Printf.sprintf "Sweep.execute: experiment %s has no job view"
+               exp.Experiment.id)
+        | Some outcome -> go (outcome :: acc) outcome.Plan.interrupted rest
+      end
+  in
+  let outcomes, interrupted = go [] false plans in
+  let quarantined =
+    List.fold_left (fun acc o -> acc + o.Plan.quarantined) 0 outcomes
+  in
+  manifest
+    (if interrupted then "interrupted"
+     else if quarantined > 0 then "quarantined"
+     else "completed");
+  { outcomes; interrupted; quarantined }
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation *)
+
+let series_of_label label =
+  match String.index_opt label '/' with
+  | Some i -> String.sub label 0 i
+  | None -> label
+
+let value key r =
+  match List.assoc_opt key r.Sink.values with
+  | Some v -> v
+  | None ->
+    failwith
+      (Printf.sprintf "Sweep.aggregate: record %s has no %S value" r.Sink.key
+         key)
+
+let rows_of_store ~store ~experiment =
+  let records = Checkpoint.records store in
+  (* Dedup by key, keeping the first occurrence (the one a resume scan
+     counts); later duplicates can only come from crash overlap. *)
+  let seen = Hashtbl.create 256 in
+  let records =
+    List.filter
+      (fun r ->
+        if Hashtbl.mem seen r.Sink.key then false
+        else begin
+          Hashtbl.replace seen r.Sink.key ();
+          r.Sink.experiment = experiment
+        end)
+      records
+  in
+  let groups = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let n =
+        match List.assoc_opt "n" r.Sink.params with
+        | Some f -> int_of_float f
+        | None -> failwith "Sweep.aggregate: record has no n param"
+      in
+      let key = (series_of_label r.Sink.point_label, n) in
+      Hashtbl.replace groups key
+        (r :: (try Hashtbl.find groups key with Not_found -> [])))
+    records;
+  let keys =
+    List.sort_uniq compare (List.of_seq (Hashtbl.to_seq_keys groups))
+  in
+  List.map
+    (fun (series, n) ->
+      let rs =
+        List.sort
+          (fun a b -> compare a.Sink.trial b.Sink.trial)
+          (Hashtbl.find groups (series, n))
+      in
+      let trials = List.length rs in
+      let fold init f g = List.fold_left (fun a r -> f a (g r)) init rs in
+      let mean g = fold 0. ( +. ) g /. float_of_int trials in
+      let total_wall_ns = fold 0. ( +. ) (fun r -> r.Sink.wall_ns) in
+      let total_steps_all = fold 0. ( +. ) (value "total_steps") in
+      {
+        experiment;
+        series;
+        n;
+        trials;
+        mean_max_steps = mean (value "max_steps");
+        min_max_steps = fold infinity min (value "max_steps");
+        max_max_steps = fold 0. max (value "max_steps");
+        mean_total_steps = mean (value "total_steps");
+        mean_space_used = mean (value "space_used");
+        mean_max_name = mean (value "max_name");
+        words_per_op = fold 0. max (value "words_per_op");
+        ns_per_op =
+          (if total_steps_all > 0. then total_wall_ns /. total_steps_all
+           else 0.);
+        wall_s = total_wall_ns /. 1e9;
+      })
+    keys
+
+let aggregate ~store_dir ~(plans : (Experiment.t * Experiment.ctx) list) =
+  match plans with
+  | [] -> invalid_arg "Sweep.aggregate: no plans"
+  | (_, ctx0) :: _ ->
+    let rows =
+      List.concat_map
+        (fun (exp, _) ->
+          let id = exp.Experiment.id in
+          rows_of_store
+            ~store:(Sink.store_path ~dir:store_dir ~experiment:id)
+            ~experiment:id)
+        plans
+    in
+    { schema = schema_version; seed = ctx0.Experiment.seed; rows }
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec *)
+
+let row_to_json r =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  Jsonu.escape_string b "experiment";
+  Buffer.add_char b ':';
+  Jsonu.escape_string b r.experiment;
+  let sfield k v =
+    Buffer.add_char b ',';
+    Jsonu.escape_string b k;
+    Buffer.add_char b ':';
+    Jsonu.escape_string b v
+  in
+  let ifield k v =
+    Buffer.add_char b ',';
+    Jsonu.escape_string b k;
+    Buffer.add_char b ':';
+    Buffer.add_string b (string_of_int v)
+  in
+  let ffield k v =
+    Buffer.add_char b ',';
+    Jsonu.escape_string b k;
+    Buffer.add_char b ':';
+    Jsonu.add_float b v
+  in
+  sfield "series" r.series;
+  ifield "n" r.n;
+  ifield "trials" r.trials;
+  ffield "mean_max_steps" r.mean_max_steps;
+  ffield "min_max_steps" r.min_max_steps;
+  ffield "max_max_steps" r.max_max_steps;
+  ffield "mean_total_steps" r.mean_total_steps;
+  ffield "mean_space_used" r.mean_space_used;
+  ffield "mean_max_name" r.mean_max_name;
+  ffield "words_per_op" r.words_per_op;
+  ffield "ns_per_op" r.ns_per_op;
+  ffield "wall_s" r.wall_s;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let to_json a =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"kind\":%S,\"schema\":%d,\"seed\":%d,\"rows\":[\n" kind
+       a.schema a.seed);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b "  ";
+      Buffer.add_string b (row_to_json r))
+    a.rows;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let row_of_json fields =
+  {
+    experiment = Jsonu.str fields "experiment";
+    series = Jsonu.str fields "series";
+    n = Jsonu.int_ fields "n";
+    trials = Jsonu.int_ fields "trials";
+    mean_max_steps = Jsonu.num fields "mean_max_steps";
+    min_max_steps = Jsonu.num fields "min_max_steps";
+    max_max_steps = Jsonu.num fields "max_max_steps";
+    mean_total_steps = Jsonu.num fields "mean_total_steps";
+    mean_space_used = Jsonu.num fields "mean_space_used";
+    mean_max_name = Jsonu.num fields "mean_max_name";
+    words_per_op = Jsonu.num fields "words_per_op";
+    ns_per_op = Jsonu.num fields "ns_per_op";
+    wall_s = Jsonu.num fields "wall_s";
+  }
+
+let of_json text =
+  match Jsonu.parse text with
+  | Some (Jsonu.Obj fields) -> (
+    try
+      if Jsonu.str fields "kind" <> kind then None
+      else
+        let rows =
+          match List.assoc_opt "rows" fields with
+          | Some (Jsonu.Arr items) ->
+            List.map
+              (function
+                | Jsonu.Obj f -> row_of_json f
+                | _ -> raise Jsonu.Malformed)
+              items
+          | _ -> raise Jsonu.Malformed
+        in
+        Some
+          {
+            schema = Jsonu.int_ fields "schema";
+            seed = Jsonu.int_ fields "seed";
+            rows;
+          }
+    with Jsonu.Malformed | Not_found -> None)
+  | _ -> None
+
+let load file =
+  if not (Sys.file_exists file) then None
+  else begin
+    let ic = open_in_bin file in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    of_json text
+  end
+
+(* Shares the BENCH_<k>.json numbering with bin/bench_kernels: next free
+   index in [dir], whatever kind its existing artifacts are. *)
+let next_index ~dir =
+  let rec go k =
+    if Sys.file_exists (Filename.concat dir (Printf.sprintf "BENCH_%d.json" k))
+    then go (k + 1)
+    else k
+  in
+  go 0
+
+let save ~dir a =
+  Sink.mkdir_p dir;
+  let file =
+    Filename.concat dir (Printf.sprintf "BENCH_%d.json" (next_index ~dir))
+  in
+  let oc = open_out file in
+  output_string oc (to_json a);
+  close_out oc;
+  file
+
+(* ------------------------------------------------------------------ *)
+(* Audit (doctor) and regression check *)
+
+let audit a =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if a.schema <> schema_version then
+    problem "schema %d (this build reads %d)" a.schema schema_version;
+  if a.rows = [] then problem "artifact has no rows";
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let key = (r.experiment, r.series) in
+      Hashtbl.replace groups key
+        (r :: (try Hashtbl.find groups key with Not_found -> [])))
+    a.rows;
+  let keys =
+    List.sort_uniq compare (List.of_seq (Hashtbl.to_seq_keys groups))
+  in
+  List.iter
+    (fun (experiment, series) ->
+      let rows = List.rev (Hashtbl.find groups (experiment, series)) in
+      let rec check_grid = function
+        | a :: (b :: _ as rest) ->
+          if b.n <> 10 * a.n then
+            problem "%s/%s: n grid not decade-monotone (%d then %d, want %d)"
+              experiment series a.n b.n (10 * a.n);
+          check_grid rest
+        | _ -> ()
+      in
+      check_grid rows;
+      List.iter
+        (fun r ->
+          if r.trials < 1 then
+            problem "%s/%s n=%d: empty decade (no samples)" experiment series
+              r.n;
+          if r.mean_max_steps < 1. then
+            problem "%s/%s n=%d: mean_max_steps %g < 1" experiment series r.n
+              r.mean_max_steps;
+          if r.mean_space_used < 1. then
+            problem "%s/%s n=%d: mean_space_used %g < 1" experiment series r.n
+              r.mean_space_used;
+          List.iter
+            (fun (label, v) ->
+              if not (Float.is_finite v) then
+                problem "%s/%s n=%d: %s is not finite" experiment series r.n
+                  label)
+            [
+              ("mean_max_steps", r.mean_max_steps);
+              ("mean_total_steps", r.mean_total_steps);
+              ("mean_space_used", r.mean_space_used);
+              ("words_per_op", r.words_per_op);
+              ("ns_per_op", r.ns_per_op);
+            ])
+        rows)
+    keys;
+  List.rev !problems
+
+(* A streaming-core step that boxes shows up as >= 1 word/op; the meter
+   itself contributes a few words per multi-thousand-step trial.  0.01
+   words/op separates the two by orders of magnitude on every decade. *)
+let zero_alloc_budget = 0.01
+
+let check ~threshold ~baseline ~current =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if current.rows = [] then problem "current artifact has no rows";
+  List.iter
+    (fun cur ->
+      let where = Printf.sprintf "%s/%s n=%d" cur.experiment cur.series cur.n in
+      if cur.words_per_op > zero_alloc_budget then
+        problem "%s: words/op %.4f exceeds the zero-allocation budget %.2f"
+          where cur.words_per_op zero_alloc_budget;
+      match
+        List.find_opt
+          (fun b ->
+            b.experiment = cur.experiment
+            && b.series = cur.series
+            && b.n = cur.n)
+          baseline.rows
+      with
+      | None -> problem "%s: not in the baseline artifact" where
+      | Some base ->
+        let band = Float.max 1.0 (threshold *. base.mean_max_steps) in
+        if Float.abs (cur.mean_max_steps -. base.mean_max_steps) > band then
+          problem "%s: mean max steps %.2f vs baseline %.2f (band +/-%.2f)"
+            where cur.mean_max_steps base.mean_max_steps band;
+        let sband = Float.max 2.0 (threshold *. base.mean_space_used) in
+        if Float.abs (cur.mean_space_used -. base.mean_space_used) > sband
+        then
+          problem "%s: space used %.0f vs baseline %.0f (band +/-%.0f)" where
+            cur.mean_space_used base.mean_space_used sband)
+    current.rows;
+  List.rev !problems
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let render a =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("series", Table.Left);
+          ("n", Table.Right);
+          ("trials", Table.Right);
+          ("max steps", Table.Right);
+          ("steps/proc", Table.Right);
+          ("space/n", Table.Right);
+          ("ns/op", Table.Right);
+          ("words/op", Table.Right);
+          ("wall s", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          Printf.sprintf "%s/%s" r.experiment r.series;
+          Table.cell_int r.n;
+          Table.cell_int r.trials;
+          Table.cell_float r.mean_max_steps;
+          Table.cell_float (r.mean_total_steps /. float_of_int r.n);
+          Table.cell_float (r.mean_space_used /. float_of_int r.n);
+          Table.cell_float r.ns_per_op;
+          Table.cell_float ~decimals:3 r.words_per_op;
+          Table.cell_float ~decimals:1 r.wall_s;
+        ])
+    a.rows;
+  Table.render table

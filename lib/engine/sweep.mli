@@ -1,0 +1,121 @@
+(** The large-n batch driver behind `repro_cli bench --large`.
+
+    Fans the trial jobs of a list of (experiment, ctx) plans across
+    domains via {!Plan.execute} — so the sweep inherits the seed tree,
+    the crash-safe JSONL store, quarantine and [--resume] — then folds
+    the stores into one committed artifact ([bench/BENCH_1.json], kind
+    ["bench-large"]).
+
+    Determinism: everything in the artifact except the timing fields
+    ([ns_per_op], [wall_s]) is a pure function of (seed, grid).  Worker
+    count, resume points and record order never change the measured
+    values; [aggregate] additionally sorts rows by (experiment, series,
+    n) so even the artifact bytes agree (timing aside). *)
+
+val kind : string
+(** ["bench-large"] — the artifact [kind] field `repro_cli bench --check`
+    and [doctor] dispatch on (the kernel microbench artifact of
+    [bin/bench_kernels] is kind ["bench"]). *)
+
+val schema_version : int
+
+type row = {
+  experiment : string;  (** registry id, e.g. ["t1l"] *)
+  series : string;  (** series label, e.g. ["rebatch_paper"] *)
+  n : int;  (** decade (processes for t1l, contention for t5l) *)
+  trials : int;
+  mean_max_steps : float;
+  min_max_steps : float;
+  max_max_steps : float;
+  mean_total_steps : float;
+  mean_space_used : float;
+  mean_max_name : float;
+  words_per_op : float;
+      (** worst trial's minor words per step — the zero-allocation gate *)
+  ns_per_op : float;
+      (** wall per step across all trials; machine-dependent, reported but
+          never gated *)
+  wall_s : float;  (** total wall across trials *)
+}
+
+type artifact = { schema : int; seed : int; rows : row list }
+
+(** {1 Execution} *)
+
+type run = {
+  outcomes : Plan.outcome list;  (** one per experiment, in plan order *)
+  interrupted : bool;
+  quarantined : int;  (** total across experiments *)
+}
+
+val execute :
+  ?workers:int ->
+  ?resume:bool ->
+  ?progress:bool ->
+  ?retries:int ->
+  ?should_stop:(unit -> bool) ->
+  ?log:(string -> unit) ->
+  store_dir:string ->
+  plans:(Harness.Experiment.t * Harness.Experiment.ctx) list ->
+  unit ->
+  run
+(** Run every plan's jobs into [<store_dir>/<id>.jsonl] via
+    {!Plan.execute}, writing a shared run manifest before and after.  On
+    [resume], the existing manifest (if any) is validated against the
+    first plan's ctx and the experiment ids first — mismatches
+    [failwith] rather than silently mixing parameters.  Experiments
+    after an interrupted one are not started. *)
+
+val aggregate :
+  store_dir:string ->
+  plans:(Harness.Experiment.t * Harness.Experiment.ctx) list ->
+  artifact
+(** Fold the stores of [plans] into artifact rows: records deduplicated
+    by job key (first wins, matching the resume scan), grouped by
+    (series, n) with the series parsed from the ["series/n=..."] point
+    labels, trials summed in trial order, rows sorted by (experiment,
+    series, n).  @raise Invalid_argument on an empty plan list. *)
+
+(** {1 Artifact i/o} *)
+
+val to_json : artifact -> string
+
+val of_json : string -> artifact option
+(** [None] if malformed or not kind ["bench-large"]. *)
+
+val load : string -> artifact option
+
+val save : dir:string -> artifact -> string
+(** Write to the next free [<dir>/BENCH_<k>.json] (numbering shared with
+    the kind-["bench"] artifacts of [bin/bench_kernels]); returns the
+    path. *)
+
+(** {1 Gates} *)
+
+val zero_alloc_budget : float
+(** [0.01] words/op: a boxing step costs >= 1 word/op, the metering
+    overhead orders of magnitude less, so this separates them at every
+    decade. *)
+
+val audit : artifact -> string list
+(** Structural problems for [repro_cli doctor]: schema mismatch, no
+    rows, a per-(experiment, series) n grid that is not consecutive
+    decades (each n exactly 10x the previous), empty decades, impossible
+    step/space means, non-finite values.  Empty list = healthy. *)
+
+val check : threshold:float -> baseline:artifact -> current:artifact -> string list
+(** Regression problems of [current] against a committed [baseline]: a
+    current row missing from the baseline, [words_per_op] over
+    {!zero_alloc_budget}, or mean max steps / space outside
+    [threshold]-relative bands (at least +/-1 step and +/-2 cells wide,
+    since small decades are integer-quantized).  A scaled-down run is a
+    row subset of the full baseline, so smoke checks pass the exact
+    gate the full run commits.  Timing is never checked.  Baseline rows
+    absent from [current] are fine (that is what a smoke run is). *)
+
+val render : artifact -> string
+(** Aligned table of every row (max steps, steps/proc, space/n, ns/op,
+    words/op, wall). *)
+
+val series_of_label : string -> string
+(** ["rebatch_paper/n=1000"] -> ["rebatch_paper"] (exposed for tests). *)

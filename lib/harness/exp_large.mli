@@ -1,0 +1,30 @@
+(** Large-n decade sweeps (t1/t5 shapes at n = 10^3 .. 10^8) on the
+    streaming fast core.
+
+    Registered as [t1l] and [t5l] in {!Registry.large}: excluded from
+    [Registry.all] (a default serial run of every experiment must stay
+    seconds, not minutes), reachable by id via [Registry.find], and the
+    job views behind `repro_cli bench --large`.
+
+    The decade grid is [1e3 .. scale * hi] ([hi] = 1e8 for t1l, 1e7 for
+    t5l), so a scaled-down run produces a subset of the full grid's
+    decades and stays comparable to the committed BENCH_1.json under the
+    `--check` tolerance bands.  Trial counts attenuate deterministically
+    on the top decades; each job meters allocation of the measured loop
+    via [Gc.minor_words] and reports it as the [words_per_op] value. *)
+
+val t1l : Experiment.t
+(** Step complexity by decade: ReBatching (paper and t0 = 3 constants),
+    uniform probing and cyclic scan, n up to 10^8. *)
+
+val t5l : Experiment.t
+(** Adaptive renaming by decade: adaptive ReBatching (t0 = 3) and the
+    doubling baseline, contention k up to 10^7. *)
+
+val trials_at : trials:int -> int -> int
+(** The deterministic per-decade trial attenuation ([trials] at n < 10^7,
+    half at 10^7, a quarter at 10^8; always at least 1) — exposed so the
+    artifact tooling and tests agree with the job lists. *)
+
+val grid_lo : int
+(** Smallest decade of every grid (10^3). *)

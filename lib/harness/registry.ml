@@ -23,8 +23,13 @@ let all =
     Exp_chaos.exp;
   ]
 
+(* Large-n decade sweeps: minutes each at full scale, so they are
+   reachable by id (run/bench --large) but never part of [all] — the
+   default serial run of every experiment must stay fast. *)
+let large = [ Exp_large.t1l; Exp_large.t5l ]
+
 let find id =
   let id = String.lowercase_ascii id in
-  List.find_opt (fun e -> e.Experiment.id = id) all
+  List.find_opt (fun e -> e.Experiment.id = id) (all @ large)
 
-let ids () = List.map (fun e -> e.Experiment.id) all
+let ids () = List.map (fun e -> e.Experiment.id) (all @ large)

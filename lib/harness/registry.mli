@@ -2,9 +2,13 @@
 
 val all : Experiment.t list
 (** In presentation order: t1, t2, t3, t4, t5, t6, t7, t8, t9, t10, f1,
-    f2. *)
+    f2.  Excludes the large-n sweeps ({!large}). *)
+
+val large : Experiment.t list
+(** The large-n decade sweeps (t1l, t5l): minutes each at full scale, so
+    runnable by id but never part of {!all}. *)
 
 val find : string -> Experiment.t option
-(** Look up by id (case-insensitive). *)
+(** Look up by id (case-insensitive), across {!all} and {!large}. *)
 
 val ids : unit -> string list

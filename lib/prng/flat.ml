@@ -47,6 +47,28 @@ let reseed (t : t) ~seed =
 let set_state (t : t) i s = Bigarray.Array1.set t i s
 let get_state (t : t) i = Bigarray.Array1.get t i
 
+let seed_stream (t : t) ~slot ~seed ~stream =
+  (* Exactly the state [reseed ~seed] would give stream [stream], written
+     into bank position [slot].  This is what lets a large-n streaming
+     run keep a single-slot bank and derive each process's stream on the
+     fly instead of materialising n+1 states up front.  Same inlined
+     arithmetic as [reseed]: no boxed int64 crosses a function boundary,
+     so the derivation allocates nothing. *)
+  if stream < 0 then invalid_arg "Flat.seed_stream: negative stream";
+  let r = Int64.add (Int64.of_int seed) golden_gamma in
+  let r = Int64.mul (Int64.logxor r (Int64.shift_right_logical r 30)) 0xBF58476D1CE4E5B9L in
+  let r = Int64.mul (Int64.logxor r (Int64.shift_right_logical r 27)) 0x94D049BB133111EBL in
+  let root = Int64.logxor r (Int64.shift_right_logical r 31) in
+  let z = Int64.add root (Int64.mul (Int64.of_int (stream + 1)) golden_gamma) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let z = Int64.add z golden_gamma in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Bigarray.Array1.set t slot z
+
 (* Advance stream [i] and return the top 62 bits, exactly as
    [Splitmix.bits].  Self-contained: the int64 locals never cross a
    function boundary, so none of them is boxed. *)

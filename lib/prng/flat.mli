@@ -32,6 +32,15 @@ val set_state : t -> int -> int64 -> unit
 
 val get_state : t -> int -> int64
 
+val seed_stream : t -> slot:int -> seed:int -> stream:int -> unit
+(** [seed_stream t ~slot ~seed ~stream] writes into bank position [slot]
+    the exact initial state that [reseed t ~seed] gives stream [stream]
+    — i.e. the state of [Splitmix.split_at (Splitmix.of_int seed)
+    stream].  Allocation-free.  The large-n streaming core uses this to
+    run 10^8 per-process streams through a single-slot bank, deriving
+    each stream just before the process executes instead of holding all
+    states at once.  @raise Invalid_argument on negative [stream]. *)
+
 val bits : t -> int -> int
 (** [bits t i] advances stream [i] and returns 62 uniform bits; equals
     [Splitmix.bits] on a generator with the same state.  The stream index

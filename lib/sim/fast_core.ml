@@ -11,6 +11,15 @@
    Fisher-Yates swap array, and the TAS space is a reused
    [Location_space] cleared in place between runs.
 
+   Layout: per-process bookkeeping is structure-of-arrays over unboxed
+   [Bigarray.Array1] int lanes (pending location, ready set, names, step
+   counts, crash schedule, sequential order) plus flat byte lanes for
+   the booleans — one cache-linear lane per field rather than one record
+   per process, so the batch loops scan contiguous untagged memory and a
+   lane index is a plain machine word.  Only the machine-state lane [st]
+   stays an OCaml [int array]: it is the [Fast_algo] transition
+   contract, shared with the draw-enumeration explorer.
+
    Equivalence: [run] reproduces [Runner.run ~adversary:Adversary.random]
    and [run_sequential] reproduces [Runner.run_sequential] decision for
    decision — same per-pid coin streams ([Splitmix.split_at root pid]),
@@ -21,21 +30,33 @@
    execution, with only [result] (called outside the measured loop)
    allocating. *)
 
+type lane = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let lane n : lane =
+  let a = Bigarray.Array1.create Bigarray.Int Bigarray.C_layout n in
+  Bigarray.Array1.fill a 0;
+  a
+
+let copy_lane (a : lane) : lane =
+  let c = Bigarray.Array1.create Bigarray.Int Bigarray.C_layout (Bigarray.Array1.dim a) in
+  Bigarray.Array1.blit a c;
+  c
+
 type t = {
   algo : Renaming.Fast_algo.t;
   n : int;
   space : Location_space.t;
   rng : Prng.Flat.t;  (* streams 0..n-1 = processes, n = scheduler *)
   rand : Renaming.Fast_algo.rand;  (* the machines' view of [rng] *)
-  st : int array;  (* n * slots machine state *)
-  pending : int array;  (* per pid: location of the pending TAS *)
-  ready : int array;  (* Fisher-Yates swap array of waiting pids *)
-  names : int array;  (* -1 = none *)
-  steps : int array;
+  st : int array;  (* n * slots machine state (Fast_algo contract) *)
+  pending : lane;  (* per pid: location of the pending TAS *)
+  ready : lane;  (* Fisher-Yates swap array of waiting pids *)
+  names : lane;  (* -1 = none *)
+  steps : lane;
   crashed : Bytes.t;
   active : Bytes.t;
-  order : int array;  (* sequential execution order *)
-  crash_op : int array;  (* 0 = unarmed; else 1-based op index *)
+  order : lane;  (* sequential execution order *)
+  crash_op : lane;  (* 0 = unarmed; else 1-based op index *)
   crash_after_win : Bytes.t;
   mutable size : int;  (* live prefix of [ready] *)
   mutable total_steps : int;
@@ -45,24 +66,24 @@ type t = {
   mutable point_contention : int;
 }
 
-let create ~algo ~n () =
+let create ?capacity ~algo ~n () =
   if n < 1 then invalid_arg "Fast_core.create: n must be >= 1";
   let rng = Prng.Flat.create (n + 1) in
   {
     algo;
     n;
-    space = Location_space.create ();
+    space = Location_space.create ?capacity ();
     rng;
     rand = Renaming.Fast_algo.flat_rand rng;
     st = Array.make (n * Renaming.Fast_algo.slots algo) 0;
-    pending = Array.make n (-1);
-    ready = Array.make n 0;
-    names = Array.make n (-1);
-    steps = Array.make n 0;
+    pending = lane n;
+    ready = lane n;
+    names = lane n;
+    steps = lane n;
     crashed = Bytes.make n '\000';
     active = Bytes.make n '\000';
-    order = Array.make n 0;
-    crash_op = Array.make n 0;
+    order = lane n;
+    crash_op = lane n;
     crash_after_win = Bytes.make n '\000';
     size = 0;
     total_steps = 0;
@@ -75,10 +96,10 @@ let create ~algo ~n () =
 let reset t ~seed =
   Location_space.clear t.space;
   Prng.Flat.reseed t.rng ~seed;
-  Array.fill t.names 0 t.n (-1);
-  Array.fill t.steps 0 t.n 0;
-  Array.fill t.pending 0 t.n (-1);
-  Array.fill t.crash_op 0 t.n 0;
+  Bigarray.Array1.fill t.names (-1);
+  Bigarray.Array1.fill t.steps 0;
+  Bigarray.Array1.fill t.pending (-1);
+  Bigarray.Array1.fill t.crash_op 0;
   Bytes.fill t.crashed 0 t.n '\000';
   Bytes.fill t.active 0 t.n '\000';
   Bytes.fill t.crash_after_win 0 t.n '\000';
@@ -92,7 +113,7 @@ let reset t ~seed =
 let arm_crash t ~pid ~op ~after_win =
   if pid < 0 || pid >= t.n then invalid_arg "Fast_core.arm_crash: bad pid";
   if op < 1 then invalid_arg "Fast_core.arm_crash: op must be >= 1";
-  t.crash_op.(pid) <- op;
+  Bigarray.Array1.set t.crash_op pid op;
   Bytes.unsafe_set t.crash_after_win pid (if after_win then '\001' else '\000')
 
 let[@inline] activate t pid =
@@ -117,13 +138,13 @@ let start_all t =
   for pid = 0 to t.n - 1 do
     let a = init t.st (pid * slots) t.rand pid in
     if a >= 0 then begin
-      t.pending.(pid) <- a;
-      t.ready.(t.size) <- pid;
+      Bigarray.Array1.unsafe_set t.pending pid a;
+      Bigarray.Array1.unsafe_set t.ready t.size pid;
       t.size <- t.size + 1
     end
     else begin
       match Renaming.Fast_algo.name_of_action a with
-      | Some u -> t.names.(pid) <- u
+      | Some u -> Bigarray.Array1.unsafe_set t.names pid u
       | None -> ()
     end
   done
@@ -139,11 +160,11 @@ let run ?(max_total_steps = 10_000_000) t =
     (* Same decision as [Adversary.random]: uniform index into the
        waiting set, drawn from the scheduler's own stream. *)
     let idx = Prng.Flat.int t.rng t.n t.size in
-    let pid = Array.unsafe_get t.ready idx in
-    let armed = Array.unsafe_get t.crash_op pid in
+    let pid = Bigarray.Array1.unsafe_get t.ready idx in
+    let armed = Bigarray.Array1.unsafe_get t.crash_op pid in
     if
       armed > 0
-      && armed = t.steps.(pid) + 1
+      && armed = Bigarray.Array1.unsafe_get t.steps pid + 1
       && Bytes.unsafe_get t.crash_after_win pid = '\000'
     then begin
       (* planned before-op crash: the pending operation never executes *)
@@ -151,18 +172,20 @@ let run ?(max_total_steps = 10_000_000) t =
       t.crash_count <- t.crash_count + 1;
       retire t pid;
       t.size <- t.size - 1;
-      t.ready.(idx) <- t.ready.(t.size)
+      Bigarray.Array1.unsafe_set t.ready idx
+        (Bigarray.Array1.unsafe_get t.ready t.size)
     end
     else begin
-      let loc = Array.unsafe_get t.pending pid in
-      t.steps.(pid) <- t.steps.(pid) + 1;
+      let loc = Bigarray.Array1.unsafe_get t.pending pid in
+      let steps = Bigarray.Array1.unsafe_get t.steps pid + 1 in
+      Bigarray.Array1.unsafe_set t.steps pid steps;
       t.total_steps <- t.total_steps + 1;
       activate t pid;
       let won = Location_space.tas t.space loc in
       if
         won && armed > 0
         && Bytes.unsafe_get t.crash_after_win pid = '\001'
-        && t.steps.(pid) >= armed
+        && steps >= armed
       then begin
         (* after-win crash: the slot is taken in shared memory but the
            process dies before recording the name — the leak the chaos
@@ -171,16 +194,18 @@ let run ?(max_total_steps = 10_000_000) t =
         t.crash_count <- t.crash_count + 1;
         retire t pid;
         t.size <- t.size - 1;
-        t.ready.(idx) <- t.ready.(t.size)
+        Bigarray.Array1.unsafe_set t.ready idx
+          (Bigarray.Array1.unsafe_get t.ready t.size)
       end
       else begin
         let a = resume t.st (pid * slots) t.rand pid loc won in
-        if a >= 0 then t.pending.(pid) <- a
+        if a >= 0 then Bigarray.Array1.unsafe_set t.pending pid a
         else begin
-          if a <= -2 then t.names.(pid) <- -2 - a;
+          if a <= -2 then Bigarray.Array1.unsafe_set t.names pid (-2 - a);
           retire t pid;
           t.size <- t.size - 1;
-          t.ready.(idx) <- t.ready.(t.size)
+          Bigarray.Array1.unsafe_set t.ready idx
+            (Bigarray.Array1.unsafe_get t.ready t.size)
         end
       end
     end
@@ -194,26 +219,28 @@ let run_sequential ?(shuffled = true) t =
   (* Same order as [Runner.run_sequential]: a Fisher-Yates permutation
      from the scheduler stream, or pid order. *)
   for i = 0 to t.n - 1 do
-    t.order.(i) <- i
+    Bigarray.Array1.unsafe_set t.order i i
   done;
   if shuffled then
     for i = t.n - 1 downto 1 do
       let j = Prng.Flat.int t.rng t.n (i + 1) in
-      let tmp = t.order.(i) in
-      t.order.(i) <- t.order.(j);
-      t.order.(j) <- tmp
+      let tmp = Bigarray.Array1.unsafe_get t.order i in
+      Bigarray.Array1.unsafe_set t.order i (Bigarray.Array1.unsafe_get t.order j);
+      Bigarray.Array1.unsafe_set t.order j tmp
     done;
   for k = 0 to t.n - 1 do
-    let pid = t.order.(k) in
+    let pid = Bigarray.Array1.unsafe_get t.order k in
     let off = pid * slots in
     let a = ref (init t.st off t.rand pid) in
+    let steps = ref 0 in
     while !a >= 0 do
-      t.steps.(pid) <- t.steps.(pid) + 1;
-      t.total_steps <- t.total_steps + 1;
+      incr steps;
       let won = Location_space.tas t.space !a in
       a := resume t.st off t.rand pid !a won
     done;
-    if !a <= -2 then t.names.(pid) <- -2 - !a
+    Bigarray.Array1.unsafe_set t.steps pid !steps;
+    t.total_steps <- t.total_steps + !steps;
+    if !a <= -2 then Bigarray.Array1.unsafe_set t.names pid (-2 - !a)
   done;
   t.point_contention <- 1
 
@@ -221,10 +248,10 @@ let run_sequential ?(shuffled = true) t =
 let result t =
   let names =
     Array.init t.n (fun pid ->
-        let u = t.names.(pid) in
+        let u = Bigarray.Array1.get t.names pid in
         if u < 0 then None else Some u)
   in
-  let steps = Array.copy t.steps in
+  let steps = Array.init t.n (Bigarray.Array1.get t.steps) in
   let crashed = Array.init t.n (fun pid -> Bytes.get t.crashed pid = '\001') in
   {
     Runner.names;
@@ -254,6 +281,87 @@ let run_sequential_once ?shuffled ~seed ~n ~algo () =
   result t
 
 (* ------------------------------------------------------------------ *)
+(* Streaming sequential execution for very large n.
+
+   [run_sequential ~shuffled:false] still holds O(n) lanes and an
+   (n+1)-stream coin bank, which caps it around n ~ 10^7 per gigabyte.
+   For the decade sweeps at n = 10^8 only the aggregates matter, and in
+   pid order each process runs to completion before the next starts, so
+   per-process state can be O(1): one [slots]-int scratch block, one
+   coin slot re-derived per pid via [Prng.Flat.seed_stream], and running
+   aggregate counters.  The produced execution is bit-identical to
+   [run_sequential ~shuffled:false] on the same seed — same per-pid
+   streams, same probes, same space — which the QCheck suite pins at
+   n up to 10^4.  The loop allocates nothing (mutable fields, no refs),
+   so the sweeps' 0 words/op claim survives three more decades of n. *)
+
+type seq = {
+  q_algo : Renaming.Fast_algo.t;
+  q_space : Location_space.t;
+  q_rng : Prng.Flat.t;  (* single slot, re-derived per pid *)
+  q_rand : Renaming.Fast_algo.rand;
+  q_st : int array;  (* one machine's slots *)
+  mutable q_a : int;  (* current action (loop scratch) *)
+  mutable q_steps : int;  (* current pid's step count (loop scratch) *)
+  mutable q_total : int;
+  mutable q_max : int;
+  mutable q_named : int;
+  mutable q_max_name : int;  (* -1 = none *)
+}
+
+let seq_create ?capacity ~algo () =
+  let rng = Prng.Flat.create 1 in
+  {
+    q_algo = algo;
+    q_space = Location_space.create ?capacity ();
+    q_rng = rng;
+    q_rand = Renaming.Fast_algo.fixed_rand (fun _pid bound -> Prng.Flat.int rng 0 bound);
+    q_st = Array.make (Renaming.Fast_algo.slots algo) 0;
+    q_a = -1;
+    q_steps = 0;
+    q_total = 0;
+    q_max = 0;
+    q_named = 0;
+    q_max_name = -1;
+  }
+
+let seq_run q ~seed ~n =
+  if n < 1 then invalid_arg "Fast_core.seq_run: n must be >= 1";
+  Location_space.clear q.q_space;
+  q.q_total <- 0;
+  q.q_max <- 0;
+  q.q_named <- 0;
+  q.q_max_name <- -1;
+  let init = q.q_algo.Renaming.Fast_algo.init in
+  let resume = q.q_algo.Renaming.Fast_algo.resume in
+  let st = q.q_st in
+  let rand = q.q_rand in
+  for pid = 0 to n - 1 do
+    Prng.Flat.seed_stream q.q_rng ~slot:0 ~seed ~stream:pid;
+    q.q_a <- init st 0 rand pid;
+    q.q_steps <- 0;
+    while q.q_a >= 0 do
+      q.q_steps <- q.q_steps + 1;
+      let won = Location_space.tas q.q_space q.q_a in
+      q.q_a <- resume st 0 rand pid q.q_a won
+    done;
+    q.q_total <- q.q_total + q.q_steps;
+    if q.q_steps > q.q_max then q.q_max <- q.q_steps;
+    if q.q_a <= -2 then begin
+      q.q_named <- q.q_named + 1;
+      let u = -2 - q.q_a in
+      if u > q.q_max_name then q.q_max_name <- u
+    end
+  done
+
+let seq_total_steps q = q.q_total
+let seq_max_steps q = q.q_max
+let seq_named q = q.q_named
+let seq_max_name q = q.q_max_name
+let seq_space q = q.q_space
+let seq_space_used q = Location_space.high_water_mark q.q_space
+
+(* ------------------------------------------------------------------ *)
 (* Step-granular control for the systematic explorer.
 
    [Analysis.Explore] owns the schedule: instead of drawing scheduler
@@ -265,40 +373,40 @@ let run_sequential_once ?shuffled ~seed ~n ~algo () =
 
 let start t = start_all t
 let live_count t = t.size
-let live_pid t i = t.ready.(i)
-let pending_loc t ~pid = t.pending.(pid)
-let steps_of t ~pid = t.steps.(pid)
+let live_pid t i = Bigarray.Array1.get t.ready i
+let pending_loc t ~pid = Bigarray.Array1.get t.pending pid
+let steps_of t ~pid = Bigarray.Array1.get t.steps pid
 let is_crashed t ~pid = Bytes.get t.crashed pid = '\001'
 
 let name_of t ~pid =
-  let u = t.names.(pid) in
+  let u = Bigarray.Array1.get t.names pid in
   if u < 0 then None else Some u
 
 let ready_index t pid =
   let rec go i =
     if i >= t.size then
       invalid_arg "Fast_core: pid has no pending operation"
-    else if t.ready.(i) = pid then i
+    else if Bigarray.Array1.get t.ready i = pid then i
     else go (i + 1)
   in
   go 0
 
 let[@inline] remove_ready t idx =
   t.size <- t.size - 1;
-  t.ready.(idx) <- t.ready.(t.size)
+  Bigarray.Array1.set t.ready idx (Bigarray.Array1.get t.ready t.size)
 
 let step_pid t ~pid =
   let idx = ready_index t pid in
-  let loc = t.pending.(pid) in
-  t.steps.(pid) <- t.steps.(pid) + 1;
+  let loc = Bigarray.Array1.get t.pending pid in
+  Bigarray.Array1.set t.steps pid (Bigarray.Array1.get t.steps pid + 1);
   t.total_steps <- t.total_steps + 1;
   activate t pid;
   let won = Location_space.tas t.space loc in
   let slots = Renaming.Fast_algo.slots t.algo in
   let a = t.algo.Renaming.Fast_algo.resume t.st (pid * slots) t.rand pid loc won in
-  if a >= 0 then t.pending.(pid) <- a
+  if a >= 0 then Bigarray.Array1.set t.pending pid a
   else begin
-    if a <= -2 then t.names.(pid) <- -2 - a;
+    if a <= -2 then Bigarray.Array1.set t.names pid (-2 - a);
     retire t pid;
     remove_ready t idx
   end
@@ -312,8 +420,8 @@ let crash_pid t ~pid =
 
 let crash_pid_after_win t ~pid =
   let idx = ready_index t pid in
-  let loc = t.pending.(pid) in
-  t.steps.(pid) <- t.steps.(pid) + 1;
+  let loc = Bigarray.Array1.get t.pending pid in
+  Bigarray.Array1.set t.steps pid (Bigarray.Array1.get t.steps pid + 1);
   t.total_steps <- t.total_steps + 1;
   activate t pid;
   let won = Location_space.tas t.space loc in
@@ -328,29 +436,31 @@ let restart_pid t ~pid =
   if pid < 0 || pid >= t.n then invalid_arg "Fast_core.restart_pid: bad pid";
   if is_crashed t ~pid then
     invalid_arg "Fast_core.restart_pid: pid crashed";
-  (let rec live i = i < t.size && (t.ready.(i) = pid || live (i + 1)) in
+  (let rec live i =
+     i < t.size && (Bigarray.Array1.get t.ready i = pid || live (i + 1))
+   in
    if live 0 then invalid_arg "Fast_core.restart_pid: pid still running");
-  t.names.(pid) <- -1;
+  Bigarray.Array1.set t.names pid (-1);
   let slots = Renaming.Fast_algo.slots t.algo in
   let a = t.algo.Renaming.Fast_algo.init t.st (pid * slots) t.rand pid in
   if a >= 0 then begin
-    t.pending.(pid) <- a;
-    t.ready.(t.size) <- pid;
+    Bigarray.Array1.set t.pending pid a;
+    Bigarray.Array1.set t.ready t.size pid;
     t.size <- t.size + 1
   end
   else begin
     match Renaming.Fast_algo.name_of_action a with
-    | Some u -> t.names.(pid) <- u
+    | Some u -> Bigarray.Array1.set t.names pid u
     | None -> ()
   end
 
 type snap = {
   s_st : int array;
-  s_pending : int array;
-  s_ready : int array;
-  s_names : int array;
-  s_steps : int array;
-  s_crash_op : int array;
+  s_pending : lane;
+  s_ready : lane;
+  s_names : lane;
+  s_steps : lane;
+  s_crash_op : lane;
   s_crashed : Bytes.t;
   s_active : Bytes.t;
   s_caw : Bytes.t;
@@ -367,11 +477,11 @@ type snap = {
 let snapshot t =
   {
     s_st = Array.copy t.st;
-    s_pending = Array.copy t.pending;
-    s_ready = Array.copy t.ready;
-    s_names = Array.copy t.names;
-    s_steps = Array.copy t.steps;
-    s_crash_op = Array.copy t.crash_op;
+    s_pending = copy_lane t.pending;
+    s_ready = copy_lane t.ready;
+    s_names = copy_lane t.names;
+    s_steps = copy_lane t.steps;
+    s_crash_op = copy_lane t.crash_op;
     s_crashed = Bytes.copy t.crashed;
     s_active = Bytes.copy t.active;
     s_caw = Bytes.copy t.crash_after_win;
@@ -387,11 +497,11 @@ let snapshot t =
 
 let restore t s =
   Array.blit s.s_st 0 t.st 0 (Array.length t.st);
-  Array.blit s.s_pending 0 t.pending 0 t.n;
-  Array.blit s.s_ready 0 t.ready 0 t.n;
-  Array.blit s.s_names 0 t.names 0 t.n;
-  Array.blit s.s_steps 0 t.steps 0 t.n;
-  Array.blit s.s_crash_op 0 t.crash_op 0 t.n;
+  Bigarray.Array1.blit s.s_pending t.pending;
+  Bigarray.Array1.blit s.s_ready t.ready;
+  Bigarray.Array1.blit s.s_names t.names;
+  Bigarray.Array1.blit s.s_steps t.steps;
+  Bigarray.Array1.blit s.s_crash_op t.crash_op;
   Bytes.blit s.s_crashed 0 t.crashed 0 t.n;
   Bytes.blit s.s_active 0 t.active 0 t.n;
   Bytes.blit s.s_caw 0 t.crash_after_win 0 t.n;

@@ -23,8 +23,12 @@
 
 type t
 
-val create : algo:Renaming.Fast_algo.t -> n:int -> unit -> t
-(** Preallocate a handle for [n] processes running [algo].
+val create : ?capacity:int -> algo:Renaming.Fast_algo.t -> n:int -> unit -> t
+(** Preallocate a handle for [n] processes running [algo].  Per-process
+    bookkeeping is laid out structure-of-arrays over unboxed
+    [Bigarray.Array1] int lanes.  [capacity] dense-preallocates the
+    location space ({!Location_space.create}), so a measured run never
+    grows shared-memory storage.
     @raise Invalid_argument if [n < 1]. *)
 
 val reset : t -> seed:int -> unit
@@ -75,6 +79,47 @@ val run_sequential_once :
   algo:Renaming.Fast_algo.t ->
   unit ->
   Runner.result
+
+(** {1 Streaming sequential execution for very large n}
+
+    {!run_sequential} holds O(n) lanes plus an (n+1)-stream coin bank;
+    fine to n ~ 10^6, wasteful at 10^8.  In unshuffled sequential order
+    each process runs to completion before the next starts, so a
+    streaming driver needs only O(1) per-process state: one scratch
+    machine-state block, a single coin slot re-derived per pid
+    ({!Prng.Flat.seed_stream}), and running aggregates.  [seq_run] is
+    bit-identical to [run_sequential ~shuffled:false] with the same
+    [seed]/[n]/[algo] — same coin streams, same probe sequence, same
+    high-water mark — it just does not retain per-pid results.  The
+    execution loop allocates nothing, preserving the 0 words/op claim
+    for the large-n sweeps. *)
+
+type seq
+(** A reusable streaming handle: create once per (algo, capacity), then
+    [seq_run] per trial; only creation allocates. *)
+
+val seq_create : ?capacity:int -> algo:Renaming.Fast_algo.t -> unit -> seq
+(** [capacity] dense-preallocates the location space — recommended for
+    the bounded-namespace algorithms (e.g. [2n] cells for ReBatching) so
+    the measured loop never materialises a chunk. *)
+
+val seq_run : seq -> seed:int -> n:int -> unit
+(** Execute [n] processes in pid order; allocation-free.
+    @raise Invalid_argument if [n < 1]. *)
+
+val seq_total_steps : seq -> int
+val seq_max_steps : seq -> int
+
+val seq_named : seq -> int
+(** Number of processes that finished holding a name. *)
+
+val seq_max_name : seq -> int
+(** Largest name acquired, or [-1] if none. *)
+
+val seq_space_used : seq -> int
+(** High-water mark of the space — the namespace actually consumed. *)
+
+val seq_space : seq -> Location_space.t
 
 (** {1 Step-granular control}
 

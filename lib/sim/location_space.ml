@@ -1,20 +1,38 @@
-(* Storage is a two-level chunked bitmap: the adaptive algorithms place
-   object R_i at an offset exponential in i, so the index space is huge
-   and extremely sparse (a rare probe of R_32 must not allocate 2^33
-   cells).  Only 64 KiB chunks that have actually been probed exist. *)
+(* Storage is a dense preallocated prefix plus a two-level chunked
+   bitmap tail.
+
+   The adaptive algorithms place object R_i at an offset exponential in
+   i, so the index space is huge and extremely sparse (a rare probe of
+   R_32 must not allocate 2^33 cells): locations at or above [dense_len]
+   live in 64 KiB chunks that are materialised only when probed.
+
+   The dense prefix is the large-n mode: [create ~capacity] (or
+   {!preallocate}) commits a flat byte per location up front, so a
+   measured sweep at n = 10^8 never grows the chunk table, never
+   allocates a chunk, and never pays the chunk indirection on the hot
+   path — every probe below the boundary is one unsafe byte access. *)
 
 let chunk_bits = 16
 let chunk_size = 1 lsl chunk_bits
 
 type t = {
+  mutable dense : Bytes.t;  (* flat storage for locations < dense_len *)
+  mutable dense_len : int;
   mutable chunks : Bytes.t option array;  (* indexed by loc lsr chunk_bits *)
   mutable probes : int;
   mutable wins : int;
   mutable hwm : int;
 }
 
-let create ?capacity:_ () =
-  { chunks = Array.make 16 None; probes = 0; wins = 0; hwm = 0 }
+let create ?(capacity = 0) () =
+  {
+    dense = Bytes.make (max capacity 0) '\000';
+    dense_len = max capacity 0;
+    chunks = Array.make 16 None;
+    probes = 0;
+    wins = 0;
+    hwm = 0;
+  }
 
 let chunk_for t loc =
   let ci = loc lsr chunk_bits in
@@ -31,40 +49,87 @@ let chunk_for t loc =
     t.chunks.(ci) <- Some c;
     c
 
+let preallocate t ~capacity =
+  if capacity > t.dense_len then begin
+    let d = Bytes.make capacity '\000' in
+    Bytes.blit t.dense 0 d 0 t.dense_len;
+    (* Migrate any already-probed chunk cells into the widened prefix so
+       the taken/free state is unchanged, and zero them in the chunk so
+       the "chunk bytes below dense_len are free" invariant holds. *)
+    Array.iteri
+      (fun ci c ->
+        match c with
+        | None -> ()
+        | Some c ->
+          let lo = ci lsl chunk_bits in
+          let hi = min (lo + chunk_size) capacity in
+          if hi > lo then begin
+            let len = hi - lo in
+            let src = max 0 (t.dense_len - lo) in
+            if src < len then begin
+              Bytes.blit c src d (lo + src) (len - src);
+              Bytes.fill c src (len - src) '\000'
+            end
+          end)
+      t.chunks;
+    t.dense <- d;
+    t.dense_len <- capacity
+  end
+
 let tas t loc =
   if loc < 0 then invalid_arg "Location_space.tas: negative location";
-  let c = chunk_for t loc in
-  if loc >= t.hwm then t.hwm <- loc + 1;
   t.probes <- t.probes + 1;
-  let off = loc land (chunk_size - 1) in
-  if Bytes.get c off = '\000' then begin
-    Bytes.set c off '\001';
-    t.wins <- t.wins + 1;
-    true
+  if loc >= t.hwm then t.hwm <- loc + 1;
+  if loc < t.dense_len then
+    if Bytes.unsafe_get t.dense loc = '\000' then begin
+      Bytes.unsafe_set t.dense loc '\001';
+      t.wins <- t.wins + 1;
+      true
+    end
+    else false
+  else begin
+    let c = chunk_for t loc in
+    let off = loc land (chunk_size - 1) in
+    if Bytes.get c off = '\000' then begin
+      Bytes.set c off '\001';
+      t.wins <- t.wins + 1;
+      true
+    end
+    else false
   end
-  else false
 
 let release t loc =
   if loc < 0 then invalid_arg "Location_space.release: negative location";
-  let c = chunk_for t loc in
   if loc >= t.hwm then t.hwm <- loc + 1;
-  let off = loc land (chunk_size - 1) in
-  if Bytes.get c off = '\001' then begin
-    Bytes.set c off '\000';
-    t.wins <- t.wins - 1
+  if loc < t.dense_len then begin
+    if Bytes.unsafe_get t.dense loc = '\001' then begin
+      Bytes.unsafe_set t.dense loc '\000';
+      t.wins <- t.wins - 1
+    end
+  end
+  else begin
+    let c = chunk_for t loc in
+    let off = loc land (chunk_size - 1) in
+    if Bytes.get c off = '\001' then begin
+      Bytes.set c off '\000';
+      t.wins <- t.wins - 1
+    end
   end
 
 let is_taken t loc =
   loc >= 0
   &&
-  let ci = loc lsr chunk_bits in
-  ci < Array.length t.chunks
-  &&
-  match t.chunks.(ci) with
-  | None -> false
-  | Some c -> Bytes.get c (loc land (chunk_size - 1)) = '\001'
+  if loc < t.dense_len then Bytes.unsafe_get t.dense loc = '\001'
+  else
+    let ci = loc lsr chunk_bits in
+    ci < Array.length t.chunks
+    &&
+    match t.chunks.(ci) with
+    | None -> false
+    | Some c -> Bytes.get c (loc land (chunk_size - 1)) = '\001'
 
 let reset t =
+  Bytes.fill t.dense 0 t.dense_len '\000';
   Array.iteri
     (fun i -> function
       | Some _ -> t.chunks.(i) <- None
@@ -79,6 +144,7 @@ let clear t =
      reused space reaches allocation-free steady state, which the
      benchmark harness relies on when it re-runs a preallocated
      [Fast_core] handle thousands of times. *)
+  Bytes.fill t.dense 0 t.dense_len '\000';
   Array.iter
     (function Some c -> Bytes.fill c 0 chunk_size '\000' | None -> ())
     t.chunks;
@@ -90,7 +156,7 @@ let probe_count t = t.probes
 let win_count t = t.wins
 let high_water_mark t = t.hwm
 
-(* Snapshots copy only the occupied prefix of each allocated chunk (up
+(* Snapshots copy only the occupied prefix of each storage region (up
    to the high-water mark), so for the tiny spaces the systematic
    explorer drives (hwm of a few dozen cells) a save is a handful of
    bytes, not a 64 KiB memcpy per DFS transition. *)
@@ -99,6 +165,7 @@ type snap = {
   s_probes : int;
   s_wins : int;
   s_hwm : int;
+  s_dense : Bytes.t;  (* occupied prefix of the dense region *)
   s_prefix : (int * Bytes.t) list;  (* chunk index, occupied prefix *)
 }
 
@@ -110,15 +177,22 @@ let save t =
       | None -> ()
       | Some c ->
         let lo = ci lsl chunk_bits in
-        if lo < t.hwm then
+        if lo < t.hwm && lo + chunk_size > t.dense_len then
           pre := (ci, Bytes.sub c 0 (min chunk_size (t.hwm - lo))) :: !pre)
     t.chunks;
-  { s_probes = t.probes; s_wins = t.wins; s_hwm = t.hwm; s_prefix = !pre }
+  {
+    s_probes = t.probes;
+    s_wins = t.wins;
+    s_hwm = t.hwm;
+    s_dense = Bytes.sub t.dense 0 (min t.dense_len t.hwm);
+    s_prefix = !pre;
+  }
 
 let restore t s =
   (* Zero every cell that may have been touched since (or before) the
      snapshot, then blit the saved prefixes back. *)
   let top = max t.hwm s.s_hwm in
+  Bytes.fill t.dense 0 (min t.dense_len top) '\000';
   Array.iteri
     (fun ci c ->
       match c with
@@ -127,6 +201,7 @@ let restore t s =
         let lo = ci lsl chunk_bits in
         if lo < top then Bytes.fill c 0 (min chunk_size (top - lo)) '\000')
     t.chunks;
+  Bytes.blit s.s_dense 0 t.dense 0 (Bytes.length s.s_dense);
   List.iter
     (fun (ci, pre) ->
       let c = chunk_for t (ci lsl chunk_bits) in

@@ -14,8 +14,17 @@
 type t
 
 val create : ?capacity:int -> unit -> t
-(** [create ()] is an all-free space.  [capacity] (default 1024) merely
-    pre-sizes the backing store. *)
+(** [create ()] is an all-free space.  [capacity] (default 0) commits a
+    dense flat byte per location for locations [0..capacity-1] — the
+    preallocated large-n mode: probes below the boundary never grow or
+    allocate backing storage, so a measured sweep is regrow-free.
+    Locations at or above [capacity] fall back to sparse on-demand
+    chunks, as an unbounded space requires. *)
+
+val preallocate : t -> capacity:int -> unit
+(** [preallocate t ~capacity] widens the dense prefix to [capacity]
+    (no-op if already that wide), preserving the taken/free state of
+    every location.  Call outside measured loops. *)
 
 val tas : t -> int -> bool
 (** [tas t loc] wins (returns [true]) iff [loc] was free; afterwards [loc]

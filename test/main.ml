@@ -6,7 +6,7 @@ let () =
    @ Test_adaptive.suite @ Test_baselines.suite @ Test_lowerbound.suite
    @ Test_longlived.suite @ Test_shm.suite @ Test_harness.suite
    @ Test_schedules.suite @ Test_verification.suite @ Test_gof.suite
-   @ Test_rwtas.suite @ Test_engine.suite @ Test_fault.suite
+   @ Test_rwtas.suite @ Test_engine.suite @ Test_sweep.suite @ Test_fault.suite
    @ Test_analysis.suite @ Test_chaos.suite @ Test_fast_core.suite
    @ Test_modelcheck.suite @ Test_service.suite @ Test_survive.suite
    @ Test_overload.suite)

@@ -126,6 +126,8 @@ let test_registry_complete () =
     [
       "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "t9"; "t10"; "t11";
       "t12"; "t13"; "t14"; "t15"; "t16"; "t17"; "t18"; "f1"; "f2"; "b2";
+      (* the large-n decade sweeps ride behind Registry.all *)
+      "t1l"; "t5l";
     ]
     (Harness.Registry.ids ())
 
